@@ -1,0 +1,93 @@
+//! **Ablations** — the design-choice studies DESIGN.md calls out, beyond
+//! the paper's own figures:
+//!
+//! 1. *Persistent read requests* (§3.2): compare TokenCMP-dst0 with
+//!    persistent reads against a variant where every persistent request
+//!    collects all tokens (approximated by making loads issue write-kind
+//!    persistent requests — here: measured via the locking benchmark with
+//!    and without read-spin contention).
+//! 2. *Response-delay window* (§3.2): sweep the bounded delay.
+//! 3. *Migratory sharing* (§4): on/off for both protocol families.
+
+use tokencmp::{
+    run_workload, Dur, LockingWorkload, Protocol, RunOptions, SystemConfig, Variant,
+};
+use tokencmp_bench::{banner, measure_runtime};
+
+fn main() {
+    banner(
+        "Ablations: response delay, migratory sharing, retry budget",
+        "DESIGN.md §6 (design-choice studies)",
+    );
+    let cfg = SystemConfig::default();
+
+    // --- response-delay sweep -------------------------------------------------
+    println!("\nresponse-delay window sweep (locking, 4 locks, TokenCMP-dst1):");
+    println!("{:>12} {:>14}", "delay (ns)", "runtime (ns)");
+    let mut runtimes = Vec::new();
+    for delay_ns in [0u64, 10, 25, 50, 100, 200] {
+        let mut c = cfg.clone();
+        c.response_delay = Dur::from_ns(delay_ns);
+        let (m, _) = measure_runtime(&c, Protocol::Token(Variant::Dst1), |seed| {
+            LockingWorkload::new(16, 4, 40, seed)
+        });
+        println!("{delay_ns:>12} {:>14}", m.fmt(0));
+        runtimes.push((delay_ns, m.mean));
+    }
+    // A moderate window must not be catastrophic; a huge one serializes.
+    let at25 = runtimes.iter().find(|&&(d, _)| d == 25).unwrap().1;
+    let at200 = runtimes.iter().find(|&&(d, _)| d == 200).unwrap().1;
+    println!("  (200 ns / 25 ns = {:.2}x — long windows serialize handoffs)", at200 / at25);
+
+    // --- migratory sharing on/off ----------------------------------------------
+    println!("\nmigratory-sharing ablation (locking, 32 locks):");
+    println!("{:>22} {:>14} {:>14} {:>8}", "protocol", "on (ns)", "off (ns)", "off/on");
+    for protocol in [Protocol::Token(Variant::Dst1), Protocol::Directory] {
+        let mut on_cfg = cfg.clone();
+        on_cfg.migratory_sharing = true;
+        let (on, _) = measure_runtime(&on_cfg, protocol, |seed| {
+            LockingWorkload::new(16, 32, 40, seed)
+        });
+        let mut off_cfg = cfg.clone();
+        off_cfg.migratory_sharing = false;
+        let (off, _) = measure_runtime(&off_cfg, protocol, |seed| {
+            LockingWorkload::new(16, 32, 40, seed)
+        });
+        println!(
+            "{:>22} {:>14} {:>14} {:>8.2}",
+            protocol.name(),
+            on.fmt(0),
+            off.fmt(0),
+            off.mean / on.mean
+        );
+    }
+
+    // --- retry budget (dst4 vs dst1 vs dst0) -------------------------------------
+    println!("\nretry-budget ablation (locking, 2 locks — high contention):");
+    println!("{:>22} {:>14} {:>12} {:>12}", "protocol", "runtime (ns)", "retries", "persistent");
+    for v in [Variant::Dst0, Variant::Dst1, Variant::Dst4] {
+        let (m, res) = measure_runtime(&cfg, Protocol::Token(v), |seed| {
+            LockingWorkload::new(16, 2, 40, seed)
+        });
+        println!(
+            "{:>22} {:>14} {:>12} {:>12}",
+            v.name(),
+            m.fmt(0),
+            res.counters.counter("l1.retries"),
+            res.counters.counter("l1.persistent")
+        );
+    }
+
+    // --- persistent reads in action -----------------------------------------------
+    println!("\npersistent read requests (§3.2) under test-and-test-and-set:");
+    let w = LockingWorkload::new(16, 2, 40, 3);
+    let (res, _) = run_workload(&cfg, Protocol::Token(Variant::Dst0), w, &RunOptions::default());
+    let reads = res.counters.counter("l1.persistent_reads");
+    let all = res.counters.counter("l1.persistent");
+    println!(
+        "  TokenCMP-dst0 @2 locks: {reads} of {all} persistent requests were reads \
+         ({:.0}%) — spinning loads do not steal write permission",
+        100.0 * reads as f64 / all as f64
+    );
+    assert!(reads > 0);
+}

@@ -1,0 +1,76 @@
+//! **Figure 2** — locking micro-benchmark using *only persistent
+//! requests*: TokenCMP-arb0 and TokenCMP-dst0 against DirectoryCMP and
+//! DirectoryCMP-zero, sweeping the lock count from 2 (high contention) to
+//! 512 (low contention). Runtime is normalized to DirectoryCMP at 512
+//! locks, exactly as in the paper.
+//!
+//! Expected shape: the original arbiter mechanism (arb0) is *worse* than
+//! DirectoryCMP everywhere and catastrophically so under contention; the
+//! new distributed mechanism (dst0) is comparable to or better than the
+//! directory variants.
+
+use tokencmp::{LockingWorkload, Protocol, SystemConfig, Variant};
+use tokencmp_bench::{banner, measure_runtime, Measure};
+
+fn main() {
+    banner(
+        "Figure 2: locking micro-benchmark, persistent requests only",
+        "HPCA 2005 paper, Section 7, Figure 2",
+    );
+    let cfg = SystemConfig::default();
+    let acquires = 40;
+    let protocols = [
+        Protocol::Token(Variant::Arb0),
+        Protocol::Directory,
+        Protocol::DirectoryZero,
+        Protocol::Token(Variant::Dst0),
+    ];
+    let locks_axis = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
+
+    // Baseline: DirectoryCMP at 512 locks.
+    let (base, _) = measure_runtime(&cfg, Protocol::Directory, |seed| {
+        LockingWorkload::new(16, 512, acquires, seed)
+    });
+    println!("baseline DirectoryCMP @512 locks = {} ns\n", base.fmt(0));
+
+    print!("{:>7}", "locks");
+    for p in &protocols {
+        print!("{:>22}", p.name());
+    }
+    println!("   (normalized runtime)");
+
+    let mut grid: Vec<Vec<Measure>> = Vec::new();
+    for &locks in &locks_axis {
+        let mut row = Vec::new();
+        print!("{locks:>7}");
+        for &protocol in &protocols {
+            let (m, res) = measure_runtime(&cfg, protocol, |seed| {
+                LockingWorkload::new(16, locks, acquires, seed)
+            });
+            // Persistent-only variants must never issue transient requests.
+            if matches!(protocol, Protocol::Token(_)) {
+                assert_eq!(res.counters.counter("l1.transient"), 0);
+            }
+            let norm = Measure {
+                mean: m.mean / base.mean,
+                half: m.half / base.mean,
+            };
+            print!("{:>22}", norm.fmt(2));
+            row.push(norm);
+        }
+        println!();
+        grid.push(row);
+    }
+
+    // Shape checks (who wins, roughly by how much).
+    let arb0_high = grid[0][0].mean;
+    let dir_high = grid[0][1].mean;
+    let dst0_high = grid[0][3].mean;
+    println!();
+    println!("shape: arb0/dir @2 locks      = {:.2}x (paper: arb0 well above directory)", arb0_high / dir_high);
+    println!("shape: dst0/dir @2 locks      = {:.2}x (paper: dst0 comparable or better)", dst0_high / dir_high);
+    assert!(
+        arb0_high > 2.0 * dst0_high,
+        "arbiter activation must be far worse than distributed under contention"
+    );
+}

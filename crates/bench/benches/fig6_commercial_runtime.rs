@@ -1,0 +1,73 @@
+//! **Figure 6** — runtime of the commercial workloads (OLTP, Apache,
+//! SPECjbb) normalized to DirectoryCMP, for TokenCMP-dst4 / dst1 /
+//! dst1-pred / dst1-filt, with DirectoryCMP-zero and PerfectL2 as
+//! reference marks.
+//!
+//! Expected shape: every TokenCMP variant is significantly faster than
+//! DirectoryCMP, with the advantage largest for OLTP and smallest for
+//! SPECjbb (the paper: dst1 is 50 % / 29 % / 10 % faster); all TokenCMP
+//! variants perform similarly; persistent requests stay rare (< ~0.3 % of
+//! L1 misses).
+
+use tokencmp::{CommercialParams, CommercialWorkload, Protocol, SystemConfig, Variant};
+use tokencmp_bench::{banner, macro_protocols, measure_runtime};
+
+fn main() {
+    banner(
+        "Figure 6: commercial workload runtime (normalized to DirectoryCMP)",
+        "HPCA 2005 paper, Section 8, Figure 6",
+    );
+    let cfg = CommercialParams::scaled_config(&SystemConfig::default());
+    let protocols = macro_protocols();
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>16} {:>16} {:>12} {:>12}",
+        "workload",
+        "DirectoryCMP",
+        "TokenCMP-dst4",
+        "TokenCMP-dst1",
+        "TokenCMP-dst1-pred",
+        "TokenCMP-dst1-filt",
+        "Dir-zero",
+        "PerfectL2"
+    );
+
+    let mut dst1_speedup = Vec::new();
+    for params in CommercialParams::all() {
+        let mk = |seed| CommercialWorkload::new(16, params, seed);
+        let (dir, _) = measure_runtime(&cfg, Protocol::Directory, mk);
+        print!("{:>10} {:>14.2}", params.name, 1.0);
+        let mut persistent_frac: f64 = 0.0;
+        for &protocol in &protocols[1..] {
+            let (m, res) = measure_runtime(&cfg, protocol, mk);
+            print!(" {:>14.2}", m.mean / dir.mean);
+            persistent_frac = persistent_frac.max(res.persistent_fraction());
+            if protocol == Protocol::Token(Variant::Dst1) {
+                dst1_speedup.push((params.name, dir.mean / m.mean - 1.0));
+            }
+        }
+        // Reference marks (hash marks in the paper's figure).
+        let (zero, _) = measure_runtime(&cfg, Protocol::DirectoryZero, mk);
+        let (perfect, _) = measure_runtime(&cfg, Protocol::PerfectL2, mk);
+        print!("       {:>12.2} {:>12.2}", zero.mean / dir.mean, perfect.mean / dir.mean);
+        println!("   persistent ≤ {:.3}%", 100.0 * persistent_frac);
+        assert!(
+            persistent_frac < 0.01,
+            "{}: persistent requests must be rare in macro workloads",
+            params.name
+        );
+    }
+
+    println!("\nTokenCMP-dst1 speedups over DirectoryCMP ('X% faster', §8 footnote):");
+    for (name, s) in &dst1_speedup {
+        let paper = match *name {
+            "OLTP" => 50.0,
+            "Apache" => 29.0,
+            _ => 10.0,
+        };
+        println!("  {name:>8}: {:>5.1}%   (paper: {paper:.0}%)", 100.0 * s);
+    }
+    // Shape: OLTP gains the most, SPECjbb the least, and all are positive.
+    assert!(dst1_speedup.iter().all(|&(_, s)| s > 0.0));
+    assert!(dst1_speedup[0].1 > dst1_speedup[2].1, "OLTP > SPECjbb gain");
+}

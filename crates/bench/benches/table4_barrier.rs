@@ -1,0 +1,69 @@
+//! **Table 4** — barrier micro-benchmark runtimes, normalized to
+//! DirectoryCMP, with work-between-barriers either a fixed 3000 ns or
+//! 3000 ns + U(−1000, +1000) ns, for all eight protocols.
+//!
+//! Expected shape (the paper's bold rows): TokenCMP-arb0 and TokenCMP-dst4
+//! stand out as the ones to avoid; dst0/dst1/dst1-pred/dst1-filt are
+//! comparable to (or slightly better than) the directory variants.
+
+use tokencmp::{BarrierWorkload, Dur, Protocol, SystemConfig, Variant};
+use tokencmp_bench::{banner, measure_runtime};
+
+fn main() {
+    banner(
+        "Table 4: barrier micro-benchmark runtime (normalized to DirectoryCMP)",
+        "HPCA 2005 paper, Section 7, Table 4",
+    );
+    let cfg = SystemConfig::default();
+    let rounds = 60;
+    let work = Dur::from_ns(3000);
+    let protocols = [
+        Protocol::Token(Variant::Arb0),
+        Protocol::Token(Variant::Dst0),
+        Protocol::Directory,
+        Protocol::DirectoryZero,
+        Protocol::Token(Variant::Dst4),
+        Protocol::Token(Variant::Dst1),
+        Protocol::Token(Variant::Dst1Pred),
+        Protocol::Token(Variant::Dst1Filt),
+    ];
+
+    let mut normalized = Vec::new();
+    println!(
+        "{:>22} {:>16} {:>22}",
+        "Protocol", "3000 ns fixed", "3000 ns + U(-1000,+1000)"
+    );
+    for (col, jitter) in [(0usize, Dur::ZERO), (1, Dur::from_ns(1000))] {
+        let (base, _) = measure_runtime(&cfg, Protocol::Directory, |seed| {
+            BarrierWorkload::new(16, rounds, work, jitter, seed)
+        });
+        let mut colv = Vec::new();
+        for &protocol in &protocols {
+            let (m, res) = measure_runtime(&cfg, protocol, |seed| {
+                BarrierWorkload::new(16, rounds, work, jitter, seed)
+            });
+            assert_eq!(res.counters.counter("procs.done"), 16);
+            colv.push(m.mean / base.mean);
+        }
+        normalized.push(colv);
+        let _ = col;
+    }
+    for (i, protocol) in protocols.iter().enumerate() {
+        println!(
+            "{:>22} {:>16.2} {:>22.2}",
+            protocol.name(),
+            normalized[0][i],
+            normalized[1][i]
+        );
+    }
+
+    // Shape checks: arb0 is the standout loser, as in the paper's bold
+    // entries (1.40 / 1.29 in Table 4).
+    let arb0 = normalized[0][0];
+    let dst1 = normalized[0][5];
+    println!(
+        "\nshape: arb0 = {arb0:.2}x directory (paper 1.40), dst1 = {dst1:.2}x (paper 0.99)"
+    );
+    assert!(arb0 > 1.05, "arb0 must lose to DirectoryCMP on barriers");
+    assert!(dst1 < 1.10, "dst1 must stay comparable to DirectoryCMP");
+}

@@ -1,0 +1,108 @@
+//! Shared harness utilities for the paper-reproduction bench targets.
+//!
+//! Every figure and table of the paper's evaluation has a bench target in
+//! `benches/` (built with `harness = false` so `cargo bench` regenerates
+//! the rows/series as text tables). Runs are repeated over several seeds
+//! and reported as `mean ± 1.96·stderr`, mirroring the paper's
+//! pseudo-random perturbation methodology (Alameldeen & Wood).
+
+use tokencmp::sim::stats::mean_stderr;
+use tokencmp::{run_workload, Protocol, RunOptions, RunResult, SystemConfig, Workload};
+
+/// Seeds used for error bars. Three seeds keeps `cargo bench` minutes-
+/// scale; raise for tighter bars.
+pub const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// A `mean ± half-width` measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Measure {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95 % half-width (1.96 × stderr).
+    pub half: f64,
+}
+
+impl Measure {
+    /// Formats as `mean±half` with the given precision.
+    pub fn fmt(&self, decimals: usize) -> String {
+        format!("{:.d$}±{:.d$}", self.mean, self.half, d = decimals)
+    }
+}
+
+/// Runs `mk(seed)` under `protocol` for every seed and returns the mean
+/// runtime in nanoseconds (and the last run's full result for counters).
+pub fn measure_runtime<W, F>(cfg: &SystemConfig, protocol: Protocol, mk: F) -> (Measure, RunResult)
+where
+    W: Workload + 'static,
+    F: Fn(u64) -> W,
+{
+    let mut runtimes = Vec::new();
+    let mut last = None;
+    for &seed in &SEEDS {
+        let opts = RunOptions {
+            seed,
+            ..RunOptions::default()
+        };
+        let (res, _) = run_workload(cfg, protocol, mk(seed), &opts);
+        assert_eq!(
+            res.outcome,
+            tokencmp::RunOutcome::Idle,
+            "{protocol} did not complete"
+        );
+        runtimes.push(res.runtime_ns());
+        last = Some(res);
+    }
+    let (mean, se) = mean_stderr(&runtimes);
+    (
+        Measure {
+            mean,
+            half: 1.96 * se,
+        },
+        last.expect("at least one seed"),
+    )
+}
+
+/// Prints a header banner for a bench target.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("==================================================================");
+}
+
+/// All TokenCMP macro-benchmark variants of Figures 6/7, in paper order.
+pub fn macro_protocols() -> [Protocol; 5] {
+    use tokencmp::Variant;
+    [
+        Protocol::Directory,
+        Protocol::Token(Variant::Dst4),
+        Protocol::Token(Variant::Dst1),
+        Protocol::Token(Variant::Dst1Pred),
+        Protocol::Token(Variant::Dst1Filt),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokencmp::system::ScriptedWorkload;
+    use tokencmp::{AccessKind, Block, Variant};
+
+    #[test]
+    fn measure_runtime_aggregates_seeds() {
+        let cfg = SystemConfig::small_test();
+        let (m, res) = measure_runtime(&cfg, Protocol::Token(Variant::Dst1), |_| {
+            ScriptedWorkload::new(vec![
+                vec![(AccessKind::Load, Block(1))],
+                vec![],
+                vec![],
+                vec![],
+            ])
+        });
+        assert!(m.mean > 0.0);
+        assert!(m.half >= 0.0);
+        assert!(res.counters.counter("l1.misses") >= 1);
+        assert!(m.fmt(1).contains('±'));
+    }
+}

@@ -1,0 +1,412 @@
+//! Set-associative cache arrays for the TokenCMP coherence simulator.
+//!
+//! The protocols keep *stable* per-block coherence state in a [`SetAssoc`]
+//! array (tags + state, true-LRU replacement) and transient (in-flight)
+//! state in their own MSHR-like maps. The array is generic over the state
+//! type so the token substrate and the directory protocol share it.
+
+use std::fmt;
+
+use tokencmp_proto::Block;
+
+/// What happened on an [`SetAssoc::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome<S> {
+    /// The block was not present and a free way existed.
+    Inserted,
+    /// The block was already present; its previous state is returned.
+    Replaced(S),
+    /// The block was not present; the LRU victim was evicted to make room.
+    Evicted(Block, S),
+}
+
+#[derive(Debug, Clone)]
+struct LineSlot<S> {
+    block: Block,
+    state: S,
+    stamp: u64,
+}
+
+/// A set-associative tag/state array with true-LRU replacement.
+///
+/// Set selection uses block-number bits above `index_shift`, so an L2 bank
+/// (which only sees blocks whose low bits select it) can skip its bank bits.
+///
+/// # Example
+///
+/// ```
+/// use tokencmp_cache::{InsertOutcome, SetAssoc};
+/// use tokencmp_proto::Block;
+///
+/// let mut c: SetAssoc<u32> = SetAssoc::new(4, 2, 0);
+/// assert_eq!(c.insert(Block(0), 10), InsertOutcome::Inserted);
+/// assert_eq!(c.peek(Block(0)), Some(&10));
+/// assert_eq!(c.insert(Block(0), 11), InsertOutcome::Replaced(10));
+/// ```
+#[derive(Clone)]
+pub struct SetAssoc<S> {
+    sets: usize,
+    ways: usize,
+    index_shift: u32,
+    lines: Vec<Option<LineSlot<S>>>,
+    stamp: u64,
+    occupied: usize,
+}
+
+impl<S> SetAssoc<S> {
+    /// Creates an empty array of `sets × ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, index_shift: u32) -> SetAssoc<S> {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        let mut lines = Vec::with_capacity(sets * ways);
+        lines.resize_with(sets * ways, || None);
+        SetAssoc {
+            sets,
+            ways,
+            index_shift,
+            lines,
+            stamp: 0,
+            occupied: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of occupied lines.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True if no lines are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    #[inline]
+    fn set_of(&self, block: Block) -> usize {
+        ((block.0 >> self.index_shift) % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn set_range(&self, block: Block) -> std::ops::Range<usize> {
+        let s = self.set_of(block);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    fn find(&self, block: Block) -> Option<usize> {
+        self.set_range(block)
+            .find(|&i| matches!(&self.lines[i], Some(l) if l.block == block))
+    }
+
+    /// Reads a line's state without updating LRU.
+    pub fn peek(&self, block: Block) -> Option<&S> {
+        self.find(block)
+            .map(|i| &self.lines[i].as_ref().unwrap().state)
+    }
+
+    /// Reads a line's state, marking it most-recently-used.
+    pub fn get(&mut self, block: Block) -> Option<&S> {
+        let i = self.find(block)?;
+        self.stamp += 1;
+        let slot = self.lines[i].as_mut().unwrap();
+        slot.stamp = self.stamp;
+        Some(&self.lines[i].as_ref().unwrap().state)
+    }
+
+    /// Mutable access to a line's state, marking it most-recently-used.
+    pub fn get_mut(&mut self, block: Block) -> Option<&mut S> {
+        let i = self.find(block)?;
+        self.stamp += 1;
+        let slot = self.lines[i].as_mut().unwrap();
+        slot.stamp = self.stamp;
+        Some(&mut slot.state)
+    }
+
+    /// True if the block is resident (no LRU update).
+    pub fn contains(&self, block: Block) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// The block that would be evicted if `block` were inserted now
+    /// (`None` if `block` is resident or a free way exists).
+    pub fn victim_of(&self, block: Block) -> Option<Block> {
+        if self.contains(block) {
+            return None;
+        }
+        let mut lru: Option<(u64, Block)> = None;
+        for i in self.set_range(block) {
+            match &self.lines[i] {
+                None => return None,
+                Some(l) => {
+                    if lru.is_none_or(|(s, _)| l.stamp < s) {
+                        lru = Some((l.stamp, l.block));
+                    }
+                }
+            }
+        }
+        lru.map(|(_, b)| b)
+    }
+
+    /// Inserts (or updates) a line, evicting the LRU line of the set if
+    /// necessary. The inserted line becomes most-recently-used.
+    pub fn insert(&mut self, block: Block, state: S) -> InsertOutcome<S> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(i) = self.find(block) {
+            let slot = self.lines[i].as_mut().unwrap();
+            slot.stamp = stamp;
+            let old = std::mem::replace(&mut slot.state, state);
+            return InsertOutcome::Replaced(old);
+        }
+        let range = self.set_range(block);
+        let mut free = None;
+        let mut lru: Option<(u64, usize)> = None;
+        for i in range {
+            match &self.lines[i] {
+                None => {
+                    free = Some(i);
+                    break;
+                }
+                Some(l) => {
+                    if lru.is_none_or(|(s, _)| l.stamp < s) {
+                        lru = Some((l.stamp, i));
+                    }
+                }
+            }
+        }
+        if let Some(i) = free {
+            self.lines[i] = Some(LineSlot {
+                block,
+                state,
+                stamp,
+            });
+            self.occupied += 1;
+            return InsertOutcome::Inserted;
+        }
+        let (_, i) = lru.expect("ways > 0");
+        let old = std::mem::replace(
+            &mut self.lines[i],
+            Some(LineSlot {
+                block,
+                state,
+                stamp,
+            }),
+        )
+        .unwrap();
+        InsertOutcome::Evicted(old.block, old.state)
+    }
+
+    /// Removes a line, returning its state.
+    pub fn remove(&mut self, block: Block) -> Option<S> {
+        let i = self.find(block)?;
+        self.occupied -= 1;
+        Some(self.lines[i].take().unwrap().state)
+    }
+
+    /// Iterates occupied lines in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Block, &S)> {
+        self.lines
+            .iter()
+            .filter_map(|l| l.as_ref().map(|l| (l.block, &l.state)))
+    }
+
+    /// Mutably iterates occupied lines in arbitrary order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Block, &mut S)> {
+        self.lines
+            .iter_mut()
+            .filter_map(|l| l.as_mut().map(|l| (l.block, &mut l.state)))
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for SetAssoc<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetAssoc")
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("occupied", &self.occupied)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut c: SetAssoc<&str> = SetAssoc::new(8, 2, 0);
+        assert_eq!(c.insert(Block(3), "a"), InsertOutcome::Inserted);
+        assert!(c.contains(Block(3)));
+        assert_eq!(c.get(Block(3)), Some(&"a"));
+        assert_eq!(c.peek(Block(3)), Some(&"a"));
+        assert_eq!(c.remove(Block(3)), Some("a"));
+        assert!(!c.contains(Block(3)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn evicts_lru_within_set() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 2, 0);
+        c.insert(Block(1), 1);
+        c.insert(Block(2), 2);
+        c.get(Block(1)); // block 2 becomes LRU
+        match c.insert(Block(3), 3) {
+            InsertOutcome::Evicted(b, s) => {
+                assert_eq!(b, Block(2));
+                assert_eq!(s, 2);
+            }
+            o => panic!("expected eviction, got {o:?}"),
+        }
+        assert!(c.contains(Block(1)));
+        assert!(c.contains(Block(3)));
+    }
+
+    #[test]
+    fn victim_of_predicts_eviction() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 2, 0);
+        assert_eq!(c.victim_of(Block(9)), None); // free ways
+        c.insert(Block(1), 1);
+        c.insert(Block(2), 2);
+        assert_eq!(c.victim_of(Block(1)), None); // resident
+        let predicted = c.victim_of(Block(3)).unwrap();
+        match c.insert(Block(3), 3) {
+            InsertOutcome::Evicted(b, _) => assert_eq!(b, predicted),
+            o => panic!("expected eviction, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(4, 1, 0);
+        for n in 0..4 {
+            assert_eq!(c.insert(Block(n), n as u32), InsertOutcome::Inserted);
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn index_shift_skips_bank_bits() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(2, 1, 2);
+        c.insert(Block(0b000), 0);
+        assert_eq!(c.insert(Block(0b100), 1), InsertOutcome::Inserted);
+        // 0b1000 shares a set with 0b000 (one way) and evicts it.
+        match c.insert(Block(0b1000), 2) {
+            InsertOutcome::Evicted(b, _) => assert_eq!(b, Block(0b000)),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn replace_updates_in_place() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(2, 2, 0);
+        c.insert(Block(5), 1);
+        assert_eq!(c.insert(Block(5), 2), InsertOutcome::Replaced(1));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(Block(5)), Some(&2));
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(2, 2, 0);
+        c.insert(Block(5), 1);
+        *c.get_mut(Block(5)).unwrap() += 10;
+        assert_eq!(c.peek(Block(5)), Some(&11));
+        assert_eq!(c.get_mut(Block(6)), None);
+    }
+
+    #[test]
+    fn iter_visits_all_occupied() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(4, 2, 0);
+        for n in 0..6 {
+            c.insert(Block(n), n as u32);
+        }
+        let mut got: Vec<u64> = c.iter().map(|(b, _)| b.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        for (_, s) in c.iter_mut() {
+            *s += 100;
+        }
+        assert!(c.iter().all(|(_, &s)| s >= 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _: SetAssoc<u8> = SetAssoc::new(3, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_ways() {
+        let _: SetAssoc<u8> = SetAssoc::new(4, 0, 0);
+    }
+
+    proptest! {
+        /// Model-based test: the array agrees with a naive per-set LRU
+        /// model under arbitrary insert/get/remove sequences.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec((0u8..3, 0u64..32), 1..200)) {
+            use std::collections::HashMap;
+            const SETS: usize = 4;
+            const WAYS: usize = 2;
+            let mut sut: SetAssoc<u64> = SetAssoc::new(SETS, WAYS, 0);
+            // reference: per-set Vec<(block, state)> in LRU order (front = LRU)
+            let mut model: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+
+            for (op, n) in ops {
+                let b = Block(n);
+                let set = (n % SETS as u64) as usize;
+                let entry = model.entry(set).or_default();
+                match op {
+                    0 => {
+                        let out = sut.insert(b, n + 1000);
+                        if let Some(pos) = entry.iter().position(|&(blk, _)| blk == n) {
+                            let (_, old) = entry.remove(pos);
+                            entry.push((n, n + 1000));
+                            prop_assert_eq!(out, InsertOutcome::Replaced(old));
+                        } else if entry.len() < WAYS {
+                            entry.push((n, n + 1000));
+                            prop_assert_eq!(out, InsertOutcome::Inserted);
+                        } else {
+                            let (vb, vs) = entry.remove(0);
+                            entry.push((n, n + 1000));
+                            prop_assert_eq!(out, InsertOutcome::Evicted(Block(vb), vs));
+                        }
+                    }
+                    1 => {
+                        let got = sut.get(b).copied();
+                        let want = entry.iter().position(|&(blk, _)| blk == n).map(|pos| {
+                            let e = entry.remove(pos);
+                            entry.push(e);
+                            e.1
+                        });
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        let got = sut.remove(b);
+                        let want = entry
+                            .iter()
+                            .position(|&(blk, _)| blk == n)
+                            .map(|pos| entry.remove(pos).1);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                let model_len: usize = model.values().map(Vec::len).sum();
+                prop_assert_eq!(sut.len(), model_len);
+            }
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! The TokenCMP L1 cache controller (data or instruction).
+//!
+//! On a processor miss the L1 broadcasts a transient request within its
+//! chip (§4); tokens arrive asynchronously and the miss completes the
+//! moment enough are held (one for reads, all `T` for writes). Timeouts
+//! retry or escalate to a persistent request, per the variant's policy
+//! (Table 1). The controller also answers other caches' transient
+//! requests, remembers persistent requests, honors the bounded
+//! response-delay window, and implements the spin-watch used by the
+//! sequencer to model test-and-test-and-set loops.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tokencmp_cache::{InsertOutcome, SetAssoc};
+use tokencmp_proto::{
+    AccessKind, CpuReq, CpuResp, Layout, ProcId, SystemConfig, Unit,
+};
+use tokencmp_proto::Block;
+use tokencmp_sim::{Component, Ctx, Dur, Ewma, Histogram, NodeId, Rng, Time};
+
+use crate::common::{
+    persistent_grant, transient_grant, GrantRules, PersistentState, TokenLine,
+};
+use crate::msg::{ReqKind, TokenBundle, TokenMsg};
+use crate::policy::{Activation, ContentionPredictor, Variant};
+
+/// Wake-tag bit marking a response-delay (lock) expiry; low bits carry the
+/// block number.
+const TAG_LOCK: u64 = 1 << 63;
+
+/// Counters exposed by an L1 controller after a run.
+#[derive(Clone, Debug, Default)]
+pub struct L1Stats {
+    /// Processor accesses satisfied without leaving the L1.
+    pub hits: u64,
+    /// Processor accesses that missed.
+    pub misses: u64,
+    /// Transient requests issued (including retries).
+    pub transient_issued: u64,
+    /// Transient-request timeouts that led to a retry.
+    pub retries: u64,
+    /// Persistent requests issued.
+    pub persistent_issued: u64,
+    /// Persistent requests that were persistent *reads*.
+    pub persistent_reads: u64,
+    /// Misses sent straight to a persistent request by the predictor.
+    pub predictor_shortcuts: u64,
+    /// Miss latency distribution (picoseconds).
+    pub miss_latency: Histogram,
+}
+
+#[derive(Debug)]
+struct Mshr {
+    block: Block,
+    access: AccessKind,
+    kind: ReqKind,
+    attempts: u32,
+    started: Time,
+    last_issue: Time,
+    persistent: bool,
+    epoch: u64,
+}
+
+/// A TokenCMP L1 cache controller.
+pub struct TokenL1 {
+    cfg: Rc<SystemConfig>,
+    layout: Layout,
+    me: NodeId,
+    proc: ProcId,
+    proc_node: NodeId,
+    variant: Variant,
+    rules: GrantRules,
+    lines: SetAssoc<TokenLine>,
+    mshr: Option<Mshr>,
+    watch: Option<Block>,
+    persistent: PersistentState,
+    /// A persistent request held back by the wave-marking rule.
+    pending_persistent: Option<(Block, ReqKind)>,
+    /// Response-delay windows: blocks we will not surrender until the time.
+    locks: HashMap<Block, Time>,
+    /// Requests deferred by a response-delay window.
+    deferred: Vec<TokenMsg>,
+    mem_ewma: Ewma,
+    rng: Rng,
+    predictor: Option<ContentionPredictor>,
+    /// Destination-set predictor (`dst1-dsp`): the chip that last
+    /// supplied tokens for a block.
+    dest_pred: HashMap<Block, tokencmp_proto::CmpId>,
+    epoch: u64,
+    /// Persistent-request issue number, shared by the processor's L1-D and
+    /// L1-I caches (they issue under one processor identity; epochs
+    /// suppress reordered ghosts and must be monotone per processor).
+    persistent_epoch: Rc<Cell<u64>>,
+    /// The epoch of this cache's own outstanding persistent request.
+    my_epoch: u64,
+    /// Run statistics.
+    pub stats: L1Stats,
+}
+
+impl TokenL1 {
+    /// Creates an L1 controller for processor `proc`.
+    ///
+    /// `me` must be the node id this controller is registered under
+    /// (its L1-D or L1-I slot in the layout).
+    pub fn new(
+        cfg: Rc<SystemConfig>,
+        me: NodeId,
+        proc: ProcId,
+        variant: Variant,
+        seed: u64,
+        persistent_epoch: Rc<Cell<u64>>,
+    ) -> TokenL1 {
+        let layout = cfg.layout();
+        let rules = GrantRules {
+            total_tokens: cfg.tokens_per_block,
+            caches_per_cmp: 2 * cfg.procs_per_cmp as u32 + cfg.banks_per_cmp as u32,
+            migratory: cfg.migratory_sharing,
+        };
+        TokenL1 {
+            lines: SetAssoc::new(cfg.l1_sets, cfg.l1_ways, 0),
+            persistent: PersistentState::new(layout.procs() as usize),
+            predictor: variant.uses_predictor().then(ContentionPredictor::new),
+            proc_node: layout.proc(proc),
+            layout,
+            me,
+            proc,
+            variant,
+            rules,
+            mshr: None,
+            watch: None,
+            pending_persistent: None,
+            locks: HashMap::new(),
+            deferred: Vec::new(),
+            mem_ewma: Ewma::new(0.25),
+            rng: Rng::new(seed ^ (me.0 as u64) << 32),
+            dest_pred: HashMap::new(),
+            epoch: 0,
+            persistent_epoch,
+            my_epoch: 0,
+            cfg,
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// Tokens currently held, per block (for conservation audits).
+    pub fn token_census(&self) -> Vec<(Block, u32, bool)> {
+        self.lines
+            .iter()
+            .map(|(b, l)| (b, l.tokens, l.owner))
+            .collect()
+    }
+
+    /// True if this L1 has an outstanding miss.
+    pub fn has_outstanding_miss(&self) -> bool {
+        self.mshr.is_some()
+    }
+
+    fn tokens_needed(&self, kind: ReqKind) -> u32 {
+        match kind {
+            ReqKind::Read => 1,
+            ReqKind::Write => self.cfg.tokens_per_block,
+        }
+    }
+
+    fn locked(&self, block: Block, now: Time) -> bool {
+        self.locks.get(&block).is_some_and(|&t| t > now)
+    }
+
+    fn lock(&mut self, block: Block, ctx: &mut Ctx<'_, TokenMsg>) {
+        if self.cfg.response_delay.is_zero() {
+            return;
+        }
+        let until = ctx.now + self.cfg.response_delay;
+        self.locks.insert(block, until);
+        debug_assert!(block.0 < TAG_LOCK);
+        ctx.wake_at(until, TAG_LOCK | block.0);
+    }
+
+    /// Current transient-request timeout threshold, derived from memory
+    /// response latencies only (§4), with a conservative default before
+    /// the first observation.
+    fn timeout_threshold(&self) -> Dur {
+        let base = self.mem_ewma.value_or(Dur::from_ns(150).as_ps() as f64);
+        Dur::from_ps((base * 1.5) as u64).max(Dur::from_ns(100))
+    }
+
+    fn send_tokens(
+        &mut self,
+        ctx: &mut Ctx<'_, TokenMsg>,
+        delay: Dur,
+        dst: NodeId,
+        block: Block,
+        bundle: TokenBundle,
+        writeback: bool,
+    ) {
+        debug_assert!(bundle.count >= 1);
+        ctx.send_after(
+            delay,
+            dst,
+            TokenMsg::Tokens {
+                block,
+                bundle,
+                writeback,
+            },
+        );
+    }
+
+    /// Sends an evicted or unwanted bundle to the local L2 bank for the
+    /// block (the natural spill level; the substrate only requires that
+    /// tokens are never destroyed).
+    fn spill(&mut self, ctx: &mut Ctx<'_, TokenMsg>, block: Block, bundle: TokenBundle) {
+        let cmp = self.layout.cmp_of_proc(self.proc);
+        let bank = self.cfg.l2_bank_of(block);
+        let dst = self.layout.l2(cmp, bank);
+        self.send_tokens(ctx, Dur::ZERO, dst, block, bundle, true);
+    }
+
+    /// Drops the line if it ran out of tokens; fires the spin-watch.
+    fn after_line_change(&mut self, block: Block, ctx: &mut Ctx<'_, TokenMsg>) {
+        let empty = self.lines.peek(block).is_some_and(TokenLine::is_empty);
+        if empty {
+            self.lines.remove(block);
+        }
+        if !self.lines.contains(block) && self.watch == Some(block) {
+            self.watch = None;
+            ctx.send(
+                self.proc_node,
+                TokenMsg::CpuResp(CpuResp::WatchFired { block }),
+            );
+        }
+    }
+
+    /// Forwards tokens to the active persistent request for `block`, if
+    /// any and if we hold tokens (deferring inside a response-delay
+    /// window).
+    fn try_forward(&mut self, block: Block, ctx: &mut Ctx<'_, TokenMsg>) {
+        let Some(req) = self.persistent.active_for(block) else {
+            return;
+        };
+        if req.requester == self.me {
+            return;
+        }
+        if self.locked(block, ctx.now) {
+            return; // the lock-expiry wake re-runs try_forward
+        }
+        let Some(line) = self.lines.get_mut(block) else {
+            return;
+        };
+        if let Some(bundle) = persistent_grant(line, req.kind, true) {
+            self.send_tokens(ctx, Dur::ZERO, req.requester, block, bundle, false);
+            self.after_line_change(block, ctx);
+        }
+    }
+
+    fn fold_tokens(
+        &mut self,
+        src: NodeId,
+        block: Block,
+        bundle: TokenBundle,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        let wanted =
+            self.mshr.as_ref().is_some_and(|m| m.block == block) || self.lines.contains(block);
+        if !wanted {
+            // Unsolicited tokens for a block we neither cache nor want:
+            // hand them straight to an active persistent request ("forward
+            // all tokens — those present and received in the future",
+            // §3.2), else pass them to the L2 so they are never lost.
+            if let Some(req) = self.persistent.active_for(block) {
+                if req.requester != self.me {
+                    let fwd = TokenMsg::Tokens {
+                        block,
+                        bundle,
+                        writeback: false,
+                    };
+                    ctx.send(req.requester, fwd);
+                    return;
+                }
+            }
+            self.spill(ctx, block, bundle);
+            return;
+        }
+        if let Some(line) = self.lines.get_mut(block) {
+            line.fold(bundle);
+        } else {
+            match self.lines.insert(block, TokenLine::from_bundle(bundle)) {
+                InsertOutcome::Evicted(vblock, mut vline) => {
+                    let vb = vline.take_all(true);
+                    self.spill(ctx, vblock, vb);
+                    self.after_line_change(vblock, ctx);
+                }
+                InsertOutcome::Inserted | InsertOutcome::Replaced(_) => {}
+            }
+        }
+        if self.variant.uses_destination_prediction() {
+            // Learn who supplies this block: a remote cache's chip, or —
+            // for memory responses — the home chip (the request reaches
+            // the memory controller through its chip's L2 relay).
+            let supplier = self.layout.placement(src).cmp();
+            if supplier != self.layout.cmp_of_proc(self.proc) {
+                self.dest_pred.insert(block, supplier);
+            }
+        }
+        // Timeout threshold learns from memory responses only (§4).
+        if matches!(self.layout.unit(src), Unit::Mem(_)) {
+            if let Some(m) = &self.mshr {
+                if m.block == block {
+                    let lat = ctx.now.since(m.last_issue);
+                    self.mem_ewma.observe(lat.as_ps() as f64);
+                }
+            }
+        }
+        self.maybe_complete(ctx);
+        self.try_forward(block, ctx);
+        self.after_line_change(block, ctx);
+    }
+
+    fn maybe_complete(&mut self, ctx: &mut Ctx<'_, TokenMsg>) {
+        let Some(m) = &self.mshr else {
+            return;
+        };
+        let needed = self.tokens_needed(m.kind);
+        let Some(line) = self.lines.peek(m.block) else {
+            return;
+        };
+        if line.tokens < needed {
+            return;
+        }
+        let m = self.mshr.take().unwrap();
+        debug_assert!(
+            m.kind != ReqKind::Write || self.lines.peek(m.block).unwrap().owner,
+            "all tokens must include the owner token"
+        );
+        if m.kind == ReqKind::Write {
+            let line = self.lines.get_mut(m.block).unwrap();
+            line.dirty = true;
+            line.written = true;
+            self.lock(m.block, ctx);
+        }
+        self.stats
+            .miss_latency
+            .record(ctx.now.since(m.started).as_ps());
+        ctx.send(
+            self.proc_node,
+            TokenMsg::CpuResp(CpuResp::Done {
+                kind: m.access,
+                block: m.block,
+            }),
+        );
+        self.epoch += 1; // invalidate outstanding timeout wakes
+        if m.persistent {
+            self.finish_persistent(m.block, ctx);
+        }
+        // Hand off to any remaining persistent requests (after our
+        // response-delay window, via try_forward's lock check).
+        self.try_forward(m.block, ctx);
+    }
+
+    fn finish_persistent(&mut self, block: Block, ctx: &mut Ctx<'_, TokenMsg>) {
+        let epoch = self.my_epoch;
+        match self.variant.activation() {
+            Activation::Distributed => {
+                self.persistent.dist.deactivate(self.proc, epoch);
+                // Wave rule: mark every request that was outstanding when
+                // ours completed; we may not re-issue for this block until
+                // they all drain.
+                self.persistent.dist.mark_peers(block);
+                let msg = TokenMsg::PersistentDeactivate {
+                    block,
+                    proc: self.proc,
+                    epoch,
+                };
+                for node in self.layout.all_coherence_nodes() {
+                    if node != self.me {
+                        ctx.send(node, msg);
+                    }
+                }
+            }
+            Activation::Arbiter => {
+                let home = self.layout.mem(self.cfg.home_of(block));
+                ctx.send(
+                    home,
+                    TokenMsg::ArbDeactivateRequest {
+                        block,
+                        proc: self.proc,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    fn issue_transient(&mut self, ctx: &mut Ctx<'_, TokenMsg>, first: bool) {
+        let m = self.mshr.as_mut().expect("transient without mshr");
+        m.attempts += 1;
+        m.last_issue = ctx.now;
+        m.epoch = self.epoch;
+        let (block, kind, epoch, attempts) = (m.block, m.kind, m.epoch, m.attempts);
+        self.stats.transient_issued += 1;
+        let issue_delay = if first {
+            self.cfg.l1_latency
+        } else {
+            Dur::ZERO
+        };
+        // Destination-set prediction: only the *first* attempt is
+        // narrowed; retries broadcast fully (the substrate guarantees
+        // correctness regardless of who the request reaches).
+        let hint = if self.variant.uses_destination_prediction() && attempts == 1 {
+            self.dest_pred.get(&block).copied()
+        } else {
+            None
+        };
+        let req = TokenMsg::Transient {
+            block,
+            requester: self.me,
+            kind,
+            external: false,
+            hint,
+        };
+        if self.variant.is_flat() {
+            // Original TokenB: broadcast directly to every cache in the
+            // system plus the block's home memory controller, ignoring
+            // the hierarchy (§4 explains why this scales poorly).
+            for node in self.layout.all_caches() {
+                if node != self.me {
+                    ctx.send_after(issue_delay, node, req);
+                }
+            }
+            let home = self.layout.mem(self.cfg.home_of(block));
+            ctx.send_after(issue_delay, home, req);
+        } else {
+            let cmp = self.layout.cmp_of_proc(self.proc);
+            for l1 in self.layout.l1s_on(cmp) {
+                if l1 != self.me {
+                    ctx.send_after(issue_delay, l1, req);
+                }
+            }
+            let bank = self.cfg.l2_bank_of(block);
+            ctx.send_after(issue_delay, self.layout.l2(cmp, bank), req);
+        }
+        // Timeout with pseudo-random backoff to avoid lock-step retries.
+        let theta = self.timeout_threshold();
+        let jitter = Dur::from_ps(self.rng.below(theta.as_ps() / 4 + 1));
+        let delay = issue_delay + theta.times(attempts as u64) + jitter;
+        ctx.wake_in(delay, epoch);
+    }
+
+    fn issue_persistent(&mut self, ctx: &mut Ctx<'_, TokenMsg>) {
+        let m = self.mshr.as_mut().expect("persistent without mshr");
+        let (block, kind) = (m.block, m.kind);
+        m.epoch = self.epoch;
+        match self.variant.activation() {
+            Activation::Distributed => {
+                if self.persistent.dist.has_marked(block) {
+                    // Wave rule: wait for the previous wave to drain.
+                    self.pending_persistent = Some((block, kind));
+                    return;
+                }
+                self.mshr.as_mut().unwrap().persistent = true;
+                self.stats.persistent_issued += 1;
+                if kind == ReqKind::Read {
+                    self.stats.persistent_reads += 1;
+                }
+                let epoch = self.persistent_epoch.get() + 1;
+                self.persistent_epoch.set(epoch);
+                self.my_epoch = epoch;
+                self.persistent
+                    .dist
+                    .activate(self.proc, block, self.me, kind, epoch);
+                let msg = TokenMsg::PersistentActivate {
+                    block,
+                    proc: self.proc,
+                    requester: self.me,
+                    kind,
+                    epoch,
+                };
+                for node in self.layout.all_coherence_nodes() {
+                    if node != self.me {
+                        ctx.send(node, msg);
+                    }
+                }
+                // We may already hold enough tokens (e.g. a racing
+                // response arrived just before escalation).
+                self.maybe_complete(ctx);
+            }
+            Activation::Arbiter => {
+                self.mshr.as_mut().unwrap().persistent = true;
+                self.stats.persistent_issued += 1;
+                if kind == ReqKind::Read {
+                    self.stats.persistent_reads += 1;
+                }
+                let epoch = self.persistent_epoch.get() + 1;
+                self.persistent_epoch.set(epoch);
+                self.my_epoch = epoch;
+                let home = self.layout.mem(self.cfg.home_of(block));
+                ctx.send(
+                    home,
+                    TokenMsg::ArbRequest {
+                        block,
+                        proc: self.proc,
+                        requester: self.me,
+                        kind,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_cpu(&mut self, req: CpuReq, ctx: &mut Ctx<'_, TokenMsg>) {
+        match req {
+            CpuReq::Access { kind, block } => {
+                assert!(self.mshr.is_none(), "sequencer issues one op at a time");
+                let rkind = if kind.needs_write() {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                let needed = self.tokens_needed(rkind);
+                let hit = self.lines.get_mut(block).is_some_and(|line| {
+                    if line.tokens >= needed {
+                        if rkind == ReqKind::Write {
+                            line.dirty = true;
+                            line.written = true;
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if hit {
+                    if rkind == ReqKind::Write {
+                        self.lock(block, ctx);
+                    }
+                    self.stats.hits += 1;
+                    ctx.send_after(
+                        self.cfg.l1_latency,
+                        self.proc_node,
+                        TokenMsg::CpuResp(CpuResp::Done { kind, block }),
+                    );
+                    return;
+                }
+                self.stats.misses += 1;
+                self.epoch += 1;
+                self.mshr = Some(Mshr {
+                    block,
+                    access: kind,
+                    kind: rkind,
+                    attempts: 0,
+                    started: ctx.now,
+                    last_issue: ctx.now,
+                    persistent: false,
+                    epoch: self.epoch,
+                });
+                let predicted_contended = self
+                    .predictor
+                    .as_ref()
+                    .is_some_and(|p| p.predicts_contended(block));
+                if self.variant.max_transient() == 0 {
+                    self.issue_persistent(ctx);
+                } else if predicted_contended {
+                    self.stats.predictor_shortcuts += 1;
+                    self.issue_persistent(ctx);
+                } else {
+                    self.issue_transient(ctx, true);
+                }
+            }
+            CpuReq::Watch { block } => {
+                if self.lines.contains(block) {
+                    self.watch = Some(block);
+                } else {
+                    ctx.send(
+                        self.proc_node,
+                        TokenMsg::CpuResp(CpuResp::WatchFired { block }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_transient(
+        &mut self,
+        block: Block,
+        requester: NodeId,
+        kind: ReqKind,
+        external: bool,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        if requester == self.me {
+            return;
+        }
+        // Persistent requests have absolute priority: while one is active
+        // for this block, tokens are reserved for its initiator (otherwise
+        // transient readers could siphon tokens off an almost-complete
+        // persistent write forever).
+        if self.persistent.active_for(block).is_some() {
+            return;
+        }
+        if self.locked(block, ctx.now) {
+            self.deferred.push(TokenMsg::Transient {
+                block,
+                requester,
+                kind,
+                external,
+                hint: None,
+            });
+            return;
+        }
+        let Some(line) = self.lines.get_mut(block) else {
+            return; // a cache only responds when it has tokens
+        };
+        if let Some(bundle) = transient_grant(line, kind, external, &self.rules) {
+            self.send_tokens(ctx, self.cfg.l1_latency, requester, block, bundle, false);
+            self.after_line_change(block, ctx);
+        }
+    }
+
+    fn handle_persistent_table(&mut self, msg: &TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
+        let Some(block) = self.persistent.apply(msg) else {
+            return;
+        };
+        // A held-back persistent request may now be issuable.
+        if let TokenMsg::PersistentDeactivate { .. } | TokenMsg::ArbDeactivate { .. } = msg {
+            if let Some((pblock, _)) = self.pending_persistent {
+                if pblock == block
+                    && !self.persistent.dist.has_marked(block)
+                    && self.mshr.as_ref().is_some_and(|m| m.block == block)
+                {
+                    self.pending_persistent = None;
+                    self.issue_persistent(ctx);
+                }
+            }
+        }
+        self.try_forward(block, ctx);
+    }
+}
+
+impl Component<TokenMsg> for TokenL1 {
+    fn on_msg(&mut self, src: NodeId, msg: TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
+        match msg {
+            TokenMsg::Cpu(req) => self.handle_cpu(req, ctx),
+            TokenMsg::Transient {
+                block,
+                requester,
+                kind,
+                external,
+                ..
+            } => self.handle_transient(block, requester, kind, external, ctx),
+            TokenMsg::Tokens { block, bundle, .. } => self.fold_tokens(src, block, bundle, ctx),
+            TokenMsg::PersistentActivate { .. }
+            | TokenMsg::PersistentDeactivate { .. }
+            | TokenMsg::ArbActivate { .. }
+            | TokenMsg::ArbDeactivate { .. } => self.handle_persistent_table(&msg, ctx),
+            TokenMsg::CpuResp(_) => unreachable!("L1 does not receive CPU responses"),
+            TokenMsg::ArbRequest { .. } | TokenMsg::ArbDeactivateRequest { .. } => {
+                unreachable!("arbiter messages go to memory controllers")
+            }
+        }
+    }
+
+    fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, TokenMsg>) {
+        if tag & TAG_LOCK != 0 {
+            // Response-delay expiry: release deferred work for the block.
+            let block = Block(tag & !TAG_LOCK);
+            if self.locked(block, ctx.now) {
+                return; // re-locked meanwhile; a later wake is scheduled
+            }
+            self.locks.remove(&block);
+            let deferred = std::mem::take(&mut self.deferred);
+            for m in deferred {
+                match m {
+                    TokenMsg::Transient {
+                        block: b,
+                        requester,
+                        kind,
+                        external,
+                        ..
+                    } if b == block => self.handle_transient(b, requester, kind, external, ctx),
+                    other => self.deferred.push(other),
+                }
+            }
+            self.try_forward(block, ctx);
+            return;
+        }
+        // Transient-request timeout.
+        let Some(m) = &self.mshr else {
+            return;
+        };
+        if m.epoch != tag || m.persistent {
+            return; // stale timeout
+        }
+        let block = m.block;
+        if let Some(p) = &mut self.predictor {
+            p.record_timeout(block, &mut self.rng);
+        }
+        if m.attempts < self.variant.max_transient() {
+            self.stats.retries += 1;
+            self.issue_transient(ctx, false);
+        } else {
+            self.issue_persistent(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for TokenL1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenL1")
+            .field("me", &self.me)
+            .field("proc", &self.proc)
+            .field("variant", &self.variant)
+            .field("lines", &self.lines.len())
+            .field("mshr", &self.mshr)
+            .finish()
+    }
+}

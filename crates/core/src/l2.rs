@@ -1,0 +1,386 @@
+//! The TokenCMP shared-L2 bank controller.
+//!
+//! An L2 bank is just another token holder in the flat substrate, but the
+//! hierarchical performance policy (§4) gives it two extra jobs:
+//!
+//! * On a *local* transient request it cannot satisfy, it re-broadcasts
+//!   the request to the same bank on every other chip plus the block's
+//!   home memory controller.
+//! * On an *external* transient request, it responds per the external
+//!   rules and fans the request out to its local L1 caches — optionally
+//!   filtered through an approximate directory of L1 sharers
+//!   (`TokenCMP-dst1-filt`). Filtering can be approximate because safety
+//!   and starvation-freedom come from the substrate; persistent requests
+//!   are never filtered (they are broadcast directly to every node).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tokencmp_cache::{InsertOutcome, SetAssoc};
+use tokencmp_proto::{Block, CmpId, Layout, SystemConfig, Unit};
+use tokencmp_sim::{Component, Ctx, Dur, NodeId};
+
+use crate::common::{
+    persistent_grant, storage_grant, transient_grant, GrantRules, PersistentState, TokenLine,
+};
+use crate::msg::{ReqKind, TokenBundle, TokenMsg};
+use crate::policy::Variant;
+
+/// Counters exposed by an L2 bank after a run.
+#[derive(Clone, Debug, Default)]
+pub struct L2Stats {
+    /// Local transient requests received.
+    pub local_requests: u64,
+    /// Local requests satisfied entirely from this bank.
+    pub local_satisfied: u64,
+    /// Requests re-broadcast to other chips.
+    pub external_broadcasts: u64,
+    /// External transient requests received from other chips.
+    pub external_requests: u64,
+    /// L1 fan-out messages suppressed by the sharer filter.
+    pub filtered: u64,
+    /// L1 fan-out messages actually forwarded.
+    pub forwarded_to_l1: u64,
+}
+
+/// A TokenCMP shared-L2 bank.
+pub struct TokenL2 {
+    cfg: Rc<SystemConfig>,
+    layout: Layout,
+    me: NodeId,
+    cmp: CmpId,
+    bank: u8,
+    rules: GrantRules,
+    lines: SetAssoc<TokenLine>,
+    persistent: PersistentState,
+    variant: Variant,
+    /// Approximate directory of local L1 sharers (dst1-filt only):
+    /// bit `i` set means local L1 `i` (in [`Layout::l1s_on`] order) may
+    /// hold tokens.
+    filter: Option<HashMap<Block, u16>>,
+    /// Run statistics.
+    pub stats: L2Stats,
+}
+
+impl TokenL2 {
+    /// Creates an L2 bank controller.
+    pub fn new(
+        cfg: Rc<SystemConfig>,
+        me: NodeId,
+        cmp: CmpId,
+        bank: u8,
+        variant: Variant,
+    ) -> TokenL2 {
+        let layout = cfg.layout();
+        let rules = GrantRules {
+            total_tokens: cfg.tokens_per_block,
+            caches_per_cmp: 2 * cfg.procs_per_cmp as u32 + cfg.banks_per_cmp as u32,
+            migratory: cfg.migratory_sharing,
+        };
+        // Bank-select bits are below the set-index bits.
+        let shift = (cfg.banks_per_cmp as u64).next_power_of_two().trailing_zeros();
+        TokenL2 {
+            lines: SetAssoc::new(cfg.l2_sets, cfg.l2_ways, shift),
+            persistent: PersistentState::new(layout.procs() as usize),
+            variant,
+            filter: variant.uses_filter().then(HashMap::new),
+            layout,
+            me,
+            cmp,
+            bank,
+            rules,
+            cfg,
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// Tokens currently held, per block (for conservation audits).
+    pub fn token_census(&self) -> Vec<(Block, u32, bool)> {
+        self.lines
+            .iter()
+            .map(|(b, l)| (b, l.tokens, l.owner))
+            .collect()
+    }
+
+    fn local_l1_index(&self, node: NodeId) -> Option<usize> {
+        self.layout.l1s_on(self.cmp).iter().position(|&n| n == node)
+    }
+
+    fn mark_sharer(&mut self, block: Block, l1: NodeId) {
+        let Some(idx) = self.local_l1_index(l1) else {
+            return;
+        };
+        if let Some(f) = &mut self.filter {
+            *f.entry(block).or_insert(0) |= 1 << idx;
+        }
+    }
+
+    fn clear_sharer(&mut self, block: Block, l1: NodeId) {
+        let Some(idx) = self.local_l1_index(l1) else {
+            return;
+        };
+        if let Some(f) = &mut self.filter {
+            if let Some(mask) = f.get_mut(&block) {
+                *mask &= !(1 << idx);
+                if *mask == 0 {
+                    f.remove(&block);
+                }
+            }
+        }
+    }
+
+    fn send_tokens(
+        &mut self,
+        ctx: &mut Ctx<'_, TokenMsg>,
+        delay: Dur,
+        dst: NodeId,
+        block: Block,
+        bundle: TokenBundle,
+        writeback: bool,
+    ) {
+        debug_assert!(bundle.count >= 1);
+        ctx.send_after(
+            delay,
+            dst,
+            TokenMsg::Tokens {
+                block,
+                bundle,
+                writeback,
+            },
+        );
+    }
+
+    /// Evictions spill to the block's home memory controller.
+    fn spill_to_home(&mut self, ctx: &mut Ctx<'_, TokenMsg>, block: Block, bundle: TokenBundle) {
+        let home = self.layout.mem(self.cfg.home_of(block));
+        self.send_tokens(ctx, Dur::ZERO, home, block, bundle, true);
+    }
+
+    fn drop_if_empty(&mut self, block: Block) {
+        if self.lines.peek(block).is_some_and(TokenLine::is_empty) {
+            self.lines.remove(block);
+        }
+    }
+
+    fn try_forward(&mut self, block: Block, ctx: &mut Ctx<'_, TokenMsg>) {
+        let Some(req) = self.persistent.active_for(block) else {
+            return;
+        };
+        debug_assert!(req.requester != self.me, "L2 never issues persistent requests");
+        let Some(line) = self.lines.get_mut(block) else {
+            return;
+        };
+        if let Some(bundle) = persistent_grant(line, req.kind, true) {
+            self.send_tokens(ctx, Dur::ZERO, req.requester, block, bundle, false);
+            self.drop_if_empty(block);
+        }
+    }
+
+    fn fold_tokens(
+        &mut self,
+        src: NodeId,
+        block: Block,
+        bundle: TokenBundle,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        // A writeback from a local L1 clears its (approximate) sharer bit.
+        if matches!(self.layout.unit(src), Unit::L1D(_) | Unit::L1I(_)) {
+            self.clear_sharer(block, src);
+        }
+        if let Some(line) = self.lines.get_mut(block) {
+            line.fold(bundle);
+        } else {
+            match self.lines.insert(block, TokenLine::from_bundle(bundle)) {
+                InsertOutcome::Evicted(vblock, mut vline) => {
+                    let vb = vline.take_all(true);
+                    self.spill_to_home(ctx, vblock, vb);
+                }
+                InsertOutcome::Inserted | InsertOutcome::Replaced(_) => {}
+            }
+        }
+        self.try_forward(block, ctx);
+    }
+
+    /// A transient request from a *local* L1: answer what we can; if the
+    /// request may still be unsatisfied, broadcast it off chip.
+    fn handle_local_transient(
+        &mut self,
+        block: Block,
+        requester: NodeId,
+        kind: ReqKind,
+        hint: Option<CmpId>,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        self.stats.local_requests += 1;
+        self.mark_sharer(block, requester);
+        let mut fully_satisfied = false;
+        // Tokens are reserved while a persistent request is active.
+        let reserved = self.persistent.active_for(block).is_some();
+        if let Some(line) = self.lines.get_mut(block).filter(|_| !reserved) {
+            let had_all = line.tokens == self.rules.total_tokens && line.owner;
+            let grant = storage_grant(line, kind, &self.rules, true);
+            match kind {
+                ReqKind::Read => fully_satisfied = grant.is_some(),
+                ReqKind::Write => fully_satisfied = had_all,
+            }
+            if let Some(bundle) = grant {
+                self.send_tokens(ctx, self.cfg.l2_latency, requester, block, bundle, false);
+                self.drop_if_empty(block);
+            }
+        }
+        if fully_satisfied {
+            self.stats.local_satisfied += 1;
+            return;
+        }
+        if self.variant.is_flat() {
+            // TokenB requests already went everywhere; never re-broadcast.
+            return;
+        }
+        // L2 miss (or insufficient tokens): broadcast to the other chips
+        // (§4). Memory is reached through its home chip — our own memory
+        // link if the block is homed here, else the home chip's L2
+        // forwards over its memory link — so a miss costs exactly three
+        // inter-CMP request messages, as in the paper's §8 accounting.
+        self.stats.external_broadcasts += 1;
+        let req = TokenMsg::Transient {
+            block,
+            requester,
+            kind,
+            external: true,
+            hint: None,
+        };
+        // Destination-set prediction (dst1-dsp): a predicted owner chip
+        // narrows the first attempt to {prediction, home}; the requester's
+        // retry broadcasts fully, and safety never depends on who a
+        // transient request reaches.
+        let home = self.cfg.home_of(block);
+        let targets: Vec<CmpId> = match hint {
+            Some(h) => {
+                let mut t = vec![];
+                if h != self.cmp {
+                    t.push(h);
+                }
+                if home != self.cmp && home != h {
+                    t.push(home);
+                }
+                t
+            }
+            None => self.layout.cmp_ids().filter(|&c| c != self.cmp).collect(),
+        };
+        for c in targets {
+            ctx.send_after(self.cfg.l2_latency, self.layout.l2(c, self.bank), req);
+        }
+        if home == self.cmp {
+            ctx.send_after(self.cfg.l2_latency, self.layout.mem(self.cmp), req);
+        }
+    }
+
+    /// A transient request arriving from another chip: answer per the
+    /// external rules and fan out to (possibly filtered) local L1s.
+    fn handle_external_transient(
+        &mut self,
+        block: Block,
+        requester: NodeId,
+        kind: ReqKind,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        self.stats.external_requests += 1;
+        let reserved = self.persistent.active_for(block).is_some();
+        if let Some(line) = self.lines.get_mut(block).filter(|_| !reserved) {
+            if let Some(bundle) = transient_grant(line, kind, true, &self.rules) {
+                self.send_tokens(ctx, self.cfg.l2_latency, requester, block, bundle, false);
+                self.drop_if_empty(block);
+            }
+        }
+        // The home chip relays external requests to its memory controller
+        // over the dedicated memory link.
+        if self.cfg.home_of(block) == self.cmp {
+            let req = TokenMsg::Transient {
+                block,
+                requester,
+                kind,
+                external: true,
+                hint: None,
+            };
+            ctx.send_after(self.cfg.l2_latency, self.layout.mem(self.cmp), req);
+        }
+        let req = TokenMsg::Transient {
+            block,
+            requester,
+            kind,
+            external: true,
+            hint: None,
+        };
+        let mask = self
+            .filter
+            .as_ref()
+            .map(|f| f.get(&block).copied().unwrap_or(0));
+        for (idx, l1) in self.layout.l1s_on(self.cmp).into_iter().enumerate() {
+            let wanted = mask.is_none_or(|m| m & (1 << idx) != 0);
+            if wanted {
+                self.stats.forwarded_to_l1 += 1;
+                ctx.send_after(self.cfg.l2_latency, l1, req);
+            } else {
+                self.stats.filtered += 1;
+            }
+        }
+    }
+}
+
+impl Component<TokenMsg> for TokenL2 {
+    fn on_msg(&mut self, src: NodeId, msg: TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
+        match msg {
+            TokenMsg::Transient {
+                block,
+                requester,
+                kind,
+                external,
+                hint,
+            } => {
+                if external {
+                    self.handle_external_transient(block, requester, kind, ctx);
+                } else {
+                    self.handle_local_transient(block, requester, kind, hint, ctx);
+                }
+            }
+            TokenMsg::Tokens { block, bundle, .. } => self.fold_tokens(src, block, bundle, ctx),
+            TokenMsg::PersistentActivate { .. }
+            | TokenMsg::PersistentDeactivate { .. }
+            | TokenMsg::ArbActivate { .. }
+            | TokenMsg::ArbDeactivate { .. } => {
+                if let Some(block) = self.persistent.apply(&msg) {
+                    self.try_forward(block, ctx);
+                }
+            }
+            TokenMsg::Cpu(_) | TokenMsg::CpuResp(_) => {
+                unreachable!("L2 banks have no processor port")
+            }
+            TokenMsg::ArbRequest { .. } | TokenMsg::ArbDeactivateRequest { .. } => {
+                unreachable!("arbiter messages go to memory controllers")
+            }
+        }
+    }
+
+    fn on_wake(&mut self, _tag: u64, _ctx: &mut Ctx<'_, TokenMsg>) {
+        unreachable!("L2 banks schedule no wakeups")
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for TokenL2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenL2")
+            .field("me", &self.me)
+            .field("cmp", &self.cmp)
+            .field("bank", &self.bank)
+            .field("lines", &self.lines.len())
+            .finish()
+    }
+}

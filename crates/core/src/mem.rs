@@ -1,0 +1,341 @@
+//! The TokenCMP memory controller.
+//!
+//! Memory is the default token holder: a block's home controller starts
+//! with all `T` tokens. Memory's data is valid exactly when it holds the
+//! owner token (dirty writebacks travel with the owner token and update
+//! it). The controller also hosts the arbiter for the original
+//! arbiter-based persistent request scheme (§3.2).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tokencmp_proto::{Block, CmpId, Layout, SystemConfig};
+use tokencmp_sim::{Component, Ctx, NodeId};
+
+use crate::common::{persistent_grant, storage_grant, GrantRules, PersistentState, TokenLine};
+use crate::msg::{ReqKind, TokenBundle, TokenMsg};
+use crate::persistent::{ActiveReq, Arbiter};
+
+/// Counters exposed by a memory controller after a run.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    /// Requests answered with data (DRAM reads).
+    pub data_responses: u64,
+    /// Requests answered with tokens only.
+    pub token_responses: u64,
+    /// Writebacks absorbed.
+    pub writebacks: u64,
+    /// Arbiter activations broadcast.
+    pub arb_activations: u64,
+}
+
+/// Memory-side token state for one block. Unlike a cache line, memory may
+/// legitimately hold zero tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemLine {
+    /// Tokens held (possibly zero).
+    pub tokens: u32,
+    /// True if the owner token is held (memory data is then valid).
+    pub owner: bool,
+}
+
+/// A TokenCMP memory controller (one per chip; home for an address slice).
+pub struct TokenMem {
+    cfg: Rc<SystemConfig>,
+    layout: Layout,
+    me: NodeId,
+    cmp: CmpId,
+    rules: GrantRules,
+    /// Explicit token state; absent blocks implicitly hold all `T` tokens.
+    blocks: HashMap<Block, MemLine>,
+    persistent: PersistentState,
+    arbiter: Arbiter,
+    /// Run statistics.
+    pub stats: MemStats,
+}
+
+impl TokenMem {
+    /// Creates the memory controller for chip `cmp`.
+    pub fn new(cfg: Rc<SystemConfig>, me: NodeId, cmp: CmpId) -> TokenMem {
+        let layout = cfg.layout();
+        let rules = GrantRules {
+            total_tokens: cfg.tokens_per_block,
+            caches_per_cmp: 2 * cfg.procs_per_cmp as u32 + cfg.banks_per_cmp as u32,
+            migratory: cfg.migratory_sharing,
+        };
+        TokenMem {
+            persistent: PersistentState::new(layout.procs() as usize),
+            blocks: HashMap::new(),
+            arbiter: Arbiter::new(),
+            layout,
+            me,
+            cmp,
+            rules,
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Token state for `block`. Untouched blocks implicitly hold all `T`
+    /// tokens at their *home* controller and none anywhere else.
+    pub fn line(&self, block: Block) -> MemLine {
+        self.blocks.get(&block).copied().unwrap_or_else(|| {
+            if self.cfg.home_of(block) == self.cmp {
+                MemLine {
+                    tokens: self.cfg.tokens_per_block,
+                    owner: true,
+                }
+            } else {
+                MemLine {
+                    tokens: 0,
+                    owner: false,
+                }
+            }
+        })
+    }
+
+    /// Blocks with explicit (non-default) state, for conservation audits.
+    pub fn explicit_census(&self) -> Vec<(Block, u32, bool)> {
+        self.blocks
+            .iter()
+            .map(|(&b, l)| (b, l.tokens, l.owner))
+            .collect()
+    }
+
+    fn store(&mut self, block: Block, line: MemLine) {
+        if line.tokens == self.cfg.tokens_per_block && line.owner {
+            // Back to the default state: no need for an explicit entry,
+            // but keep it so audits can see the block was touched.
+            self.blocks.insert(block, line);
+        } else {
+            self.blocks.insert(block, line);
+        }
+    }
+
+    fn respond(
+        &mut self,
+        ctx: &mut Ctx<'_, TokenMsg>,
+        dst: NodeId,
+        block: Block,
+        bundle: TokenBundle,
+    ) {
+        let delay = if bundle.data {
+            self.stats.data_responses += 1;
+            self.cfg.memctl_latency + self.cfg.dram_latency
+        } else {
+            self.stats.token_responses += 1;
+            self.cfg.memctl_latency
+        };
+        ctx.send_after(
+            delay,
+            dst,
+            TokenMsg::Tokens {
+                block,
+                bundle,
+                writeback: false,
+            },
+        );
+    }
+
+    fn grant_with<F>(&mut self, block: Block, f: F) -> Option<TokenBundle>
+    where
+        F: FnOnce(&mut TokenLine, bool) -> Option<TokenBundle>,
+    {
+        let ml = self.line(block);
+        if ml.tokens == 0 {
+            return None;
+        }
+        let mut line = TokenLine {
+            tokens: ml.tokens,
+            owner: ml.owner,
+            dirty: false,
+            written: false,
+        };
+        let grant = f(&mut line, ml.owner);
+        if grant.is_some() {
+            self.store(
+                block,
+                MemLine {
+                    tokens: line.tokens,
+                    owner: line.owner,
+                },
+            );
+        }
+        grant
+    }
+
+    fn try_forward(&mut self, block: Block, ctx: &mut Ctx<'_, TokenMsg>) {
+        let Some(req) = self.persistent.active_for(block) else {
+            return;
+        };
+        if let Some(bundle) =
+            self.grant_with(block, |line, valid| persistent_grant(line, req.kind, valid))
+        {
+            self.respond(ctx, req.requester, block, bundle);
+        }
+    }
+
+    fn handle_transient(
+        &mut self,
+        block: Block,
+        requester: NodeId,
+        kind: ReqKind,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        // Tokens are reserved while a persistent request is active.
+        if self.persistent.active_for(block).is_some() {
+            return;
+        }
+        let rules = self.rules;
+        if let Some(bundle) =
+            self.grant_with(block, |line, valid| storage_grant(line, kind, &rules, valid))
+        {
+            self.respond(ctx, requester, block, bundle);
+        }
+    }
+
+    fn fold_tokens(&mut self, block: Block, bundle: TokenBundle, ctx: &mut Ctx<'_, TokenMsg>) {
+        self.stats.writebacks += 1;
+        let mut ml = self.line(block);
+        ml.tokens += bundle.count;
+        if bundle.owner {
+            ml.owner = true; // dirty data updates memory on arrival
+        }
+        debug_assert!(ml.tokens <= self.cfg.tokens_per_block, "token inflation");
+        self.store(block, ml);
+        self.try_forward(block, ctx);
+    }
+
+    fn broadcast_arb(&mut self, msg: TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
+        for node in self.layout.all_coherence_nodes() {
+            if node != self.me {
+                ctx.send_after(self.cfg.memctl_latency, node, msg);
+            }
+        }
+        // Apply to our own table as well.
+        if let Some(block) = self.persistent.apply(&msg) {
+            self.try_forward(block, ctx);
+        }
+    }
+
+    fn handle_arb_request(
+        &mut self,
+        block: Block,
+        req: ActiveReq,
+        epoch: u64,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        debug_assert_eq!(
+            self.cfg.home_of(block),
+            self.cmp,
+            "arbiter request routed to the wrong home"
+        );
+        if let Some((b, r, e)) = self.arbiter.enqueue(block, req, epoch) {
+            self.stats.arb_activations += 1;
+            self.broadcast_arb(
+                TokenMsg::ArbActivate {
+                    block: b,
+                    proc: r.proc,
+                    requester: r.requester,
+                    kind: r.kind,
+                    epoch: e,
+                },
+                ctx,
+            );
+        }
+    }
+
+    fn handle_arb_deactivate_request(
+        &mut self,
+        block: Block,
+        proc: tokencmp_proto::ProcId,
+        epoch: u64,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        // Broadcast the deactivation of the completed request, then
+        // activate the next one (the indirection the paper's Figure 2
+        // shows hurting under contention). A request satisfied before
+        // activation is withdrawn from the queue instead.
+        let next = self.arbiter.complete(block, proc, epoch);
+        self.broadcast_arb(TokenMsg::ArbDeactivate { block, proc, epoch }, ctx);
+        if let Some((b, r, e)) = next {
+            self.stats.arb_activations += 1;
+            self.broadcast_arb(
+                TokenMsg::ArbActivate {
+                    block: b,
+                    proc: r.proc,
+                    requester: r.requester,
+                    kind: r.kind,
+                    epoch: e,
+                },
+                ctx,
+            );
+        }
+    }
+}
+
+impl Component<TokenMsg> for TokenMem {
+    fn on_msg(&mut self, _src: NodeId, msg: TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
+        match msg {
+            TokenMsg::Transient {
+                block,
+                requester,
+                kind,
+                ..
+            } => self.handle_transient(block, requester, kind, ctx),
+            TokenMsg::Tokens { block, bundle, .. } => self.fold_tokens(block, bundle, ctx),
+            TokenMsg::ArbRequest {
+                block,
+                proc,
+                requester,
+                kind,
+                epoch,
+            } => self.handle_arb_request(
+                block,
+                ActiveReq {
+                    proc,
+                    requester,
+                    kind,
+                },
+                epoch,
+                ctx,
+            ),
+            TokenMsg::ArbDeactivateRequest { block, proc, epoch } => {
+                self.handle_arb_deactivate_request(block, proc, epoch, ctx)
+            }
+            TokenMsg::PersistentActivate { .. }
+            | TokenMsg::PersistentDeactivate { .. }
+            | TokenMsg::ArbActivate { .. }
+            | TokenMsg::ArbDeactivate { .. } => {
+                if let Some(block) = self.persistent.apply(&msg) {
+                    self.try_forward(block, ctx);
+                }
+            }
+            TokenMsg::Cpu(_) | TokenMsg::CpuResp(_) => {
+                unreachable!("memory controllers have no processor port")
+            }
+        }
+    }
+
+    fn on_wake(&mut self, _tag: u64, _ctx: &mut Ctx<'_, TokenMsg>) {
+        unreachable!("memory controllers schedule no wakeups")
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for TokenMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenMem")
+            .field("me", &self.me)
+            .field("cmp", &self.cmp)
+            .field("explicit_blocks", &self.blocks.len())
+            .finish()
+    }
+}

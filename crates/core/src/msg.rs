@@ -1,0 +1,315 @@
+//! TokenCMP protocol messages.
+//!
+//! The substrate moves *tokens* (§3.1): every block has `T` tokens, one of
+//! which is the owner token. Messages carrying the owner token must carry
+//! data; token-only messages are 8-byte control messages. Transient
+//! requests (§4) are unacknowledged and may fail; persistent requests
+//! (§3.2) are remembered by every coherence node until deactivated.
+
+use tokencmp_proto::{Block, CmpId, CpuPort, CpuReq, CpuResp, MsgClass, NetMsg, ProcId};
+use tokencmp_sim::NodeId;
+
+/// Whether a coherence request needs read or write permission.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReqKind {
+    /// Needs at least one token (plus data).
+    Read,
+    /// Needs all `T` tokens.
+    Write,
+}
+
+/// A bundle of tokens in flight.
+///
+/// Invariants (checked by the conservation auditor in the system crate):
+/// `count >= 1`; if `owner` then `data` (owner token always travels with
+/// valid data, §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TokenBundle {
+    /// Number of tokens carried (including the owner token if `owner`).
+    pub count: u32,
+    /// True if the owner token is included.
+    pub owner: bool,
+    /// True if the message carries the 64-byte data payload.
+    pub data: bool,
+    /// True if the data has been modified since memory was last updated
+    /// (meaningful only with `owner`).
+    pub dirty: bool,
+}
+
+/// The TokenCMP message set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenMsg {
+    /// Processor → L1 request (core-internal, free on the wire).
+    Cpu(CpuReq),
+    /// L1 → processor response (core-internal).
+    CpuResp(CpuResp),
+
+    /// An unacknowledged transient request seeking tokens for `block`.
+    ///
+    /// `requester` is the L1 cache that wants the tokens; responses go
+    /// directly to it. `external` is set once the request has crossed a
+    /// chip boundary, so receiving L2 banks fan it out to their local L1s
+    /// instead of re-broadcasting off chip.
+    Transient {
+        /// Block being requested.
+        block: Block,
+        /// The requesting L1 cache.
+        requester: NodeId,
+        /// Read or write permission.
+        kind: ReqKind,
+        /// True once forwarded between chips.
+        external: bool,
+        /// Destination-set prediction (`dst1-dsp` only): the chip
+        /// predicted to hold the block's owner; `None` = full broadcast.
+        hint: Option<CmpId>,
+    },
+
+    /// Tokens (and possibly data) moving between coherence nodes.
+    Tokens {
+        /// Block the tokens belong to.
+        block: Block,
+        /// The bundle.
+        bundle: TokenBundle,
+        /// True for evictions/writebacks (affects traffic class only).
+        writeback: bool,
+    },
+
+    /// Distributed-activation persistent request (§3.2): broadcast to every
+    /// coherence node, remembered until deactivated.
+    PersistentActivate {
+        /// Block being requested.
+        block: Block,
+        /// Issuing processor (also the fixed priority).
+        proc: ProcId,
+        /// The L1 cache tokens should be forwarded to.
+        requester: NodeId,
+        /// Read (leave one token behind) or write (collect all).
+        kind: ReqKind,
+        /// Per-processor issue number: the network is unordered, so a
+        /// deactivation can overtake its own activation; epochs let
+        /// tables suppress such ghosts.
+        epoch: u64,
+    },
+    /// Distributed-activation deactivation: broadcast when satisfied.
+    PersistentDeactivate {
+        /// Block of the completed request.
+        block: Block,
+        /// Processor whose request completed.
+        proc: ProcId,
+        /// Issue number being deactivated.
+        epoch: u64,
+    },
+
+    /// Arbiter-based persistent request: starving L1 → home arbiter.
+    ArbRequest {
+        /// Block being requested.
+        block: Block,
+        /// Issuing processor.
+        proc: ProcId,
+        /// The L1 cache tokens should be forwarded to.
+        requester: NodeId,
+        /// Read or write.
+        kind: ReqKind,
+        /// The requester's issue number.
+        epoch: u64,
+    },
+    /// Arbiter → all coherence nodes: this request is now active.
+    ArbActivate {
+        /// Block being requested.
+        block: Block,
+        /// Processor whose request is active.
+        proc: ProcId,
+        /// Forwarding target.
+        requester: NodeId,
+        /// Read or write.
+        kind: ReqKind,
+        /// The requester's issue number (see `PersistentActivate::epoch`).
+        epoch: u64,
+    },
+    /// Satisfied L1 → arbiter: please deactivate my request.
+    ArbDeactivateRequest {
+        /// Block of the completed request.
+        block: Block,
+        /// Processor whose request completed.
+        proc: ProcId,
+        /// Issue number being deactivated.
+        epoch: u64,
+    },
+    /// Arbiter → all coherence nodes: forget this request.
+    ArbDeactivate {
+        /// Block of the deactivated request.
+        block: Block,
+        /// Processor whose request was deactivated.
+        proc: ProcId,
+        /// Issue number being deactivated.
+        epoch: u64,
+    },
+}
+
+impl TokenMsg {
+    /// The block this message concerns, if any.
+    pub fn block(&self) -> Option<Block> {
+        match *self {
+            TokenMsg::Cpu(r) => Some(r.block()),
+            TokenMsg::CpuResp(CpuResp::Done { block, .. })
+            | TokenMsg::CpuResp(CpuResp::WatchFired { block }) => Some(block),
+            TokenMsg::Transient { block, .. }
+            | TokenMsg::Tokens { block, .. }
+            | TokenMsg::PersistentActivate { block, .. }
+            | TokenMsg::PersistentDeactivate { block, .. }
+            | TokenMsg::ArbRequest { block, .. }
+            | TokenMsg::ArbActivate { block, .. }
+            | TokenMsg::ArbDeactivateRequest { block, .. }
+            | TokenMsg::ArbDeactivate { block, .. } => Some(block),
+        }
+    }
+}
+
+impl NetMsg for TokenMsg {
+    fn size_bytes(&self) -> u32 {
+        match self {
+            TokenMsg::Cpu(_) | TokenMsg::CpuResp(_) => 0,
+            TokenMsg::Transient { .. } => 8,
+            TokenMsg::Tokens { bundle, .. } => {
+                if bundle.data {
+                    72
+                } else {
+                    8
+                }
+            }
+            TokenMsg::PersistentActivate { .. }
+            | TokenMsg::PersistentDeactivate { .. }
+            | TokenMsg::ArbRequest { .. }
+            | TokenMsg::ArbActivate { .. }
+            | TokenMsg::ArbDeactivateRequest { .. }
+            | TokenMsg::ArbDeactivate { .. } => 8,
+        }
+    }
+
+    fn class(&self) -> MsgClass {
+        match self {
+            TokenMsg::Cpu(_) => MsgClass::Request,
+            TokenMsg::CpuResp(_) => MsgClass::ResponseData,
+            TokenMsg::Transient { .. } => MsgClass::Request,
+            TokenMsg::Tokens {
+                bundle, writeback, ..
+            } => match (writeback, bundle.data) {
+                (true, true) => MsgClass::WritebackData,
+                (true, false) => MsgClass::WritebackControl,
+                (false, true) => MsgClass::ResponseData,
+                (false, false) => MsgClass::InvFwdAckTokens,
+            },
+            TokenMsg::PersistentActivate { .. }
+            | TokenMsg::PersistentDeactivate { .. }
+            | TokenMsg::ArbRequest { .. }
+            | TokenMsg::ArbActivate { .. }
+            | TokenMsg::ArbDeactivateRequest { .. }
+            | TokenMsg::ArbDeactivate { .. } => MsgClass::Persistent,
+        }
+    }
+}
+
+impl CpuPort for TokenMsg {
+    fn from_cpu_req(req: CpuReq) -> Self {
+        TokenMsg::Cpu(req)
+    }
+    fn from_cpu_resp(resp: CpuResp) -> Self {
+        TokenMsg::CpuResp(resp)
+    }
+    fn into_cpu_req(self) -> Option<CpuReq> {
+        match self {
+            TokenMsg::Cpu(r) => Some(r),
+            _ => None,
+        }
+    }
+    fn into_cpu_resp(self) -> Option<CpuResp> {
+        match self {
+            TokenMsg::CpuResp(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokencmp_proto::AccessKind;
+
+    #[test]
+    fn sizes_follow_section8() {
+        let data = TokenMsg::Tokens {
+            block: Block(1),
+            bundle: TokenBundle {
+                count: 3,
+                owner: true,
+                data: true,
+                dirty: false,
+            },
+            writeback: false,
+        };
+        assert_eq!(data.size_bytes(), 72);
+        let ctl = TokenMsg::Tokens {
+            block: Block(1),
+            bundle: TokenBundle {
+                count: 1,
+                owner: false,
+                data: false,
+                dirty: false,
+            },
+            writeback: false,
+        };
+        assert_eq!(ctl.size_bytes(), 8);
+        let req = TokenMsg::Transient {
+            block: Block(1),
+            requester: NodeId(0),
+            kind: ReqKind::Read,
+            external: false,
+            hint: None,
+        };
+        assert_eq!(req.size_bytes(), 8);
+    }
+
+    #[test]
+    fn classes_map_to_figure7() {
+        let mk = |writeback, data| TokenMsg::Tokens {
+            block: Block(0),
+            bundle: TokenBundle {
+                count: 1,
+                owner: false,
+                data,
+                dirty: false,
+            },
+            writeback,
+        };
+        assert_eq!(mk(false, true).class(), MsgClass::ResponseData);
+        assert_eq!(mk(false, false).class(), MsgClass::InvFwdAckTokens);
+        assert_eq!(mk(true, true).class(), MsgClass::WritebackData);
+        assert_eq!(mk(true, false).class(), MsgClass::WritebackControl);
+        let p = TokenMsg::PersistentActivate {
+            block: Block(0),
+            proc: ProcId(0),
+            requester: NodeId(1),
+            kind: ReqKind::Write,
+            epoch: 1,
+        };
+        assert_eq!(p.class(), MsgClass::Persistent);
+    }
+
+    #[test]
+    fn cpu_port_round_trip() {
+        let req = CpuReq::Access {
+            kind: AccessKind::Load,
+            block: Block(9),
+        };
+        let m = TokenMsg::from_cpu_req(req);
+        assert_eq!(m.into_cpu_req(), Some(req));
+        let resp = CpuResp::Done {
+            kind: AccessKind::Load,
+            block: Block(9),
+        };
+        let m = TokenMsg::from_cpu_resp(resp);
+        assert_eq!(m.block(), Some(Block(9)));
+        assert_eq!(m.into_cpu_resp(), Some(resp));
+        assert_eq!(TokenMsg::from_cpu_req(req).into_cpu_resp(), None);
+    }
+}

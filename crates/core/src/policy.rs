@@ -1,0 +1,289 @@
+//! TokenCMP performance-policy configuration (Table 1) and the
+//! contention predictor used by `TokenCMP-dst1-pred`.
+
+use tokencmp_proto::Block;
+use tokencmp_sim::Rng;
+
+/// How persistent requests are activated (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activation {
+    /// The original arbiter scheme: home memory controllers arbitrate.
+    Arbiter,
+    /// The new distributed scheme: fixed processor priority, wave marking,
+    /// direct handoff.
+    Distributed,
+}
+
+/// The six TokenCMP variants of Table 1, plus the original flat TokenB
+/// policy (Martin et al., ISCA '03) that §4 argues is ill-suited to
+/// M-CMP systems — included as a baseline for the hierarchy ablation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// No performance policy: every miss goes straight to an arbiter-based
+    /// persistent request.
+    Arb0,
+    /// No performance policy: every miss goes straight to a distributed
+    /// persistent request.
+    Dst0,
+    /// One transient request plus up to three retries (TokenB-style), then
+    /// persistent.
+    Dst4,
+    /// One transient request, then immediately persistent.
+    Dst1,
+    /// Like `Dst1` plus a contention predictor that skips the transient
+    /// request for blocks that recently timed out.
+    Dst1Pred,
+    /// Like `Dst1` plus an approximate L1-sharer filter on incoming
+    /// external transient requests at each L2 bank.
+    Dst1Filt,
+    /// The original *flat* TokenB policy: transient requests broadcast
+    /// directly to every cache and the home memory controller, ignoring
+    /// the chip hierarchy (no local-first phase, no C-token responses).
+    /// Not part of Table 1; used by the hierarchy ablation.
+    FlatB,
+    /// `Dst1` plus destination-set prediction (the multicast the paper
+    /// names as the fix for broadcast growth in larger systems, §8 /
+    /// [Martin et al., ISCA '03]): the first external attempt goes only
+    /// to the chip that last supplied the block (plus the home); a retry
+    /// falls back to full broadcast, and the substrate still guarantees
+    /// correctness either way. Not part of Table 1.
+    Dst1Dsp,
+}
+
+impl Variant {
+    /// All variants, in Table 1 order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Arb0,
+        Variant::Dst0,
+        Variant::Dst4,
+        Variant::Dst1,
+        Variant::Dst1Pred,
+        Variant::Dst1Filt,
+    ];
+
+    /// The paper's name for the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Arb0 => "TokenCMP-arb0",
+            Variant::Dst0 => "TokenCMP-dst0",
+            Variant::Dst4 => "TokenCMP-dst4",
+            Variant::Dst1 => "TokenCMP-dst1",
+            Variant::Dst1Pred => "TokenCMP-dst1-pred",
+            Variant::Dst1Filt => "TokenCMP-dst1-filt",
+            Variant::FlatB => "TokenB-flat",
+            Variant::Dst1Dsp => "TokenCMP-dst1-dsp",
+        }
+    }
+
+    /// Maximum transient requests before the substrate goes persistent
+    /// (Table 1's "# Transient Requests" column).
+    pub fn max_transient(self) -> u32 {
+        match self {
+            Variant::Arb0 | Variant::Dst0 => 0,
+            Variant::Dst4 | Variant::FlatB => 4,
+            Variant::Dst1 | Variant::Dst1Pred | Variant::Dst1Filt => 1,
+            // One predicted multicast, then one full broadcast.
+            Variant::Dst1Dsp => 2,
+        }
+    }
+
+    /// Which activation mechanism the substrate uses.
+    pub fn activation(self) -> Activation {
+        match self {
+            Variant::Arb0 => Activation::Arbiter,
+            _ => Activation::Distributed,
+        }
+    }
+
+    /// True if L1s consult the contention predictor before issuing a
+    /// transient request.
+    pub fn uses_predictor(self) -> bool {
+        self == Variant::Dst1Pred
+    }
+
+    /// True if L2 banks filter incoming external transient requests with
+    /// their approximate L1-sharer directory.
+    pub fn uses_filter(self) -> bool {
+        self == Variant::Dst1Filt
+    }
+
+    /// True for the flat TokenB baseline: L1s broadcast system-wide and
+    /// L2 banks never re-broadcast.
+    pub fn is_flat(self) -> bool {
+        self == Variant::FlatB
+    }
+
+    /// True if L1s attach an owner-chip prediction to their first
+    /// transient attempt, and L2 banks multicast accordingly.
+    pub fn uses_destination_prediction(self) -> bool {
+        self == Variant::Dst1Dsp
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The `dst1-pred` contention predictor (§4): a four-way set-associative
+/// 256-entry table of 2-bit saturating counters. A counter is allocated and
+/// incremented when a transient request is retried (or goes persistent);
+/// counters reset pseudo-randomly so the predictor adapts to phase changes.
+#[derive(Clone, Debug)]
+pub struct ContentionPredictor {
+    // [set][way] -> (tag, counter)
+    entries: Vec<[(u64, u8); 4]>,
+    sets: usize,
+    threshold: u8,
+    reset_chance: f64,
+}
+
+impl ContentionPredictor {
+    /// Creates the paper's base configuration: 256 entries, 4-way, 2-bit
+    /// counters predicting "contended" at saturation.
+    pub fn new() -> ContentionPredictor {
+        ContentionPredictor {
+            entries: vec![[(u64::MAX, 0); 4]; 64],
+            sets: 64,
+            threshold: 3,
+            reset_chance: 1.0 / 64.0,
+        }
+    }
+
+    fn set_of(&self, block: Block) -> usize {
+        (block.0 % self.sets as u64) as usize
+    }
+
+    /// True if the predictor says `block` is highly contended and the L1
+    /// should issue a persistent request immediately.
+    pub fn predicts_contended(&self, block: Block) -> bool {
+        let set = &self.entries[self.set_of(block)];
+        set.iter()
+            .any(|&(tag, ctr)| tag == block.0 && ctr >= self.threshold)
+    }
+
+    /// Records that a transient request for `block` timed out (allocates
+    /// and increments the saturating counter; pseudo-randomly resets).
+    pub fn record_timeout(&mut self, block: Block, rng: &mut Rng) {
+        let reset = rng.chance(self.reset_chance);
+        let si = self.set_of(block);
+        let set = &mut self.entries[si];
+        if let Some(e) = set.iter_mut().find(|(tag, _)| *tag == block.0) {
+            if reset {
+                e.1 = 0;
+            } else if e.1 < 3 {
+                e.1 += 1;
+            }
+            return;
+        }
+        // Allocate: replace the entry with the smallest counter.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|(_, ctr)| *ctr)
+            .expect("4 ways");
+        *victim = (block.0, 1);
+    }
+}
+
+impl Default for ContentionPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_transient_counts() {
+        assert_eq!(Variant::Arb0.max_transient(), 0);
+        assert_eq!(Variant::Dst0.max_transient(), 0);
+        assert_eq!(Variant::Dst4.max_transient(), 4);
+        assert_eq!(Variant::Dst1.max_transient(), 1);
+        assert_eq!(Variant::Dst1Pred.max_transient(), 1);
+        assert_eq!(Variant::Dst1Filt.max_transient(), 1);
+    }
+
+    #[test]
+    fn table1_activation_mechanisms() {
+        assert_eq!(Variant::Arb0.activation(), Activation::Arbiter);
+        for v in [
+            Variant::Dst0,
+            Variant::Dst4,
+            Variant::Dst1,
+            Variant::Dst1Pred,
+            Variant::Dst1Filt,
+        ] {
+            assert_eq!(v.activation(), Activation::Distributed);
+        }
+    }
+
+    #[test]
+    fn feature_flags() {
+        assert!(Variant::Dst1Pred.uses_predictor());
+        assert!(!Variant::Dst1.uses_predictor());
+        assert!(Variant::Dst1Filt.uses_filter());
+        assert!(!Variant::Dst1Pred.uses_filter());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Variant::Dst1.to_string(), "TokenCMP-dst1");
+        assert_eq!(Variant::ALL.len(), 6);
+    }
+
+    #[test]
+    fn predictor_saturates_after_repeated_timeouts() {
+        let mut p = ContentionPredictor::new();
+        let mut rng = Rng::new(1);
+        let b = Block(42);
+        assert!(!p.predicts_contended(b));
+        for _ in 0..8 {
+            p.record_timeout(b, &mut rng);
+        }
+        assert!(p.predicts_contended(b));
+        // A different block is unaffected.
+        assert!(!p.predicts_contended(Block(43)));
+    }
+
+    #[test]
+    fn predictor_allocation_replaces_weakest() {
+        let mut p = ContentionPredictor::new();
+        let mut rng = Rng::new(2);
+        // Fill one set with four strongly-contended blocks (set = block % 64).
+        for i in 0..4u64 {
+            let b = Block(64 * i);
+            for _ in 0..8 {
+                p.record_timeout(b, &mut rng);
+            }
+        }
+        // A fifth block in the same set evicts one of them.
+        let newcomer = Block(64 * 4);
+        p.record_timeout(newcomer, &mut rng);
+        let contended = (0..=4u64)
+            .filter(|&i| p.predicts_contended(Block(64 * i)))
+            .count();
+        assert!(contended <= 4);
+    }
+
+    #[test]
+    fn predictor_resets_eventually() {
+        let mut p = ContentionPredictor::new();
+        let mut rng = Rng::new(3);
+        let b = Block(7);
+        // With reset chance 1/64, 10_000 updates will reset many times; the
+        // counter must still be recoverable afterwards.
+        for _ in 0..10_000 {
+            p.record_timeout(b, &mut rng);
+        }
+        for _ in 0..8 {
+            p.record_timeout(b, &mut rng);
+        }
+        // After enough consecutive timeouts it predicts contended again
+        // unless the very last update reset it (prob 1/64 twice in a row is
+        // possible but this seed does not hit it).
+        assert!(p.predicts_contended(b));
+    }
+}

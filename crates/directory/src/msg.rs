@@ -1,0 +1,409 @@
+//! DirectoryCMP protocol messages.
+//!
+//! Two coupled levels (§2): an intra-CMP directory at each L2 bank tracks
+//! on-chip L1 copies; an inter-CMP directory at each home memory
+//! controller tracks which chips cache a block. Both levels use per-block
+//! busy states with deferred-request queues, three-phase writebacks, and
+//! unblock messages — the design choices the paper calls out as trading
+//! extra control messages for simpler serialization.
+
+use tokencmp_proto::{Block, CpuPort, CpuReq, CpuResp, MsgClass, NetMsg};
+use tokencmp_sim::NodeId;
+
+pub use tokencmp_core::msg::ReqKind;
+
+/// The rights granted to an L1 cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum L1Grant {
+    /// Read-only shared copy.
+    S,
+    /// Exclusive clean copy (may silently upgrade to M).
+    E,
+    /// Modifiable copy.
+    M,
+}
+
+/// The rights granted to a chip (the requesting L2 bank).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChipGrant {
+    /// Read-only shared copy.
+    S,
+    /// Exclusive clean copy.
+    E,
+    /// Modifiable copy (writable, or migratory-transferred dirty data).
+    M,
+}
+
+/// The final chip-level outcome the requesting L2 reports to the home
+/// directory with its unblock, letting the home finalize its entry once
+/// (requests for the block are deferred at the home until then).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HomeResult {
+    /// Requester holds a shared copy; previous owner (if any) kept a clean
+    /// shared copy; home memory data is current.
+    Shared,
+    /// Requester holds a shared copy; the previous owner kept *dirty* data
+    /// and remains the owner chip.
+    OwnedByPrevious,
+    /// Requester is now the exclusive chip (write, E-grant, or migratory
+    /// transfer).
+    Exclusive,
+}
+
+/// The DirectoryCMP message set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DirMsg {
+    /// Processor → L1 (core-internal).
+    Cpu(CpuReq),
+    /// L1 → processor (core-internal).
+    CpuResp(CpuResp),
+
+    // ---- intra-CMP level ----
+    /// L1 miss → local L2 bank (GETS/GETX).
+    L1Req {
+        /// Requested block.
+        block: Block,
+        /// Requesting L1.
+        requester: NodeId,
+        /// Read or write.
+        kind: ReqKind,
+    },
+    /// L2 bank → owner L1: surrender data (and rights, per `kind` and the
+    /// L1's own migratory decision).
+    FwdL1 {
+        /// Block to surrender.
+        block: Block,
+        /// The request being serviced.
+        kind: ReqKind,
+    },
+    /// L2 bank → sharer L1: invalidate.
+    InvL1 {
+        /// Block to invalidate.
+        block: Block,
+    },
+    /// L1 → L2 bank: invalidation acknowledged (sent even if the line was
+    /// already gone, tolerating stale sharer bits).
+    InvAckL1 {
+        /// Acknowledged block.
+        block: Block,
+    },
+    /// Owner L1 → L2 bank: data response to a [`DirMsg::FwdL1`]. Data is
+    /// always routed through the L2 — the strictly hierarchical artifact
+    /// the paper measures in Figure 7b.
+    DataL1ToL2 {
+        /// Block.
+        block: Block,
+        /// True if the L1 copy was modified.
+        dirty: bool,
+        /// True if the L1 invalidated itself (migratory transfer or GETX).
+        relinquished: bool,
+        /// False if the L1 no longer held the line (a benign race with a
+        /// concurrent writeback); the message is then control-sized.
+        valid: bool,
+    },
+    /// L2 bank → requesting L1: data grant.
+    GrantToL1 {
+        /// Granted block.
+        block: Block,
+        /// Granted rights.
+        state: L1Grant,
+    },
+    /// Requesting L1 → L2 bank: grant received; close the intra txn.
+    UnblockL1 {
+        /// Unblocked block.
+        block: Block,
+    },
+    /// L1 → L2 bank: three-phase writeback, phase 1.
+    WbReqL1 {
+        /// Block to write back.
+        block: Block,
+    },
+    /// L2 bank → L1: writeback, phase 2.
+    WbGrantL1 {
+        /// Granted block.
+        block: Block,
+    },
+    /// L1 → L2 bank: writeback, phase 3 (data if dirty).
+    WbDataL1 {
+        /// Block written back.
+        block: Block,
+        /// True if the data is modified (message carries data).
+        dirty: bool,
+        /// False if the line was lost to a racing forward/invalidate.
+        valid: bool,
+    },
+
+    // ---- inter-CMP level ----
+    /// L2 bank miss → home directory (GETS/GETX).
+    L2Req {
+        /// Requested block.
+        block: Block,
+        /// Requesting L2 bank.
+        requester: NodeId,
+        /// Read or write.
+        kind: ReqKind,
+    },
+    /// Home → owner chip's L2: surrender chip rights per `kind`.
+    FwdL2 {
+        /// Block to surrender.
+        block: Block,
+        /// The request being serviced.
+        kind: ReqKind,
+        /// The L2 bank the data response must be sent to.
+        requester: NodeId,
+    },
+    /// Home → sharer chip's L2: invalidate the chip; acknowledge to the
+    /// requesting L2.
+    InvL2 {
+        /// Block to invalidate.
+        block: Block,
+        /// The L2 bank acknowledgments are collected at.
+        requester: NodeId,
+    },
+    /// Sharer chip's L2 → requesting L2: chip invalidated.
+    InvAckL2 {
+        /// Acknowledged block.
+        block: Block,
+    },
+    /// Home → requesting L2: how many [`DirMsg::InvAckL2`] to expect when
+    /// the data comes from a forwarded owner rather than from memory.
+    FwdInfo {
+        /// Block.
+        block: Block,
+        /// Expected acknowledgment count.
+        acks: u32,
+    },
+    /// Home → requesting L2: data from DRAM.
+    MemData {
+        /// Block.
+        block: Block,
+        /// Chip rights granted.
+        state: ChipGrant,
+        /// Expected acknowledgment count (GETX on a shared block).
+        acks: u32,
+    },
+    /// Owner chip's L2 → requesting L2: forwarded data.
+    DataL2ToL2 {
+        /// Block.
+        block: Block,
+        /// Chip rights granted (M for GETX/migratory, S otherwise).
+        state: ChipGrant,
+        /// True if the data is modified relative to memory.
+        dirty: bool,
+    },
+    /// Requesting L2 → home: transaction complete; `result` finalizes the
+    /// home entry.
+    UnblockHome {
+        /// Unblocked block.
+        block: Block,
+        /// Final chip-level outcome.
+        result: HomeResult,
+    },
+    /// L2 bank → home: three-phase writeback, phase 1.
+    WbReqL2 {
+        /// Block to write back.
+        block: Block,
+    },
+    /// Home → L2 bank: writeback, phase 2.
+    WbGrantL2 {
+        /// Granted block.
+        block: Block,
+    },
+    /// L2 bank → home: writeback, phase 3 (data if dirty).
+    WbDataL2 {
+        /// Block written back.
+        block: Block,
+        /// True if the data is modified (message carries data).
+        dirty: bool,
+        /// False if chip ownership was lost to a racing forward.
+        valid: bool,
+    },
+}
+
+impl NetMsg for DirMsg {
+    fn size_bytes(&self) -> u32 {
+        match self {
+            DirMsg::Cpu(_) | DirMsg::CpuResp(_) => 0,
+            DirMsg::GrantToL1 { .. } | DirMsg::MemData { .. } | DirMsg::DataL2ToL2 { .. } => 72,
+            DirMsg::DataL1ToL2 { valid, .. } => {
+                if *valid {
+                    72
+                } else {
+                    8
+                }
+            }
+            DirMsg::WbDataL1 { dirty, valid, .. } | DirMsg::WbDataL2 { dirty, valid, .. } => {
+                if *dirty && *valid {
+                    72
+                } else {
+                    8
+                }
+            }
+            _ => 8,
+        }
+    }
+
+    fn class(&self) -> MsgClass {
+        match self {
+            DirMsg::Cpu(_) => MsgClass::Request,
+            DirMsg::CpuResp(_) => MsgClass::ResponseData,
+            DirMsg::L1Req { .. } | DirMsg::L2Req { .. } => MsgClass::Request,
+            DirMsg::FwdL1 { .. }
+            | DirMsg::InvL1 { .. }
+            | DirMsg::InvAckL1 { .. }
+            | DirMsg::FwdL2 { .. }
+            | DirMsg::InvL2 { .. }
+            | DirMsg::InvAckL2 { .. }
+            | DirMsg::FwdInfo { .. } => MsgClass::InvFwdAckTokens,
+            DirMsg::DataL1ToL2 { .. }
+            | DirMsg::GrantToL1 { .. }
+            | DirMsg::MemData { .. }
+            | DirMsg::DataL2ToL2 { .. } => MsgClass::ResponseData,
+            DirMsg::UnblockL1 { .. } | DirMsg::UnblockHome { .. } => MsgClass::Unblock,
+            DirMsg::WbReqL1 { .. } | DirMsg::WbGrantL1 { .. } | DirMsg::WbReqL2 { .. }
+            | DirMsg::WbGrantL2 { .. } => MsgClass::WritebackControl,
+            DirMsg::WbDataL1 { dirty, valid, .. } | DirMsg::WbDataL2 { dirty, valid, .. } => {
+                if *dirty && *valid {
+                    MsgClass::WritebackData
+                } else {
+                    MsgClass::WritebackControl
+                }
+            }
+        }
+    }
+}
+
+impl CpuPort for DirMsg {
+    fn from_cpu_req(req: CpuReq) -> Self {
+        DirMsg::Cpu(req)
+    }
+    fn from_cpu_resp(resp: CpuResp) -> Self {
+        DirMsg::CpuResp(resp)
+    }
+    fn into_cpu_req(self) -> Option<CpuReq> {
+        match self {
+            DirMsg::Cpu(r) => Some(r),
+            _ => None,
+        }
+    }
+    fn into_cpu_resp(self) -> Option<CpuResp> {
+        match self {
+            DirMsg::CpuResp(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_messages_are_72_bytes() {
+        let g = DirMsg::GrantToL1 {
+            block: Block(1),
+            state: L1Grant::M,
+        };
+        assert_eq!(g.size_bytes(), 72);
+        assert_eq!(g.class(), MsgClass::ResponseData);
+        let d = DirMsg::DataL2ToL2 {
+            block: Block(1),
+            state: ChipGrant::S,
+            dirty: true,
+        };
+        assert_eq!(d.size_bytes(), 72);
+    }
+
+    #[test]
+    fn control_messages_are_8_bytes() {
+        for m in [
+            DirMsg::L1Req {
+                block: Block(0),
+                requester: NodeId(1),
+                kind: ReqKind::Read,
+            },
+            DirMsg::InvL1 { block: Block(0) },
+            DirMsg::UnblockHome {
+                block: Block(0),
+                result: HomeResult::Exclusive,
+            },
+            DirMsg::WbReqL2 { block: Block(0) },
+            DirMsg::WbGrantL2 { block: Block(0) },
+        ] {
+            assert_eq!(m.size_bytes(), 8, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn clean_or_invalid_writeback_data_is_control() {
+        let clean = DirMsg::WbDataL1 {
+            block: Block(0),
+            dirty: false,
+            valid: true,
+        };
+        assert_eq!(clean.size_bytes(), 8);
+        assert_eq!(clean.class(), MsgClass::WritebackControl);
+        let dirty = DirMsg::WbDataL2 {
+            block: Block(0),
+            dirty: true,
+            valid: true,
+        };
+        assert_eq!(dirty.size_bytes(), 72);
+        assert_eq!(dirty.class(), MsgClass::WritebackData);
+        let lost = DirMsg::WbDataL2 {
+            block: Block(0),
+            dirty: true,
+            valid: false,
+        };
+        assert_eq!(lost.size_bytes(), 8);
+    }
+
+    #[test]
+    fn unblocks_have_their_own_class() {
+        let u = DirMsg::UnblockL1 { block: Block(3) };
+        assert_eq!(u.class(), MsgClass::Unblock);
+    }
+
+    #[test]
+    fn cpu_port_round_trip() {
+        use tokencmp_proto::AccessKind;
+        let req = CpuReq::Access {
+            kind: AccessKind::Store,
+            block: Block(4),
+        };
+        assert_eq!(DirMsg::from_cpu_req(req).into_cpu_req(), Some(req));
+        let resp = CpuResp::WatchFired { block: Block(4) };
+        assert_eq!(DirMsg::from_cpu_resp(resp).into_cpu_resp(), Some(resp));
+    }
+
+    #[test]
+    fn paper_example_sequence_totals_176_bytes() {
+        // §8: remote exclusive fetch + writeback under DirectoryCMP:
+        // request, data, unblock, wb request, wb grant, wb data.
+        let seq = [
+            DirMsg::L2Req {
+                block: Block(0),
+                requester: NodeId(0),
+                kind: ReqKind::Write,
+            },
+            DirMsg::MemData {
+                block: Block(0),
+                state: ChipGrant::M,
+                acks: 0,
+            },
+            DirMsg::UnblockHome {
+                block: Block(0),
+                result: HomeResult::Exclusive,
+            },
+            DirMsg::WbReqL2 { block: Block(0) },
+            DirMsg::WbGrantL2 { block: Block(0) },
+            DirMsg::WbDataL2 {
+                block: Block(0),
+                dirty: true,
+                valid: true,
+            },
+        ];
+        let total: u32 = seq.iter().map(NetMsg::size_bytes).sum();
+        assert_eq!(total, 176);
+    }
+}

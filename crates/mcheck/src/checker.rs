@@ -1,0 +1,369 @@
+//! A small explicit-state model checker.
+//!
+//! Breadth-first exhaustive exploration with invariant checking, deadlock
+//! detection, counterexample traces, and an `EF quiescence` progress check
+//! (from every reachable state, a state with no pending work must be
+//! reachable — catching both deadlocks and inescapable livelocks). This is
+//! the same methodology the paper uses with TLA+/TLC (§5), in-tree so the
+//! verification study is reproducible without external tooling.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::time::Instant;
+
+/// A transition system with invariants.
+pub trait Model {
+    /// The (hashable) global state.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// Initial states.
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// All successors of `s`, with human-readable action labels.
+    fn successors(&self, s: &Self::State, out: &mut Vec<(String, Self::State)>);
+
+    /// Safety invariant; return a description of the violation if broken.
+    ///
+    /// # Errors
+    ///
+    /// An error describes the violated property for the counterexample.
+    fn invariant(&self, s: &Self::State) -> Result<(), String>;
+
+    /// True if `s` is allowed to have no successors, and is a valid
+    /// target for the progress (EF-quiescence) check.
+    fn is_quiescent(&self, s: &Self::State) -> bool;
+}
+
+/// A property violation plus the action trace leading to it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong.
+    pub message: String,
+    /// Action labels from an initial state to the violating state.
+    pub trace: Vec<String>,
+    /// The violating state, pretty-printed.
+    pub state: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation: {}", self.message)?;
+        writeln!(f, "state: {}", self.state)?;
+        writeln!(f, "trace ({} steps):", self.trace.len())?;
+        for (i, a) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}. {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Distinct reachable states.
+    pub states: usize,
+    /// Transitions explored.
+    pub transitions: u64,
+    /// Maximum BFS depth.
+    pub depth: usize,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+    /// Whether the progress (EF-quiescence) check was run and passed.
+    pub progress_checked: bool,
+}
+
+/// Options for [`check`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// Abort after this many distinct states (guards against blow-up).
+    pub max_states: usize,
+    /// Run the EF-quiescence progress check after reachability.
+    pub check_progress: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            max_states: 5_000_000,
+            check_progress: true,
+        }
+    }
+}
+
+/// Exhaustively explores `model`, checking the invariant on every state,
+/// flagging non-quiescent deadlocks, and (optionally) verifying that a
+/// quiescent state stays reachable from everywhere.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found, with a minimal-length trace
+/// (BFS order).
+///
+/// # Panics
+///
+/// Panics if the state count exceeds `opts.max_states`.
+pub fn check<M: Model>(model: &M, opts: &CheckOptions) -> Result<CheckReport, Box<Violation>> {
+    let start = Instant::now();
+    let mut ids: HashMap<M::State, usize> = HashMap::new();
+    let mut states: Vec<M::State> = Vec::new();
+    let mut parent: Vec<Option<(usize, String)>> = Vec::new();
+    let mut depth_of: Vec<usize> = Vec::new();
+    let mut edges: Vec<Vec<usize>> = Vec::new(); // forward adjacency (by id)
+    let mut quiescent: Vec<bool> = Vec::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut transitions: u64 = 0;
+    let mut max_depth = 0;
+
+    let trace_to = |idx: usize,
+                    parent: &Vec<Option<(usize, String)>>,
+                    states: &Vec<M::State>| {
+        let mut trace = Vec::new();
+        let mut cur = idx;
+        while let Some((p, a)) = &parent[cur] {
+            trace.push(a.clone());
+            cur = *p;
+        }
+        trace.reverse();
+        (trace, format!("{:?}", states[idx]))
+    };
+
+    for s in model.initial() {
+        if let Err(m) = model.invariant(&s) {
+            return Err(Box::new(Violation {
+                message: m,
+                trace: vec![],
+                state: format!("{s:?}"),
+            }));
+        }
+        let id = states.len();
+        if ids.insert(s.clone(), id).is_none() {
+            states.push(s);
+            parent.push(None);
+            depth_of.push(0);
+            edges.push(Vec::new());
+            quiescent.push(false);
+            frontier.push(id);
+        }
+    }
+
+    let mut succ = Vec::new();
+    let mut head = 0;
+    while head < frontier.len() {
+        let id = frontier[head];
+        head += 1;
+        let s = states[id].clone();
+        succ.clear();
+        model.successors(&s, &mut succ);
+        quiescent[id] = model.is_quiescent(&s);
+        if succ.is_empty() && !quiescent[id] {
+            let (trace, state) = trace_to(id, &parent, &states);
+            return Err(Box::new(Violation {
+                message: "deadlock: non-quiescent state with no successors".into(),
+                trace,
+                state,
+            }));
+        }
+        for (label, t) in succ.drain(..) {
+            transitions += 1;
+            let t_id = match ids.get(&t) {
+                Some(&i) => i,
+                None => {
+                    if let Err(m) = model.invariant(&t) {
+                        let (mut trace, _) = trace_to(id, &parent, &states);
+                        trace.push(label.clone());
+                        return Err(Box::new(Violation {
+                            message: m,
+                            trace,
+                            state: format!("{t:?}"),
+                        }));
+                    }
+                    let i = states.len();
+                    assert!(
+                        i < opts.max_states,
+                        "state space exceeded {} states",
+                        opts.max_states
+                    );
+                    ids.insert(t.clone(), i);
+                    states.push(t);
+                    parent.push(Some((id, label)));
+                    let d = depth_of[id] + 1;
+                    depth_of.push(d);
+                    max_depth = max_depth.max(d);
+                    edges.push(Vec::new());
+                    quiescent.push(false);
+                    frontier.push(i);
+                    i
+                }
+            };
+            edges[id].push(t_id);
+        }
+    }
+
+    // Progress: every state can reach a quiescent state (EF quiescence).
+    if opts.check_progress {
+        let n = states.len();
+        // Backward reachability from quiescent states.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, outs) in edges.iter().enumerate() {
+            for &v in outs {
+                rev[v].push(u);
+            }
+        }
+        let mut ok = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&i| quiescent[i]).collect();
+        for &i in &stack {
+            ok[i] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &v in &rev[u] {
+                if !ok[v] {
+                    ok[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        if let Some(bad) = (0..n).find(|&i| !ok[i]) {
+            let (trace, state) = trace_to(bad, &parent, &states);
+            return Err(Box::new(Violation {
+                message: "progress violation: no quiescent state reachable (livelock)".into(),
+                trace,
+                state,
+            }));
+        }
+    }
+
+    Ok(CheckReport {
+        states: states.len(),
+        transitions,
+        depth: max_depth,
+        seconds: start.elapsed().as_secs_f64(),
+        progress_checked: opts.check_progress,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that may increment up to `max` and reset from `max`.
+    struct Counter {
+        max: u8,
+        broken_invariant: bool,
+        deadlock_at_max: bool,
+    }
+
+    impl Model for Counter {
+        type State = u8;
+        fn initial(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn successors(&self, s: &u8, out: &mut Vec<(String, u8)>) {
+            if *s < self.max {
+                out.push((format!("inc {s}"), s + 1));
+            } else if !self.deadlock_at_max {
+                out.push(("reset".into(), 0));
+            }
+        }
+        fn invariant(&self, s: &u8) -> Result<(), String> {
+            if self.broken_invariant && *s == 3 {
+                Err("reached 3".into())
+            } else {
+                Ok(())
+            }
+        }
+        fn is_quiescent(&self, s: &u8) -> bool {
+            *s == 0
+        }
+    }
+
+    #[test]
+    fn explores_all_states() {
+        let m = Counter {
+            max: 5,
+            broken_invariant: false,
+            deadlock_at_max: false,
+        };
+        let r = check(&m, &CheckOptions::default()).unwrap();
+        assert_eq!(r.states, 6);
+        assert_eq!(r.transitions, 6);
+        assert_eq!(r.depth, 5);
+        assert!(r.progress_checked);
+    }
+
+    #[test]
+    fn finds_invariant_violation_with_minimal_trace() {
+        let m = Counter {
+            max: 5,
+            broken_invariant: true,
+            deadlock_at_max: false,
+        };
+        let v = check(&m, &CheckOptions::default()).unwrap_err();
+        assert!(v.message.contains("reached 3"));
+        assert_eq!(v.trace.len(), 3);
+        assert!(v.to_string().contains("trace (3 steps)"));
+    }
+
+    #[test]
+    fn finds_deadlock() {
+        let m = Counter {
+            max: 2,
+            broken_invariant: false,
+            deadlock_at_max: true,
+        };
+        let v = check(&m, &CheckOptions::default()).unwrap_err();
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+        assert_eq!(v.trace.len(), 2);
+    }
+
+    /// Two states cycling without ever reaching quiescence.
+    struct Livelock;
+    impl Model for Livelock {
+        type State = u8;
+        fn initial(&self) -> Vec<u8> {
+            vec![1]
+        }
+        fn successors(&self, s: &u8, out: &mut Vec<(String, u8)>) {
+            out.push(("spin".into(), 3 - s)); // 1 <-> 2
+        }
+        fn invariant(&self, _: &u8) -> Result<(), String> {
+            Ok(())
+        }
+        fn is_quiescent(&self, s: &u8) -> bool {
+            *s == 0 // unreachable
+        }
+    }
+
+    #[test]
+    fn finds_livelock_via_progress_check() {
+        let v = check(&Livelock, &CheckOptions::default()).unwrap_err();
+        assert!(v.message.contains("progress"), "{}", v.message);
+        // Without the progress check it passes.
+        let r = check(
+            &Livelock,
+            &CheckOptions {
+                check_progress: false,
+                ..CheckOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.states, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "state space exceeded")]
+    fn respects_state_budget() {
+        let m = Counter {
+            max: 100,
+            broken_invariant: false,
+            deadlock_at_max: false,
+        };
+        let _ = check(
+            &m,
+            &CheckOptions {
+                max_states: 10,
+                check_progress: false,
+            },
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Block-granularity addresses.
+//!
+//! All coherence state is kept per cache block (64 bytes in the paper's
+//! Table 3), so the protocols only ever see block numbers, not byte
+//! addresses.
+
+use std::fmt;
+
+/// A cache-block number (a byte address with the block-offset bits removed).
+///
+/// # Example
+///
+/// ```
+/// use tokencmp_proto::Block;
+/// let b = Block::from_byte_addr(0x1040, 64);
+/// assert_eq!(b, Block(0x41));
+/// assert_eq!(b.byte_addr(64), 0x1040);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Block(pub u64);
+
+impl Block {
+    /// The block containing `byte_addr`, for a given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    #[inline]
+    pub fn from_byte_addr(byte_addr: u64, block_bytes: u32) -> Block {
+        assert!(block_bytes.is_power_of_two(), "block size must be 2^k");
+        Block(byte_addr >> block_bytes.trailing_zeros())
+    }
+
+    /// The first byte address of this block.
+    #[inline]
+    pub fn byte_addr(self, block_bytes: u32) -> u64 {
+        self.0 << block_bytes.trailing_zeros()
+    }
+
+    /// A low-order slice of the block number, used for banking and homing.
+    #[inline]
+    pub fn bits(self, shift: u32, modulo: u64) -> u64 {
+        debug_assert!(modulo > 0);
+        (self.0 >> shift) % modulo
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_addr_round_trip() {
+        for n in [0u64, 1, 63, 64, 65, 4096, u32::MAX as u64] {
+            let b = Block::from_byte_addr(n * 64, 64);
+            assert_eq!(b.byte_addr(64), n * 64);
+        }
+    }
+
+    #[test]
+    fn same_block_for_all_offsets() {
+        let base = Block::from_byte_addr(0x80, 64);
+        for off in 0..64 {
+            assert_eq!(Block::from_byte_addr(0x80 + off, 64), base);
+        }
+        assert_ne!(Block::from_byte_addr(0x80 + 64, 64), base);
+    }
+
+    #[test]
+    fn bits_extracts_modulo_slice() {
+        let b = Block(0b1101_10);
+        assert_eq!(b.bits(0, 4), 0b10);
+        assert_eq!(b.bits(2, 4), 0b01);
+        assert_eq!(b.bits(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be 2^k")]
+    fn rejects_non_power_of_two_block() {
+        let _ = Block::from_byte_addr(0, 48);
+    }
+}

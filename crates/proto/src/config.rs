@@ -1,0 +1,275 @@
+//! Target-system parameters (the paper's Table 3), plus shared protocol
+//! tuning knobs.
+
+use tokencmp_sim::Dur;
+
+use crate::addr::Block;
+use crate::layout::{CmpId, Layout};
+
+/// All latency, bandwidth, geometry and protocol parameters of the modeled
+/// M-CMP system. [`SystemConfig::default`] reproduces Table 3 exactly.
+///
+/// # Example
+///
+/// ```
+/// use tokencmp_proto::SystemConfig;
+/// let cfg = SystemConfig::default();
+/// assert_eq!(cfg.layout().procs(), 16);
+/// assert_eq!(cfg.l1_sets * cfg.l1_ways * cfg.block_bytes as usize, 128 << 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    // ---- topology ----
+    /// Number of chips (4).
+    pub cmps: u8,
+    /// Processors per chip (4).
+    pub procs_per_cmp: u8,
+    /// Shared-L2 banks per chip (4).
+    pub banks_per_cmp: u8,
+
+    // ---- geometry ----
+    /// Cache block size in bytes (64).
+    pub block_bytes: u32,
+    /// L1 sets (128 kB, 4-way, 64 B blocks → 512 sets).
+    pub l1_sets: usize,
+    /// L1 associativity (4).
+    pub l1_ways: usize,
+    /// Sets per L2 bank (8 MB / 4 banks, 4-way, 64 B → 8192 sets).
+    pub l2_sets: usize,
+    /// L2 associativity (4).
+    pub l2_ways: usize,
+
+    // ---- latencies ----
+    /// L1 access (2 ns).
+    pub l1_latency: Dur,
+    /// L2 bank access (7 ns).
+    pub l2_latency: Dur,
+    /// Memory/directory controller logic (6 ns).
+    pub memctl_latency: Dur,
+    /// DRAM access (80 ns).
+    pub dram_latency: Dur,
+    /// Chip ↔ its memory controller, one way (20 ns, off-chip).
+    pub offchip_latency: Dur,
+    /// Intra-CMP link, one way (2 ns).
+    pub intra_latency: Dur,
+    /// Inter-CMP link, one way, including interface/wire/sync (20 ns).
+    pub inter_latency: Dur,
+
+    // ---- bandwidths ----
+    /// Intra-CMP link bandwidth (64 GB/s).
+    pub intra_gbps: u64,
+    /// Inter-CMP link bandwidth (16 GB/s).
+    pub inter_gbps: u64,
+    /// Memory-link bandwidth (matches the inter-CMP link, 16 GB/s).
+    pub mem_gbps: u64,
+
+    // ---- message sizes (§8) ----
+    /// Data message size (72 B).
+    pub data_msg_bytes: u32,
+    /// Control message size (8 B).
+    pub ctrl_msg_bytes: u32,
+
+    // ---- shared protocol knobs ----
+    /// Tokens per block, `T` (§3.1: at least the number of caches; 64 here,
+    /// a power of two so the count field is 1 + log2 T = 7 bits).
+    pub tokens_per_block: u32,
+    /// The bounded response-delay window (§3.2, "Response Delay
+    /// Mechanism"): after gaining write permission a cache holds the block
+    /// this long before honoring stealing requests — long enough for a
+    /// short critical section. Applied to *all* protocols, as in the paper.
+    pub response_delay: Dur,
+    /// Directory-state access latency. `dram_latency` models the realistic
+    /// DRAM directory; zero models DirectoryCMP-zero.
+    pub dir_access_latency: Dur,
+    /// Enable the migratory-sharing optimization (on in both protocols by
+    /// default, as in the paper).
+    pub migratory_sharing: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cmps: 4,
+            procs_per_cmp: 4,
+            banks_per_cmp: 4,
+            block_bytes: 64,
+            l1_sets: 512,
+            l1_ways: 4,
+            l2_sets: 8192,
+            l2_ways: 4,
+            l1_latency: Dur::from_ns(2),
+            l2_latency: Dur::from_ns(7),
+            memctl_latency: Dur::from_ns(6),
+            dram_latency: Dur::from_ns(80),
+            offchip_latency: Dur::from_ns(20),
+            intra_latency: Dur::from_ns(2),
+            inter_latency: Dur::from_ns(20),
+            intra_gbps: 64,
+            inter_gbps: 16,
+            mem_gbps: 16,
+            data_msg_bytes: 72,
+            ctrl_msg_bytes: 8,
+            tokens_per_block: 64,
+            response_delay: Dur::from_ns(25),
+            dir_access_latency: Dur::from_ns(80),
+            migratory_sharing: true,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A scaled-down configuration for fast unit tests: 2 chips × 2
+    /// processors, tiny caches, same latencies.
+    pub fn small_test() -> SystemConfig {
+        SystemConfig {
+            cmps: 2,
+            procs_per_cmp: 2,
+            banks_per_cmp: 2,
+            l1_sets: 16,
+            l1_ways: 2,
+            l2_sets: 64,
+            l2_ways: 2,
+            tokens_per_block: 32,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// The component layout implied by this configuration.
+    pub fn layout(&self) -> Layout {
+        Layout::new(self.cmps, self.procs_per_cmp, self.banks_per_cmp)
+    }
+
+    /// The L2 bank within a chip holding `block` (block-number low bits).
+    pub fn l2_bank_of(&self, block: Block) -> u8 {
+        block.bits(0, self.banks_per_cmp as u64) as u8
+    }
+
+    /// The home chip of `block`, i.e. the memory controller owning its
+    /// directory entry / memory tokens. Uses bits above the bank-select
+    /// bits so banking and homing are independent.
+    pub fn home_of(&self, block: Block) -> CmpId {
+        let shift = (self.banks_per_cmp as u64).next_power_of_two().trailing_zeros();
+        CmpId(block.bits(shift, self.cmps as u64) as u8)
+    }
+
+    /// Wire size for a message, by whether it carries data.
+    pub fn msg_bytes(&self, carries_data: bool) -> u32 {
+        if carries_data {
+            self.data_msg_bytes
+        } else {
+            self.ctrl_msg_bytes
+        }
+    }
+
+    /// Validates internal consistency (token count vs. cache count, power-
+    /// of-two geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let layout = self.layout();
+        if self.tokens_per_block <= layout.caches() {
+            return Err(format!(
+                "tokens_per_block ({}) must exceed the number of caches ({}) \
+                 so persistent read requests can always leave one token behind",
+                self.tokens_per_block,
+                layout.caches()
+            ));
+        }
+        if !self.block_bytes.is_power_of_two() {
+            return Err("block_bytes must be a power of two".into());
+        }
+        for (name, v) in [("l1_sets", self.l1_sets), ("l2_sets", self.l2_sets)] {
+            if !v.is_power_of_two() {
+                return Err(format!("{name} must be a power of two"));
+            }
+        }
+        if self.l1_ways == 0 || self.l2_ways == 0 {
+            return Err("associativity must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let c = SystemConfig::default();
+        assert_eq!(c.layout().procs(), 16);
+        // 128 kB L1: 512 sets * 4 ways * 64 B
+        assert_eq!(c.l1_sets * c.l1_ways * 64, 128 * 1024);
+        // 8 MB shared L2 per chip: 4 banks * 8192 sets * 4 ways * 64 B
+        assert_eq!(c.banks_per_cmp as usize * c.l2_sets * c.l2_ways * 64, 8 << 20);
+        assert_eq!(c.l1_latency, Dur::from_ns(2));
+        assert_eq!(c.l2_latency, Dur::from_ns(7));
+        assert_eq!(c.inter_latency, Dur::from_ns(20));
+        assert_eq!(c.data_msg_bytes, 72);
+        assert_eq!(c.ctrl_msg_bytes, 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        assert!(SystemConfig::small_test().validate().is_ok());
+    }
+
+    #[test]
+    fn banking_and_homing_use_disjoint_bits() {
+        let c = SystemConfig::default();
+        // Blocks differing only in bank bits share a home.
+        let b0 = Block(0b0000);
+        let b1 = Block(0b0011);
+        assert_ne!(c.l2_bank_of(b0), c.l2_bank_of(b1));
+        assert_eq!(c.home_of(b0), c.home_of(b1));
+        // Blocks differing in home bits share a bank.
+        let b2 = Block(0b0100);
+        assert_eq!(c.l2_bank_of(b0), c.l2_bank_of(b2));
+        assert_ne!(c.home_of(b0), c.home_of(b2));
+    }
+
+    #[test]
+    fn homes_cover_all_cmps() {
+        let c = SystemConfig::default();
+        let mut seen = [false; 4];
+        for n in 0..64u64 {
+            seen[c.home_of(Block(n)).0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn validation_rejects_too_few_tokens() {
+        let cfg = SystemConfig {
+            tokens_per_block: 8,
+            ..SystemConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("tokens_per_block"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let cfg = SystemConfig {
+            l1_sets: 100,
+            ..SystemConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SystemConfig {
+            l1_ways: 0,
+            ..SystemConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn msg_bytes_selects_by_payload() {
+        let c = SystemConfig::default();
+        assert_eq!(c.msg_bytes(true), 72);
+        assert_eq!(c.msg_bytes(false), 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! The processor ↔ L1 port.
+//!
+//! Every protocol (TokenCMP variants, DirectoryCMP, PerfectL2) presents the
+//! same port to the processor sequencer: the sequencer submits one memory
+//! operation at a time and receives a completion, plus a *watch* facility
+//! used to model spin loops without simulating every cached re-read
+//! (a spinning processor re-probes only when its L1 loses the line, which
+//! is exactly when real test-and-test-and-set spinning would miss).
+
+use crate::addr::Block;
+use crate::msg::{MsgClass, NetMsg};
+
+/// The kind of memory operation a processor issues.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A data load; completes with at least one token / a readable copy.
+    Load,
+    /// A data store; completes with all tokens / a writable copy.
+    Store,
+    /// An atomic read-modify-write (e.g. test-and-set); requires write
+    /// permission like a store.
+    Atomic,
+    /// An instruction fetch, serviced by the L1-I cache.
+    IFetch,
+}
+
+impl AccessKind {
+    /// True if the operation needs write permission (all tokens / M state).
+    pub fn needs_write(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::Atomic)
+    }
+
+    /// True if the operation is serviced by the L1 instruction cache.
+    pub fn is_ifetch(self) -> bool {
+        matches!(self, AccessKind::IFetch)
+    }
+}
+
+/// A request from a processor to one of its L1 caches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpuReq {
+    /// Perform a memory operation on `block`.
+    Access {
+        /// Operation kind.
+        kind: AccessKind,
+        /// Target block.
+        block: Block,
+    },
+    /// Ask the L1 to notify the processor when it loses read permission on
+    /// `block` (or immediately, if it does not hold the block). Used to
+    /// implement spin-wait loops.
+    Watch {
+        /// Watched block.
+        block: Block,
+    },
+}
+
+impl CpuReq {
+    /// The block this request concerns.
+    pub fn block(&self) -> Block {
+        match *self {
+            CpuReq::Access { block, .. } | CpuReq::Watch { block } => block,
+        }
+    }
+}
+
+/// A response from an L1 cache to its processor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpuResp {
+    /// The access to `block` has completed (permission was held at the
+    /// completion instant).
+    Done {
+        /// Completed operation kind.
+        kind: AccessKind,
+        /// Completed block.
+        block: Block,
+    },
+    /// A previously-registered watch fired: the L1 no longer holds (or
+    /// never held) read permission on `block`.
+    WatchFired {
+        /// Watched block.
+        block: Block,
+    },
+}
+
+impl NetMsg for CpuReq {
+    fn size_bytes(&self) -> u32 {
+        0 // processor↔L1 traffic is core-internal, not interconnect traffic
+    }
+    fn class(&self) -> MsgClass {
+        MsgClass::Request
+    }
+}
+
+impl NetMsg for CpuResp {
+    fn size_bytes(&self) -> u32 {
+        0
+    }
+    fn class(&self) -> MsgClass {
+        MsgClass::ResponseData
+    }
+}
+
+/// Implemented by each protocol's top-level message enum so the generic
+/// sequencer can speak to any protocol's L1 controllers.
+pub trait CpuPort: Sized {
+    /// Wraps a processor request.
+    fn from_cpu_req(req: CpuReq) -> Self;
+    /// Wraps an L1 response.
+    fn from_cpu_resp(resp: CpuResp) -> Self;
+    /// Unwraps a processor request, if this message is one.
+    fn into_cpu_req(self) -> Option<CpuReq>;
+    /// Unwraps an L1 response, if this message is one.
+    fn into_cpu_resp(self) -> Option<CpuResp>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_permission_classification() {
+        assert!(!AccessKind::Load.needs_write());
+        assert!(AccessKind::Store.needs_write());
+        assert!(AccessKind::Atomic.needs_write());
+        assert!(!AccessKind::IFetch.needs_write());
+        assert!(AccessKind::IFetch.is_ifetch());
+        assert!(!AccessKind::Load.is_ifetch());
+    }
+
+    #[test]
+    fn req_block_accessor() {
+        let b = Block(7);
+        assert_eq!(
+            CpuReq::Access {
+                kind: AccessKind::Load,
+                block: b
+            }
+            .block(),
+            b
+        );
+        assert_eq!(CpuReq::Watch { block: b }.block(), b);
+    }
+
+    #[test]
+    fn cpu_messages_are_free_on_the_wire() {
+        let r = CpuReq::Watch { block: Block(1) };
+        assert_eq!(r.size_bytes(), 0);
+        let d = CpuResp::Done {
+            kind: AccessKind::Store,
+            block: Block(1),
+        };
+        assert_eq!(d.size_bytes(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Message taxonomy for traffic accounting.
+//!
+//! Figure 7 of the paper breaks interconnect traffic into seven message
+//! classes; every protocol message in this repository maps onto one of them
+//! so the benchmark harnesses can regenerate the same stacked bars.
+
+use std::fmt;
+
+/// The Figure 7 message classes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MsgClass {
+    /// Data carried in response to a request (including token-carrying data
+    /// messages in TokenCMP).
+    ResponseData,
+    /// Dirty (or owner) data being written back toward memory.
+    WritebackData,
+    /// Writeback handshake control (requests, grants, dataless PUTs).
+    WritebackControl,
+    /// Coherence requests (GETS/GETX, transient token requests).
+    Request,
+    /// Invalidations, forwards, acknowledgments, and dataless token
+    /// transfers.
+    InvFwdAckTokens,
+    /// DirectoryCMP unblock messages.
+    Unblock,
+    /// Persistent-request activations and deactivations.
+    Persistent,
+}
+
+impl MsgClass {
+    /// All classes, in Figure 7 legend order.
+    pub const ALL: [MsgClass; 7] = [
+        MsgClass::ResponseData,
+        MsgClass::WritebackData,
+        MsgClass::WritebackControl,
+        MsgClass::Request,
+        MsgClass::InvFwdAckTokens,
+        MsgClass::Unblock,
+        MsgClass::Persistent,
+    ];
+
+    /// A dense index, `0..7`, in [`MsgClass::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            MsgClass::ResponseData => 0,
+            MsgClass::WritebackData => 1,
+            MsgClass::WritebackControl => 2,
+            MsgClass::Request => 3,
+            MsgClass::InvFwdAckTokens => 4,
+            MsgClass::Unblock => 5,
+            MsgClass::Persistent => 6,
+        }
+    }
+
+    /// The Figure 7 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::ResponseData => "Response Data",
+            MsgClass::WritebackData => "Writeback Data",
+            MsgClass::WritebackControl => "Writeback Control",
+            MsgClass::Request => "Request",
+            MsgClass::InvFwdAckTokens => "Inv/Fwd/Acks/Tokens",
+            MsgClass::Unblock => "Unblock",
+            MsgClass::Persistent => "Persistent",
+        }
+    }
+}
+
+impl fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What the interconnect needs to know about a message: its wire size and
+/// its traffic class.
+///
+/// Messages between a processor and its own L1 never touch a modeled
+/// network; they may report a size of zero.
+pub trait NetMsg {
+    /// Wire size in bytes (72 for data, 8 for control, per §8).
+    fn size_bytes(&self) -> u32;
+    /// Figure 7 class.
+    fn class(&self) -> MsgClass;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_dense_and_consistent() {
+        for (i, c) in MsgClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_match_figure7_legend() {
+        assert_eq!(MsgClass::ResponseData.label(), "Response Data");
+        assert_eq!(MsgClass::InvFwdAckTokens.to_string(), "Inv/Fwd/Acks/Tokens");
+    }
+}

@@ -1,0 +1,405 @@
+//! The simulation kernel: components, message transport, and the run loop.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::queue::{EventKind, EventQueue};
+use crate::stats::Stats;
+use crate::time::{Dur, Time};
+
+/// Identifies a component registered with a [`Kernel`].
+///
+/// Node ids are dense indices assigned in registration order; system
+/// builders lay out ids deterministically so components can address each
+/// other before construction completes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Computes message delivery times, modelling latency, bandwidth occupancy
+/// and traffic accounting.
+///
+/// The interconnect crate provides the real implementation; tests can use
+/// [`InstantTransport`].
+pub trait Transport<M> {
+    /// Returns the time at which `msg`, sent from `src` at `now`, arrives at
+    /// `dst`. Implementations may mutate internal occupancy state and
+    /// traffic statistics.
+    fn deliver_at(&mut self, now: Time, src: NodeId, dst: NodeId, msg: &M) -> Time;
+}
+
+/// A [`Transport`] with a fixed latency and infinite bandwidth; for tests.
+#[derive(Debug, Clone, Copy)]
+pub struct InstantTransport {
+    /// One-way latency applied to every message.
+    pub latency: Dur,
+}
+
+impl<M> Transport<M> for InstantTransport {
+    fn deliver_at(&mut self, now: Time, _src: NodeId, _dst: NodeId, _msg: &M) -> Time {
+        now + self.latency
+    }
+}
+
+/// A simulated hardware unit (cache controller, memory controller,
+/// processor sequencer, ...).
+///
+/// Components react to delivered messages and to self-scheduled wakeups;
+/// they never block. The `as_any` methods allow system harnesses to downcast
+/// components after a run to harvest results.
+pub trait Component<M>: 'static {
+    /// Handles a message delivered from `src`.
+    fn on_msg(&mut self, src: NodeId, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Handles a wakeup previously scheduled with [`Ctx::wake_in`].
+    fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, M>);
+
+    /// Upcast for downcasting in harnesses. Implement as `self`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting in harnesses. Implement as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The per-event view a component gets of the kernel: the clock, its own
+/// id, message sending, and wakeup scheduling.
+pub struct Ctx<'a, M> {
+    /// Current simulated time.
+    pub now: Time,
+    /// The id of the component handling this event.
+    pub self_id: NodeId,
+    /// Shared statistics registry.
+    pub stats: &'a mut Stats,
+    queue: &'a mut EventQueue<M>,
+    transport: &'a mut dyn Transport<M>,
+    stopped: &'a mut bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Sends `msg` to `dst` now; arrival time comes from the transport.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        self.send_after(Dur::ZERO, dst, msg);
+    }
+
+    /// Sends `msg` to `dst` after a local processing delay of `delay`
+    /// (e.g. a cache tag-array access before the reply hits the wire).
+    pub fn send_after(&mut self, delay: Dur, dst: NodeId, msg: M) {
+        let depart = self.now + delay;
+        let src = self.self_id;
+        let arrive = self.transport.deliver_at(depart, src, dst, &msg);
+        debug_assert!(arrive >= depart);
+        self.queue.push(arrive, dst, EventKind::Msg { src, msg });
+    }
+
+    /// Schedules a wakeup for this component `delay` from now.
+    pub fn wake_in(&mut self, delay: Dur, tag: u64) {
+        let id = self.self_id;
+        self.queue.push(self.now + delay, id, EventKind::Wake { tag });
+    }
+
+    /// Schedules a wakeup for this component at absolute time `at`
+    /// (clamped to now).
+    pub fn wake_at(&mut self, at: Time, tag: u64) {
+        let id = self.self_id;
+        self.queue.push(at.max(self.now), id, EventKind::Wake { tag });
+    }
+
+    /// Requests that the kernel stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stopped = true;
+    }
+}
+
+/// How a [`Kernel::run`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A component called [`Ctx::stop`].
+    Stopped,
+    /// The event queue drained.
+    Idle,
+    /// The event budget was exhausted — almost always a protocol livelock
+    /// or a missing termination condition.
+    EventLimit,
+    /// Simulated time passed the configured horizon.
+    TimeLimit,
+}
+
+/// The discrete-event simulator: a clock, an event queue, a transport, and
+/// a set of components.
+pub struct Kernel<M> {
+    time: Time,
+    queue: EventQueue<M>,
+    components: Vec<Box<dyn Component<M>>>,
+    transport: Box<dyn Transport<M>>,
+    stats: Stats,
+    stopped: bool,
+    events_processed: u64,
+}
+
+impl<M: 'static> Kernel<M> {
+    /// Creates a kernel using the given transport.
+    pub fn new(transport: Box<dyn Transport<M>>) -> Kernel<M> {
+        Kernel {
+            time: Time::ZERO,
+            queue: EventQueue::new(),
+            components: Vec::new(),
+            transport,
+            stats: Stats::new(),
+            stopped: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Creates a kernel whose transport delivers instantly (for tests).
+    pub fn new_instant() -> Kernel<M> {
+        Kernel::new(Box::new(InstantTransport { latency: Dur::ZERO }))
+    }
+
+    /// Registers a component, returning its id (dense, in order).
+    pub fn add_component<C: Component<M>>(&mut self, c: C) -> NodeId {
+        let id = NodeId(self.components.len() as u32);
+        self.components.push(Box::new(c));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The shared statistics registry.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics registry.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// The transport, for harvesting traffic statistics after a run.
+    pub fn transport(&self) -> &dyn Transport<M> {
+        self.transport.as_ref()
+    }
+
+    /// Downcasts a registered component to a concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn component_as<C: Component<M>>(&self, id: NodeId) -> Option<&C> {
+        self.components[id.index()].as_any().downcast_ref::<C>()
+    }
+
+    /// Mutably downcasts a registered component to a concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn component_as_mut<C: Component<M>>(&mut self, id: NodeId) -> Option<&mut C> {
+        self.components[id.index()]
+            .as_any_mut()
+            .downcast_mut::<C>()
+    }
+
+    /// Schedules a wakeup for `dst` at `delay` from the current time; used
+    /// to bootstrap components (e.g. start every processor at t=0).
+    pub fn wake(&mut self, dst: NodeId, delay: Dur, tag: u64) {
+        self.queue.push(self.time + delay, dst, EventKind::Wake { tag });
+    }
+
+    /// Injects a message from `src` to `dst` through the transport; for
+    /// tests and external stimulus.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, msg: M) {
+        let arrive = self.transport.deliver_at(self.time, src, dst, &msg);
+        self.queue.push(arrive, dst, EventKind::Msg { src, msg });
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses an unregistered component.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.time, "event in the past");
+        self.time = ev.time;
+        self.events_processed += 1;
+        let idx = ev.dst.index();
+        assert!(idx < self.components.len(), "event for unknown {:?}", ev.dst);
+        let mut ctx = Ctx {
+            now: self.time,
+            self_id: ev.dst,
+            stats: &mut self.stats,
+            queue: &mut self.queue,
+            transport: self.transport.as_mut(),
+            stopped: &mut self.stopped,
+        };
+        match ev.kind {
+            EventKind::Msg { src, msg } => self.components[idx].on_msg(src, msg, &mut ctx),
+            EventKind::Wake { tag } => self.components[idx].on_wake(tag, &mut ctx),
+        }
+        true
+    }
+
+    /// Runs until a stop request, an empty queue, `max_events`, or the
+    /// `horizon` time limit — whichever comes first.
+    pub fn run(&mut self, max_events: u64, horizon: Time) -> RunOutcome {
+        let budget_end = self.events_processed.saturating_add(max_events);
+        loop {
+            if self.stopped {
+                return RunOutcome::Stopped;
+            }
+            if self.events_processed >= budget_end {
+                return RunOutcome::EventLimit;
+            }
+            match self.queue.next_time() {
+                None => return RunOutcome::Idle,
+                Some(t) if t > horizon => return RunOutcome::TimeLimit,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains or a component stops the kernel.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run(u64::MAX, Time::MAX)
+    }
+}
+
+impl<M> fmt::Debug for Kernel<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("time", &self.time)
+            .field("components", &self.components.len())
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Echo {
+        received: Vec<(NodeId, u64)>,
+        reply_to: Option<NodeId>,
+    }
+
+    impl Component<u64> for Echo {
+        fn on_msg(&mut self, src: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            self.received.push((src, msg));
+            if let Some(peer) = self.reply_to {
+                if msg > 0 {
+                    ctx.send(peer, msg - 1);
+                }
+            }
+        }
+        fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, u64>) {
+            if tag == 99 {
+                ctx.stop();
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_counts_down() {
+        let mut k = Kernel::new(Box::new(InstantTransport {
+            latency: Dur::from_ns(3),
+        }));
+        let a = k.add_component(Echo {
+            reply_to: Some(NodeId(1)),
+            ..Default::default()
+        });
+        let b = k.add_component(Echo {
+            reply_to: Some(NodeId(0)),
+            ..Default::default()
+        });
+        k.inject(a, b, 5);
+        assert_eq!(k.run_to_completion(), RunOutcome::Idle);
+        // 5 arrives at b; 4 at a; 3 at b; 2 at a; 1 at b; 0 at a.
+        let ea = k.component_as::<Echo>(a).unwrap();
+        let eb = k.component_as::<Echo>(b).unwrap();
+        assert_eq!(ea.received.iter().map(|&(_, m)| m).collect::<Vec<_>>(), [4, 2, 0]);
+        assert_eq!(eb.received.iter().map(|&(_, m)| m).collect::<Vec<_>>(), [5, 3, 1]);
+        // 6 messages * 3 ns each.
+        assert_eq!(k.now(), Time::from_ns(18));
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Echo::default());
+        k.wake(a, Dur::from_ns(1), 99);
+        k.wake(a, Dur::from_ns(2), 99);
+        assert_eq!(k.run_to_completion(), RunOutcome::Stopped);
+        assert_eq!(k.now(), Time::from_ns(1));
+    }
+
+    #[test]
+    fn event_limit_detects_livelock() {
+        #[derive(Debug)]
+        struct Spinner;
+        impl Component<u64> for Spinner {
+            fn on_msg(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, u64>) {}
+            fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, u64>) {
+                ctx.wake_in(Dur::from_ns(1), tag);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Spinner);
+        k.wake(a, Dur::ZERO, 0);
+        assert_eq!(k.run(1_000, Time::MAX), RunOutcome::EventLimit);
+        assert_eq!(k.run(u64::MAX, Time::from_ns(2_000)), RunOutcome::TimeLimit);
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Echo::default());
+        k.wake(a, Dur::from_ns(10), 0);
+        k.wake(a, Dur::from_ns(5), 0);
+        let mut last = Time::ZERO;
+        while k.step() {
+            assert!(k.now() >= last);
+            last = k.now();
+        }
+        assert_eq!(last, Time::from_ns(10));
+    }
+}

@@ -1,0 +1,177 @@
+//! The pending-event queue.
+//!
+//! A binary heap ordered by `(time, sequence)`; the sequence number makes
+//! tie-breaking deterministic (FIFO among events scheduled for the same
+//! picosecond), which in turn makes whole simulations reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::kernel::NodeId;
+use crate::time::Time;
+
+/// What a queued event delivers to its destination component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// A message from another component (or injected externally).
+    Msg {
+        /// Sending component.
+        src: NodeId,
+        /// Protocol payload.
+        msg: M,
+    },
+    /// A self-scheduled wakeup carrying an opaque tag.
+    Wake {
+        /// Component-defined discriminator (e.g. an MSHR index).
+        tag: u64,
+    },
+}
+
+/// An event plus its delivery coordinates.
+#[derive(Debug, Clone)]
+pub struct QueuedEvent<M> {
+    /// Delivery time.
+    pub time: Time,
+    /// Destination component.
+    pub dst: NodeId,
+    /// Payload.
+    pub kind: EventKind<M>,
+    seq: u64,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of simulation events.
+///
+/// # Example
+///
+/// ```
+/// use tokencmp_sim::{EventKind, EventQueue, NodeId, Time};
+/// let mut q: EventQueue<u32> = EventQueue::new();
+/// q.push(Time::from_ns(5), NodeId(0), EventKind::Wake { tag: 1 });
+/// q.push(Time::from_ns(2), NodeId(0), EventKind::Wake { tag: 2 });
+/// assert_eq!(q.pop().unwrap().time, Time::from_ns(2));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<QueuedEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<M> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` for delivery to `dst` at `time`.
+    pub fn push(&mut self, time: Time, dst: NodeId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent {
+            time,
+            dst,
+            kind,
+            seq,
+        });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        self.heap.pop()
+    }
+
+    /// Delivery time of the earliest pending event.
+    pub fn next_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(tag: u64) -> EventKind<u8> {
+        EventKind::Wake { tag }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), NodeId(0), wake(3));
+        q.push(Time::from_ns(10), NodeId(0), wake(1));
+        q.push(Time::from_ns(20), NodeId(0), wake(2));
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Wake { tag } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        for tag in 0..10 {
+            q.push(t, NodeId(0), wake(tag));
+        }
+        for expect in 0..10 {
+            match q.pop().unwrap().kind {
+                EventKind::Wake { tag } => assert_eq!(tag, expect),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn next_time_peeks_without_removing() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(Time::from_ns(7), NodeId(1), wake(0));
+        assert_eq!(q.next_time(), Some(Time::from_ns(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulated time.
+//!
+//! All simulated time is kept in integer **picoseconds** so that sub-nanosecond
+//! bandwidth terms (a 72-byte message on a 64 GB/s link occupies 1.125 ns)
+//! accumulate without rounding error. The paper's Table 3 parameters are all
+//! expressible exactly in picoseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulated timestamp, in picoseconds since simulation start.
+///
+/// `Time` is ordered, copyable and cheap; arithmetic with [`Dur`] is the only
+/// way to move it.
+///
+/// # Example
+///
+/// ```
+/// use tokencmp_sim::{Dur, Time};
+/// let t = Time::ZERO + Dur::from_ns(2);
+/// assert_eq!(t.as_ps(), 2_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The start of simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// A timestamp far beyond any practical simulation; used as a sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Constructs a timestamp from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Constructs a timestamp from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Raw picoseconds since simulation start.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time since start as (possibly fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Constructs a duration from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Dur {
+        Dur(ps)
+    }
+
+    /// Constructs a duration from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Dur {
+        Dur(ns * 1_000)
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as (possibly fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// True if this duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Duration scaled by an integer factor.
+    #[inline]
+    pub const fn times(self, n: u64) -> Dur {
+        Dur(self.0 * n)
+    }
+
+    /// The occupancy of `bytes` on a link of `gbytes_per_sec` bandwidth.
+    ///
+    /// 1 GB/s moves one byte per nanosecond, so the occupancy in picoseconds
+    /// is `bytes * 1000 / gbytes_per_sec`, rounded up to a picosecond.
+    #[inline]
+    pub fn from_bytes_at_gbps(bytes: u64, gbytes_per_sec: u64) -> Dur {
+        debug_assert!(gbytes_per_sec > 0);
+        Dur((bytes * 1_000).div_ceil(gbytes_per_sec))
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Dur) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, d: Dur) -> Dur {
+        Dur(self.0 + d.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, d: Dur) -> Dur {
+        debug_assert!(d.0 <= self.0, "negative duration");
+        Dur(self.0 - d.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.as_ns_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.as_ns_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion_round_trips() {
+        assert_eq!(Time::from_ns(7).as_ps(), 7_000);
+        assert_eq!(Dur::from_ns(3).as_ps(), 3_000);
+        assert_eq!(Time::from_ns(2).as_ns_f64(), 2.0);
+    }
+
+    #[test]
+    fn add_and_since() {
+        let t0 = Time::from_ns(10);
+        let t1 = t0 + Dur::from_ns(5);
+        assert_eq!(t1.since(t0), Dur::from_ns(5));
+        assert_eq!(t0.saturating_since(t1), Dur::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_occupancy_matches_table3() {
+        // 72-byte data message on a 64 GB/s intra-CMP link: 1.125 ns.
+        assert_eq!(Dur::from_bytes_at_gbps(72, 64).as_ps(), 1_125);
+        // 72-byte data message on a 16 GB/s inter-CMP link: 4.5 ns.
+        assert_eq!(Dur::from_bytes_at_gbps(72, 16).as_ps(), 4_500);
+        // 8-byte control message on a 64 GB/s link: 0.125 ns.
+        assert_eq!(Dur::from_bytes_at_gbps(8, 64).as_ps(), 125);
+    }
+
+    #[test]
+    fn occupancy_rounds_up() {
+        // 1 byte at 3 GB/s = 333.33.. ps, rounded up to 334.
+        assert_eq!(Dur::from_bytes_at_gbps(1, 3).as_ps(), 334);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Time::from_ns(1) < Time::from_ns(2));
+        assert_eq!(Time::from_ns(1).max(Time::from_ns(2)), Time::from_ns(2));
+        assert_eq!(Dur::from_ns(4).max(Dur::from_ns(2)), Dur::from_ns(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Time::from_ps(1_500)), "1.500ns");
+        assert_eq!(format!("{:?}", Dur::from_ps(10)), "10ps");
+    }
+}

@@ -1,0 +1,513 @@
+//! System assembly and the measurement harness.
+//!
+//! [`run_workload`] builds a full M-CMP system for any [`Protocol`], drives
+//! it with a [`Workload`] until every processor finishes and the event
+//! queue drains, audits protocol invariants at quiescence, and returns a
+//! unified [`RunResult`] the benchmark harnesses consume.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tokencmp_core::{TokenL1, TokenL2, TokenMem, TokenMsg, Variant};
+use tokencmp_directory::{ChipRights, DirHome, DirL1, DirL2, DirMsg, L1State};
+use tokencmp_net::{Network, Traffic, TrafficHandle};
+use tokencmp_proto::{Block, CpuPort, Layout, SystemConfig, Unit};
+use tokencmp_sim::kernel::RunOutcome;
+use tokencmp_sim::{Dur, Kernel, NodeId, Stats, Time};
+
+use crate::perfect::PerfectL2;
+use crate::sequencer::Sequencer;
+use crate::workload::Workload;
+
+/// The protocols of the paper's evaluation (§6).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protocol {
+    /// A TokenCMP variant (Table 1).
+    Token(Variant),
+    /// The hierarchical directory baseline with a DRAM directory.
+    Directory,
+    /// DirectoryCMP with an unrealistic zero-cycle directory.
+    DirectoryZero,
+    /// The unimplementable perfect shared-L2 lower bound.
+    PerfectL2,
+}
+
+impl Protocol {
+    /// The paper's name for this protocol.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Token(v) => v.name(),
+            Protocol::Directory => "DirectoryCMP",
+            Protocol::DirectoryZero => "DirectoryCMP-zero",
+            Protocol::PerfectL2 => "PerfectL2",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run limits and reproducibility knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Seed for all pseudo-random protocol behaviour.
+    pub seed: u64,
+    /// Event budget (exceeded ⇒ [`RunOutcome::EventLimit`], i.e. a bug).
+    pub max_events: u64,
+    /// Simulated-time horizon.
+    pub horizon: Time,
+    /// Check protocol invariants at quiescence (token conservation /
+    /// directory consistency). On by default; panics on violation.
+    pub audit: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 1,
+            max_events: 2_000_000_000,
+            horizon: Time::MAX,
+            audit: true,
+        }
+    }
+}
+
+/// The unified outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// How the kernel stopped ([`RunOutcome::Idle`] is the success case).
+    pub outcome: RunOutcome,
+    /// Time at which the *last* processor finished its program.
+    pub runtime: Dur,
+    /// Events processed.
+    pub events: u64,
+    /// Per-tier, per-class traffic (empty for PerfectL2).
+    pub traffic: Traffic,
+    /// Merged counters (`l1.misses`, `l1.persistent`, ...).
+    pub counters: Stats,
+}
+
+impl RunResult {
+    /// Runtime in nanoseconds.
+    pub fn runtime_ns(&self) -> f64 {
+        self.runtime.as_ns_f64()
+    }
+
+    /// Persistent requests as a fraction of L1 misses (the paper reports
+    /// < 0.3 % for all commercial workloads).
+    pub fn persistent_fraction(&self) -> f64 {
+        let misses = self.counters.counter("l1.misses");
+        if misses == 0 {
+            0.0
+        } else {
+            self.counters.counter("l1.persistent") as f64 / misses as f64
+        }
+    }
+}
+
+/// Builds and runs the given protocol on the given workload.
+///
+/// Returns the run result and the workload (for workload-level
+/// validation, e.g. mutual-exclusion bookkeeping).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, or if `opts.audit` is set and
+/// a protocol invariant is violated at quiescence.
+pub fn run_workload<W: Workload + 'static>(
+    cfg: &SystemConfig,
+    protocol: Protocol,
+    workload: W,
+    opts: &RunOptions,
+) -> (RunResult, W) {
+    cfg.validate().expect("invalid system configuration");
+    let cfg = Rc::new(cfg.clone());
+    let wl = Rc::new(RefCell::new(workload));
+    let result = match protocol {
+        Protocol::Token(v) => run_token(&cfg, v, wl.clone(), opts),
+        Protocol::Directory => run_directory(&cfg, wl.clone(), opts, false),
+        Protocol::DirectoryZero => run_directory(&cfg, wl.clone(), opts, true),
+        Protocol::PerfectL2 => run_perfect(&cfg, wl.clone(), opts),
+    };
+    let w = Rc::try_unwrap(wl)
+        .ok()
+        .expect("kernel leaked workload references")
+        .into_inner();
+    (result, w)
+}
+
+fn finish<M: 'static>(
+    kernel: &Kernel<M>,
+    outcome: RunOutcome,
+    runtime: Dur,
+    traffic: Option<&TrafficHandle>,
+    counters: Stats,
+) -> RunResult {
+    RunResult {
+        outcome,
+        runtime,
+        events: kernel.events_processed(),
+        traffic: traffic.map(|t| t.borrow().clone()).unwrap_or_default(),
+        counters,
+    }
+}
+
+/// Drives the kernel and computes the last-processor-done time.
+fn drive<M: CpuPort + 'static>(
+    kernel: &mut Kernel<M>,
+    layout: &Layout,
+    opts: &RunOptions,
+) -> (RunOutcome, Dur) {
+    for p in layout.proc_ids() {
+        kernel.wake(layout.proc(p), Dur::ZERO, 0);
+    }
+    let outcome = kernel.run(opts.max_events, opts.horizon);
+    let mut runtime = Dur::ZERO;
+    for p in layout.proc_ids() {
+        let seq = kernel
+            .component_as::<Sequencer<M>>(layout.proc(p))
+            .expect("sequencer type");
+        match seq.done_at {
+            Some(t) => runtime = runtime.max(t.since(Time::ZERO)),
+            None => {
+                assert_ne!(
+                    outcome,
+                    RunOutcome::Idle,
+                    "kernel went idle with processor {p:?} unfinished (protocol deadlock)"
+                );
+            }
+        }
+    }
+    (outcome, runtime)
+}
+
+// ---- TokenCMP -------------------------------------------------------------------
+
+fn run_token(
+    cfg: &Rc<SystemConfig>,
+    variant: Variant,
+    wl: Rc<RefCell<dyn Workload>>,
+    opts: &RunOptions,
+) -> RunResult {
+    let layout = cfg.layout();
+    let net = Network::new(cfg);
+    let traffic = net.traffic_handle();
+    let mut k: Kernel<TokenMsg> = Kernel::new(Box::new(net));
+    for p in layout.proc_ids() {
+        let id = k.add_component(Sequencer::<TokenMsg>::new(
+            p,
+            layout.l1d(p),
+            layout.l1i(p),
+            wl.clone(),
+        ));
+        assert_eq!(id, layout.proc(p));
+    }
+    // Each processor's L1-D and L1-I share one persistent-request epoch
+    // counter (they issue under a single processor identity).
+    let epochs: Vec<Rc<std::cell::Cell<u64>>> = layout
+        .proc_ids()
+        .map(|_| Rc::new(std::cell::Cell::new(0)))
+        .collect();
+    for p in layout.proc_ids() {
+        let me = layout.l1d(p);
+        let id = k.add_component(TokenL1::new(
+            cfg.clone(),
+            me,
+            p,
+            variant,
+            opts.seed,
+            epochs[p.0 as usize].clone(),
+        ));
+        assert_eq!(id, me);
+    }
+    for p in layout.proc_ids() {
+        let me = layout.l1i(p);
+        let id = k.add_component(TokenL1::new(
+            cfg.clone(),
+            me,
+            p,
+            variant,
+            opts.seed ^ 0xF00D,
+            epochs[p.0 as usize].clone(),
+        ));
+        assert_eq!(id, me);
+    }
+    for c in layout.cmp_ids() {
+        for b in 0..layout.banks_per_cmp {
+            let me = layout.l2(c, b);
+            let id = k.add_component(TokenL2::new(cfg.clone(), me, c, b, variant));
+            assert_eq!(id, me);
+        }
+    }
+    for c in layout.cmp_ids() {
+        let me = layout.mem(c);
+        let id = k.add_component(TokenMem::new(cfg.clone(), me, c));
+        assert_eq!(id, me);
+    }
+
+    let (outcome, runtime) = drive(&mut k, &layout, opts);
+
+    // Harvest counters.
+    let mut counters = k.stats().clone();
+    for p in layout.proc_ids() {
+        for node in [layout.l1d(p), layout.l1i(p)] {
+            let l1 = k.component_as::<TokenL1>(node).unwrap();
+            counters.add("l1.hits", l1.stats.hits);
+            counters.add("l1.misses", l1.stats.misses);
+            counters.add("l1.transient", l1.stats.transient_issued);
+            counters.add("l1.retries", l1.stats.retries);
+            counters.add("l1.persistent", l1.stats.persistent_issued);
+            counters.add("l1.persistent_reads", l1.stats.persistent_reads);
+            counters.add("l1.pred_shortcuts", l1.stats.predictor_shortcuts);
+            counters.add(
+                "l1.miss_latency_ps_sum",
+                (l1.stats.miss_latency.mean() * l1.stats.miss_latency.count() as f64) as u64,
+            );
+        }
+    }
+    for c in layout.cmp_ids() {
+        for b in 0..layout.banks_per_cmp {
+            let l2 = k.component_as::<TokenL2>(layout.l2(c, b)).unwrap();
+            counters.add("l2.local_requests", l2.stats.local_requests);
+            counters.add("l2.external_broadcasts", l2.stats.external_broadcasts);
+            counters.add("l2.external_requests", l2.stats.external_requests);
+            counters.add("l2.filtered", l2.stats.filtered);
+            counters.add("l2.fanout", l2.stats.forwarded_to_l1);
+        }
+        let m = k.component_as::<TokenMem>(layout.mem(c)).unwrap();
+        counters.add("mem.data_responses", m.stats.data_responses);
+        counters.add("mem.writebacks", m.stats.writebacks);
+        counters.add("mem.arb_activations", m.stats.arb_activations);
+    }
+
+    if opts.audit && outcome == RunOutcome::Idle {
+        audit_tokens(&k, cfg, &layout);
+    }
+    finish(&k, outcome, runtime, Some(&traffic), counters)
+}
+
+/// Token conservation at quiescence: every touched block holds exactly
+/// `T` tokens and exactly one owner token across all caches and its home
+/// memory controller (§3.1's safety invariant, checked globally).
+fn audit_tokens(k: &Kernel<TokenMsg>, cfg: &SystemConfig, layout: &Layout) {
+    let mut tokens: HashMap<Block, (u32, u32)> = HashMap::new();
+    let mut fold = |census: Vec<(Block, u32, bool)>| {
+        for (b, t, o) in census {
+            let e = tokens.entry(b).or_insert((0, 0));
+            e.0 += t;
+            e.1 += o as u32;
+        }
+    };
+    for node in layout.all_caches() {
+        match layout.unit(node) {
+            Unit::L1D(_) | Unit::L1I(_) => {
+                fold(k.component_as::<TokenL1>(node).unwrap().token_census())
+            }
+            Unit::L2Bank(..) => fold(k.component_as::<TokenL2>(node).unwrap().token_census()),
+            _ => unreachable!(),
+        }
+    }
+    for c in layout.cmp_ids() {
+        fold(
+            k.component_as::<TokenMem>(layout.mem(c))
+                .unwrap()
+                .explicit_census(),
+        );
+    }
+    for (b, (t, o)) in tokens {
+        assert_eq!(
+            t, cfg.tokens_per_block,
+            "token conservation violated for {b:?}: {t} tokens"
+        );
+        assert_eq!(o, 1, "owner token count for {b:?} is {o}");
+    }
+}
+
+// ---- DirectoryCMP ----------------------------------------------------------------
+
+fn run_directory(
+    cfg: &Rc<SystemConfig>,
+    wl: Rc<RefCell<dyn Workload>>,
+    opts: &RunOptions,
+    zero_cycle: bool,
+) -> RunResult {
+    let mut cfg2 = (**cfg).clone();
+    if zero_cycle {
+        cfg2.dir_access_latency = Dur::ZERO;
+    }
+    let cfg = Rc::new(cfg2);
+    let layout = cfg.layout();
+    let net = Network::new(&cfg);
+    let traffic = net.traffic_handle();
+    let mut k: Kernel<DirMsg> = Kernel::new(Box::new(net));
+    for p in layout.proc_ids() {
+        let id = k.add_component(Sequencer::<DirMsg>::new(
+            p,
+            layout.l1d(p),
+            layout.l1i(p),
+            wl.clone(),
+        ));
+        assert_eq!(id, layout.proc(p));
+    }
+    for p in layout.proc_ids() {
+        let me = layout.l1d(p);
+        assert_eq!(k.add_component(DirL1::new(cfg.clone(), me, p)), me);
+    }
+    for p in layout.proc_ids() {
+        let me = layout.l1i(p);
+        assert_eq!(k.add_component(DirL1::new(cfg.clone(), me, p)), me);
+    }
+    for c in layout.cmp_ids() {
+        for b in 0..layout.banks_per_cmp {
+            let me = layout.l2(c, b);
+            assert_eq!(k.add_component(DirL2::new(cfg.clone(), me, c, b)), me);
+        }
+    }
+    for c in layout.cmp_ids() {
+        let me = layout.mem(c);
+        assert_eq!(k.add_component(DirHome::new(cfg.clone(), me, c)), me);
+    }
+
+    let (outcome, runtime) = drive(&mut k, &layout, opts);
+
+    let mut counters = k.stats().clone();
+    for p in layout.proc_ids() {
+        for node in [layout.l1d(p), layout.l1i(p)] {
+            let l1 = k.component_as::<DirL1>(node).unwrap();
+            counters.add("l1.hits", l1.stats.hits);
+            counters.add("l1.misses", l1.stats.misses);
+            counters.add("l1.writebacks", l1.stats.writebacks);
+            counters.add(
+                "l1.miss_latency_ps_sum",
+                (l1.stats.miss_latency.mean() * l1.stats.miss_latency.count() as f64) as u64,
+            );
+        }
+    }
+    for c in layout.cmp_ids() {
+        for b in 0..layout.banks_per_cmp {
+            let l2 = k.component_as::<DirL2>(layout.l2(c, b)).unwrap();
+            counters.add("l2.local_requests", l2.stats.local_requests);
+            counters.add("l2.remote_requests", l2.stats.remote_requests);
+            counters.add("l2.local_satisfied", l2.stats.local_satisfied);
+            counters.add("l2.evictions", l2.stats.evictions);
+        }
+        let h = k.component_as::<DirHome>(layout.mem(c)).unwrap();
+        counters.add("home.requests", h.stats.requests);
+        counters.add("home.forwarded", h.stats.forwarded);
+        counters.add("home.from_memory", h.stats.from_memory);
+        counters.add("home.writebacks", h.stats.writebacks);
+    }
+
+    if opts.audit && outcome == RunOutcome::Idle {
+        audit_directory(&k, &layout);
+    }
+    finish(&k, outcome, runtime, Some(&traffic), counters)
+}
+
+/// Directory consistency at quiescence: per block, at most one L1 in M/E
+/// globally, and M/E implies no other L1 holds the block at all (the
+/// single-writer / multiple-reader invariant).
+fn audit_directory(k: &Kernel<DirMsg>, layout: &Layout) {
+    let mut holders: HashMap<Block, (u32, u32)> = HashMap::new(); // (excl, shared)
+    for p in layout.proc_ids() {
+        for node in [layout.l1d(p), layout.l1i(p)] {
+            let l1 = k.component_as::<DirL1>(node).unwrap();
+            for (b, s) in l1.lines() {
+                let e = holders.entry(b).or_insert((0, 0));
+                match s {
+                    L1State::M | L1State::E => e.0 += 1,
+                    L1State::S => e.1 += 1,
+                }
+            }
+        }
+    }
+    for (b, (excl, shared)) in holders {
+        let dump = |b: Block| {
+            for p in layout.proc_ids() {
+                for node in [layout.l1d(p), layout.l1i(p)] {
+                    let l1 = k.component_as::<DirL1>(node).unwrap();
+                    for (lb, s) in l1.lines() {
+                        if lb == b {
+                            eprintln!("  {:?} {node:?}: {s:?}", layout.unit(node));
+                        }
+                    }
+                }
+            }
+            for c in layout.cmp_ids() {
+                for bnk in 0..layout.banks_per_cmp {
+                    let l2 = k.component_as::<DirL2>(layout.l2(c, bnk)).unwrap();
+                    if let Some(e) = l2.debug_entry(b) {
+                        eprintln!("  L2 {c:?}/{bnk}: {e}");
+                    }
+                }
+                let h = k.component_as::<DirHome>(layout.mem(c)).unwrap();
+                eprintln!("  home {c:?}: {:?}", h.state(b));
+            }
+        };
+        if excl > 1 || (excl >= 1 && shared > 0) {
+            eprintln!("audit violation for {b:?}:");
+            dump(b);
+        }
+        assert!(excl <= 1, "{b:?}: {excl} exclusive L1 copies");
+        assert!(
+            excl == 0 || shared == 0,
+            "{b:?}: exclusive copy coexists with {shared} shared copies"
+        );
+    }
+    // Chip-level: at most one chip with E rights per block.
+    let mut chips: HashMap<Block, u32> = HashMap::new();
+    for c in layout.cmp_ids() {
+        for bnk in 0..layout.banks_per_cmp {
+            let l2 = k.component_as::<DirL2>(layout.l2(c, bnk)).unwrap();
+            for (b, r) in l2.rights() {
+                if r == ChipRights::E {
+                    *chips.entry(b).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    for (b, n) in chips {
+        assert!(n <= 1, "{b:?}: {n} chips with exclusive rights");
+    }
+}
+
+// ---- PerfectL2 --------------------------------------------------------------------
+
+fn run_perfect(
+    cfg: &Rc<SystemConfig>,
+    wl: Rc<RefCell<dyn Workload>>,
+    opts: &RunOptions,
+) -> RunResult {
+    let layout = cfg.layout();
+    let mut k: Kernel<TokenMsg> = Kernel::new_instant();
+    let magic = NodeId(layout.procs());
+    let mut seqs = Vec::new();
+    for p in layout.proc_ids() {
+        let id = k.add_component(Sequencer::<TokenMsg>::new(p, magic, magic, wl.clone()));
+        seqs.push(id);
+    }
+    let id = k.add_component(PerfectL2::<TokenMsg>::new(cfg.clone(), seqs.clone()));
+    assert_eq!(id, magic);
+
+    for &s in &seqs {
+        k.wake(s, Dur::ZERO, 0);
+    }
+    let outcome = k.run(opts.max_events, opts.horizon);
+    let mut runtime = Dur::ZERO;
+    for &s in &seqs {
+        let seq = k.component_as::<Sequencer<TokenMsg>>(s).unwrap();
+        match seq.done_at {
+            Some(t) => runtime = runtime.max(t.since(Time::ZERO)),
+            None => assert_ne!(outcome, RunOutcome::Idle, "PerfectL2 deadlock"),
+        }
+    }
+    let mut counters = k.stats().clone();
+    let m = k.component_as::<PerfectL2<TokenMsg>>(magic).unwrap();
+    counters.add("l1.hits", m.stats.hits);
+    counters.add("l1.misses", m.stats.misses);
+    finish(&k, outcome, runtime, None, counters)
+}

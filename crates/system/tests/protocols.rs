@@ -1,0 +1,211 @@
+//! End-to-end protocol exercises: every protocol runs scripted workloads
+//! on a small M-CMP system to completion, with quiescence audits (token
+//! conservation / single-writer) enabled.
+
+use tokencmp_proto::{AccessKind, Block, SystemConfig};
+use tokencmp_sim::RunOutcome;
+use tokencmp_system::{run_workload, Protocol, RunOptions, ScriptedWorkload};
+
+use tokencmp_core::Variant;
+
+fn all_protocols() -> Vec<Protocol> {
+    let mut v: Vec<Protocol> = Variant::ALL.iter().copied().map(Protocol::Token).collect();
+    v.push(Protocol::Directory);
+    v.push(Protocol::DirectoryZero);
+    v.push(Protocol::PerfectL2);
+    v
+}
+
+fn run_all(cfg: &SystemConfig, mk: impl Fn() -> ScriptedWorkload) {
+    for proto in all_protocols() {
+        let opts = RunOptions {
+            max_events: 50_000_000,
+            ..RunOptions::default()
+        };
+        let (res, w) = run_workload(cfg, proto, mk(), &opts);
+        assert_eq!(
+            res.outcome,
+            RunOutcome::Idle,
+            "{proto} did not run to completion ({:?})",
+            res.outcome
+        );
+        let expected: usize = (0..cfg.layout().procs())
+            .map(|_| 0)
+            .len();
+        let _ = expected;
+        assert!(
+            res.runtime_ns() > 0.0,
+            "{proto} reported zero runtime"
+        );
+        assert_eq!(
+            res.counters.counter("procs.done"),
+            cfg.layout().procs() as u64,
+            "{proto}: not all processors finished"
+        );
+        let total_script: usize = w.completed();
+        assert!(total_script > 0, "{proto}: no accesses completed");
+    }
+}
+
+fn scripts_for(cfg: &SystemConfig, f: impl Fn(u8) -> Vec<(AccessKind, Block)>) -> ScriptedWorkload {
+    ScriptedWorkload::new(
+        (0..cfg.layout().procs() as u8)
+            .map(f)
+            .collect(),
+    )
+}
+
+#[test]
+fn single_processor_load_store() {
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |p| {
+            if p == 0 {
+                vec![
+                    (AccessKind::Load, Block(0x10)),
+                    (AccessKind::Store, Block(0x10)),
+                    (AccessKind::Load, Block(0x20)),
+                ]
+            } else {
+                vec![]
+            }
+        })
+    });
+}
+
+#[test]
+fn private_blocks_all_processors() {
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |p| {
+            let base = 0x100 * (p as u64 + 1);
+            (0..20)
+                .flat_map(|i| {
+                    [
+                        (AccessKind::Load, Block(base + i)),
+                        (AccessKind::Store, Block(base + i)),
+                        (AccessKind::Load, Block(base + i)),
+                    ]
+                })
+                .collect()
+        })
+    });
+}
+
+#[test]
+fn shared_read_only_block() {
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |_| (0..10).map(|_| (AccessKind::Load, Block(0x42))).collect())
+    });
+}
+
+#[test]
+fn contended_store_hammer() {
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |_| {
+            (0..15)
+                .map(|_| (AccessKind::Store, Block(0x7)))
+                .collect()
+        })
+    });
+}
+
+#[test]
+fn migratory_read_modify_write() {
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |_| {
+            (0..10)
+                .flat_map(|_| {
+                    [
+                        (AccessKind::Load, Block(0x9)),
+                        (AccessKind::Store, Block(0x9)),
+                    ]
+                })
+                .collect()
+        })
+    });
+}
+
+#[test]
+fn atomics_and_ifetches() {
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |p| {
+            vec![
+                (AccessKind::IFetch, Block(0x1000 + p as u64)),
+                (AccessKind::Atomic, Block(0x30)),
+                (AccessKind::IFetch, Block(0x2000)),
+                (AccessKind::Atomic, Block(0x30)),
+            ]
+        })
+    });
+}
+
+#[test]
+fn capacity_pressure_evictions() {
+    // Working set larger than the tiny test L1 (16 sets × 2 ways): forces
+    // evictions and writebacks through all levels.
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |p| {
+            let stride = 16; // same set every time
+            (0..40)
+                .map(|i| {
+                    let k = if i % 2 == 0 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    (k, Block(0x4000 + p as u64 * 8 + (i % 10) * stride))
+                })
+                .collect()
+        })
+    });
+}
+
+#[test]
+fn mixed_sharing_pattern() {
+    let cfg = SystemConfig::small_test();
+    run_all(&cfg, || {
+        scripts_for(&cfg, |p| {
+            let mut v = Vec::new();
+            for i in 0..12u64 {
+                v.push((AccessKind::Load, Block(0x500 + i % 3))); // shared reads
+                v.push((AccessKind::Store, Block(0x600 + p as u64))); // private writes
+                if i % 3 == 0 {
+                    v.push((AccessKind::Store, Block(0x500 + i % 3))); // shared writes
+                }
+            }
+            v
+        })
+    });
+}
+
+#[test]
+fn default_full_scale_configuration_smoke() {
+    // The paper's full 4×4 system, quick workload, token dst1 + directory.
+    let cfg = SystemConfig::default();
+    for proto in [
+        Protocol::Token(Variant::Dst1),
+        Protocol::Directory,
+        Protocol::PerfectL2,
+    ] {
+        let w = scripts_for(&cfg, |p| {
+            (0..10u64)
+                .map(|i| {
+                    let k = if (i + p as u64) % 3 == 0 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    (k, Block(i % 5))
+                })
+                .collect()
+        });
+        let (res, _) = run_workload(&cfg, proto, w, &RunOptions::default());
+        assert_eq!(res.outcome, RunOutcome::Idle, "{proto}");
+    }
+}

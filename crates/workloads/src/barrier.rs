@@ -1,0 +1,274 @@
+//! The barrier micro-benchmark (Table 2, Table 4).
+//!
+//! Processors perform local work (3000 ns, optionally ± U(1000 ns)), then
+//! enter a sense-reversing barrier: acquire a lock and increment a count
+//! *in the same cache block*; non-last processors release and spin on a
+//! flag in another block; the last processor resets the count, reverses
+//! the sense, and releases. 100 rounds (configurable).
+
+use tokencmp_proto::{AccessKind, Block, ProcId};
+use tokencmp_sim::{Dur, Rng, Time};
+use tokencmp_system::{uniform_work, Completed, Step, Workload};
+
+/// Lock + counter share this block (as in the paper).
+const LOCK_COUNT_BLOCK: Block = Block(0x20_000);
+/// The sense flag lives in a different block.
+const FLAG_BLOCK: Block = Block(0x20_040);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Working,
+    TestLock,
+    SpinLock,
+    SetLock,
+    Increment,
+    /// Release after incrementing (not the last arriver).
+    ReleaseThenSpin,
+    /// Check the flag after a release or a watch firing.
+    TestFlag,
+    SpinFlag,
+    /// Last arriver: write the flag (reverse sense), then release.
+    FlipFlag,
+    ReleaseLast,
+    Finished,
+}
+
+/// The Table 2 sense-reversing barrier benchmark.
+#[derive(Debug)]
+pub struct BarrierWorkload {
+    procs: u32,
+    rounds: u32,
+    work: Dur,
+    jitter: Dur,
+    // Barrier state (the "values" of the shared blocks).
+    lock_holder: Option<ProcId>,
+    count: u32,
+    sense: bool,
+    // Per-processor state.
+    phase: Vec<Phase>,
+    local_sense: Vec<bool>,
+    round: Vec<u32>,
+    rng: Vec<Rng>,
+    /// Completed barrier episodes (validation: == procs × rounds).
+    pub passes: u64,
+}
+
+impl BarrierWorkload {
+    /// Creates the benchmark: `rounds` barriers with `work` local work,
+    /// uniformly jittered by ±`jitter`.
+    pub fn new(procs: u32, rounds: u32, work: Dur, jitter: Dur, seed: u64) -> BarrierWorkload {
+        let mut root = Rng::new(seed);
+        BarrierWorkload {
+            procs,
+            rounds,
+            work,
+            jitter,
+            lock_holder: None,
+            count: 0,
+            sense: false,
+            phase: vec![Phase::Working; procs as usize],
+            local_sense: vec![false; procs as usize],
+            round: vec![0; procs as usize],
+            rng: (0..procs).map(|i| root.fork(i as u64)).collect(),
+            passes: 0,
+        }
+    }
+
+    fn lock_load(&mut self, p: usize) -> Step {
+        self.phase[p] = Phase::TestLock;
+        Step::Access {
+            kind: AccessKind::Load,
+            block: LOCK_COUNT_BLOCK,
+        }
+    }
+
+    fn passed(&mut self, p: usize) -> Step {
+        self.passes += 1;
+        self.round[p] += 1;
+        if self.round[p] >= self.rounds {
+            self.phase[p] = Phase::Finished;
+            Step::Done
+        } else {
+            self.phase[p] = Phase::Working;
+            let d = uniform_work(self.work, self.jitter, &mut self.rng[p]);
+            Step::Think(d)
+        }
+    }
+}
+
+impl Workload for BarrierWorkload {
+    fn next(&mut self, proc: ProcId, _now: Time, completed: Option<Completed>) -> Step {
+        let p = proc.0 as usize;
+        match self.phase[p] {
+            Phase::Working => {
+                if completed.is_none() && self.round[p] == 0 && self.local_sense[p] == self.sense
+                {
+                    // First entry for this processor: do the initial work.
+                    // (Distinguished from the post-think call by phase
+                    // transition below.)
+                }
+                // Work finished (or first entry): enter the barrier.
+                if self.round[p] == 0 && completed.is_none() && self.phase[p] == Phase::Working {
+                    // On the very first call we still need to do the work
+                    // think; flip into TestLock so the next call enters.
+                    self.phase[p] = Phase::TestLock;
+                    let d = uniform_work(self.work, self.jitter, &mut self.rng[p]);
+                    return Step::Think(d);
+                }
+                self.lock_load(p)
+            }
+            Phase::TestLock => match completed {
+                None => Step::Access {
+                    kind: AccessKind::Load,
+                    block: LOCK_COUNT_BLOCK,
+                },
+                Some(_) => {
+                    if self.lock_holder.is_none() {
+                        self.phase[p] = Phase::SetLock;
+                        Step::Access {
+                            kind: AccessKind::Atomic,
+                            block: LOCK_COUNT_BLOCK,
+                        }
+                    } else {
+                        self.phase[p] = Phase::SpinLock;
+                        Step::SpinUntil {
+                            block: LOCK_COUNT_BLOCK,
+                        }
+                    }
+                }
+            },
+            Phase::SpinLock => {
+                self.phase[p] = Phase::TestLock;
+                Step::Access {
+                    kind: AccessKind::Load,
+                    block: LOCK_COUNT_BLOCK,
+                }
+            }
+            Phase::SetLock => {
+                if self.lock_holder.is_none() {
+                    self.lock_holder = Some(proc);
+                    self.phase[p] = Phase::Increment;
+                    // Increment the count (same block; a store hit).
+                    Step::Access {
+                        kind: AccessKind::Store,
+                        block: LOCK_COUNT_BLOCK,
+                    }
+                } else {
+                    self.phase[p] = Phase::SpinLock;
+                    Step::SpinUntil {
+                        block: LOCK_COUNT_BLOCK,
+                    }
+                }
+            }
+            Phase::Increment => {
+                self.count += 1;
+                if self.count == self.procs {
+                    // Last arriver: reset, reverse the sense, release.
+                    self.count = 0;
+                    self.phase[p] = Phase::FlipFlag;
+                    Step::Access {
+                        kind: AccessKind::Store,
+                        block: FLAG_BLOCK,
+                    }
+                } else {
+                    self.phase[p] = Phase::ReleaseThenSpin;
+                    Step::Access {
+                        kind: AccessKind::Store,
+                        block: LOCK_COUNT_BLOCK,
+                    }
+                }
+            }
+            Phase::ReleaseThenSpin => {
+                assert_eq!(self.lock_holder, Some(proc), "release without lock");
+                self.lock_holder = None;
+                self.phase[p] = Phase::TestFlag;
+                Step::Access {
+                    kind: AccessKind::Load,
+                    block: FLAG_BLOCK,
+                }
+            }
+            Phase::TestFlag => match completed {
+                None => Step::Access {
+                    kind: AccessKind::Load,
+                    block: FLAG_BLOCK,
+                },
+                Some(_) => {
+                    if self.sense != self.local_sense[p] {
+                        // Sense reversed: barrier passed.
+                        self.local_sense[p] = self.sense;
+                        self.passed(p)
+                    } else {
+                        self.phase[p] = Phase::SpinFlag;
+                        Step::SpinUntil { block: FLAG_BLOCK }
+                    }
+                }
+            },
+            Phase::SpinFlag => {
+                self.phase[p] = Phase::TestFlag;
+                Step::Access {
+                    kind: AccessKind::Load,
+                    block: FLAG_BLOCK,
+                }
+            }
+            Phase::FlipFlag => {
+                // Flag store completed: reverse the shared sense.
+                self.sense = !self.sense;
+                self.phase[p] = Phase::ReleaseLast;
+                Step::Access {
+                    kind: AccessKind::Store,
+                    block: LOCK_COUNT_BLOCK,
+                }
+            }
+            Phase::ReleaseLast => {
+                assert_eq!(self.lock_holder, Some(proc), "release without lock");
+                self.lock_holder = None;
+                self.local_sense[p] = self.sense;
+                self.passed(p)
+            }
+            Phase::Finished => Step::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokencmp_core::Variant;
+    use tokencmp_proto::SystemConfig;
+    use tokencmp_sim::RunOutcome;
+    use tokencmp_system::{run_workload, Protocol, RunOptions};
+
+    fn exercise(protocol: Protocol, jitter: Dur) {
+        let cfg = SystemConfig::small_test();
+        let procs = cfg.layout().procs();
+        let w = BarrierWorkload::new(procs, 5, Dur::from_ns(3000), jitter, 13);
+        let (res, w) = run_workload(&cfg, protocol, w, &RunOptions::default());
+        assert_eq!(res.outcome, RunOutcome::Idle, "{protocol} deadlocked");
+        assert_eq!(w.passes, 5 * procs as u64, "{protocol}: missed passes");
+        // 5 rounds of ≥ 2000 ns work each bound the runtime from below.
+        assert!(res.runtime_ns() >= 5.0 * 2000.0);
+    }
+
+    #[test]
+    fn fixed_work_all_protocols() {
+        for proto in [
+            Protocol::Token(Variant::Arb0),
+            Protocol::Token(Variant::Dst0),
+            Protocol::Token(Variant::Dst4),
+            Protocol::Token(Variant::Dst1),
+            Protocol::Token(Variant::Dst1Pred),
+            Protocol::Token(Variant::Dst1Filt),
+            Protocol::Directory,
+            Protocol::DirectoryZero,
+            Protocol::PerfectL2,
+        ] {
+            exercise(proto, Dur::ZERO);
+        }
+    }
+
+    #[test]
+    fn jittered_work() {
+        exercise(Protocol::Token(Variant::Dst1), Dur::from_ns(1000));
+        exercise(Protocol::Directory, Dur::from_ns(1000));
+    }
+}

@@ -1,0 +1,24 @@
+//! # Workloads (Table 2 of the paper)
+//!
+//! * [`LockingWorkload`] — the locking micro-benchmark: random
+//!   test-and-test-and-set acquisitions with 10 ns think/hold times,
+//!   contention controlled by the lock count.
+//! * [`BarrierWorkload`] — the sense-reversing barrier micro-benchmark:
+//!   work, lock-protected counter increment (same cache block as the
+//!   lock), spin on a flag in another block, 100 rounds.
+//! * [`CommercialWorkload`] — synthetic stand-ins for the paper's
+//!   Apache / OLTP / SPECjbb commercial workloads (see DESIGN.md for the
+//!   substitution argument): transaction loops mixing private accesses,
+//!   shared read-only data, migratory read-modify-write data, lock
+//!   acquisitions and instruction fetches, with per-workload mixes.
+//!
+//! All workloads double as correctness oracles: they panic on mutual
+//! exclusion or barrier-ordering violations.
+
+pub mod barrier;
+pub mod commercial;
+pub mod locking;
+
+pub use barrier::BarrierWorkload;
+pub use commercial::{CommercialParams, CommercialWorkload};
+pub use locking::LockingWorkload;

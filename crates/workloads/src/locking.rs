@@ -1,0 +1,272 @@
+//! The locking micro-benchmark (Table 2).
+//!
+//! Each processor thinks for 10 ns, acquires a random lock (different from
+//! the last lock it acquired) with test-and-test-and-set, holds it for
+//! 10 ns, releases it, and repeats until it has performed a fixed number
+//! of acquires. Contention is varied by the number of locks (2 = high,
+//! 512 = low).
+//!
+//! The workload also acts as a protocol correctness oracle: acquisition
+//! outcomes are decided at atomic-completion instants (totally ordered by
+//! the single-writer invariant), and the workload panics if mutual
+//! exclusion is ever violated.
+
+use tokencmp_proto::{AccessKind, Block, ProcId};
+use tokencmp_sim::{Dur, Rng, Time};
+use tokencmp_system::{Completed, Step, Workload};
+
+/// Where lock blocks live in the address space (distinct cache blocks,
+/// spread across banks and homes).
+const LOCK_BASE: u64 = 0x10_000;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// About to start (or just released): think, then pick a lock.
+    Think,
+    /// Test: load the lock word.
+    Testing { lock: u32 },
+    /// Loaded it held: spinning until the line changes hands.
+    Spinning { lock: u32 },
+    /// Test-and-set issued.
+    Setting { lock: u32 },
+    /// Holding the lock: after the hold time, release.
+    Holding { lock: u32 },
+    /// Release store issued.
+    Releasing { lock: u32 },
+    /// Quota reached.
+    Finished,
+}
+
+/// The Table 2 locking micro-benchmark.
+#[derive(Debug)]
+pub struct LockingWorkload {
+    locks: u32,
+    acquires_per_proc: u32,
+    think: Dur,
+    hold: Dur,
+    holder: Vec<Option<ProcId>>,
+    phase: Vec<Phase>,
+    last_lock: Vec<Option<u32>>,
+    acquired: Vec<u32>,
+    rng: Vec<Rng>,
+    /// Total successful acquires (for validation).
+    pub total_acquires: u64,
+    /// Test-and-set attempts that found the lock already held.
+    pub failed_tas: u64,
+}
+
+impl LockingWorkload {
+    /// Creates the benchmark for `procs` processors and `locks` locks,
+    /// with `acquires_per_proc` acquisitions each and the paper's 10 ns
+    /// think and hold times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locks < 2` (a processor must be able to pick a lock
+    /// different from its last).
+    pub fn new(procs: u32, locks: u32, acquires_per_proc: u32, seed: u64) -> LockingWorkload {
+        assert!(locks >= 2, "need at least two locks");
+        let mut root = Rng::new(seed);
+        LockingWorkload {
+            locks,
+            acquires_per_proc,
+            think: Dur::from_ns(10),
+            hold: Dur::from_ns(10),
+            holder: vec![None; locks as usize],
+            phase: vec![Phase::Think; procs as usize],
+            last_lock: vec![None; procs as usize],
+            acquired: vec![0; procs as usize],
+            rng: (0..procs).map(|i| root.fork(i as u64)).collect(),
+            total_acquires: 0,
+            failed_tas: 0,
+        }
+    }
+
+    fn lock_block(lock: u32) -> Block {
+        Block(LOCK_BASE + lock as u64)
+    }
+
+    fn pick_lock(&mut self, p: usize) -> u32 {
+        loop {
+            let l = self.rng[p].below(self.locks as u64) as u32;
+            if self.last_lock[p] != Some(l) {
+                return l;
+            }
+        }
+    }
+
+}
+
+impl Workload for LockingWorkload {
+    fn next(&mut self, proc: ProcId, _now: Time, completed: Option<Completed>) -> Step {
+        let p = proc.0 as usize;
+        match self.phase[p] {
+            Phase::Think => {
+                // Entry point: think, then test the chosen lock.
+                let lock = self.pick_lock(p);
+                self.last_lock[p] = Some(lock);
+                self.phase[p] = Phase::Testing { lock };
+                Step::Think(self.think)
+            }
+            Phase::Testing { lock } => {
+                match completed {
+                    None => {
+                        // Think finished (or spin watch fired): issue the
+                        // test load.
+                        Step::Access {
+                            kind: AccessKind::Load,
+                            block: Self::lock_block(lock),
+                        }
+                    }
+                    Some(c) => {
+                        debug_assert_eq!(c.kind, AccessKind::Load);
+                        if self.holder[lock as usize].is_none() {
+                            // Looks free: attempt the set.
+                            self.phase[p] = Phase::Setting { lock };
+                            Step::Access {
+                                kind: AccessKind::Atomic,
+                                block: Self::lock_block(lock),
+                            }
+                        } else {
+                            // Held: spin in cache until the line leaves.
+                            self.phase[p] = Phase::Spinning { lock };
+                            Step::SpinUntil {
+                                block: Self::lock_block(lock),
+                            }
+                        }
+                    }
+                }
+            }
+            Phase::Spinning { lock } => {
+                // Watch fired: re-test.
+                self.phase[p] = Phase::Testing { lock };
+                Step::Access {
+                    kind: AccessKind::Load,
+                    block: Self::lock_block(lock),
+                }
+            }
+            Phase::Setting { lock } => {
+                let c = completed.expect("atomic must complete");
+                debug_assert_eq!(c.kind, AccessKind::Atomic);
+                match self.holder[lock as usize] {
+                    None => {
+                        // Acquired. Mutual exclusion holds by construction
+                        // (single-writer ordering of atomic completions).
+                        self.holder[lock as usize] = Some(proc);
+                        self.total_acquires += 1;
+                        self.phase[p] = Phase::Holding { lock };
+                        Step::Think(self.hold)
+                    }
+                    Some(other) => {
+                        assert_ne!(other, proc, "re-acquired a held lock");
+                        self.failed_tas += 1;
+                        self.phase[p] = Phase::Spinning { lock };
+                        Step::SpinUntil {
+                            block: Self::lock_block(lock),
+                        }
+                    }
+                }
+            }
+            Phase::Holding { lock } => {
+                // Hold time over: release.
+                self.phase[p] = Phase::Releasing { lock };
+                Step::Access {
+                    kind: AccessKind::Store,
+                    block: Self::lock_block(lock),
+                }
+            }
+            Phase::Releasing { lock } => {
+                let c = completed.expect("release must complete");
+                debug_assert_eq!(c.kind, AccessKind::Store);
+                assert_eq!(
+                    self.holder[lock as usize],
+                    Some(proc),
+                    "released a lock we do not hold"
+                );
+                self.holder[lock as usize] = None;
+                self.acquired[p] += 1;
+                if self.acquired[p] >= self.acquires_per_proc {
+                    self.phase[p] = Phase::Finished;
+                    Step::Done
+                } else {
+                    let lock = self.pick_lock(p);
+                    self.last_lock[p] = Some(lock);
+                    self.phase[p] = Phase::Testing { lock };
+                    Step::Think(self.think)
+                }
+            }
+            Phase::Finished => Step::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokencmp_core::Variant;
+    use tokencmp_proto::SystemConfig;
+    use tokencmp_sim::RunOutcome;
+    use tokencmp_system::{run_workload, Protocol, RunOptions};
+
+    fn exercise(protocol: Protocol, locks: u32) {
+        let cfg = SystemConfig::small_test();
+        let procs = cfg.layout().procs();
+        let w = LockingWorkload::new(procs, locks, 8, 42);
+        let (res, w) = run_workload(&cfg, protocol, w, &RunOptions::default());
+        assert_eq!(res.outcome, RunOutcome::Idle, "{protocol} deadlocked");
+        assert_eq!(
+            w.total_acquires,
+            8 * procs as u64,
+            "{protocol}: wrong acquire count"
+        );
+        assert!(res.runtime_ns() > 0.0);
+    }
+
+    #[test]
+    fn high_contention_two_locks_all_protocols() {
+        for proto in [
+            Protocol::Token(Variant::Arb0),
+            Protocol::Token(Variant::Dst0),
+            Protocol::Token(Variant::Dst4),
+            Protocol::Token(Variant::Dst1),
+            Protocol::Token(Variant::Dst1Pred),
+            Protocol::Token(Variant::Dst1Filt),
+            Protocol::Directory,
+            Protocol::DirectoryZero,
+            Protocol::PerfectL2,
+        ] {
+            exercise(proto, 2);
+        }
+    }
+
+    #[test]
+    fn low_contention_many_locks() {
+        exercise(Protocol::Token(Variant::Dst1), 64);
+        exercise(Protocol::Directory, 64);
+    }
+
+    #[test]
+    fn contention_raises_failed_tas() {
+        let cfg = SystemConfig::small_test();
+        let procs = cfg.layout().procs();
+        let run = |locks| {
+            let w = LockingWorkload::new(procs, locks, 12, 7);
+            let (_, w) = run_workload(
+                &cfg,
+                Protocol::Token(Variant::Dst1),
+                w,
+                &RunOptions::default(),
+            );
+            w.failed_tas
+        };
+        // Not strictly monotone, but 2 locks must generate substantially
+        // more failed test-and-sets than 64 locks.
+        assert!(run(2) >= run(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two locks")]
+    fn rejects_single_lock() {
+        let _ = LockingWorkload::new(4, 1, 1, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build the paper's 4-CMP × 4-processor target system, run
+//! the locking micro-benchmark under TokenCMP-dst1 and DirectoryCMP, and
+//! print runtimes, miss statistics and interconnect traffic.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tokencmp::{
+    run_workload, LockingWorkload, MsgClass, Protocol, RunOptions, SystemConfig, Tier, Variant,
+};
+
+fn main() {
+    // Table 3 target system: 16 processors in four 4-way CMPs.
+    let cfg = SystemConfig::default();
+    println!(
+        "system: {} CMPs x {} processors, {} tokens/block\n",
+        cfg.cmps,
+        cfg.procs_per_cmp,
+        cfg.tokens_per_block
+    );
+
+    for protocol in [
+        Protocol::Token(Variant::Dst1),
+        Protocol::Directory,
+        Protocol::PerfectL2,
+    ] {
+        // Table 2 locking micro-benchmark: 32 locks, 50 acquires each.
+        let workload = LockingWorkload::new(cfg.layout().procs(), 32, 50, 42);
+        let (result, workload) = run_workload(&cfg, protocol, workload, &RunOptions::default());
+
+        println!("== {protocol}");
+        println!("   runtime          : {:>12.1} ns", result.runtime_ns());
+        println!(
+            "   acquires         : {:>12}",
+            workload.total_acquires
+        );
+        println!(
+            "   L1 hits / misses : {:>12} / {}",
+            result.counters.counter("l1.hits"),
+            result.counters.counter("l1.misses")
+        );
+        if result.counters.counter("l1.persistent") > 0 {
+            println!(
+                "   persistent reqs  : {:>12} ({:.3}% of misses)",
+                result.counters.counter("l1.persistent"),
+                100.0 * result.persistent_fraction()
+            );
+        }
+        let inter = result.traffic.total_bytes(Tier::Inter);
+        let intra = result.traffic.total_bytes(Tier::Intra);
+        if inter + intra > 0 {
+            println!("   inter-CMP bytes  : {inter:>12}");
+            println!("   intra-CMP bytes  : {intra:>12}");
+            println!(
+                "   ... of which requests: {} B inter / {} B intra",
+                result.traffic.bytes(Tier::Inter, MsgClass::Request),
+                result.traffic.bytes(Tier::Intra, MsgClass::Request)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-protocol integration: every protocol runs the same workloads to
+//! completion with identical functional outcomes, and the performance
+//! relationships the paper's evaluation rests on hold on the full Table 3
+//! system.
+
+use tokencmp::{
+    run_workload, BarrierWorkload, Dur, LockingWorkload, Protocol, RunOptions, RunOutcome,
+    SystemConfig, Variant,
+};
+
+fn all_protocols() -> [Protocol; 9] {
+    [
+        Protocol::Token(Variant::Arb0),
+        Protocol::Token(Variant::Dst0),
+        Protocol::Token(Variant::Dst4),
+        Protocol::Token(Variant::Dst1),
+        Protocol::Token(Variant::Dst1Pred),
+        Protocol::Token(Variant::Dst1Filt),
+        Protocol::Directory,
+        Protocol::DirectoryZero,
+        Protocol::PerfectL2,
+    ]
+}
+
+#[test]
+fn locking_outcomes_agree_across_protocols() {
+    let cfg = SystemConfig::default();
+    for protocol in all_protocols() {
+        let w = LockingWorkload::new(16, 16, 20, 5);
+        let (res, w) = run_workload(&cfg, protocol, w, &RunOptions::default());
+        assert_eq!(res.outcome, RunOutcome::Idle, "{protocol}");
+        assert_eq!(w.total_acquires, 16 * 20, "{protocol}");
+        assert_eq!(res.counters.counter("procs.done"), 16, "{protocol}");
+    }
+}
+
+#[test]
+fn barrier_outcomes_agree_across_protocols() {
+    let cfg = SystemConfig::default();
+    for protocol in all_protocols() {
+        let w = BarrierWorkload::new(16, 10, Dur::from_ns(3000), Dur::ZERO, 5);
+        let (res, w) = run_workload(&cfg, protocol, w, &RunOptions::default());
+        assert_eq!(res.outcome, RunOutcome::Idle, "{protocol}");
+        assert_eq!(w.passes, 16 * 10, "{protocol}");
+        // Ten rounds of 3000 ns work bound the runtime from below.
+        assert!(res.runtime_ns() >= 30_000.0, "{protocol}");
+    }
+}
+
+#[test]
+fn perfect_l2_is_the_lower_bound() {
+    let cfg = SystemConfig::default();
+    let runtime = |protocol| {
+        let w = LockingWorkload::new(16, 64, 30, 9);
+        let (res, _) = run_workload(&cfg, protocol, w, &RunOptions::default());
+        res.runtime_ns()
+    };
+    let perfect = runtime(Protocol::PerfectL2);
+    for p in [
+        Protocol::Token(Variant::Dst1),
+        Protocol::Directory,
+        Protocol::DirectoryZero,
+    ] {
+        assert!(
+            perfect <= runtime(p) * 1.001,
+            "PerfectL2 must lower-bound {p}"
+        );
+    }
+}
+
+#[test]
+fn zero_cycle_directory_is_no_slower_than_dram_directory() {
+    let cfg = SystemConfig::default();
+    let runtime = |protocol| {
+        let w = LockingWorkload::new(16, 8, 25, 3);
+        let (res, _) = run_workload(&cfg, protocol, w, &RunOptions::default());
+        res.runtime_ns()
+    };
+    let zero = runtime(Protocol::DirectoryZero);
+    let dram = runtime(Protocol::Directory);
+    assert!(
+        zero <= dram * 1.02,
+        "zero-cycle directory ({zero}) should not lose to DRAM directory ({dram})"
+    );
+}
+
+#[test]
+fn token_dst1_beats_directory_at_low_contention() {
+    // The Figure 3 low-contention result: the lock is usually in a remote
+    // L1, so DirectoryCMP pays the home indirection while TokenCMP's
+    // broadcast goes straight to the owner.
+    let cfg = SystemConfig::default();
+    let runtime = |protocol| {
+        let w = LockingWorkload::new(16, 512, 30, 21);
+        let (res, _) = run_workload(&cfg, protocol, w, &RunOptions::default());
+        res.runtime_ns()
+    };
+    let token = runtime(Protocol::Token(Variant::Dst1));
+    let dir = runtime(Protocol::Directory);
+    assert!(
+        token < dir,
+        "TokenCMP-dst1 ({token}) should beat DirectoryCMP ({dir}) at 512 locks"
+    );
+}
+
+#[test]
+fn migratory_optimization_toggle_works_on_both_protocols() {
+    let mut cfg = SystemConfig::default();
+    let run = |cfg: &SystemConfig, protocol| {
+        let w = LockingWorkload::new(16, 32, 15, 2);
+        let (res, w) = run_workload(cfg, protocol, w, &RunOptions::default());
+        assert_eq!(res.outcome, RunOutcome::Idle);
+        assert_eq!(w.total_acquires, 16 * 15);
+        res.runtime_ns()
+    };
+    for protocol in [Protocol::Token(Variant::Dst1), Protocol::Directory] {
+        cfg.migratory_sharing = true;
+        let with = run(&cfg, protocol);
+        cfg.migratory_sharing = false;
+        let without = run(&cfg, protocol);
+        assert!(with > 0.0 && without > 0.0, "{protocol}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Reproducibility: one seed ⇒ a bit-identical simulation; different
+//! seeds perturb it (the paper's error-bar methodology depends on both).
+
+use tokencmp::{
+    run_workload, BarrierWorkload, CommercialParams, CommercialWorkload, Dur, LockingWorkload,
+    MsgClass, Protocol, RunOptions, SystemConfig, Tier, Variant,
+};
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions {
+        seed,
+        ..RunOptions::default()
+    }
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let cfg = SystemConfig::default();
+    for protocol in [Protocol::Token(Variant::Dst1), Protocol::Directory] {
+        let run = || {
+            let w = LockingWorkload::new(16, 8, 20, 77);
+            run_workload(&cfg, protocol, w, &opts(123)).0
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.runtime, b.runtime, "{protocol}");
+        assert_eq!(a.events, b.events, "{protocol}");
+        for tier in [Tier::Intra, Tier::Inter, Tier::Mem] {
+            for class in MsgClass::ALL {
+                assert_eq!(
+                    a.traffic.bytes(tier, class),
+                    b.traffic.bytes(tier, class),
+                    "{protocol} {tier:?} {class}"
+                );
+            }
+        }
+        let ka: Vec<_> = a.counters.counters().collect();
+        let kb: Vec<_> = b.counters.counters().collect();
+        assert_eq!(ka, kb, "{protocol}");
+    }
+}
+
+#[test]
+fn different_workload_seeds_perturb_the_run() {
+    let cfg = SystemConfig::default();
+    let run = |seed| {
+        let w = BarrierWorkload::new(16, 8, Dur::from_ns(3000), Dur::from_ns(1000), seed);
+        run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &opts(seed))
+            .0
+            .runtime
+    };
+    // With ±1000 ns jitter per round, distinct seeds virtually never tie.
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn commercial_runs_are_reproducible() {
+    let cfg = SystemConfig::default();
+    let mut params = CommercialParams::apache();
+    params.txns_per_proc = 5;
+    let run = || {
+        let w = CommercialWorkload::new(16, params, 33);
+        run_workload(&cfg, Protocol::Directory, w, &opts(9)).0
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.events, b.events);
+}

@@ -1,0 +1,93 @@
+//! Property-based protocol fuzzing: arbitrary access interleavings must
+//! complete on every protocol with the quiescence audits (token
+//! conservation, single owner, single-writer) holding, and the functional
+//! outcome (every scripted access completes) must be identical across
+//! protocols.
+
+use proptest::prelude::*;
+
+use tokencmp::system::ScriptedWorkload;
+use tokencmp::{
+    run_workload, AccessKind, Block, Protocol, RunOptions, RunOutcome, SystemConfig, Variant,
+};
+
+/// A compact encoding of an access: kind index + block index into a small
+/// hot set (to maximize interleaving conflicts).
+fn decode(ops: &[(u8, u8)]) -> Vec<(AccessKind, Block)> {
+    ops.iter()
+        .map(|&(k, b)| {
+            let kind = match k % 4 {
+                0 => AccessKind::Load,
+                1 => AccessKind::Store,
+                2 => AccessKind::Atomic,
+                _ => AccessKind::IFetch,
+            };
+            // 8 hot blocks + a few colder ones, spread over banks/homes.
+            (kind, Block(u64::from(b % 12) * 3 + 1))
+        })
+        .collect()
+}
+
+fn scripts_strategy() -> impl Strategy<Value = Vec<Vec<(u8, u8)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 0..25),
+        4..=4, // small_test has 4 processors
+    )
+}
+
+fn run_case(protocol: Protocol, scripts: &[Vec<(u8, u8)>], seed: u64) -> u64 {
+    let cfg = SystemConfig::small_test();
+    let w = ScriptedWorkload::new(scripts.iter().map(|s| decode(s)).collect());
+    let expected: usize = scripts.iter().map(Vec::len).sum();
+    let opts = RunOptions {
+        seed,
+        max_events: 80_000_000,
+        ..RunOptions::default()
+    };
+    let (res, w) = run_workload(&cfg, protocol, w, &opts);
+    assert_eq!(res.outcome, RunOutcome::Idle, "{protocol} did not finish");
+    assert_eq!(w.completed(), expected, "{protocol} lost accesses");
+    res.counters.counter("l1.hits") + res.counters.counter("l1.misses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every protocol completes every random interleaving; audits (run
+    /// inside `run_workload`) hold at quiescence.
+    #[test]
+    fn all_protocols_complete_random_scripts(scripts in scripts_strategy(), seed in 0u64..1000) {
+        for protocol in [
+            Protocol::Token(Variant::Dst1),
+            Protocol::Token(Variant::Dst4),
+            Protocol::Token(Variant::FlatB),
+            Protocol::Token(Variant::Dst1Dsp),
+            Protocol::Directory,
+        ] {
+            run_case(protocol, &scripts, seed);
+        }
+    }
+
+    /// The access count seen by the memory system is protocol-independent
+    /// (same workload, same functional behaviour).
+    #[test]
+    fn access_counts_agree(scripts in scripts_strategy()) {
+        let expected: u64 = scripts.iter().map(|s| s.len() as u64).sum();
+        for protocol in [Protocol::Token(Variant::Dst1), Protocol::Directory, Protocol::PerfectL2] {
+            let total = run_case(protocol, &scripts, 7);
+            prop_assert_eq!(total, expected, "{} access count", protocol);
+        }
+    }
+
+    /// Persistent-only variants survive the same fuzzing (they stress the
+    /// starvation-avoidance machinery on every single miss).
+    #[test]
+    fn persistent_only_variants_survive(scripts in scripts_strategy()) {
+        for protocol in [Protocol::Token(Variant::Dst0), Protocol::Token(Variant::Arb0)] {
+            run_case(protocol, &scripts, 3);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Robustness under contention (the paper's Section 7 concern): every
+//! TokenCMP variant must survive pathological contention without
+//! livelock, persistent requests must actually fire where the design says
+//! they should, and the §7 mechanisms must leave their fingerprints in
+//! the counters.
+
+use tokencmp::{
+    run_workload, LockingWorkload, Protocol, RunOptions, RunOutcome, SystemConfig, Variant,
+};
+
+fn hammer(protocol: Protocol, locks: u32, seed: u64) -> (tokencmp::RunResult, LockingWorkload) {
+    let cfg = SystemConfig::default();
+    let w = LockingWorkload::new(16, locks, 25, seed);
+    let (res, w) = run_workload(&cfg, protocol, w, &RunOptions::default());
+    assert_eq!(res.outcome, RunOutcome::Idle, "{protocol} at {locks} locks");
+    assert_eq!(w.total_acquires, 16 * 25, "{protocol}");
+    (res, w)
+}
+
+#[test]
+fn every_variant_survives_two_lock_contention() {
+    for v in Variant::ALL {
+        let _ = hammer(Protocol::Token(v), 2, 40 + v.max_transient() as u64);
+    }
+}
+
+#[test]
+fn persistent_only_variants_use_only_persistent_requests() {
+    for v in [Variant::Arb0, Variant::Dst0] {
+        let (res, _) = hammer(Protocol::Token(v), 4, 8);
+        assert_eq!(
+            res.counters.counter("l1.transient"),
+            0,
+            "{v} must never issue transient requests"
+        );
+        assert_eq!(
+            res.counters.counter("l1.persistent"),
+            res.counters.counter("l1.misses"),
+            "{v}: every miss is a persistent request"
+        );
+    }
+}
+
+#[test]
+fn persistent_reads_are_issued_for_loads() {
+    // Spinning loads escalate to persistent *read* requests (§3.2).
+    let (res, _) = hammer(Protocol::Token(Variant::Dst0), 2, 3);
+    assert!(
+        res.counters.counter("l1.persistent_reads") > 0,
+        "contended test-and-test-and-set must trigger persistent reads"
+    );
+}
+
+#[test]
+fn dst4_retries_more_than_dst1() {
+    let (r4, _) = hammer(Protocol::Token(Variant::Dst4), 2, 6);
+    let (r1, _) = hammer(Protocol::Token(Variant::Dst1), 2, 6);
+    assert!(
+        r4.counters.counter("l1.retries") > r1.counters.counter("l1.retries"),
+        "dst4 ({}) must retry more than dst1 ({})",
+        r4.counters.counter("l1.retries"),
+        r1.counters.counter("l1.retries")
+    );
+    assert_eq!(r1.counters.counter("l1.retries"), 0, "dst1 never retries");
+}
+
+#[test]
+fn predictor_short_circuits_under_contention() {
+    let (res, _) = hammer(Protocol::Token(Variant::Dst1Pred), 2, 14);
+    assert!(
+        res.counters.counter("l1.pred_shortcuts") > 0,
+        "the contention predictor must kick in at 2 locks"
+    );
+    // And stays almost silent at low contention.
+    let (low, _) = hammer(Protocol::Token(Variant::Dst1Pred), 512, 14);
+    assert!(
+        low.counters.counter("l1.pred_shortcuts") <= res.counters.counter("l1.pred_shortcuts"),
+        "fewer shortcuts at 512 locks than at 2"
+    );
+}
+
+#[test]
+fn filter_suppresses_external_fanout() {
+    let (filt, _) = hammer(Protocol::Token(Variant::Dst1Filt), 32, 10);
+    assert!(
+        filt.counters.counter("l2.filtered") > 0,
+        "the approximate sharer filter must suppress some forwards"
+    );
+    let (plain, _) = hammer(Protocol::Token(Variant::Dst1), 32, 10);
+    assert_eq!(plain.counters.counter("l2.filtered"), 0);
+    // Filtering must reduce intra-CMP fan-out messages.
+    assert!(
+        filt.counters.counter("l2.fanout") < plain.counters.counter("l2.fanout"),
+        "filtered fan-out {} !< unfiltered {}",
+        filt.counters.counter("l2.fanout"),
+        plain.counters.counter("l2.fanout")
+    );
+}
+
+#[test]
+fn arbiter_activations_happen_only_under_arb0() {
+    let (arb, _) = hammer(Protocol::Token(Variant::Arb0), 4, 2);
+    assert!(arb.counters.counter("mem.arb_activations") > 0);
+    let (dst, _) = hammer(Protocol::Token(Variant::Dst1), 4, 2);
+    assert_eq!(dst.counters.counter("mem.arb_activations"), 0);
+}
+
+#[test]
+fn destination_prediction_is_correct_under_contention() {
+    // Substrate correctness never depends on who transient requests
+    // reach: dst1-dsp completes contended locking exactly like dst1
+    // (mispredictions just retry with a full broadcast).
+    let _ = hammer(Protocol::Token(Variant::Dst1Dsp), 2, 31);
+    let _ = hammer(Protocol::Token(Variant::Dst1Dsp), 512, 31);
+}
+
+#[test]
+fn destination_prediction_narrows_stable_owner_fetches() {
+    // A stable producer/consumer pattern (the case destination-set
+    // prediction exists for): chip 0 produces; a chip-3 consumer streams
+    // the set through its L1 repeatedly, re-fetching from the same
+    // supplier every round.
+    use tokencmp::system::ScriptedWorkload;
+    use tokencmp::{AccessKind, Block, MsgClass, Tier};
+    let mut cfg = SystemConfig::default();
+    cfg.migratory_sharing = false; // keep ownership parked at the producer side
+    cfg.l2_sets = 64; // small L2: re-fetch off chip every round
+    let blocks: Vec<Block> = (0..4096u64).map(|i| Block(0x100_0000 + i)).collect();
+    let run = |v| {
+        let mut scripts = vec![vec![]; 16];
+        scripts[0] = blocks.iter().map(|&b| (AccessKind::Store, b)).collect();
+        let mut reader = Vec::new();
+        for _round in 0..3 {
+            reader.extend(blocks.iter().map(|&b| (AccessKind::Load, b)));
+        }
+        scripts[12] = reader; // processor 12 lives on chip 3
+        let w = ScriptedWorkload::new(scripts);
+        let (res, _) = run_workload(&cfg, Protocol::Token(v), w, &RunOptions::default());
+        assert_eq!(res.outcome, RunOutcome::Idle, "{v:?}");
+        res.traffic.bytes(Tier::Inter, MsgClass::Request)
+    };
+    let dsp = run(Variant::Dst1Dsp);
+    let full = run(Variant::Dst1);
+    assert!(
+        dsp < full,
+        "destination prediction must narrow stable-owner fetches ({dsp} !< {full})"
+    );
+}
+
+#[test]
+fn response_delay_can_be_disabled() {
+    let mut cfg = SystemConfig::default();
+    cfg.response_delay = tokencmp::Dur::ZERO;
+    let w = LockingWorkload::new(16, 2, 15, 4);
+    let (res, w) = run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &RunOptions::default());
+    assert_eq!(res.outcome, RunOutcome::Idle);
+    assert_eq!(w.total_acquires, 16 * 15);
+}
+
+#[test]
+fn event_budget_flags_pathologies_instead_of_hanging() {
+    // A tiny event budget must abort cleanly with EventLimit rather than
+    // spin forever.
+    let cfg = SystemConfig::default();
+    let w = LockingWorkload::new(16, 2, 1000, 5);
+    let opts = RunOptions {
+        max_events: 10_000,
+        audit: false,
+        ..RunOptions::default()
+    };
+    let (res, _) = run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &opts);
+    assert_eq!(res.outcome, RunOutcome::EventLimit);
+}

@@ -9,10 +9,8 @@
 //! 2. *Response-delay window* (§3.2): sweep the bounded delay.
 //! 3. *Migratory sharing* (§4): on/off for both protocol families.
 
-use tokencmp::{
-    run_workload, Dur, LockingWorkload, Protocol, RunOptions, SystemConfig, Variant,
-};
-use tokencmp_bench::{banner, measure_runtime};
+use tokencmp::{Dur, LockingWorkload, Protocol, SystemConfig, Variant};
+use tokencmp_bench::{banner, BenchGrid};
 
 fn main() {
     banner(
@@ -21,38 +19,83 @@ fn main() {
     );
     let cfg = SystemConfig::default();
 
+    // Queue all four studies as one grid (groups may differ in config,
+    // protocol and workload), then fan out.
+    let mut grid = BenchGrid::new();
+
+    let delays = [0u64, 10, 25, 50, 100, 200];
+    let delay_cells: Vec<_> = delays
+        .iter()
+        .map(|&delay_ns| {
+            let mut c = cfg.clone();
+            c.response_delay = Dur::from_ns(delay_ns);
+            grid.push(&c, Protocol::Token(Variant::Dst1), |seed| {
+                LockingWorkload::new(16, 4, 40, seed)
+            })
+        })
+        .collect();
+
+    let migratory_protocols = [Protocol::Token(Variant::Dst1), Protocol::Directory];
+    let migratory_cells: Vec<_> = migratory_protocols
+        .iter()
+        .map(|&protocol| {
+            let mut on_cfg = cfg.clone();
+            on_cfg.migratory_sharing = true;
+            let on = grid.push(&on_cfg, protocol, |seed| {
+                LockingWorkload::new(16, 32, 40, seed)
+            });
+            let mut off_cfg = cfg.clone();
+            off_cfg.migratory_sharing = false;
+            let off = grid.push(&off_cfg, protocol, |seed| {
+                LockingWorkload::new(16, 32, 40, seed)
+            });
+            (on, off)
+        })
+        .collect();
+
+    let retry_variants = [Variant::Dst0, Variant::Dst1, Variant::Dst4];
+    let retry_cells: Vec<_> = retry_variants
+        .iter()
+        .map(|&v| {
+            grid.push(&cfg, Protocol::Token(v), |seed| {
+                LockingWorkload::new(16, 2, 40, seed)
+            })
+        })
+        .collect();
+
+    let reads_cell = grid.push_single(&cfg, Protocol::Token(Variant::Dst0), 3, |_| {
+        LockingWorkload::new(16, 2, 40, 3)
+    });
+
+    let results = grid.run();
+    results.export_logged("ablations");
+
     // --- response-delay sweep -------------------------------------------------
     println!("\nresponse-delay window sweep (locking, 4 locks, TokenCMP-dst1):");
     println!("{:>12} {:>14}", "delay (ns)", "runtime (ns)");
     let mut runtimes = Vec::new();
-    for delay_ns in [0u64, 10, 25, 50, 100, 200] {
-        let mut c = cfg.clone();
-        c.response_delay = Dur::from_ns(delay_ns);
-        let (m, _) = measure_runtime(&c, Protocol::Token(Variant::Dst1), |seed| {
-            LockingWorkload::new(16, 4, 40, seed)
-        });
+    for (&delay_ns, &g) in delays.iter().zip(&delay_cells) {
+        let m = results.measure(g);
         println!("{delay_ns:>12} {:>14}", m.fmt(0));
         runtimes.push((delay_ns, m.mean));
     }
     // A moderate window must not be catastrophic; a huge one serializes.
     let at25 = runtimes.iter().find(|&&(d, _)| d == 25).unwrap().1;
     let at200 = runtimes.iter().find(|&&(d, _)| d == 200).unwrap().1;
-    println!("  (200 ns / 25 ns = {:.2}x — long windows serialize handoffs)", at200 / at25);
+    println!(
+        "  (200 ns / 25 ns = {:.2}x — long windows serialize handoffs)",
+        at200 / at25
+    );
 
     // --- migratory sharing on/off ----------------------------------------------
     println!("\nmigratory-sharing ablation (locking, 32 locks):");
-    println!("{:>22} {:>14} {:>14} {:>8}", "protocol", "on (ns)", "off (ns)", "off/on");
-    for protocol in [Protocol::Token(Variant::Dst1), Protocol::Directory] {
-        let mut on_cfg = cfg.clone();
-        on_cfg.migratory_sharing = true;
-        let (on, _) = measure_runtime(&on_cfg, protocol, |seed| {
-            LockingWorkload::new(16, 32, 40, seed)
-        });
-        let mut off_cfg = cfg.clone();
-        off_cfg.migratory_sharing = false;
-        let (off, _) = measure_runtime(&off_cfg, protocol, |seed| {
-            LockingWorkload::new(16, 32, 40, seed)
-        });
+    println!(
+        "{:>22} {:>14} {:>14} {:>8}",
+        "protocol", "on (ns)", "off (ns)", "off/on"
+    );
+    for (&protocol, &(on_g, off_g)) in migratory_protocols.iter().zip(&migratory_cells) {
+        let on = results.measure(on_g);
+        let off = results.measure(off_g);
         println!(
             "{:>22} {:>14} {:>14} {:>8.2}",
             protocol.name(),
@@ -64,11 +107,13 @@ fn main() {
 
     // --- retry budget (dst4 vs dst1 vs dst0) -------------------------------------
     println!("\nretry-budget ablation (locking, 2 locks — high contention):");
-    println!("{:>22} {:>14} {:>12} {:>12}", "protocol", "runtime (ns)", "retries", "persistent");
-    for v in [Variant::Dst0, Variant::Dst1, Variant::Dst4] {
-        let (m, res) = measure_runtime(&cfg, Protocol::Token(v), |seed| {
-            LockingWorkload::new(16, 2, 40, seed)
-        });
+    println!(
+        "{:>22} {:>14} {:>12} {:>12}",
+        "protocol", "runtime (ns)", "retries", "persistent"
+    );
+    for (&v, &g) in retry_variants.iter().zip(&retry_cells) {
+        let m = results.measure(g);
+        let res = results.last(g);
         println!(
             "{:>22} {:>14} {:>12} {:>12}",
             v.name(),
@@ -80,8 +125,8 @@ fn main() {
 
     // --- persistent reads in action -----------------------------------------------
     println!("\npersistent read requests (§3.2) under test-and-test-and-set:");
-    let w = LockingWorkload::new(16, 2, 40, 3);
-    let (res, _) = run_workload(&cfg, Protocol::Token(Variant::Dst0), w, &RunOptions::default());
+    results.measure(reads_cell); // asserts completion
+    let res = results.last(reads_cell);
     let reads = res.counters.counter("l1.persistent_reads");
     let all = res.counters.counter("l1.persistent");
     println!(

@@ -10,7 +10,7 @@
 //! directory variants.
 
 use tokencmp::{LockingWorkload, Protocol, SystemConfig, Variant};
-use tokencmp_bench::{banner, measure_runtime, Measure};
+use tokencmp_bench::{banner, BenchGrid, Measure};
 
 fn main() {
     banner(
@@ -27,10 +27,25 @@ fn main() {
     ];
     let locks_axis = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
 
-    // Baseline: DirectoryCMP at 512 locks.
-    let (base, _) = measure_runtime(&cfg, Protocol::Directory, |seed| {
+    // Queue the whole figure — the baseline plus the locks × protocols
+    // sweep — as one grid, then fan it out over the parallel engine.
+    let mut grid = BenchGrid::new();
+    let base_g = grid.push(&cfg, Protocol::Directory, move |seed| {
         LockingWorkload::new(16, 512, acquires, seed)
     });
+    let mut cells = Vec::new();
+    for &locks in &locks_axis {
+        for &protocol in &protocols {
+            cells.push(grid.push(&cfg, protocol, move |seed| {
+                LockingWorkload::new(16, locks, acquires, seed)
+            }));
+        }
+    }
+    let results = grid.run();
+    results.export_logged("fig2_locking_persistent");
+
+    // Baseline: DirectoryCMP at 512 locks.
+    let base = results.measure(base_g);
     println!("baseline DirectoryCMP @512 locks = {} ns\n", base.fmt(0));
 
     print!("{:>7}", "locks");
@@ -39,17 +54,17 @@ fn main() {
     }
     println!("   (normalized runtime)");
 
-    let mut grid: Vec<Vec<Measure>> = Vec::new();
+    let mut cell = cells.iter();
+    let mut rows: Vec<Vec<Measure>> = Vec::new();
     for &locks in &locks_axis {
         let mut row = Vec::new();
         print!("{locks:>7}");
         for &protocol in &protocols {
-            let (m, res) = measure_runtime(&cfg, protocol, |seed| {
-                LockingWorkload::new(16, locks, acquires, seed)
-            });
+            let g = *cell.next().unwrap();
+            let m = results.measure(g);
             // Persistent-only variants must never issue transient requests.
             if matches!(protocol, Protocol::Token(_)) {
-                assert_eq!(res.counters.counter("l1.transient"), 0);
+                assert_eq!(results.last(g).counters.counter("l1.transient"), 0);
             }
             let norm = Measure {
                 mean: m.mean / base.mean,
@@ -59,16 +74,22 @@ fn main() {
             row.push(norm);
         }
         println!();
-        grid.push(row);
+        rows.push(row);
     }
 
     // Shape checks (who wins, roughly by how much).
-    let arb0_high = grid[0][0].mean;
-    let dir_high = grid[0][1].mean;
-    let dst0_high = grid[0][3].mean;
+    let arb0_high = rows[0][0].mean;
+    let dir_high = rows[0][1].mean;
+    let dst0_high = rows[0][3].mean;
     println!();
-    println!("shape: arb0/dir @2 locks      = {:.2}x (paper: arb0 well above directory)", arb0_high / dir_high);
-    println!("shape: dst0/dir @2 locks      = {:.2}x (paper: dst0 comparable or better)", dst0_high / dir_high);
+    println!(
+        "shape: arb0/dir @2 locks      = {:.2}x (paper: arb0 well above directory)",
+        arb0_high / dir_high
+    );
+    println!(
+        "shape: dst0/dir @2 locks      = {:.2}x (paper: dst0 comparable or better)",
+        dst0_high / dir_high
+    );
     assert!(
         arb0_high > 2.0 * dst0_high,
         "arbiter activation must be far worse than distributed under contention"

@@ -10,7 +10,7 @@
 //! while dst1/dst1-pred stay comparable to the directory variants.
 
 use tokencmp::{LockingWorkload, Protocol, SystemConfig, Variant};
-use tokencmp_bench::{banner, measure_runtime, Measure};
+use tokencmp_bench::{banner, BenchGrid, Measure};
 
 fn main() {
     banner(
@@ -28,9 +28,30 @@ fn main() {
     ];
     let locks_axis = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
 
-    let (base, _) = measure_runtime(&cfg, Protocol::Directory, |seed| {
+    // One grid: baseline, the figure's lock sweep, and the dst1-filt
+    // equivalence check at the end.
+    let mut grid = BenchGrid::new();
+    let base_g = grid.push(&cfg, Protocol::Directory, move |seed| {
         LockingWorkload::new(16, 512, acquires, seed)
     });
+    let mut cells = Vec::new();
+    for &locks in &locks_axis {
+        for &protocol in &protocols {
+            cells.push(grid.push(&cfg, protocol, move |seed| {
+                LockingWorkload::new(16, locks, acquires, seed)
+            }));
+        }
+    }
+    let filt_g = grid.push(&cfg, Protocol::Token(Variant::Dst1Filt), move |seed| {
+        LockingWorkload::new(16, 512, acquires, seed)
+    });
+    let dst1_g = grid.push(&cfg, Protocol::Token(Variant::Dst1), move |seed| {
+        LockingWorkload::new(16, 512, acquires, seed)
+    });
+    let results = grid.run();
+    results.export_logged("fig3_locking_transient");
+
+    let base = results.measure(base_g);
     println!("baseline DirectoryCMP @512 locks = {} ns\n", base.fmt(0));
 
     print!("{:>7}", "locks");
@@ -39,14 +60,13 @@ fn main() {
     }
     println!("   (normalized runtime)");
 
-    let mut grid: Vec<Vec<Measure>> = Vec::new();
+    let mut cell = cells.iter();
+    let mut rows: Vec<Vec<Measure>> = Vec::new();
     for &locks in &locks_axis {
         print!("{locks:>7}");
         let mut row = Vec::new();
-        for &protocol in &protocols {
-            let (m, _) = measure_runtime(&cfg, protocol, |seed| {
-                LockingWorkload::new(16, locks, acquires, seed)
-            });
+        for _ in &protocols {
+            let m = results.measure(*cell.next().unwrap());
             let norm = Measure {
                 mean: m.mean / base.mean,
                 half: m.half / base.mean,
@@ -55,34 +75,33 @@ fn main() {
             row.push(norm);
         }
         println!();
-        grid.push(row);
+        rows.push(row);
     }
 
     // dst1-filt ≈ dst1 (the paper: "TokenCMP-dst1-filt performs
     // identically to TokenCMP-dst1").
-    let (filt, _) = measure_runtime(&cfg, Protocol::Token(Variant::Dst1Filt), |seed| {
-        LockingWorkload::new(16, 512, acquires, seed)
-    });
-    let (dst1, _) = measure_runtime(&cfg, Protocol::Token(Variant::Dst1), |seed| {
-        LockingWorkload::new(16, 512, acquires, seed)
-    });
+    let filt = results.measure(filt_g);
+    let dst1 = results.measure(dst1_g);
     println!(
         "\ndst1-filt / dst1 @512 locks = {:.3} (paper: identical)",
         filt.mean / dst1.mean
     );
 
     // Shape checks.
-    let last = grid.last().unwrap();
+    let last = rows.last().unwrap();
     let dir_low = last[0].mean;
     let dst1_low = last[3].mean;
     println!(
         "shape: dst1/dir @512 locks = {:.2}x (paper: TokenCMP well below 1.0)",
         dst1_low / dir_low
     );
-    assert!(dst1_low < dir_low, "dst1 must beat DirectoryCMP at low contention");
-    let dst4_high = grid[0][2].mean;
-    let dst1_high = grid[0][3].mean;
-    let pred_high = grid[0][4].mean;
+    assert!(
+        dst1_low < dir_low,
+        "dst1 must beat DirectoryCMP at low contention"
+    );
+    let dst4_high = rows[0][2].mean;
+    let dst1_high = rows[0][3].mean;
+    let pred_high = rows[0][4].mean;
     println!(
         "shape: @2 locks dst4 = {dst4_high:.2}, dst1 = {dst1_high:.2}, dst1-pred = {pred_high:.2}"
     );

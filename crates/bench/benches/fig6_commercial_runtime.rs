@@ -10,7 +10,7 @@
 //! L1 misses).
 
 use tokencmp::{CommercialParams, CommercialWorkload, Protocol, SystemConfig, Variant};
-use tokencmp_bench::{banner, macro_protocols, measure_runtime};
+use tokencmp_bench::{banner, macro_protocols, BenchGrid};
 
 fn main() {
     banner(
@@ -19,6 +19,24 @@ fn main() {
     );
     let cfg = CommercialParams::scaled_config(&SystemConfig::default());
     let protocols = macro_protocols();
+
+    // The full figure — 3 workloads × (5 protocols + 2 reference marks) ×
+    // seeds — as one grid through the parallel engine.
+    let mut grid = BenchGrid::new();
+    let mut rows = Vec::new();
+    for params in CommercialParams::all() {
+        let mk = move |seed| CommercialWorkload::new(16, params, seed);
+        let dir = grid.push(&cfg, Protocol::Directory, mk);
+        let tokens: Vec<_> = protocols[1..]
+            .iter()
+            .map(|&p| grid.push(&cfg, p, mk))
+            .collect();
+        let zero = grid.push(&cfg, Protocol::DirectoryZero, mk);
+        let perfect = grid.push(&cfg, Protocol::PerfectL2, mk);
+        rows.push((params, dir, tokens, zero, perfect));
+    }
+    let results = grid.run();
+    results.export_logged("fig6_commercial_runtime");
 
     println!(
         "{:>10} {:>14} {:>14} {:>14} {:>16} {:>16} {:>12} {:>12}",
@@ -33,23 +51,26 @@ fn main() {
     );
 
     let mut dst1_speedup = Vec::new();
-    for params in CommercialParams::all() {
-        let mk = |seed| CommercialWorkload::new(16, params, seed);
-        let (dir, _) = measure_runtime(&cfg, Protocol::Directory, mk);
+    for (params, dir_g, tokens, zero_g, perfect_g) in &rows {
+        let dir = results.measure(*dir_g);
         print!("{:>10} {:>14.2}", params.name, 1.0);
         let mut persistent_frac: f64 = 0.0;
-        for &protocol in &protocols[1..] {
-            let (m, res) = measure_runtime(&cfg, protocol, mk);
+        for (&protocol, &g) in protocols[1..].iter().zip(tokens) {
+            let m = results.measure(g);
             print!(" {:>14.2}", m.mean / dir.mean);
-            persistent_frac = persistent_frac.max(res.persistent_fraction());
+            persistent_frac = persistent_frac.max(results.last(g).persistent_fraction());
             if protocol == Protocol::Token(Variant::Dst1) {
                 dst1_speedup.push((params.name, dir.mean / m.mean - 1.0));
             }
         }
         // Reference marks (hash marks in the paper's figure).
-        let (zero, _) = measure_runtime(&cfg, Protocol::DirectoryZero, mk);
-        let (perfect, _) = measure_runtime(&cfg, Protocol::PerfectL2, mk);
-        print!("       {:>12.2} {:>12.2}", zero.mean / dir.mean, perfect.mean / dir.mean);
+        let zero = results.measure(*zero_g);
+        let perfect = results.measure(*perfect_g);
+        print!(
+            "       {:>12.2} {:>12.2}",
+            zero.mean / dir.mean,
+            perfect.mean / dir.mean
+        );
         println!("   persistent ≤ {:.3}%", 100.0 * persistent_frac);
         assert!(
             persistent_frac < 0.01,

@@ -12,39 +12,54 @@
 //!   response data because every data response routes through the L2.
 //!   The dst1-filt filter trims intra-CMP traffic by a few percent.
 
-use tokencmp::{
-    CommercialParams, CommercialWorkload, MsgClass, Protocol, RunOptions, SystemConfig, Tier,
-    Variant,
-};
-use tokencmp_bench::{banner, macro_protocols};
+use tokencmp::{CommercialParams, CommercialWorkload, MsgClass, SystemConfig, Tier, Traffic};
+use tokencmp_bench::{banner, macro_protocols, BenchGrid, BenchResults, GroupId};
 
-fn traffic_of(
-    cfg: &SystemConfig,
-    protocol: Protocol,
-    params: CommercialParams,
-) -> tokencmp::Traffic {
-    let w = CommercialWorkload::new(16, params, 11);
-    let (res, _) = tokencmp::run_workload(cfg, protocol, w, &RunOptions::default());
-    assert_eq!(res.outcome, tokencmp::RunOutcome::Idle, "{protocol}");
-    res.traffic
+/// One simulation per (workload, protocol) pair, shared by both tiers'
+/// breakdowns — queued as a single grid.
+fn run_grid(cfg: &SystemConfig) -> (Vec<(CommercialParams, Vec<GroupId>)>, BenchResults) {
+    let mut grid = BenchGrid::new();
+    let cells: Vec<_> = CommercialParams::all()
+        .into_iter()
+        .map(|params| {
+            let groups = macro_protocols()
+                .iter()
+                .map(|&p| {
+                    grid.push_single(cfg, p, 11, move |seed| {
+                        CommercialWorkload::new(16, params, seed)
+                    })
+                })
+                .collect();
+            (params, groups)
+        })
+        .collect();
+    let results = grid.run();
+    results.export_logged("fig7_traffic");
+    (cells, results)
 }
 
-fn print_tier(cfg: &SystemConfig, tier: Tier, title: &str) -> Vec<(String, f64, f64)> {
+fn traffic(results: &BenchResults, g: GroupId) -> &Traffic {
+    results.measure(g); // asserts the run completed
+    &results.last(g).traffic
+}
+
+fn print_tier(
+    cells: &[(CommercialParams, Vec<GroupId>)],
+    results: &BenchResults,
+    tier: Tier,
+    title: &str,
+) -> Vec<(String, f64, f64)> {
     println!("\n--- {title} ---");
     let mut shapes = Vec::new();
-    for params in CommercialParams::all() {
-        let dir_total =
-            traffic_of(cfg, Protocol::Directory, params).total_bytes(tier) as f64;
+    for (params, groups) in cells {
+        let dir_total = traffic(results, groups[0]).total_bytes(tier) as f64;
         println!("\n{} (normalized to DirectoryCMP = 1.00):", params.name);
         print!("{:>22}", "class");
         for p in macro_protocols() {
             print!("{:>20}", p.name());
         }
         println!();
-        let traffics: Vec<_> = macro_protocols()
-            .iter()
-            .map(|&p| traffic_of(cfg, p, params))
-            .collect();
+        let traffics: Vec<&Traffic> = groups.iter().map(|&g| traffic(results, g)).collect();
         for class in MsgClass::ALL {
             print!("{:>22}", class.label());
             for t in &traffics {
@@ -72,9 +87,20 @@ fn main() {
         "HPCA 2005 paper, Section 8, Figures 7a and 7b",
     );
     let cfg = CommercialParams::scaled_config(&SystemConfig::default());
+    let (cells, results) = run_grid(&cfg);
 
-    let inter = print_tier(&cfg, Tier::Inter, "Figure 7a: inter-CMP traffic");
-    let intra = print_tier(&cfg, Tier::Intra, "Figure 7b: intra-CMP traffic");
+    let inter = print_tier(
+        &cells,
+        &results,
+        Tier::Inter,
+        "Figure 7a: inter-CMP traffic",
+    );
+    let intra = print_tier(
+        &cells,
+        &results,
+        Tier::Intra,
+        "Figure 7b: intra-CMP traffic",
+    );
 
     println!("\nshape checks:");
     for (name, dir, dst1) in &inter {
@@ -98,12 +124,16 @@ fn main() {
     }
 
     // dst1-filt trims intra-CMP traffic relative to dst1 (paper: 6-8% of
-    // fan-out, too little to change runtime).
-    let params = CommercialParams::oltp();
-    let dst1 = traffic_of(&cfg, Protocol::Token(Variant::Dst1), params);
-    let filt = traffic_of(&cfg, Protocol::Token(Variant::Dst1Filt), params);
-    let ratio =
-        filt.total_bytes(Tier::Intra) as f64 / dst1.total_bytes(Tier::Intra) as f64;
-    println!("\n  7b OLTP: dst1-filt intra-CMP bytes = {:.3} of dst1", ratio);
+    // fan-out, too little to change runtime). OLTP is cells[0]; group
+    // order follows macro_protocols(): [dir, dst4, dst1, dst1-pred,
+    // dst1-filt].
+    let oltp = &cells[0].1;
+    let dst1 = traffic(&results, oltp[2]);
+    let filt = traffic(&results, oltp[4]);
+    let ratio = filt.total_bytes(Tier::Intra) as f64 / dst1.total_bytes(Tier::Intra) as f64;
+    println!(
+        "\n  7b OLTP: dst1-filt intra-CMP bytes = {:.3} of dst1",
+        ratio
+    );
     assert!(ratio < 1.0, "the filter must reduce intra-CMP traffic");
 }

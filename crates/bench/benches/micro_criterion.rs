@@ -51,7 +51,13 @@ fn bench_persistent_table(c: &mut Criterion) {
         b.iter(|| {
             let mut t = DistTable::new(16);
             for p in 0..16u8 {
-                t.activate(ProcId(p), Block(u64::from(p % 4)), NodeId(20 + u32::from(p)), ReqKind::Write, 1);
+                t.activate(
+                    ProcId(p),
+                    Block(u64::from(p % 4)),
+                    NodeId(20 + u32::from(p)),
+                    ReqKind::Write,
+                    1,
+                );
             }
             for blk in 0..4u64 {
                 black_box(t.active_for(Block(blk)));
@@ -72,8 +78,8 @@ fn bench_end_to_end(c: &mut Criterion) {
             let scripts = (0..16u64)
                 .map(|p| {
                     (0..64)
-                        .map(|i| {
-                            let k = if i % 4 == 0 {
+                        .map(|i: u64| {
+                            let k = if i.is_multiple_of(4) {
                                 AccessKind::Store
                             } else {
                                 AccessKind::Load
@@ -84,8 +90,12 @@ fn bench_end_to_end(c: &mut Criterion) {
                 })
                 .collect();
             let w = ScriptedWorkload::new(scripts);
-            let (res, _) =
-                run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &RunOptions::default());
+            let (res, _) = run_workload(
+                &cfg,
+                Protocol::Token(Variant::Dst1),
+                w,
+                &RunOptions::default(),
+            );
             black_box(res.events)
         });
     });
@@ -93,8 +103,12 @@ fn bench_end_to_end(c: &mut Criterion) {
         let cfg = SystemConfig::default();
         b.iter(|| {
             let w = LockingWorkload::new(16, 16, 10, 1);
-            let (res, _) =
-                run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &RunOptions::default());
+            let (res, _) = run_workload(
+                &cfg,
+                Protocol::Token(Variant::Dst1),
+                w,
+                &RunOptions::default(),
+            );
             black_box(res.events)
         });
     });

@@ -11,10 +11,8 @@
 //!    bytes per L1 miss for TokenCMP (grows with chip count) versus
 //!    DirectoryCMP (constant).
 
-use tokencmp::{
-    run_workload, LockingWorkload, MsgClass, Protocol, RunOptions, SystemConfig, Tier, Variant,
-};
-use tokencmp_bench::{banner, measure_runtime};
+use tokencmp::{LockingWorkload, MsgClass, Protocol, SystemConfig, Tier, Variant};
+use tokencmp_bench::{banner, BenchGrid};
 
 fn main() {
     banner(
@@ -22,18 +20,96 @@ fn main() {
         "HPCA 2005 paper, §4 (TokenB unsuitability) and §8 (CMP-count scaling)",
     );
 
-    // --- 1. flat TokenB vs hierarchical TokenCMP --------------------------------
+    // All three studies queued as one grid through the parallel engine.
     let cfg = SystemConfig::default();
+    let mut grid = BenchGrid::new();
+
+    // --- 1. flat TokenB vs hierarchical TokenCMP --------------------------------
+    let flat_variants = [Variant::FlatB, Variant::Dst1];
+    let flat_cells: Vec<_> = flat_variants
+        .iter()
+        .map(|&v| {
+            grid.push(&cfg, Protocol::Token(v), |seed| {
+                LockingWorkload::new(16, 64, 40, seed)
+            })
+        })
+        .collect();
+
+    // --- 2. CMP-count sweep ------------------------------------------------------
+    let chip_counts = [2u8, 4, 8];
+    let sweep_protocols = [
+        Protocol::Token(Variant::Dst1),
+        Protocol::Token(Variant::Dst1Dsp),
+        Protocol::Directory,
+    ];
+    let chip_cells: Vec<Vec<_>> = chip_counts
+        .iter()
+        .map(|&cmps| {
+            let c = SystemConfig {
+                cmps,
+                tokens_per_block: 256, // > caches at 8 chips
+                ..SystemConfig::default()
+            };
+            c.validate().expect("scaled config");
+            let procs = c.layout().procs();
+            sweep_protocols
+                .iter()
+                .map(|&protocol| {
+                    grid.push_single(&c, protocol, 9, move |_| {
+                        LockingWorkload::new(procs, 256, 25, 9)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    // --- 3. destination-set prediction on stable owners ---------------------------
+    use tokencmp::system::ScriptedWorkload;
+    use tokencmp::AccessKind;
+    use tokencmp::Block;
+    let dsp_cfg = SystemConfig {
+        cmps: 8,
+        tokens_per_block: 256,
+        migratory_sharing: false,
+        // A small L2 forces the consumer to re-fetch off chip each round
+        // instead of retaining spilled tokens locally.
+        l2_sets: 64,
+        ..SystemConfig::default()
+    };
+    dsp_cfg.validate().expect("scaled config");
+    let blocks: Vec<Block> = (0..4096u64).map(|i| Block(0x100_0000 + i)).collect();
+    let procs = dsp_cfg.layout().procs();
+    let last_chip_proc = (procs - dsp_cfg.procs_per_cmp as u32) as usize;
+    let dsp_cells: Vec<_> = [Variant::Dst1, Variant::Dst1Dsp]
+        .iter()
+        .map(|&v| {
+            let blocks = blocks.clone();
+            grid.push_single(&dsp_cfg, Protocol::Token(v), 1, move |_| {
+                let mut scripts = vec![vec![]; procs as usize];
+                scripts[0] = blocks.iter().map(|&b| (AccessKind::Store, b)).collect();
+                let mut reader = Vec::new();
+                for _ in 0..3 {
+                    reader.extend(blocks.iter().map(|&b| (AccessKind::Load, b)));
+                }
+                scripts[last_chip_proc] = reader;
+                ScriptedWorkload::new(scripts)
+            })
+        })
+        .collect();
+
+    let results = grid.run();
+    results.export_logged("scalability");
+
+    // --- 1. report ---------------------------------------------------------------
     println!("\nTokenB-flat vs TokenCMP-dst1 (locking, 64 locks, Table 3 system):");
     println!(
         "{:>16} {:>14} {:>18} {:>18}",
         "protocol", "runtime (ns)", "intra req bytes", "inter req bytes"
     );
-    let mut rows = Vec::new();
-    for v in [Variant::FlatB, Variant::Dst1] {
-        let (m, res) = measure_runtime(&cfg, Protocol::Token(v), |seed| {
-            LockingWorkload::new(16, 64, 40, seed)
-        });
+    let mut req_bytes = Vec::new();
+    for (&v, &g) in flat_variants.iter().zip(&flat_cells) {
+        let m = results.measure(g);
+        let res = results.last(g);
         println!(
             "{:>16} {:>14} {:>18} {:>18}",
             v.name(),
@@ -41,10 +117,9 @@ fn main() {
             res.traffic.bytes(Tier::Intra, MsgClass::Request),
             res.traffic.bytes(Tier::Inter, MsgClass::Request)
         );
-        rows.push((m.mean, res));
+        req_bytes.push(res.traffic.bytes(Tier::Intra, MsgClass::Request));
     }
-    let flat_req = rows[0].1.traffic.bytes(Tier::Intra, MsgClass::Request);
-    let hier_req = rows[1].1.traffic.bytes(Tier::Intra, MsgClass::Request);
+    let (flat_req, hier_req) = (req_bytes[0], req_bytes[1]);
     println!(
         "  hierarchy cuts intra-CMP request bytes to {:.2} of flat broadcast",
         hier_req as f64 / flat_req as f64
@@ -54,7 +129,7 @@ fn main() {
         "the hierarchical policy must reduce on-chip request traffic"
     );
 
-    // --- 2. CMP-count sweep --------------------------------------------------------
+    // --- 2. report ---------------------------------------------------------------
     println!("\ninter-CMP request bytes per L1 miss vs chip count (locking, low contention):");
     println!(
         "{:>8} {:>22} {:>24} {:>22}",
@@ -62,28 +137,20 @@ fn main() {
     );
     let mut token_growth = Vec::new();
     let mut dsp_at_8 = 0.0;
-    for cmps in [2u8, 4, 8] {
-        let mut c = SystemConfig {
-            cmps,
-            tokens_per_block: 256, // > caches at 8 chips
-            ..SystemConfig::default()
-        };
-        c.validate().expect("scaled config");
-        let procs = c.layout().procs();
-        let mut row = Vec::new();
-        for protocol in [
-            Protocol::Token(Variant::Dst1),
-            Protocol::Token(Variant::Dst1Dsp),
-            Protocol::Directory,
-        ] {
-            let w = LockingWorkload::new(procs, 256, 25, 9);
-            let (res, _) = run_workload(&c, protocol, w, &RunOptions::default());
-            assert_eq!(res.outcome, tokencmp::RunOutcome::Idle);
-            let per_miss = res.traffic.bytes(Tier::Inter, MsgClass::Request) as f64
-                / res.counters.counter("l1.misses") as f64;
-            row.push(per_miss);
-        }
-        println!("{cmps:>8} {:>22.1} {:>24.1} {:>22.1}", row[0], row[1], row[2]);
+    for (&cmps, cells) in chip_counts.iter().zip(&chip_cells) {
+        let row: Vec<f64> = cells
+            .iter()
+            .map(|&g| {
+                results.measure(g); // asserts completion
+                let res = results.last(g);
+                res.traffic.bytes(Tier::Inter, MsgClass::Request) as f64
+                    / res.counters.counter("l1.misses") as f64
+            })
+            .collect();
+        println!(
+            "{cmps:>8} {:>22.1} {:>24.1} {:>22.1}",
+            row[0], row[1], row[2]
+        );
         token_growth.push(row[0]);
         if cmps == 8 {
             dsp_at_8 = row[1];
@@ -102,42 +169,25 @@ fn main() {
         dsp_at_8,
     );
 
-    // --- 3. destination-set prediction on stable owners ---------------------------
-    use tokencmp::system::ScriptedWorkload;
-    use tokencmp::AccessKind;
-    use tokencmp::Block;
+    // --- 3. report ---------------------------------------------------------------
     println!("\ndestination-set prediction, stable producer/consumer, 8 chips:");
-    let mut c = SystemConfig {
-        cmps: 8,
-        tokens_per_block: 256,
-        migratory_sharing: false,
-        // A small L2 forces the consumer to re-fetch off chip each round
-        // instead of retaining spilled tokens locally.
-        l2_sets: 64,
-        ..SystemConfig::default()
-    };
-    c.validate().expect("scaled config");
-    let blocks: Vec<Block> = (0..4096u64).map(|i| Block(0x100_0000 + i)).collect();
-    let run = |c: &SystemConfig, v| {
-        let mut scripts = vec![vec![]; c.layout().procs() as usize];
-        scripts[0] = blocks.iter().map(|&b| (AccessKind::Store, b)).collect();
-        let mut reader = Vec::new();
-        for _ in 0..3 {
-            reader.extend(blocks.iter().map(|&b| (AccessKind::Load, b)));
-        }
-        let last_chip_proc = (c.layout().procs() - c.procs_per_cmp as u32) as usize;
-        scripts[last_chip_proc] = reader;
-        let w = ScriptedWorkload::new(scripts);
-        let (res, _) = run_workload(c, Protocol::Token(v), w, &RunOptions::default());
-        assert_eq!(res.outcome, tokencmp::RunOutcome::Idle);
-        res.traffic.bytes(Tier::Inter, MsgClass::Request) as f64
-            / res.counters.counter("l1.misses") as f64
-    };
-    let full = run(&c, Variant::Dst1);
-    let dsp = run(&c, Variant::Dst1Dsp);
+    let per_miss: Vec<f64> = dsp_cells
+        .iter()
+        .map(|&g| {
+            results.measure(g); // asserts completion
+            let res = results.last(g);
+            res.traffic.bytes(Tier::Inter, MsgClass::Request) as f64
+                / res.counters.counter("l1.misses") as f64
+        })
+        .collect();
+    let (full, dsp) = (per_miss[0], per_miss[1]);
     println!(
         "{:>22} {:>14.1} B/miss\n{:>22} {:>14.1} B/miss   ({:.2} of broadcast)",
-        "TokenCMP-dst1", full, "TokenCMP-dst1-dsp", dsp, dsp / full
+        "TokenCMP-dst1",
+        full,
+        "TokenCMP-dst1-dsp",
+        dsp,
+        dsp / full
     );
     println!(
         "  (cold first-touch misses have no prediction by definition and dilute\n   the ratio; steady-state rounds multicast 2 of 7 chips ≈ 0.29.)"

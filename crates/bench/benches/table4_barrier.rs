@@ -7,7 +7,7 @@
 //! comparable to (or slightly better than) the directory variants.
 
 use tokencmp::{BarrierWorkload, Dur, Protocol, SystemConfig, Variant};
-use tokencmp_bench::{banner, measure_runtime};
+use tokencmp_bench::{banner, BenchGrid};
 
 fn main() {
     banner(
@@ -27,26 +27,43 @@ fn main() {
         Protocol::Token(Variant::Dst1Pred),
         Protocol::Token(Variant::Dst1Filt),
     ];
+    let jitters = [Dur::ZERO, Dur::from_ns(1000)];
+
+    // Queue both table columns (baseline + eight protocols each) as one
+    // grid.
+    let mut grid = BenchGrid::new();
+    let mut columns = Vec::new();
+    for &jitter in &jitters {
+        let base = grid.push(&cfg, Protocol::Directory, move |seed| {
+            BarrierWorkload::new(16, rounds, work, jitter, seed)
+        });
+        let cells: Vec<_> = protocols
+            .iter()
+            .map(|&protocol| {
+                grid.push(&cfg, protocol, move |seed| {
+                    BarrierWorkload::new(16, rounds, work, jitter, seed)
+                })
+            })
+            .collect();
+        columns.push((base, cells));
+    }
+    let results = grid.run();
+    results.export_logged("table4_barrier");
 
     let mut normalized = Vec::new();
     println!(
         "{:>22} {:>16} {:>22}",
         "Protocol", "3000 ns fixed", "3000 ns + U(-1000,+1000)"
     );
-    for (col, jitter) in [(0usize, Dur::ZERO), (1, Dur::from_ns(1000))] {
-        let (base, _) = measure_runtime(&cfg, Protocol::Directory, |seed| {
-            BarrierWorkload::new(16, rounds, work, jitter, seed)
-        });
+    for (base, cells) in &columns {
+        let base = results.measure(*base);
         let mut colv = Vec::new();
-        for &protocol in &protocols {
-            let (m, res) = measure_runtime(&cfg, protocol, |seed| {
-                BarrierWorkload::new(16, rounds, work, jitter, seed)
-            });
-            assert_eq!(res.counters.counter("procs.done"), 16);
+        for &g in cells {
+            let m = results.measure(g);
+            assert_eq!(results.last(g).counters.counter("procs.done"), 16);
             colv.push(m.mean / base.mean);
         }
         normalized.push(colv);
-        let _ = col;
     }
     for (i, protocol) in protocols.iter().enumerate() {
         println!(
@@ -61,9 +78,7 @@ fn main() {
     // entries (1.40 / 1.29 in Table 4).
     let arb0 = normalized[0][0];
     let dst1 = normalized[0][5];
-    println!(
-        "\nshape: arb0 = {arb0:.2}x directory (paper 1.40), dst1 = {dst1:.2}x (paper 0.99)"
-    );
+    println!("\nshape: arb0 = {arb0:.2}x directory (paper 1.40), dst1 = {dst1:.2}x (paper 0.99)");
     assert!(arb0 > 1.05, "arb0 must lose to DirectoryCMP on barriers");
     assert!(dst1 < 1.10, "dst1 must stay comparable to DirectoryCMP");
 }

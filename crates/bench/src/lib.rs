@@ -5,13 +5,44 @@
 //! the rows/series as text tables). Runs are repeated over several seeds
 //! and reported as `mean ± 1.96·stderr`, mirroring the paper's
 //! pseudo-random perturbation methodology (Alameldeen & Wood).
+//!
+//! Since the sweep-engine migration, a target no longer runs its
+//! `seed × protocol × parameter` loops inline: it queues every cell into
+//! one [`BenchGrid`], the grid fans out over the deterministic parallel
+//! engine ([`tokencmp::sweep`]), and the target then reads measurements
+//! back group by group. Results are bit-identical to the old sequential
+//! loops for any worker count, and each grid can export its raw per-point
+//! records as JSON under `target/sweep/` via [`BenchResults::export`].
+
+use std::path::PathBuf;
 
 use tokencmp::sim::stats::mean_stderr;
-use tokencmp::{run_workload, Protocol, RunOptions, RunResult, SystemConfig, Workload};
+use tokencmp::sweep::{PointResult, Sweep};
+use tokencmp::{Protocol, RunOptions, RunResult, SystemConfig, Workload};
 
 /// Seeds used for error bars. Three seeds keeps `cargo bench` minutes-
-/// scale; raise for tighter bars.
+/// scale; raise via `TOKENCMP_BENCH_SEEDS` (see [`seeds`]) for tighter
+/// bars or for exercising the parallel engine harder.
 pub const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// The seed set for this invocation: [`SEEDS`] by default, overridable
+/// with the `TOKENCMP_BENCH_SEEDS` environment variable — either an
+/// explicit comma-separated list (`"11,23,47,59"`) or a count `n`
+/// (seeds `1..=n`).
+pub fn seeds() -> Vec<u64> {
+    match std::env::var("TOKENCMP_BENCH_SEEDS") {
+        Ok(v) if v.contains(',') => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("TOKENCMP_BENCH_SEEDS: bad seed"))
+            .collect(),
+        Ok(v) => {
+            let n: u64 = v.trim().parse().expect("TOKENCMP_BENCH_SEEDS: bad count");
+            assert!(n >= 1, "TOKENCMP_BENCH_SEEDS: need at least one seed");
+            (1..=n).collect()
+        }
+        Err(_) => SEEDS.to_vec(),
+    }
+}
 
 /// A `mean ± half-width` measurement.
 #[derive(Clone, Copy, Debug)]
@@ -29,37 +60,200 @@ impl Measure {
     }
 }
 
-/// Runs `mk(seed)` under `protocol` for every seed and returns the mean
-/// runtime in nanoseconds (and the last run's full result for counters).
-pub fn measure_runtime<W, F>(cfg: &SystemConfig, protocol: Protocol, mk: F) -> (Measure, RunResult)
-where
-    W: Workload + 'static,
-    F: Fn(u64) -> W,
-{
-    let mut runtimes = Vec::new();
-    let mut last = None;
-    for &seed in &SEEDS {
-        let opts = RunOptions {
-            seed,
-            ..RunOptions::default()
-        };
-        let (res, _) = run_workload(cfg, protocol, mk(seed), &opts);
-        assert_eq!(
-            res.outcome,
-            tokencmp::RunOutcome::Idle,
-            "{protocol} did not complete"
-        );
-        runtimes.push(res.runtime_ns());
-        last = Some(res);
+/// Identifies one group of seed-replicated runs queued on a
+/// [`BenchGrid`]; redeem it against the [`BenchResults`] after the grid
+/// runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupId(usize);
+
+/// A bench target's whole experiment as one declarative grid.
+///
+/// Each [`push`](BenchGrid::push) queues one *group*: the same
+/// (config, protocol, workload factory) replicated over every seed of
+/// [`seeds`]. `run` executes all groups' points through the parallel
+/// sweep engine and returns a [`BenchResults`] that maps group ids back
+/// to aggregated measurements, in a layout bit-identical to running the
+/// old per-group sequential loops.
+#[derive(Default)]
+pub struct BenchGrid {
+    sweep: Sweep,
+    groups: Vec<(usize, usize)>,
+    seeds: Vec<u64>,
+}
+
+impl BenchGrid {
+    /// Creates an empty grid using this invocation's [`seeds`].
+    pub fn new() -> BenchGrid {
+        BenchGrid {
+            sweep: Sweep::new(),
+            groups: Vec::new(),
+            seeds: seeds(),
+        }
     }
-    let (mean, se) = mean_stderr(&runtimes);
-    (
+
+    /// Queues one seed-replicated group under default run options (the
+    /// per-point option seed is set to the point's seed, as the old
+    /// sequential harness did).
+    pub fn push<W, F>(&mut self, cfg: &SystemConfig, protocol: Protocol, mk: F) -> GroupId
+    where
+        W: Workload + 'static,
+        F: Fn(u64) -> W + Send + Sync + 'static,
+    {
+        self.push_with(cfg, protocol, RunOptions::default(), mk)
+    }
+
+    /// [`push`](BenchGrid::push) with explicit base run options
+    /// (`opts.seed` is still overridden per point).
+    pub fn push_with<W, F>(
+        &mut self,
+        cfg: &SystemConfig,
+        protocol: Protocol,
+        opts: RunOptions,
+        mk: F,
+    ) -> GroupId
+    where
+        W: Workload + 'static,
+        F: Fn(u64) -> W + Send + Sync + 'static,
+    {
+        let start = self.sweep.len();
+        let mk = std::sync::Arc::new(mk);
+        for &seed in &self.seeds {
+            let mk = std::sync::Arc::clone(&mk);
+            let opts = RunOptions { seed, ..opts };
+            self.sweep
+                .push(protocol.name(), cfg, protocol, seed, opts, move |s| mk(s));
+        }
+        self.groups.push((start, self.sweep.len()));
+        GroupId(self.groups.len() - 1)
+    }
+
+    /// Queues a single run (one seed, no replication) — for cells whose
+    /// figure needs raw counters or traffic rather than error bars.
+    pub fn push_single<W, F>(
+        &mut self,
+        cfg: &SystemConfig,
+        protocol: Protocol,
+        seed: u64,
+        mk: F,
+    ) -> GroupId
+    where
+        W: Workload + 'static,
+        F: FnOnce(u64) -> W + Send + 'static,
+    {
+        let start = self.sweep.len();
+        self.sweep.push(
+            protocol.name(),
+            cfg,
+            protocol,
+            seed,
+            RunOptions::default(),
+            mk,
+        );
+        self.groups.push((start, self.sweep.len()));
+        GroupId(self.groups.len() - 1)
+    }
+
+    /// Number of queued points (across all groups).
+    pub fn len(&self) -> usize {
+        self.sweep.len()
+    }
+
+    /// Whether no points are queued.
+    pub fn is_empty(&self) -> bool {
+        self.sweep.is_empty()
+    }
+
+    /// Runs every queued point through the parallel sweep engine.
+    pub fn run(self) -> BenchResults {
+        BenchResults {
+            points: self.sweep.run(),
+            groups: self.groups,
+        }
+    }
+}
+
+/// Completed [`BenchGrid`] results, addressed by [`GroupId`].
+pub struct BenchResults {
+    points: Vec<PointResult>,
+    groups: Vec<(usize, usize)>,
+}
+
+impl BenchResults {
+    /// All per-point results, in submission order.
+    pub fn points(&self) -> &[PointResult] {
+        &self.points
+    }
+
+    fn group(&self, g: GroupId) -> &[PointResult] {
+        let (start, end) = self.groups[g.0];
+        &self.points[start..end]
+    }
+
+    /// Mean runtime (ns) with 95 % error bars over the group's seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run in the group did not complete ([`RunOutcome::Idle`]),
+    /// which always indicates a protocol bug.
+    ///
+    /// [`RunOutcome::Idle`]: tokencmp::RunOutcome::Idle
+    pub fn measure(&self, g: GroupId) -> Measure {
+        let runtimes: Vec<f64> = self
+            .group(g)
+            .iter()
+            .map(|p| {
+                assert_eq!(
+                    p.result.outcome,
+                    tokencmp::RunOutcome::Idle,
+                    "{} (seed {}) did not complete",
+                    p.point.protocol,
+                    p.point.seed
+                );
+                p.result.runtime_ns()
+            })
+            .collect();
+        let (mean, se) = mean_stderr(&runtimes);
         Measure {
             mean,
             half: 1.96 * se,
-        },
-        last.expect("at least one seed"),
-    )
+        }
+    }
+
+    /// The group's last run (by seed order) — counters and traffic for
+    /// figure annotations, matching the value the old sequential
+    /// `measure_runtime` returned.
+    pub fn last(&self, g: GroupId) -> &RunResult {
+        &self.group(g).last().expect("empty group").result
+    }
+
+    /// Writes every per-point record to `target/sweep/<name>.json` (see
+    /// [`tokencmp::sweep::write_json`]) and returns the path.
+    pub fn export(&self, name: &str) -> std::io::Result<PathBuf> {
+        tokencmp::sweep::write_json(name, &self.points)
+    }
+
+    /// [`export`](BenchResults::export), logging the outcome instead of
+    /// returning it (bench targets treat export as best-effort).
+    pub fn export_logged(&self, name: &str) {
+        match self.export(name) {
+            Ok(path) => println!("[sweep] wrote {}", path.display()),
+            Err(e) => eprintln!("[sweep] export {name} failed: {e}"),
+        }
+    }
+}
+
+/// Runs `mk(seed)` under `protocol` for every seed (in parallel, through
+/// the sweep engine) and returns the mean runtime in nanoseconds plus
+/// the last run's full result for counters.
+pub fn measure_runtime<W, F>(cfg: &SystemConfig, protocol: Protocol, mk: F) -> (Measure, RunResult)
+where
+    W: Workload + 'static,
+    F: Fn(u64) -> W + Send + Sync + 'static,
+{
+    let mut grid = BenchGrid::new();
+    let g = grid.push(cfg, protocol, mk);
+    let results = grid.run();
+    (results.measure(g), results.last(g).clone())
 }
 
 /// Prints a header banner for a bench target.
@@ -89,20 +283,72 @@ mod tests {
     use tokencmp::system::ScriptedWorkload;
     use tokencmp::{AccessKind, Block, Variant};
 
+    fn script() -> Vec<Vec<(AccessKind, Block)>> {
+        vec![vec![(AccessKind::Load, Block(1))], vec![], vec![], vec![]]
+    }
+
     #[test]
     fn measure_runtime_aggregates_seeds() {
         let cfg = SystemConfig::small_test();
         let (m, res) = measure_runtime(&cfg, Protocol::Token(Variant::Dst1), |_| {
-            ScriptedWorkload::new(vec![
-                vec![(AccessKind::Load, Block(1))],
-                vec![],
-                vec![],
-                vec![],
-            ])
+            ScriptedWorkload::new(script())
         });
         assert!(m.mean > 0.0);
         assert!(m.half >= 0.0);
         assert!(res.counters.counter("l1.misses") >= 1);
         assert!(m.fmt(1).contains('±'));
+    }
+
+    #[test]
+    fn grid_groups_map_back_to_their_runs() {
+        let cfg = SystemConfig::small_test();
+        let mut grid = BenchGrid::new();
+        let a = grid.push(&cfg, Protocol::Token(Variant::Dst1), |_| {
+            ScriptedWorkload::new(script())
+        });
+        let b = grid.push(&cfg, Protocol::Directory, |_| {
+            ScriptedWorkload::new(script())
+        });
+        let single = grid.push_single(&cfg, Protocol::Directory, 99, |_| {
+            ScriptedWorkload::new(script())
+        });
+        assert_eq!(grid.len(), 2 * seeds().len() + 1);
+        let results = grid.run();
+        assert!(results.measure(a).mean > 0.0);
+        assert!(results.measure(b).mean > 0.0);
+        let pts = results.points();
+        assert_eq!(pts.last().unwrap().point.seed, 99);
+        assert_eq!(results.measure(single).half, 0.0);
+    }
+
+    #[test]
+    fn grid_matches_sequential_measure_runtime() {
+        // The engine must reproduce the old sequential harness exactly.
+        let cfg = SystemConfig::small_test();
+        let (m, res) = measure_runtime(&cfg, Protocol::Directory, |_| {
+            ScriptedWorkload::new(script())
+        });
+        let mut runtimes = Vec::new();
+        let mut last = None;
+        for &seed in &SEEDS {
+            let opts = RunOptions {
+                seed,
+                ..RunOptions::default()
+            };
+            let (r, _) = tokencmp::run_workload(
+                &cfg,
+                Protocol::Directory,
+                ScriptedWorkload::new(script()),
+                &opts,
+            );
+            runtimes.push(r.runtime_ns());
+            last = Some(r);
+        }
+        let (mean, se) = mean_stderr(&runtimes);
+        assert_eq!(m.mean, mean);
+        assert_eq!(m.half, 1.96 * se);
+        let last = last.unwrap();
+        assert_eq!(res.runtime, last.runtime);
+        assert_eq!(res.events, last.events);
     }
 }

@@ -196,15 +196,13 @@ impl<S> SetAssoc<S> {
             return InsertOutcome::Inserted;
         }
         let (_, i) = lru.expect("ways > 0");
-        let old = std::mem::replace(
-            &mut self.lines[i],
-            Some(LineSlot {
+        let old = self.lines[i]
+            .replace(LineSlot {
                 block,
                 state,
                 stamp,
-            }),
-        )
-        .unwrap();
+            })
+            .unwrap();
         InsertOutcome::Evicted(old.block, old.state)
     }
 

@@ -365,7 +365,10 @@ mod tests {
     #[test]
     fn single_token_cache_stays_silent_on_local_read() {
         let mut l = line(1, false, false);
-        assert_eq!(transient_grant(&mut l, ReqKind::Read, false, &rules()), None);
+        assert_eq!(
+            transient_grant(&mut l, ReqKind::Read, false, &rules()),
+            None
+        );
         assert_eq!(l.tokens, 1);
     }
 

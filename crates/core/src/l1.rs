@@ -15,15 +15,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use tokencmp_cache::{InsertOutcome, SetAssoc};
-use tokencmp_proto::{
-    AccessKind, CpuReq, CpuResp, Layout, ProcId, SystemConfig, Unit,
-};
 use tokencmp_proto::Block;
+use tokencmp_proto::{AccessKind, CpuReq, CpuResp, Layout, ProcId, SystemConfig, Unit};
 use tokencmp_sim::{Component, Ctx, Dur, Ewma, Histogram, NodeId, Rng, Time};
 
-use crate::common::{
-    persistent_grant, transient_grant, GrantRules, PersistentState, TokenLine,
-};
+use crate::common::{persistent_grant, transient_grant, GrantRules, PersistentState, TokenLine};
 use crate::msg::{ReqKind, TokenBundle, TokenMsg};
 use crate::policy::{Activation, ContentionPredictor, Variant};
 

@@ -79,7 +79,9 @@ impl TokenL2 {
             migratory: cfg.migratory_sharing,
         };
         // Bank-select bits are below the set-index bits.
-        let shift = (cfg.banks_per_cmp as u64).next_power_of_two().trailing_zeros();
+        let shift = (cfg.banks_per_cmp as u64)
+            .next_power_of_two()
+            .trailing_zeros();
         TokenL2 {
             lines: SetAssoc::new(cfg.l2_sets, cfg.l2_ways, shift),
             persistent: PersistentState::new(layout.procs() as usize),
@@ -167,7 +169,10 @@ impl TokenL2 {
         let Some(req) = self.persistent.active_for(block) else {
             return;
         };
-        debug_assert!(req.requester != self.me, "L2 never issues persistent requests");
+        debug_assert!(
+            req.requester != self.me,
+            "L2 never issues persistent requests"
+        );
         let Some(line) = self.lines.get_mut(block) else {
             return;
         };

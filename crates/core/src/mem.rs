@@ -188,9 +188,9 @@ impl TokenMem {
             return;
         }
         let rules = self.rules;
-        if let Some(bundle) =
-            self.grant_with(block, |line, valid| storage_grant(line, kind, &rules, valid))
-        {
+        if let Some(bundle) = self.grant_with(block, |line, valid| {
+            storage_grant(line, kind, &rules, valid)
+        }) {
             self.respond(ctx, requester, block, bundle);
         }
     }

@@ -147,10 +147,7 @@ impl DistTable {
 
     /// All blocks with at least one table entry (used when tokens arrive).
     pub fn has_any_for(&self, block: Block) -> bool {
-        self.entries
-            .iter()
-            .flatten()
-            .any(|e| e.block == block)
+        self.entries.iter().flatten().any(|e| e.block == block)
     }
 
     /// Number of valid entries (for table-occupancy statistics).

@@ -178,10 +178,7 @@ impl ContentionPredictor {
             return;
         }
         // Allocate: replace the entry with the smallest counter.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|(_, ctr)| *ctr)
-            .expect("4 ways");
+        let victim = set.iter_mut().min_by_key(|(_, ctr)| *ctr).expect("4 ways");
         *victim = (block.0, 1);
     }
 }

@@ -9,10 +9,8 @@ use std::rc::Rc;
 
 use tokencmp_core::msg::{ReqKind, TokenBundle, TokenMsg};
 use tokencmp_core::{TokenL1, TokenL2, TokenMem, Variant};
-use tokencmp_proto::{
-    AccessKind, Block, CpuReq, CpuResp, Layout, ProcId, SystemConfig, Unit,
-};
-use tokencmp_sim::{Component, Ctx, Dur, Kernel, NodeId, Time};
+use tokencmp_proto::{AccessKind, Block, CpuReq, CpuResp, ProcId, SystemConfig, Unit};
+use tokencmp_sim::{Component, Ctx, Kernel, NodeId, Time};
 
 type Log = Rc<RefCell<Vec<(NodeId, NodeId, Time, TokenMsg)>>>;
 
@@ -38,7 +36,11 @@ impl Component<TokenMsg> for Recorder {
 /// Builds a kernel with the unit under test at its layout slot and
 /// recorders everywhere else. Instant transport (latency zero) so timing
 /// assertions reflect controller-internal delays only.
-fn build(cfg: &Rc<SystemConfig>, under_test: Unit, variant: Variant) -> (Kernel<TokenMsg>, Log, NodeId) {
+fn build(
+    cfg: &Rc<SystemConfig>,
+    under_test: Unit,
+    variant: Variant,
+) -> (Kernel<TokenMsg>, Log, NodeId) {
     let layout = cfg.layout();
     let log: Log = Rc::new(RefCell::new(Vec::new()));
     let mut k: Kernel<TokenMsg> = Kernel::new_instant();
@@ -129,8 +131,13 @@ fn l1_store_miss_broadcasts_within_its_chip_only() {
         }
         let msgs = received_by(&log, l1_node);
         assert!(
-            msgs.iter()
-                .any(|m| matches!(m, TokenMsg::Transient { external: false, .. })),
+            msgs.iter().any(|m| matches!(
+                m,
+                TokenMsg::Transient {
+                    external: false,
+                    ..
+                }
+            )),
             "local L1 {l1_node:?} must see the broadcast"
         );
     }
@@ -140,7 +147,10 @@ fn l1_store_miss_broadcasts_within_its_chip_only() {
     // No remote node hears anything.
     for c in layout.cmp_ids().filter(|&c| c != local_cmp) {
         for n in layout.l1s_on(c) {
-            assert!(received_by(&log, n).is_empty(), "remote L1 {n:?} heard the L1");
+            assert!(
+                received_by(&log, n).is_empty(),
+                "remote L1 {n:?} heard the L1"
+            );
         }
     }
 }
@@ -185,7 +195,10 @@ fn l1_completes_store_when_all_tokens_arrive() {
     );
     // The L1 now holds everything.
     let l1c = k.component_as::<TokenL1>(l1).unwrap();
-    assert_eq!(l1c.token_census(), vec![(block, cfg.tokens_per_block, true)]);
+    assert_eq!(
+        l1c.token_census(),
+        vec![(block, cfg.tokens_per_block, true)]
+    );
 }
 
 #[test]
@@ -216,11 +229,7 @@ fn l1_answers_external_write_with_everything_and_fires_watch() {
     );
     k.run(10_000, Time::from_ns(40));
     // Register a spin watch.
-    k.inject(
-        layout.proc(p),
-        l1,
-        TokenMsg::Cpu(CpuReq::Watch { block }),
-    );
+    k.inject(layout.proc(p), l1, TokenMsg::Cpu(CpuReq::Watch { block }));
     k.run(10_000, Time::from_ns(60));
     // A remote L1 sends an external write request.
     let remote = layout.l1d(ProcId(3));
@@ -250,7 +259,11 @@ fn l1_answers_external_write_with_everything_and_fires_watch() {
     assert!(received_by(&log, layout.proc(p))
         .iter()
         .any(|m| matches!(m, TokenMsg::CpuResp(CpuResp::WatchFired { .. }))));
-    assert!(k.component_as::<TokenL1>(l1).unwrap().token_census().is_empty());
+    assert!(k
+        .component_as::<TokenL1>(l1)
+        .unwrap()
+        .token_census()
+        .is_empty());
 }
 
 #[test]
@@ -449,7 +462,11 @@ fn l1_persistent_activation_forwards_present_and_future_tokens() {
 fn l2_rebroadcasts_unsatisfiable_local_requests_off_chip() {
     let cfg = cfg();
     let layout = cfg.layout();
-    let (mut k, log, l2) = build(&cfg, Unit::L2Bank(tokencmp_proto::CmpId(0), 0), Variant::Dst1);
+    let (mut k, log, l2) = build(
+        &cfg,
+        Unit::L2Bank(tokencmp_proto::CmpId(0), 0),
+        Variant::Dst1,
+    );
     let block = Block(0x42); // bank 0; homed on chip 1 in small_test
     let requester = layout.l1d(ProcId(0));
     k.inject(

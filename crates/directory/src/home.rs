@@ -321,9 +321,7 @@ impl DirHome {
         let chip = self.chip_of(src);
         let entry = self.entries.entry(block).or_default();
         if entry.busy.is_some() {
-            entry
-                .deferred
-                .push_back((src, DirMsg::WbReqL2 { block }));
+            entry.deferred.push_back((src, DirMsg::WbReqL2 { block }));
             return;
         }
         entry.busy = Some(HomeTxn::Wb { chip });
@@ -411,7 +409,12 @@ impl DirHome {
 impl Component<DirMsg> for DirHome {
     fn on_msg(&mut self, src: NodeId, msg: DirMsg, ctx: &mut Ctx<'_, DirMsg>) {
         crate::trace(&msg, || {
-            format!("HOME {:?} t={} <- {src:?}: {msg:?} (state {:?})", self.cmp, ctx.now, self.state(crate::msg_block(&msg).unwrap_or(Block(u64::MAX))))
+            format!(
+                "HOME {:?} t={} <- {src:?}: {msg:?} (state {:?})",
+                self.cmp,
+                ctx.now,
+                self.state(crate::msg_block(&msg).unwrap_or(Block(u64::MAX)))
+            )
         });
         match msg {
             DirMsg::L2Req {

@@ -14,9 +14,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use tokencmp_cache::{InsertOutcome, SetAssoc};
-use tokencmp_proto::{
-    AccessKind, Block, CpuReq, CpuResp, Layout, ProcId, SystemConfig,
-};
+use tokencmp_proto::{AccessKind, Block, CpuReq, CpuResp, Layout, ProcId, SystemConfig};
 use tokencmp_sim::{Component, Ctx, Histogram, NodeId, Time};
 
 use crate::msg::{DirMsg, L1Grant, ReqKind};
@@ -196,10 +194,7 @@ impl DirL1 {
     }
 
     fn handle_grant(&mut self, block: Block, state: L1Grant, ctx: &mut Ctx<'_, DirMsg>) {
-        let m = self
-            .miss
-            .take()
-            .expect("grant without an outstanding miss");
+        let m = self.miss.take().expect("grant without an outstanding miss");
         assert_eq!(m.block, block, "grant for the wrong block");
         let write = m.access.needs_write();
         let installed = match (state, write) {
@@ -331,7 +326,9 @@ impl DirL1 {
 
 impl Component<DirMsg> for DirL1 {
     fn on_msg(&mut self, _src: NodeId, msg: DirMsg, ctx: &mut Ctx<'_, DirMsg>) {
-        crate::trace(&msg, || format!("L1 {:?}/{:?} t={}: {msg:?}", self.proc, self.me, ctx.now));
+        crate::trace(&msg, || {
+            format!("L1 {:?}/{:?} t={}: {msg:?}", self.proc, self.me, ctx.now)
+        });
         match msg {
             DirMsg::Cpu(req) => self.handle_cpu(req, ctx),
             DirMsg::GrantToL1 { block, state } => self.handle_grant(block, state, ctx),

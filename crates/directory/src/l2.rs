@@ -137,7 +137,6 @@ struct Entry {
     stamp: u64,
 }
 
-
 /// Bit index of a local L1 within the chip's L1 list.
 fn bit_of(l1s: &[NodeId], l1: NodeId) -> u16 {
     let idx = l1s
@@ -283,7 +282,11 @@ impl DirL2 {
     }
 
     /// Re-dispatches requests deferred behind a completed transaction.
-    fn process_deferred(&mut self, mut queue: VecDeque<(NodeId, DirMsg)>, ctx: &mut Ctx<'_, DirMsg>) {
+    fn process_deferred(
+        &mut self,
+        mut queue: VecDeque<(NodeId, DirMsg)>,
+        ctx: &mut Ctx<'_, DirMsg>,
+    ) {
         while let Some((src, msg)) = queue.pop_front() {
             self.dispatch(src, msg, ctx);
             // If the first deferred request made the block busy again, the
@@ -291,11 +294,7 @@ impl DirL2 {
             if let Some(DirMsg::L1Req { block, .. } | DirMsg::WbReqL1 { block, .. }) =
                 queue.front().map(|&(_, m)| m)
             {
-                if self
-                    .entries
-                    .get(&block)
-                    .is_some_and(|e| e.busy.is_some())
-                {
+                if self.entries.get(&block).is_some_and(|e| e.busy.is_some()) {
                     let e = self.entries.get_mut(&block).unwrap();
                     while let Some(item) = queue.pop_front() {
                         e.deferred.push_back(item);
@@ -316,11 +315,7 @@ impl DirL2 {
         ctx: &mut Ctx<'_, DirMsg>,
     ) {
         self.stats.local_requests += 1;
-        if self
-            .entries
-            .get(&block)
-            .is_some_and(|e| e.busy.is_some())
-        {
+        if self.entries.get(&block).is_some_and(|e| e.busy.is_some()) {
             self.defer(
                 block,
                 requester,
@@ -369,7 +364,10 @@ impl DirL2 {
                 ctx.send_after(
                     self.cfg.l2_latency,
                     requester,
-                    DirMsg::GrantToL1 { block, state: grant },
+                    DirMsg::GrantToL1 {
+                        block,
+                        state: grant,
+                    },
                 );
             }
             // On-chip satisfiable write: the chip is exclusive.
@@ -474,7 +472,10 @@ impl DirL2 {
         ctx.send_after(
             self.cfg.l2_latency,
             requester,
-            DirMsg::GrantToL1 { block, state: grant },
+            DirMsg::GrantToL1 {
+                block,
+                state: grant,
+            },
         );
     }
 
@@ -591,7 +592,10 @@ impl DirL2 {
         ctx.send_after(
             self.cfg.l2_latency,
             requester,
-            DirMsg::GrantToL1 { block, state: grant },
+            DirMsg::GrantToL1 {
+                block,
+                state: grant,
+            },
         );
     }
 
@@ -625,8 +629,8 @@ impl DirL2 {
                     ctx.send_after(self.cfg.l2_latency, o, DirMsg::FwdL1 { block, kind });
                 } else {
                     // Data is at the L2; invalidations (if any) first.
-                    let relinquish = kind == ReqKind::Write
-                        || (e.dirty && self.cfg.migratory_sharing);
+                    let relinquish =
+                        kind == ReqKind::Write || (e.dirty && self.cfg.migratory_sharing);
                     let inv_mask = if relinquish { e.sharers } else { 0 };
                     e.sharers &= !inv_mask;
                     let targets = nodes_of(&self.local_l1s, inv_mask);
@@ -651,18 +655,16 @@ impl DirL2 {
                 // data now.
                 debug_assert_eq!(e.rights, ChipRights::O);
                 let dirty = e.dirty;
-                if kind == ReqKind::Write || (dirty && self.cfg.migratory_sharing && kind == ReqKind::Read)
+                if kind == ReqKind::Write
+                    || (dirty && self.cfg.migratory_sharing && kind == ReqKind::Read)
                 {
                     // Rights leave the chip; our own outstanding request
                     // will bring fresh data back.
                     t.have_data = false;
                     t.chip_grant = None;
                     t.data_dirty = false;
-                    let state = if kind == ReqKind::Write {
-                        ChipGrant::M
-                    } else {
-                        ChipGrant::M // migratory read transfer
-                    };
+                    // Writes and migratory read transfers both hand over M.
+                    let state = ChipGrant::M;
                     // Local sharers (if any) are stale now; invalidate
                     // them via the service slot.
                     let inv_mask = e.sharers;
@@ -747,8 +749,7 @@ impl DirL2 {
         if t.awaiting_data || t.acks_left > 0 {
             return;
         }
-        let (remote, kind, dirty, migratory) =
-            (t.requester, t.kind, t.data_dirty, t.migratory);
+        let (remote, kind, dirty, migratory) = (t.requester, t.kind, t.data_dirty, t.migratory);
         e.dirty |= dirty;
         let dirty = e.dirty;
         let (state, drop_entry) = match kind {
@@ -808,7 +809,14 @@ impl DirL2 {
                     | Txn::EvictLocal { .. }
             )
         ) {
-            self.defer(block, remote, DirMsg::InvL2 { block, requester: remote });
+            self.defer(
+                block,
+                remote,
+                DirMsg::InvL2 {
+                    block,
+                    requester: remote,
+                },
+            );
             return;
         }
         let inv_mask = e.sharers;
@@ -1091,11 +1099,18 @@ impl DirL2 {
         } else {
             debug_assert!(keep.is_empty(), "entry removed with deferred work");
         }
-        ctx.send_after(self.cfg.l2_latency, self.home_of(block), DirMsg::WbReqL2 { block });
+        ctx.send_after(
+            self.cfg.l2_latency,
+            self.home_of(block),
+            DirMsg::WbReqL2 { block },
+        );
     }
 
     fn handle_wb_grant_l2(&mut self, block: Block, ctx: &mut Ctx<'_, DirMsg>) {
-        let e = self.entries.get_mut(&block).expect("wb grant without entry");
+        let e = self
+            .entries
+            .get_mut(&block)
+            .expect("wb grant without entry");
         let Some(Txn::EvictWb { lost }) = &e.busy else {
             panic!("wb grant with unexpected txn");
         };
@@ -1199,7 +1214,9 @@ impl DirL2 {
 
 impl Component<DirMsg> for DirL2 {
     fn on_msg(&mut self, src: NodeId, msg: DirMsg, ctx: &mut Ctx<'_, DirMsg>) {
-        crate::trace(&msg, || format!("L2 {:?} t={} <- {src:?}: {msg:?}", self.cmp, ctx.now));
+        crate::trace(&msg, || {
+            format!("L2 {:?} t={} <- {src:?}: {msg:?}", self.cmp, ctx.now)
+        });
         self.dispatch(src, msg, ctx);
     }
 

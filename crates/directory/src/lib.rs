@@ -41,13 +41,27 @@ pub(crate) fn msg_block(m: &DirMsg) -> Option<Block> {
         Cpu(r) => r.block(),
         CpuResp(tokencmp_proto::CpuResp::Done { block, .. })
         | CpuResp(tokencmp_proto::CpuResp::WatchFired { block }) => block,
-        L1Req { block, .. } | FwdL1 { block, .. } | InvL1 { block } | InvAckL1 { block }
-        | DataL1ToL2 { block, .. } | GrantToL1 { block, .. } | UnblockL1 { block }
-        | WbReqL1 { block } | WbGrantL1 { block } | WbDataL1 { block, .. }
-        | L2Req { block, .. } | FwdL2 { block, .. } | InvL2 { block, .. }
-        | InvAckL2 { block } | FwdInfo { block, .. } | MemData { block, .. }
-        | DataL2ToL2 { block, .. } | UnblockHome { block, .. } | WbReqL2 { block }
-        | WbGrantL2 { block } | WbDataL2 { block, .. } => block,
+        L1Req { block, .. }
+        | FwdL1 { block, .. }
+        | InvL1 { block }
+        | InvAckL1 { block }
+        | DataL1ToL2 { block, .. }
+        | GrantToL1 { block, .. }
+        | UnblockL1 { block }
+        | WbReqL1 { block }
+        | WbGrantL1 { block }
+        | WbDataL1 { block, .. }
+        | L2Req { block, .. }
+        | FwdL2 { block, .. }
+        | InvL2 { block, .. }
+        | InvAckL2 { block }
+        | FwdInfo { block, .. }
+        | MemData { block, .. }
+        | DataL2ToL2 { block, .. }
+        | UnblockHome { block, .. }
+        | WbReqL2 { block }
+        | WbGrantL2 { block }
+        | WbDataL2 { block, .. } => block,
     })
 }
 

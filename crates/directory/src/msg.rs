@@ -225,20 +225,17 @@ impl NetMsg for DirMsg {
         match self {
             DirMsg::Cpu(_) | DirMsg::CpuResp(_) => 0,
             DirMsg::GrantToL1 { .. } | DirMsg::MemData { .. } | DirMsg::DataL2ToL2 { .. } => 72,
-            DirMsg::DataL1ToL2 { valid, .. } => {
-                if *valid {
-                    72
-                } else {
-                    8
-                }
+            DirMsg::DataL1ToL2 { valid: true, .. } => 72,
+            DirMsg::WbDataL1 {
+                dirty: true,
+                valid: true,
+                ..
             }
-            DirMsg::WbDataL1 { dirty, valid, .. } | DirMsg::WbDataL2 { dirty, valid, .. } => {
-                if *dirty && *valid {
-                    72
-                } else {
-                    8
-                }
-            }
+            | DirMsg::WbDataL2 {
+                dirty: true,
+                valid: true,
+                ..
+            } => 72,
             _ => 8,
         }
     }
@@ -260,7 +257,9 @@ impl NetMsg for DirMsg {
             | DirMsg::MemData { .. }
             | DirMsg::DataL2ToL2 { .. } => MsgClass::ResponseData,
             DirMsg::UnblockL1 { .. } | DirMsg::UnblockHome { .. } => MsgClass::Unblock,
-            DirMsg::WbReqL1 { .. } | DirMsg::WbGrantL1 { .. } | DirMsg::WbReqL2 { .. }
+            DirMsg::WbReqL1 { .. }
+            | DirMsg::WbGrantL1 { .. }
+            | DirMsg::WbReqL2 { .. }
             | DirMsg::WbGrantL2 { .. } => MsgClass::WritebackControl,
             DirMsg::WbDataL1 { dirty, valid, .. } | DirMsg::WbDataL2 { dirty, valid, .. } => {
                 if *dirty && *valid {

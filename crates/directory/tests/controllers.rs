@@ -8,7 +8,9 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use tokencmp_directory::{ChipGrant, DirHome, DirL1, DirL2, DirMsg, HomeResult, HomeState, L1Grant, ReqKind};
+use tokencmp_directory::{
+    ChipGrant, DirHome, DirL1, DirL2, DirMsg, HomeResult, HomeState, L1Grant, ReqKind,
+};
 use tokencmp_proto::{AccessKind, Block, CmpId, CpuReq, CpuResp, ProcId, SystemConfig, Unit};
 use tokencmp_sim::{Component, Ctx, Kernel, NodeId, Time};
 
@@ -258,7 +260,11 @@ fn l1_runs_the_three_phase_writeback() {
     // Fill one L1 set (2 ways in small_test) with M lines, then a third
     // grant forces a dirty eviction.
     let set_stride = cfg.l1_sets as u64;
-    let blocks = [Block(0x10), Block(0x10 + set_stride), Block(0x10 + 2 * set_stride)];
+    let blocks = [
+        Block(0x10),
+        Block(0x10 + set_stride),
+        Block(0x10 + 2 * set_stride),
+    ];
     for &b in &blocks {
         let bank = layout.l2(CmpId(0), cfg.l2_bank_of(b));
         k.inject(
@@ -339,9 +345,13 @@ fn l2_fetches_from_home_then_grants_and_unblocks_home() {
         },
     );
     k.run(10_000, Time::from_ns(200));
-    assert!(received_by(&log, home)
-        .iter()
-        .any(|m| matches!(m, DirMsg::UnblockHome { result: HomeResult::Exclusive, .. })));
+    assert!(received_by(&log, home).iter().any(|m| matches!(
+        m,
+        DirMsg::UnblockHome {
+            result: HomeResult::Exclusive,
+            ..
+        }
+    )));
     assert!(received_by(&log, requester).iter().any(|m| matches!(
         m,
         DirMsg::GrantToL1 {
@@ -401,9 +411,13 @@ fn l2_defers_conflicting_requests_until_unblock() {
     k.run(10_000, Time::from_ns(200));
     // The deferred request is now served on-chip (S data at the L2).
     assert!(
-        received_by(&log, r2)
-            .iter()
-            .any(|m| matches!(m, DirMsg::GrantToL1 { state: L1Grant::S, .. })),
+        received_by(&log, r2).iter().any(|m| matches!(
+            m,
+            DirMsg::GrantToL1 {
+                state: L1Grant::S,
+                ..
+            }
+        )),
         "deferred sharer must be granted after unblock"
     );
 }
@@ -433,7 +447,16 @@ fn home_grants_exclusive_from_dram_and_then_forwards() {
     let (at, _) = log
         .borrow()
         .iter()
-        .find(|&&(me, _, _, m)| me == l2a && matches!(m, DirMsg::MemData { state: ChipGrant::E, .. }))
+        .find(|&&(me, _, _, m)| {
+            me == l2a
+                && matches!(
+                    m,
+                    DirMsg::MemData {
+                        state: ChipGrant::E,
+                        ..
+                    }
+                )
+        })
         .map(|&(_, _, t, m)| (t, m))
         .expect("uncached read gets an E grant from DRAM");
     // Directory state and DRAM data are both charged.
@@ -463,9 +486,13 @@ fn home_grants_exclusive_from_dram_and_then_forwards() {
         },
     );
     k.run(10_000, Time::from_ns(1500));
-    assert!(received_by(&log, l2a)
-        .iter()
-        .any(|m| matches!(m, DirMsg::FwdL2 { kind: ReqKind::Write, .. })));
+    assert!(received_by(&log, l2a).iter().any(|m| matches!(
+        m,
+        DirMsg::FwdL2 {
+            kind: ReqKind::Write,
+            ..
+        }
+    )));
     assert!(received_by(&log, l2b)
         .iter()
         .any(|m| matches!(m, DirMsg::FwdInfo { acks: 0, .. })));
@@ -563,7 +590,11 @@ fn home_defers_requests_while_busy() {
     );
     k.run(10_000, Time::from_ns(1500));
     // Now the deferred read is served by forwarding to the new owner.
-    assert!(received_by(&log, l2a)
-        .iter()
-        .any(|m| matches!(m, DirMsg::FwdL2 { kind: ReqKind::Read, .. })));
+    assert!(received_by(&log, l2a).iter().any(|m| matches!(
+        m,
+        DirMsg::FwdL2 {
+            kind: ReqKind::Read,
+            ..
+        }
+    )));
 }

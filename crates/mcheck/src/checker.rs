@@ -115,9 +115,7 @@ pub fn check<M: Model>(model: &M, opts: &CheckOptions) -> Result<CheckReport, Bo
     let mut transitions: u64 = 0;
     let mut max_depth = 0;
 
-    let trace_to = |idx: usize,
-                    parent: &Vec<Option<(usize, String)>>,
-                    states: &Vec<M::State>| {
+    let trace_to = |idx: usize, parent: &Vec<Option<(usize, String)>>, states: &Vec<M::State>| {
         let mut trace = Vec::new();
         let mut cur = idx;
         while let Some((p, a)) = &parent[cur] {

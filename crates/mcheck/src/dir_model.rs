@@ -306,11 +306,7 @@ impl DirModel {
             }
             (PKind::Write, DSt::Excl(o)) => {
                 debug_assert_ne!(o, proc);
-                s.net.push(DMsg::Fwd {
-                    dst: o,
-                    proc,
-                    kind,
-                });
+                s.net.push(DMsg::Fwd { dst: o, proc, kind });
                 s.net.push(DMsg::AckInfo { dst: proc, acks: 0 });
             }
         }
@@ -738,13 +734,12 @@ impl Model for DirModel {
         }
         // Memory must be current when nobody is responsible for dirty data
         // and nothing dirty is in flight or pending.
-        let any_dirty = s
-            .caches
-            .iter()
-            .any(|c| matches!(c.st, CSt::M | CSt::O) || matches!(c.wb, Some((CSt::M | CSt::O, _))))
-            || s.caches.iter().any(|c| c.pending.is_some())
-            || !s.net.is_empty()
-            || s.busy.is_some();
+        let any_dirty =
+            s.caches.iter().any(|c| {
+                matches!(c.st, CSt::M | CSt::O) || matches!(c.wb, Some((CSt::M | CSt::O, _)))
+            }) || s.caches.iter().any(|c| c.pending.is_some())
+                || !s.net.is_empty()
+                || s.busy.is_some();
         if !any_dirty && s.memval != s.current {
             return Err(format!(
                 "memory stale: v{} vs current v{}",
@@ -758,8 +753,7 @@ impl Model for DirModel {
         s.net.is_empty()
             && s.busy.is_none()
             && s.deferred.is_empty()
-            && s
-                .caches
+            && s.caches
                 .iter()
                 .all(|c| c.pending.is_none() && c.wb.is_none())
     }

@@ -35,7 +35,10 @@ pub fn spec_lines() -> [(&'static str, usize); 2] {
             .count()
     }
     [
-        ("token substrate spec", count(include_str!("token_model.rs"))),
+        (
+            "token substrate spec",
+            count(include_str!("token_model.rs")),
+        ),
         ("flat directory spec", count(include_str!("dir_model.rs"))),
     ]
 }

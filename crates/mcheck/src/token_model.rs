@@ -64,8 +64,16 @@ impl TokenModelParams {
             caches: 2,
             tokens: 4,
             max_inflight: if mode == SubstrateMode::Arbiter { 1 } else { 2 },
-            max_ctl_inflight: if mode == SubstrateMode::SafetyOnly { 2 } else { 1 },
-            max_writes: if mode == SubstrateMode::SafetyOnly { 2 } else { 1 },
+            max_ctl_inflight: if mode == SubstrateMode::SafetyOnly {
+                2
+            } else {
+                1
+            },
+            max_writes: if mode == SubstrateMode::SafetyOnly {
+                2
+            } else {
+                1
+            },
             mode,
         }
     }
@@ -447,11 +455,7 @@ impl Model for TokenModel {
                             kind,
                             marked: false,
                         });
-                        self.broadcast(&mut t, mem, |d| TMsg::ArbActivate {
-                            dst: d,
-                            proc,
-                            kind,
-                        });
+                        self.broadcast(&mut t, mem, |d| TMsg::ArbActivate { dst: d, proc, kind });
                     } else {
                         t.arb_queue.push((proc, kind));
                     }
@@ -482,9 +486,9 @@ impl Model for TokenModel {
                         for node in 0..self.n_nodes() {
                             t.tables[node][proc as usize] = None;
                         }
-                        t.net.retain(|m| {
-                            !matches!(m, TMsg::ArbActivate { proc: p, .. } if *p == proc)
-                        });
+                        t.net.retain(
+                            |m| !matches!(m, TMsg::ArbActivate { proc: p, .. } if *p == proc),
+                        );
                         t.arb_current = if t.arb_queue.is_empty() {
                             None
                         } else {
@@ -698,11 +702,7 @@ impl Model for TokenModel {
         }
         // One writer XOR multiple readers: implied by counting; check the
         // explicit form anyway.
-        let writers = s
-            .nodes
-            .iter()
-            .filter(|n| n.tokens == self.p.tokens)
-            .count();
+        let writers = s.nodes.iter().filter(|n| n.tokens == self.p.tokens).count();
         let readers = s.nodes.iter().filter(|n| n.tokens >= 1).count();
         if writers == 1 && readers > 1 {
             return Err("writer coexists with another reader".into());

@@ -313,15 +313,11 @@ impl<M: NetMsg> Transport<M> for Network {
                 }
                 drop(traffic);
                 let ser_inter = Dur::from_bytes_at_gbps(size, self.inter_gbps);
-                let (first_cmp, mem_cmp) = if to_mem {
-                    (src_cmp, dst_cmp)
-                } else {
-                    (dst_cmp, src_cmp)
-                };
+                let mem_cmp = if to_mem { dst_cmp } else { src_cmp };
                 let after_inter = self.occupy(
                     LinkKey::Inter {
-                        from: if to_mem { first_cmp } else { mem_cmp },
-                        to: if to_mem { dst_cmp } else { dst_cmp },
+                        from: src_cmp,
+                        to: dst_cmp,
                     },
                     now,
                     ser_inter,
@@ -594,7 +590,7 @@ mod tests {
                     }
                     last_per_pair.insert((a, b), t);
                 }
-                now = now + Dur::from_ps(1); // strictly increasing send times
+                now += Dur::from_ps(1); // strictly increasing send times
             }
         }
     }

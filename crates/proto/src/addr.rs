@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn bits_extracts_modulo_slice() {
-        let b = Block(0b1101_10);
+        let b = Block(0b11_0110);
         assert_eq!(b.bits(0, 4), 0b10);
         assert_eq!(b.bits(2, 4), 0b01);
         assert_eq!(b.bits(0, 1), 0);

@@ -148,7 +148,9 @@ impl SystemConfig {
     /// directory entry / memory tokens. Uses bits above the bank-select
     /// bits so banking and homing are independent.
     pub fn home_of(&self, block: Block) -> CmpId {
-        let shift = (self.banks_per_cmp as u64).next_power_of_two().trailing_zeros();
+        let shift = (self.banks_per_cmp as u64)
+            .next_power_of_two()
+            .trailing_zeros();
         CmpId(block.bits(shift, self.cmps as u64) as u8)
     }
 
@@ -204,7 +206,10 @@ mod tests {
         // 128 kB L1: 512 sets * 4 ways * 64 B
         assert_eq!(c.l1_sets * c.l1_ways * 64, 128 * 1024);
         // 8 MB shared L2 per chip: 4 banks * 8192 sets * 4 ways * 64 B
-        assert_eq!(c.banks_per_cmp as usize * c.l2_sets * c.l2_ways * 64, 8 << 20);
+        assert_eq!(
+            c.banks_per_cmp as usize * c.l2_sets * c.l2_ways * 64,
+            8 << 20
+        );
         assert_eq!(c.l1_latency, Dur::from_ns(2));
         assert_eq!(c.l2_latency, Dur::from_ns(7));
         assert_eq!(c.inter_latency, Dur::from_ns(20));

@@ -200,9 +200,7 @@ impl Layout {
     /// Where a node physically sits.
     pub fn placement(&self, n: NodeId) -> Placement {
         match self.unit(n) {
-            Unit::Proc(p) | Unit::L1D(p) | Unit::L1I(p) => {
-                Placement::OnChip(self.cmp_of_proc(p))
-            }
+            Unit::Proc(p) | Unit::L1D(p) | Unit::L1I(p) => Placement::OnChip(self.cmp_of_proc(p)),
             Unit::L2Bank(c, _) => Placement::OnChip(c),
             Unit::Mem(c) => Placement::OffChip(c),
         }
@@ -210,10 +208,7 @@ impl Layout {
 
     /// True if the node is a cache (L1-D, L1-I or L2 bank).
     pub fn is_cache(&self, n: NodeId) -> bool {
-        matches!(
-            self.unit(n),
-            Unit::L1D(_) | Unit::L1I(_) | Unit::L2Bank(..)
-        )
+        matches!(self.unit(n), Unit::L1D(_) | Unit::L1I(_) | Unit::L2Bank(..))
     }
 
     // ---- Convenience addressing -------------------------------------------------
@@ -348,10 +343,7 @@ mod tests {
     #[test]
     fn placement_distinguishes_mem() {
         let l = l();
-        assert_eq!(
-            l.placement(l.l1d(ProcId(5))),
-            Placement::OnChip(CmpId(1))
-        );
+        assert_eq!(l.placement(l.l1d(ProcId(5))), Placement::OnChip(CmpId(1)));
         assert_eq!(l.placement(l.mem(CmpId(2))), Placement::OffChip(CmpId(2)));
         assert_eq!(l.placement(l.mem(CmpId(2))).cmp(), CmpId(2));
     }

@@ -107,14 +107,16 @@ impl<M> Ctx<'_, M> {
     /// Schedules a wakeup for this component `delay` from now.
     pub fn wake_in(&mut self, delay: Dur, tag: u64) {
         let id = self.self_id;
-        self.queue.push(self.now + delay, id, EventKind::Wake { tag });
+        self.queue
+            .push(self.now + delay, id, EventKind::Wake { tag });
     }
 
     /// Schedules a wakeup for this component at absolute time `at`
     /// (clamped to now).
     pub fn wake_at(&mut self, at: Time, tag: u64) {
         let id = self.self_id;
-        self.queue.push(at.max(self.now), id, EventKind::Wake { tag });
+        self.queue
+            .push(at.max(self.now), id, EventKind::Wake { tag });
     }
 
     /// Requests that the kernel stop after the current event.
@@ -215,15 +217,14 @@ impl<M: 'static> Kernel<M> {
     ///
     /// Panics if `id` is out of range.
     pub fn component_as_mut<C: Component<M>>(&mut self, id: NodeId) -> Option<&mut C> {
-        self.components[id.index()]
-            .as_any_mut()
-            .downcast_mut::<C>()
+        self.components[id.index()].as_any_mut().downcast_mut::<C>()
     }
 
     /// Schedules a wakeup for `dst` at `delay` from the current time; used
     /// to bootstrap components (e.g. start every processor at t=0).
     pub fn wake(&mut self, dst: NodeId, delay: Dur, tag: u64) {
-        self.queue.push(self.time + delay, dst, EventKind::Wake { tag });
+        self.queue
+            .push(self.time + delay, dst, EventKind::Wake { tag });
     }
 
     /// Injects a message from `src` to `dst` through the transport; for
@@ -246,7 +247,11 @@ impl<M: 'static> Kernel<M> {
         self.time = ev.time;
         self.events_processed += 1;
         let idx = ev.dst.index();
-        assert!(idx < self.components.len(), "event for unknown {:?}", ev.dst);
+        assert!(
+            idx < self.components.len(),
+            "event for unknown {:?}",
+            ev.dst
+        );
         let mut ctx = Ctx {
             now: self.time,
             self_id: ev.dst,
@@ -350,8 +355,14 @@ mod tests {
         // 5 arrives at b; 4 at a; 3 at b; 2 at a; 1 at b; 0 at a.
         let ea = k.component_as::<Echo>(a).unwrap();
         let eb = k.component_as::<Echo>(b).unwrap();
-        assert_eq!(ea.received.iter().map(|&(_, m)| m).collect::<Vec<_>>(), [4, 2, 0]);
-        assert_eq!(eb.received.iter().map(|&(_, m)| m).collect::<Vec<_>>(), [5, 3, 1]);
+        assert_eq!(
+            ea.received.iter().map(|&(_, m)| m).collect::<Vec<_>>(),
+            [4, 2, 0]
+        );
+        assert_eq!(
+            eb.received.iter().map(|&(_, m)| m).collect::<Vec<_>>(),
+            [5, 3, 1]
+        );
         // 6 messages * 3 ns each.
         assert_eq!(k.now(), Time::from_ns(18));
     }

@@ -1,0 +1,358 @@
+//! Deterministic parallel sweep engine for multi-seed / multi-protocol
+//! experiments.
+//!
+//! Every figure and table of the paper's evaluation is a sweep over
+//! `(protocol × variant × seed × workload)` in which each simulation is
+//! an independent, deterministic function of its inputs. This crate
+//! turns such a grid into data-parallel work:
+//!
+//! * [`Sweep`] collects [`SweepPoint`]s (protocol, seed, run options,
+//!   and a workload factory) in *grid order*;
+//! * [`Sweep::run`] fans the points out over a [`std::thread::scope`]
+//!   worker pool (size from [`default_threads`], overridable per call or
+//!   via the `TOKENCMP_SWEEP_THREADS` environment variable) and collects
+//!   per-point [`RunResult`]s **in grid order** — so aggregated output is
+//!   bit-identical to a sequential loop regardless of thread count or
+//!   scheduling;
+//! * [`report`] exports one JSON record per point (protocol name, seed,
+//!   runtime, counters, traffic) and parses it back for mechanical
+//!   post-processing.
+//!
+//! The determinism guarantee rests on two facts: each simulation runs
+//! entirely inside one worker thread with no shared mutable state (the
+//! kernel's `Rc`/`RefCell` graph is built and torn down thread-locally),
+//! and results are written to pre-assigned slots indexed by submission
+//! order, never by completion order.
+//!
+//! ```
+//! use tokencmp_sweep::Sweep;
+//! use tokencmp_system::{Protocol, RunOptions, ScriptedWorkload};
+//! use tokencmp_proto::{AccessKind, Block, SystemConfig};
+//! use tokencmp_core::Variant;
+//!
+//! let cfg = SystemConfig::small_test();
+//! let mut sweep = Sweep::new();
+//! sweep.push_grid(
+//!     &cfg,
+//!     &[Protocol::Token(Variant::Dst1), Protocol::Directory],
+//!     &[11, 23],
+//!     RunOptions::default(),
+//!     |_seed| ScriptedWorkload::new(vec![vec![(AccessKind::Load, Block(1))], vec![], vec![], vec![]]),
+//! );
+//! let points = sweep.run();
+//! assert_eq!(points.len(), 4); // 2 protocols × 2 seeds, in grid order
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tokencmp_proto::SystemConfig;
+use tokencmp_system::{run_workload, Protocol, RunOptions, RunResult, Workload};
+
+pub mod json;
+pub mod report;
+
+pub use report::{parse_records, points_to_json, write_json, PointRecord};
+
+/// The number of worker threads [`Sweep::run`] and [`par_map`] use: the
+/// `TOKENCMP_SWEEP_THREADS` environment variable if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TOKENCMP_SWEEP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a scoped worker pool and returns the
+/// results **in input order** (the deterministic core of the engine,
+/// usable for any independent fan-out, e.g. model-checking runs).
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven item
+/// costs balance across workers; output order is still input order
+/// because each item writes to its pre-assigned slot. A panic in `f`
+/// propagates after all workers finish.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_threads(items, default_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (`threads <= 1` runs
+/// inline, sequentially).
+pub fn par_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i].lock().unwrap().take().expect("job claimed twice");
+                let result = f(item);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("worker exited before filling its slot")
+        })
+        .collect()
+}
+
+/// One cell of a sweep grid: which protocol and seed to run, under which
+/// run options. The workload itself is produced lazily inside the worker
+/// thread by the factory passed to [`Sweep::push`].
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Free-form tag grouping related points (e.g. `"locks=8"`).
+    pub label: String,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Seed for all pseudo-random protocol behaviour (also handed to the
+    /// workload factory).
+    pub seed: u64,
+    /// Run limits and reproducibility knobs.
+    pub opts: RunOptions,
+}
+
+/// A completed sweep cell: the point and its simulation result.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The grid cell that produced this result.
+    pub point: SweepPoint,
+    /// The simulation outcome.
+    pub result: RunResult,
+}
+
+type Job = Box<dyn FnOnce() -> RunResult + Send>;
+
+/// A declarative grid of independent simulations, executed in parallel
+/// with results in submission order.
+#[derive(Default)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+    jobs: Vec<Job>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep.
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// Number of queued points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Queues one point. `mk` runs inside the worker thread, receiving
+    /// the point's seed; the workload it builds never crosses threads,
+    /// so it does not need to be `Send`.
+    pub fn push<W, F>(
+        &mut self,
+        label: impl Into<String>,
+        cfg: &SystemConfig,
+        protocol: Protocol,
+        seed: u64,
+        opts: RunOptions,
+        mk: F,
+    ) where
+        W: Workload + 'static,
+        F: FnOnce(u64) -> W + Send + 'static,
+    {
+        let cfg = cfg.clone();
+        self.points.push(SweepPoint {
+            label: label.into(),
+            protocol,
+            seed,
+            opts,
+        });
+        self.jobs.push(Box::new(move || {
+            let (result, _workload) = run_workload(&cfg, protocol, mk(seed), &opts);
+            result
+        }));
+    }
+
+    /// Queues a full `protocols × seeds` sub-grid sharing one workload
+    /// factory, protocol-major (all seeds of the first protocol, then
+    /// the next), labelled with the protocol name.
+    pub fn push_grid<W, F>(
+        &mut self,
+        cfg: &SystemConfig,
+        protocols: &[Protocol],
+        seeds: &[u64],
+        opts: RunOptions,
+        mk: F,
+    ) where
+        W: Workload + 'static,
+        F: Fn(u64) -> W + Send + Sync + 'static,
+    {
+        let mk = Arc::new(mk);
+        for &protocol in protocols {
+            for &seed in seeds {
+                let mk = Arc::clone(&mk);
+                self.push(protocol.name(), cfg, protocol, seed, opts, move |s| mk(s));
+            }
+        }
+    }
+
+    /// Runs every point on [`default_threads`] workers; results come
+    /// back in submission order.
+    pub fn run(self) -> Vec<PointResult> {
+        self.run_on(default_threads())
+    }
+
+    /// Runs every point on an explicit number of workers. Any thread
+    /// count produces identical results; `threads <= 1` degenerates to a
+    /// plain sequential loop in submission order.
+    pub fn run_on(self, threads: usize) -> Vec<PointResult> {
+        let results = par_map_threads(self.jobs, threads, |job| job());
+        self.points
+            .into_iter()
+            .zip(results)
+            .map(|(point, result)| PointResult { point, result })
+            .collect()
+    }
+
+    /// Explicit sequential execution (the baseline the determinism tests
+    /// compare against).
+    pub fn run_sequential(self) -> Vec<PointResult> {
+        self.run_on(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokencmp_core::Variant;
+    use tokencmp_proto::{AccessKind, Block};
+    use tokencmp_sim::RunOutcome;
+    use tokencmp_system::ScriptedWorkload;
+
+    fn tiny_script() -> Vec<Vec<(AccessKind, Block)>> {
+        vec![
+            vec![(AccessKind::Load, Block(1)), (AccessKind::Store, Block(4))],
+            vec![(AccessKind::Store, Block(1))],
+            vec![],
+            vec![],
+        ]
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        // Uneven costs: big items finish last on any schedule; order must
+        // still be input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_threads(items.clone(), 8, |x| {
+            if x.is_multiple_of(7) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_is_sequential() {
+        let out = par_map_threads(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn par_map_propagates_worker_panics() {
+        let _ = par_map_threads(vec![0u32, 1, 2, 3], 2, |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn sweep_results_come_back_in_grid_order() {
+        let cfg = SystemConfig::small_test();
+        let protocols = [Protocol::Token(Variant::Dst1), Protocol::Directory];
+        let seeds = [11u64, 23, 47];
+        let mut sweep = Sweep::new();
+        sweep.push_grid(&cfg, &protocols, &seeds, RunOptions::default(), |_| {
+            ScriptedWorkload::new(tiny_script())
+        });
+        assert_eq!(sweep.len(), 6);
+        let points = sweep.run_on(4);
+        let mut i = 0;
+        for &protocol in &protocols {
+            for &seed in &seeds {
+                assert_eq!(points[i].point.protocol, protocol);
+                assert_eq!(points[i].point.seed, seed);
+                assert_eq!(points[i].result.outcome, RunOutcome::Idle);
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = SystemConfig::small_test();
+        let mk_sweep = || {
+            let mut sweep = Sweep::new();
+            sweep.push_grid(
+                &cfg,
+                &[Protocol::Token(Variant::Dst4), Protocol::Directory],
+                &[3, 9],
+                RunOptions::default(),
+                |_| ScriptedWorkload::new(tiny_script()),
+            );
+            sweep
+        };
+        let seq = mk_sweep().run_sequential();
+        for threads in [2, 4, 16] {
+            let par = mk_sweep().run_on(threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.result.runtime, b.result.runtime, "{threads} threads");
+                assert_eq!(a.result.events, b.result.events);
+                let ca: Vec<_> = a.result.counters.counters().collect();
+                let cb: Vec<_> = b.result.counters.counters().collect();
+                assert_eq!(ca, cb);
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -109,10 +109,8 @@ impl<M: CpuPort + 'static> Component<M> for PerfectL2<M> {
                     // Magical coherence: invalidate every other copy and
                     // wake spinners.
                     for (q, arr) in self.l1d.iter_mut().enumerate() {
-                        if q != p {
-                            if arr.remove(block).is_some() {
-                                self.stats.invalidations += 1;
-                            }
+                        if q != p && arr.remove(block).is_some() {
+                            self.stats.invalidations += 1;
                         }
                     }
                     for (q, arr) in self.l1i.iter_mut().enumerate() {

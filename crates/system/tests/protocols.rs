@@ -29,14 +29,9 @@ fn run_all(cfg: &SystemConfig, mk: impl Fn() -> ScriptedWorkload) {
             "{proto} did not run to completion ({:?})",
             res.outcome
         );
-        let expected: usize = (0..cfg.layout().procs())
-            .map(|_| 0)
-            .len();
+        let expected: usize = (0..cfg.layout().procs()).map(|_| 0).len();
         let _ = expected;
-        assert!(
-            res.runtime_ns() > 0.0,
-            "{proto} reported zero runtime"
-        );
+        assert!(res.runtime_ns() > 0.0, "{proto} reported zero runtime");
         assert_eq!(
             res.counters.counter("procs.done"),
             cfg.layout().procs() as u64,
@@ -48,11 +43,7 @@ fn run_all(cfg: &SystemConfig, mk: impl Fn() -> ScriptedWorkload) {
 }
 
 fn scripts_for(cfg: &SystemConfig, f: impl Fn(u8) -> Vec<(AccessKind, Block)>) -> ScriptedWorkload {
-    ScriptedWorkload::new(
-        (0..cfg.layout().procs() as u8)
-            .map(f)
-            .collect(),
-    )
+    ScriptedWorkload::new((0..cfg.layout().procs() as u8).map(f).collect())
 }
 
 #[test]
@@ -96,7 +87,9 @@ fn private_blocks_all_processors() {
 fn shared_read_only_block() {
     let cfg = SystemConfig::small_test();
     run_all(&cfg, || {
-        scripts_for(&cfg, |_| (0..10).map(|_| (AccessKind::Load, Block(0x42))).collect())
+        scripts_for(&cfg, |_| {
+            (0..10).map(|_| (AccessKind::Load, Block(0x42))).collect()
+        })
     });
 }
 
@@ -105,9 +98,7 @@ fn contended_store_hammer() {
     let cfg = SystemConfig::small_test();
     run_all(&cfg, || {
         scripts_for(&cfg, |_| {
-            (0..15)
-                .map(|_| (AccessKind::Store, Block(0x7)))
-                .collect()
+            (0..15).map(|_| (AccessKind::Store, Block(0x7))).collect()
         })
     });
 }
@@ -153,8 +144,8 @@ fn capacity_pressure_evictions() {
         scripts_for(&cfg, |p| {
             let stride = 16; // same set every time
             (0..40)
-                .map(|i| {
-                    let k = if i % 2 == 0 {
+                .map(|i: u64| {
+                    let k = if i.is_multiple_of(2) {
                         AccessKind::Store
                     } else {
                         AccessKind::Load
@@ -175,7 +166,7 @@ fn mixed_sharing_pattern() {
             for i in 0..12u64 {
                 v.push((AccessKind::Load, Block(0x500 + i % 3))); // shared reads
                 v.push((AccessKind::Store, Block(0x600 + p as u64))); // private writes
-                if i % 3 == 0 {
+                if i.is_multiple_of(3) {
                     v.push((AccessKind::Store, Block(0x500 + i % 3))); // shared writes
                 }
             }
@@ -196,7 +187,7 @@ fn default_full_scale_configuration_smoke() {
         let w = scripts_for(&cfg, |p| {
             (0..10u64)
                 .map(|i| {
-                    let k = if (i + p as u64) % 3 == 0 {
+                    let k = if (i + p as u64).is_multiple_of(3) {
                         AccessKind::Store
                     } else {
                         AccessKind::Load

@@ -44,6 +44,7 @@
 //! | [`system`] | `tokencmp-system` | system assembly, sequencers, PerfectL2, runner |
 //! | [`workloads`] | `tokencmp-workloads` | locking/barrier micro-benchmarks, commercial generators |
 //! | [`mcheck`] | `tokencmp-mcheck` | explicit-state model checker + protocol models (§5) |
+//! | [`sweep`] | `tokencmp-sweep` | deterministic parallel sweep engine + JSON export |
 
 pub use tokencmp_cache as cache;
 pub use tokencmp_core as core;
@@ -52,6 +53,7 @@ pub use tokencmp_mcheck as mcheck;
 pub use tokencmp_net as net;
 pub use tokencmp_proto as proto;
 pub use tokencmp_sim as sim;
+pub use tokencmp_sweep as sweep;
 pub use tokencmp_system as system;
 pub use tokencmp_workloads as workloads;
 
@@ -59,6 +61,7 @@ pub use tokencmp_core::{ReqKind, TokenBundle, TokenMsg, Variant};
 pub use tokencmp_net::{Tier, Traffic};
 pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, SystemConfig};
 pub use tokencmp_sim::{Dur, RunOutcome, Time};
+pub use tokencmp_sweep::{par_map, PointRecord, PointResult, Sweep, SweepPoint};
 pub use tokencmp_system::{run_workload, Protocol, RunOptions, RunResult, Step, Workload};
 pub use tokencmp_workloads::{
     BarrierWorkload, CommercialParams, CommercialWorkload, LockingWorkload,

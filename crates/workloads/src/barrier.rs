@@ -101,8 +101,7 @@ impl Workload for BarrierWorkload {
         let p = proc.0 as usize;
         match self.phase[p] {
             Phase::Working => {
-                if completed.is_none() && self.round[p] == 0 && self.local_sense[p] == self.sense
-                {
+                if completed.is_none() && self.round[p] == 0 && self.local_sense[p] == self.sense {
                     // First entry for this processor: do the initial work.
                     // (Distinguished from the post-think call by phase
                     // transition below.)

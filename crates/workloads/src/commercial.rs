@@ -157,16 +157,26 @@ impl CommercialParams {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
     TxnStart,
-    LockTest { lock: u64 },
-    LockSpin { lock: u64 },
-    LockSet { lock: u64 },
+    LockTest {
+        lock: u64,
+    },
+    LockSpin {
+        lock: u64,
+    },
+    LockSet {
+        lock: u64,
+    },
     /// Think completed; issue the next operation.
     OpIssue,
     /// An ordinary operation is outstanding.
     OpWait,
     /// The load half of a migratory pair completed; store next.
-    MigStore { block: Block },
-    Release { lock: u64 },
+    MigStore {
+        block: Block,
+    },
+    Release {
+        lock: u64,
+    },
     Finished,
 }
 
@@ -251,12 +261,7 @@ impl CommercialWorkload {
             };
             (
                 kind,
-                Block(
-                    PRIVATE_BASE
-                        + base_off
-                        + proc.0 as u64 * region
-                        + self.rng[p].below(region),
-                ),
+                Block(PRIVATE_BASE + base_off + proc.0 as u64 * region + self.rng[p].below(region)),
             )
         };
         self.procs[p].phase = Phase::OpWait;

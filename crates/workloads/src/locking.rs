@@ -94,7 +94,6 @@ impl LockingWorkload {
             }
         }
     }
-
 }
 
 impl Workload for LockingWorkload {

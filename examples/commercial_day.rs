@@ -8,8 +8,7 @@
 //! ```
 
 use tokencmp::{
-    run_workload, CommercialParams, CommercialWorkload, Protocol, RunOptions, SystemConfig,
-    Variant,
+    run_workload, CommercialParams, CommercialWorkload, Protocol, RunOptions, SystemConfig, Variant,
 };
 
 fn main() {

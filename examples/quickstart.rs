@@ -15,9 +15,7 @@ fn main() {
     let cfg = SystemConfig::default();
     println!(
         "system: {} CMPs x {} processors, {} tokens/block\n",
-        cfg.cmps,
-        cfg.procs_per_cmp,
-        cfg.tokens_per_block
+        cfg.cmps, cfg.procs_per_cmp, cfg.tokens_per_block
     );
 
     for protocol in [
@@ -31,10 +29,7 @@ fn main() {
 
         println!("== {protocol}");
         println!("   runtime          : {:>12.1} ns", result.runtime_ns());
-        println!(
-            "   acquires         : {:>12}",
-            workload.total_acquires
-        );
+        println!("   acquires         : {:>12}", workload.total_acquires);
         println!(
             "   L1 hits / misses : {:>12} / {}",
             result.counters.counter("l1.hits"),

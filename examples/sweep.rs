@@ -1,0 +1,83 @@
+//! Sweep engine demo: a Figure-6-style `protocol × seed` grid over the
+//! locking micro-benchmark, fanned out over the deterministic parallel
+//! engine, timed against the sequential baseline, and exported as JSON.
+//!
+//! ```sh
+//! cargo run --release --example sweep
+//! # worker count override:
+//! TOKENCMP_SWEEP_THREADS=2 cargo run --release --example sweep
+//! ```
+
+use std::time::Instant;
+
+use tokencmp::sweep::{self, Sweep};
+use tokencmp::{LockingWorkload, Protocol, RunOptions, SystemConfig, Variant};
+
+fn build(cfg: &SystemConfig, protocols: &[Protocol], seeds: &[u64]) -> Sweep {
+    let mut sweep = Sweep::new();
+    sweep.push_grid(cfg, protocols, seeds, RunOptions::default(), |seed| {
+        LockingWorkload::new(16, 32, 40, seed)
+    });
+    sweep
+}
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let protocols = [
+        Protocol::Directory,
+        Protocol::Token(Variant::Dst4),
+        Protocol::Token(Variant::Dst1),
+        Protocol::Token(Variant::Dst1Pred),
+    ];
+    let seeds: Vec<u64> = (1..=8).collect();
+    let threads = sweep::default_threads();
+    println!(
+        "grid: {} protocols x {} seeds = {} points, {} worker thread(s)\n",
+        protocols.len(),
+        seeds.len(),
+        protocols.len() * seeds.len(),
+        threads
+    );
+
+    // Sequential baseline, then the same grid on the worker pool.
+    let t0 = Instant::now();
+    let seq = build(&cfg, &protocols, &seeds).run_sequential();
+    let t_seq = t0.elapsed();
+    let t0 = Instant::now();
+    let par = build(&cfg, &protocols, &seeds).run();
+    let t_par = t0.elapsed();
+
+    // Bit-identical regardless of thread count.
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.result.runtime, b.result.runtime, "{}", a.point.label);
+        assert_eq!(a.result.events, b.result.events, "{}", a.point.label);
+    }
+
+    // Figure-6-style table: mean runtime per protocol, normalized to the
+    // directory baseline (the first protocol in grid order).
+    let mean_ns = |i: usize| {
+        par[i * seeds.len()..(i + 1) * seeds.len()]
+            .iter()
+            .map(|p| p.result.runtime_ns())
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let base = mean_ns(0);
+    println!(
+        "{:>22} {:>14} {:>12}",
+        "protocol", "runtime (ns)", "normalized"
+    );
+    for (i, p) in protocols.iter().enumerate() {
+        let m = mean_ns(i);
+        println!("{:>22} {:>14.0} {:>12.2}", p.name(), m, m / base);
+    }
+
+    match sweep::write_json("example_sweep", &par) {
+        Ok(path) => println!("\nper-point records: {}", path.display()),
+        Err(e) => eprintln!("\nexport failed: {e}"),
+    }
+    println!(
+        "sequential {:.2?} vs parallel {:.2?} on {threads} worker(s) — results identical",
+        t_seq, t_par
+    );
+}

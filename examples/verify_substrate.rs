@@ -13,7 +13,10 @@ use tokencmp::mcheck::{
 };
 
 fn main() {
-    println!("{:>28} {:>10} {:>12} {:>7} {:>8}", "model", "states", "transitions", "depth", "time");
+    println!(
+        "{:>28} {:>10} {:>12} {:>7} {:>8}",
+        "model", "states", "transitions", "depth", "time"
+    );
     let opts = CheckOptions::default();
 
     for (name, mode) in [

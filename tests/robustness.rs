@@ -122,9 +122,11 @@ fn destination_prediction_narrows_stable_owner_fetches() {
     // supplier every round.
     use tokencmp::system::ScriptedWorkload;
     use tokencmp::{AccessKind, Block, MsgClass, Tier};
-    let mut cfg = SystemConfig::default();
-    cfg.migratory_sharing = false; // keep ownership parked at the producer side
-    cfg.l2_sets = 64; // small L2: re-fetch off chip every round
+    let cfg = SystemConfig {
+        migratory_sharing: false, // keep ownership parked at the producer side
+        l2_sets: 64,              // small L2: re-fetch off chip every round
+        ..SystemConfig::default()
+    };
     let blocks: Vec<Block> = (0..4096u64).map(|i| Block(0x100_0000 + i)).collect();
     let run = |v| {
         let mut scripts = vec![vec![]; 16];
@@ -149,10 +151,17 @@ fn destination_prediction_narrows_stable_owner_fetches() {
 
 #[test]
 fn response_delay_can_be_disabled() {
-    let mut cfg = SystemConfig::default();
-    cfg.response_delay = tokencmp::Dur::ZERO;
+    let cfg = SystemConfig {
+        response_delay: tokencmp::Dur::ZERO,
+        ..SystemConfig::default()
+    };
     let w = LockingWorkload::new(16, 2, 15, 4);
-    let (res, w) = run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &RunOptions::default());
+    let (res, w) = run_workload(
+        &cfg,
+        Protocol::Token(Variant::Dst1),
+        w,
+        &RunOptions::default(),
+    );
     assert_eq!(res.outcome, RunOutcome::Idle);
     assert_eq!(w.total_acquires, 16 * 15);
 }

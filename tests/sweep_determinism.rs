@@ -1,0 +1,148 @@
+//! The sweep engine's core guarantee: a parallel sweep produces results
+//! **bit-identical** to a sequential `run_workload` loop over the same
+//! grid, for any worker count — so moving experiments onto the engine
+//! can never change a figure.
+
+use tokencmp::sweep::{parse_records, points_to_json, PointRecord, PointResult, Sweep};
+use tokencmp::{
+    run_workload, LockingWorkload, MsgClass, Protocol, RunOptions, RunResult, SystemConfig, Tier,
+    Variant,
+};
+
+const PROTOCOLS: [Protocol; 3] = [
+    Protocol::Token(Variant::Dst1),
+    Protocol::Token(Variant::Dst4),
+    Protocol::Directory,
+];
+const SEEDS: [u64; 4] = [11, 23, 47, 59];
+
+fn grid_workload(seed: u64) -> LockingWorkload {
+    LockingWorkload::new(4, 8, 10, seed)
+}
+
+fn build_sweep(cfg: &SystemConfig) -> Sweep {
+    let mut sweep = Sweep::new();
+    sweep.push_grid(
+        cfg,
+        &PROTOCOLS,
+        &SEEDS,
+        RunOptions::default(),
+        grid_workload,
+    );
+    sweep
+}
+
+/// The hand-written sequential baseline the engine must reproduce.
+fn sequential_baseline(cfg: &SystemConfig) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for &protocol in &PROTOCOLS {
+        for &seed in &SEEDS {
+            let opts = RunOptions::default();
+            let (res, _) = run_workload(cfg, protocol, grid_workload(seed), &opts);
+            out.push(res);
+        }
+    }
+    out
+}
+
+fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.outcome, b.outcome, "{what}: outcome");
+    assert_eq!(a.runtime, b.runtime, "{what}: runtime");
+    assert_eq!(a.events, b.events, "{what}: events");
+    for tier in Tier::ALL {
+        for class in MsgClass::ALL {
+            assert_eq!(
+                a.traffic.bytes(tier, class),
+                b.traffic.bytes(tier, class),
+                "{what}: {tier:?}/{class} bytes"
+            );
+            assert_eq!(
+                a.traffic.msgs(tier, class),
+                b.traffic.msgs(tier, class),
+                "{what}: {tier:?}/{class} msgs"
+            );
+        }
+    }
+    let ca: Vec<_> = a.counters.counters().collect();
+    let cb: Vec<_> = b.counters.counters().collect();
+    assert_eq!(ca, cb, "{what}: counters");
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_loop_for_any_thread_count() {
+    let cfg = SystemConfig::small_test();
+    let baseline = sequential_baseline(&cfg);
+    for threads in [1, 2, 4, 16] {
+        let points = build_sweep(&cfg).run_on(threads);
+        assert_eq!(points.len(), baseline.len(), "{threads} threads");
+        let mut i = 0;
+        for &protocol in &PROTOCOLS {
+            for &seed in &SEEDS {
+                let p = &points[i];
+                assert_eq!(p.point.protocol, protocol, "{threads} threads: grid order");
+                assert_eq!(p.point.seed, seed, "{threads} threads: grid order");
+                assert_identical(
+                    &p.result,
+                    &baseline[i],
+                    &format!("{threads} threads, {protocol} seed {seed}"),
+                );
+                i += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_run_sequential_equals_engine_run_parallel() {
+    let cfg = SystemConfig::small_test();
+    let seq = build_sweep(&cfg).run_sequential();
+    let par = build_sweep(&cfg).run();
+    for (a, b) in seq.iter().zip(&par) {
+        assert_identical(&a.result, &b.result, &a.point.label);
+    }
+}
+
+#[test]
+fn json_export_round_trips_and_reaggregates() {
+    // The acceptance path for results export: serialize a sweep, parse it
+    // back, and recompute a figure-level aggregate (mean runtime per
+    // protocol) from the records alone.
+    let cfg = SystemConfig::small_test();
+    let points: Vec<PointResult> = build_sweep(&cfg).run();
+    let records: Vec<PointRecord> = parse_records(&points_to_json(&points)).unwrap();
+    assert_eq!(records.len(), points.len());
+
+    for (r, p) in records.iter().zip(&points) {
+        assert_eq!(r, &PointRecord::from_point(p), "lossless round-trip");
+    }
+
+    for &protocol in &PROTOCOLS {
+        let from_records: f64 = records
+            .iter()
+            .filter(|r| r.protocol == protocol.name())
+            .map(PointRecord::runtime_ns)
+            .sum::<f64>()
+            / SEEDS.len() as f64;
+        let from_results: f64 = points
+            .iter()
+            .filter(|p| p.point.protocol == protocol)
+            .map(|p| p.result.runtime_ns())
+            .sum::<f64>()
+            / SEEDS.len() as f64;
+        assert_eq!(from_records, from_results, "{protocol}: re-aggregated mean");
+        assert!(from_records > 0.0, "{protocol}: empty aggregate");
+    }
+}
+
+#[test]
+fn thread_env_override_is_respected_and_harmless() {
+    // TOKENCMP_SWEEP_THREADS only changes scheduling, never results.
+    let cfg = SystemConfig::small_test();
+    let baseline = build_sweep(&cfg).run_on(1);
+    std::env::set_var("TOKENCMP_SWEEP_THREADS", "3");
+    let with_env = build_sweep(&cfg).run();
+    std::env::remove_var("TOKENCMP_SWEEP_THREADS");
+    for (a, b) in baseline.iter().zip(&with_env) {
+        assert_identical(&a.result, &b.result, &a.point.label);
+    }
+}

@@ -1,0 +1,296 @@
+//! A dependency-free, drop-in subset of the [`criterion`] crate's API.
+//!
+//! The workspace must build and run `cargo bench` without registry
+//! access, so the small slice of criterion the `micro_criterion` target
+//! uses is vendored here: [`Criterion`] with its builder knobs,
+//! [`Bencher::iter`], benchmark groups, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurements are real wall-clock timings
+//! (warm-up, then `sample_size` samples of a calibrated iteration
+//! batch), reported as `min / mean / max` nanoseconds per iteration on
+//! stdout. There is no HTML report, statistical regression analysis, or
+//! command-line filtering.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(
+            id,
+            samples,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<f64>,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Run once to estimate the per-iteration cost.
+    Calibrate { elapsed: Duration },
+    /// Collect one timed sample of `batch` iterations.
+    Measure,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Calibrate { .. } => {
+                let start = Instant::now();
+                for _ in 0..self.batch {
+                    black_box(routine());
+                }
+                self.mode = Mode::Calibrate {
+                    elapsed: start.elapsed(),
+                };
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.batch {
+                    black_box(routine());
+                }
+                let ns = start.elapsed().as_nanos() as f64 / self.batch as f64;
+                self.samples.push(ns);
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    // Calibrate: grow the batch until one batch takes ~1 ms, warming up
+    // for at least `warm_up` along the way.
+    let warm_start = Instant::now();
+    let mut batch: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            batch,
+            samples: Vec::new(),
+            mode: Mode::Calibrate {
+                elapsed: Duration::ZERO,
+            },
+        };
+        f(&mut b);
+        let elapsed = match b.mode {
+            Mode::Calibrate { elapsed } => elapsed,
+            Mode::Measure => unreachable!(),
+        };
+        if elapsed >= Duration::from_millis(1) || batch >= 1 << 40 {
+            if warm_start.elapsed() >= warm_up {
+                break;
+            }
+        } else {
+            batch = batch.saturating_mul(2);
+        }
+    }
+    // Fit the sample batch so `sample_size` samples hit the target
+    // measurement time, but never below the calibrated 1 ms batch.
+    let mut b = Bencher {
+        batch,
+        samples: Vec::with_capacity(sample_size),
+        mode: Mode::Measure,
+    };
+    let deadline = Instant::now() + measurement.max(Duration::from_millis(10));
+    for _ in 0..sample_size {
+        f(&mut b);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    let s = &b.samples;
+    if s.is_empty() {
+        println!("{id:<40} (no samples — routine never called iter)");
+        return;
+    }
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = s.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        s.len(),
+        b.batch,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("µs"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with('s'));
+    }
+}

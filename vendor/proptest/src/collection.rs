@@ -1,0 +1,120 @@
+//! Collection strategies (`vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// An inclusive length interval for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Smallest allowed length.
+    pub min: usize,
+    /// Largest allowed length.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        if n > self.size.min {
+            // Cut to the first half (but never below the minimum).
+            let half = (n / 2).max(self.size.min);
+            if half < n {
+                out.push(value[..half].to_vec());
+            }
+            // Drop single elements, at a bounded number of positions.
+            let step = n.div_ceil(16);
+            for i in (0..n).step_by(step) {
+                let mut c = value.clone();
+                c.remove(i);
+                out.push(c);
+            }
+        }
+        // Simplify elements in place, at a bounded number of positions.
+        let step = n.div_ceil(8).max(1);
+        for i in (0..n).step_by(step) {
+            for cand in self.element.shrink(&value[i]).into_iter().take(3) {
+                let mut c = value.clone();
+                c[i] = cand;
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_range_conversions() {
+        let a: SizeRange = (0..25).into();
+        assert_eq!((a.min, a.max), (0, 24));
+        let b: SizeRange = (4..=4).into();
+        assert_eq!((b.min, b.max), (4, 4));
+        let c: SizeRange = 7usize.into();
+        assert_eq!((c.min, c.max), (7, 7));
+    }
+
+    #[test]
+    fn shrink_never_goes_below_min_len() {
+        let s = vec(0u8..10, 2..6);
+        let v = vec![1, 2, 3];
+        for cand in s.shrink(&v) {
+            assert!(cand.len() >= 2, "{cand:?}");
+        }
+    }
+}

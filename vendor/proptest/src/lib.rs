@@ -1,0 +1,202 @@
+//! A dependency-free, drop-in subset of the [`proptest`] crate's API.
+//!
+//! This workspace must build and test without touching a crate registry
+//! (the tier-1 gate runs on machines with no network), so the subset of
+//! proptest the test suite actually uses is vendored here as a pure-std
+//! implementation:
+//!
+//! * [`Strategy`](strategy::Strategy) for integer ranges, tuples and
+//!   [`collection::vec`], plus [`arbitrary::any`] and
+//!   [`strategy::Just`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros;
+//! * a deterministic [`test_runner`] with structural shrinking and
+//!   `*.proptest-regressions` persistence.
+//!
+//! Semantics differences from upstream, by design:
+//!
+//! * Case generation is fully deterministic: case `i` of a test derives
+//!   its RNG seed from the test name and `i`, so a red run reproduces
+//!   exactly on every machine with no seed environment variables.
+//! * Persisted `cc` entries are replayed as RNG seeds. The shim's
+//!   generators differ from upstream proptest's, so an entry written by
+//!   upstream replays *a* deterministic case rather than the original
+//!   input byte-for-byte; entries written by the shim replay exactly.
+//! * Shrinking is structural (drop vector elements, halve integers
+//!   toward the range minimum) with a bounded iteration budget.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface the real crate exposes.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supports the upstream forms used in this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items (argument patterns must be plain
+/// identifiers).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            config = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = ($config:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ( $($strat,)+ );
+                $crate::test_runner::run(
+                    file!(),
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |( $($arg,)+ )| $body,
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, which
+/// the runner catches and shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (5u64..=5).generate(&mut rng);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::new(7);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_a_minimal_counterexample() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        // Property "all values < 10" fails; the minimal failing value is 10.
+        let s = crate::collection::vec(0u64..100, 0..20);
+        let mut rng = TestRng::new(1);
+        let mut value = loop {
+            let v = s.generate(&mut rng);
+            if v.iter().any(|&x| x >= 10) {
+                break v;
+            }
+        };
+        for _ in 0..10_000 {
+            match s
+                .shrink(&value)
+                .into_iter()
+                .find(|c| c.iter().any(|&x| x >= 10))
+            {
+                Some(c) => value = c,
+                None => break,
+            }
+        }
+        assert_eq!(value, vec![10]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0u32..100, ys in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(ys.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The [`Strategy`] trait and the built-in combinators the workspace
+//! uses: integer ranges, tuples and [`Just`].
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+
+/// A recipe for generating (and shrinking) values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns candidate simplifications of `value` (each candidate must
+    /// itself be a value the strategy could have produced). An empty vec
+    /// means the value is minimal.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// A strategy that always yields one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add(rng.below(span as u64) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as u128, *value as u128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as u128, *value as u128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Candidates between `lo` and `value`, biased toward `lo`: the minimum
+/// itself, the midpoint, and the predecessor. Callers widen to `u128`
+/// (every unsigned integer type fits) and cast the results back.
+fn shrink_toward(lo: u128, value: u128) -> Vec<u128> {
+    if value <= lo {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in [lo, lo + (value - lo) / 2, value - 1] {
+        if c < value && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Strategy over booleans (used through [`crate::arbitrary::any`]).
+#[derive(Clone, Debug, Default)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $v:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / a / 0)
+    (A / a / 0, B / b / 1)
+    (A / a / 0, B / b / 1, C / c / 2)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_toward_moves_down_and_dedups() {
+        assert_eq!(shrink_toward(0, 0), Vec::<u128>::new());
+        assert_eq!(shrink_toward(0, 1), vec![0]);
+        assert_eq!(shrink_toward(0, 10), vec![0, 5, 9]);
+        assert_eq!(shrink_toward(4, 5), vec![4]);
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let s = (0u8..10, 0u8..10);
+        let cands = s.shrink(&(4, 0));
+        assert!(cands.iter().all(|&(_, b)| b == 0));
+        assert!(cands.iter().all(|&(a, _)| a < 4));
+        assert!(!cands.is_empty());
+    }
+}

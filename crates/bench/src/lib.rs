@@ -28,19 +28,58 @@ pub const SEEDS: [u64; 3] = [11, 23, 47];
 /// The seed set for this invocation: [`SEEDS`] by default, overridable
 /// with the `TOKENCMP_BENCH_SEEDS` environment variable — either an
 /// explicit comma-separated list (`"11,23,47,59"`) or a count `n`
-/// (seeds `1..=n`).
+/// (seeds `1..=n`). A malformed value aborts the target with a clear
+/// message rather than panicking mid-harness.
 pub fn seeds() -> Vec<u64> {
-    match std::env::var("TOKENCMP_BENCH_SEEDS") {
-        Ok(v) if v.contains(',') => v
-            .split(',')
-            .map(|s| s.trim().parse().expect("TOKENCMP_BENCH_SEEDS: bad seed"))
-            .collect(),
-        Ok(v) => {
-            let n: u64 = v.trim().parse().expect("TOKENCMP_BENCH_SEEDS: bad count");
-            assert!(n >= 1, "TOKENCMP_BENCH_SEEDS: need at least one seed");
-            (1..=n).collect()
+    match parse_seeds(std::env::var("TOKENCMP_BENCH_SEEDS").ok().as_deref()) {
+        Ok(seeds) => seeds,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
         }
-        Err(_) => SEEDS.to_vec(),
+    }
+}
+
+/// Parses a `TOKENCMP_BENCH_SEEDS` value (`None` = variable unset, which
+/// yields [`SEEDS`]). Separated from [`seeds`] so malformed inputs are
+/// unit-testable without exercising a process exit.
+pub fn parse_seeds(var: Option<&str>) -> Result<Vec<u64>, String> {
+    let Some(raw) = var else {
+        return Ok(SEEDS.to_vec());
+    };
+    let v = raw.trim();
+    if v.is_empty() {
+        return Err(
+            "TOKENCMP_BENCH_SEEDS is set but empty; unset it, or give a seed count \
+             (e.g. `4`) or a comma-separated seed list (e.g. `11,23,47`)"
+                .into(),
+        );
+    }
+    if v.contains(',') {
+        let mut seeds = Vec::new();
+        for part in v.split(',') {
+            let p = part.trim();
+            if p.is_empty() {
+                return Err(format!(
+                    "TOKENCMP_BENCH_SEEDS: empty entry in seed list `{raw}`"
+                ));
+            }
+            seeds.push(p.parse::<u64>().map_err(|_| {
+                format!("TOKENCMP_BENCH_SEEDS: `{p}` in `{raw}` is not a seed (want a u64)")
+            })?);
+        }
+        Ok(seeds)
+    } else {
+        match v.parse::<u64>() {
+            Ok(0) => Err("TOKENCMP_BENCH_SEEDS: a count of 0 would measure nothing; \
+                 give at least one seed"
+                .into()),
+            Ok(n) => Ok((1..=n).collect()),
+            Err(_) => Err(format!(
+                "TOKENCMP_BENCH_SEEDS: `{raw}` is neither a seed count nor a \
+                 comma-separated seed list"
+            )),
+        }
     }
 }
 
@@ -205,9 +244,13 @@ impl BenchResults {
                 assert_eq!(
                     p.result.outcome,
                     tokencmp::RunOutcome::Idle,
-                    "{} (seed {}) did not complete",
+                    "{} (seed {}) did not complete\n{}",
                     p.point.protocol,
-                    p.point.seed
+                    p.point.seed,
+                    p.result
+                        .diagnostic
+                        .as_deref()
+                        .unwrap_or("(no watchdog diagnostic captured)")
                 );
                 p.result.runtime_ns()
             })
@@ -285,6 +328,33 @@ mod tests {
 
     fn script() -> Vec<Vec<(AccessKind, Block)>> {
         vec![vec![(AccessKind::Load, Block(1))], vec![], vec![], vec![]]
+    }
+
+    #[test]
+    fn parse_seeds_accepts_counts_lists_and_unset() {
+        assert_eq!(parse_seeds(None).unwrap(), SEEDS.to_vec());
+        assert_eq!(parse_seeds(Some("4")).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(parse_seeds(Some(" 11, 23 ,47 ")).unwrap(), vec![11, 23, 47]);
+    }
+
+    #[test]
+    fn parse_seeds_rejects_malformed_values_with_clear_messages() {
+        for (input, expect) in [
+            ("", "set but empty"),
+            ("   ", "set but empty"),
+            ("0", "count of 0"),
+            ("junk", "neither a seed count nor"),
+            ("-3", "neither a seed count nor"),
+            ("11,,47", "empty entry"),
+            ("11,abc", "not a seed"),
+            (",", "empty entry"),
+        ] {
+            let err = parse_seeds(Some(input)).expect_err(&format!("`{input}` must be rejected"));
+            assert!(
+                err.contains("TOKENCMP_BENCH_SEEDS") && err.contains(expect),
+                "`{input}` -> `{err}` (expected to mention `{expect}`)"
+            );
+        }
     }
 
     #[test]

@@ -154,6 +154,18 @@ impl TokenL1 {
         self.mshr.is_some()
     }
 
+    /// A one-line description of the outstanding miss (if any) and the
+    /// persistent-table entry governing its block, for the stall
+    /// watchdog's diagnostic snapshot.
+    pub fn pending_snapshot(&self) -> Option<String> {
+        let m = self.mshr.as_ref()?;
+        let table = match self.persistent.active_for(m.block) {
+            Some(a) => format!("persistent table: active {a:?}"),
+            None => "persistent table: inactive".to_string(),
+        };
+        Some(format!("{m:?}; {table}"))
+    }
+
     fn tokens_needed(&self, kind: ReqKind) -> u32 {
         match kind {
             ReqKind::Read => 1,

@@ -207,6 +207,18 @@ impl NetMsg for TokenMsg {
             | TokenMsg::ArbDeactivate { .. } => MsgClass::Persistent,
         }
     }
+
+    /// Only transient requests may be lost (§4: they are unacknowledged
+    /// hints with a timeout/retry/persistent-escalation recovery path).
+    /// Token-carrying messages would break conservation and persistent-
+    /// table messages have no retransmission, so both stay undroppable.
+    fn droppable(&self) -> bool {
+        matches!(self, TokenMsg::Transient { .. })
+    }
+
+    fn block_id(&self) -> Option<u64> {
+        self.block().map(|b| b.0)
+    }
 }
 
 impl CpuPort for TokenMsg {

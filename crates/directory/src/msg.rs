@@ -270,6 +270,14 @@ impl NetMsg for DirMsg {
             }
         }
     }
+
+    // `droppable` keeps its `false` default for every directory message:
+    // DirectoryCMP has no timeout/retry recovery path, so the fault
+    // layer's drop knob is rejected for directory protocols at run setup.
+
+    fn block_id(&self) -> Option<u64> {
+        crate::msg_block(self).map(|b| b.0)
+    }
 }
 
 impl CpuPort for DirMsg {

@@ -1,0 +1,213 @@
+//! Deterministic interconnect fault injection.
+//!
+//! The paper's correctness substrate (§3) claims safety and liveness
+//! *regardless of interconnect behaviour*: safety is token counting,
+//! liveness is persistent requests. A [`FaultPlan`] turns that claim into
+//! a testable property by letting the [`Network`](crate::Network) inject
+//! three kinds of adversity, per tier and per message class:
+//!
+//! * **latency jitter** — bounded extra delay drawn from the in-tree RNG,
+//!   applied after normal latency/occupancy. On the serialized inter-CMP
+//!   and memory links, jitter preserves per-directed-link FIFO order (a
+//!   FIFO channel can be slow, but it cannot reorder); on the unordered
+//!   intra-CMP fabric it may reorder freely.
+//! * **adversarial reordering** — a deliberate hold applied on the
+//!   unordered intra-CMP tier only, so that younger messages overtake
+//!   held ones.
+//! * **lossy delivery** — messages are discarded at injection. Only
+//!   messages whose protocol declares them [`droppable`](
+//!   tokencmp_proto::NetMsg::droppable) — tokenless transient requests —
+//!   are ever lost; token-carrying and persistent-table messages are
+//!   exempt *by construction*, so token conservation and persistent-table
+//!   agreement cannot be violated no matter what the plan says.
+//!
+//! Everything is seeded and deterministic: the same plan and seed yield a
+//! bit-identical simulation, and a no-op plan consumes no randomness at
+//! all (the fault path is provably pass-through when disabled).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tokencmp_proto::MsgClass;
+use tokencmp_sim::Dur;
+
+use crate::Tier;
+
+/// Fault rates for one (tier, class) cell of a [`FaultPlan`].
+///
+/// All rates are probabilities in `[0, 1]`; a rate of zero (or a zero
+/// bound) disables that fault kind for the cell.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FaultSpec {
+    /// Probability of losing a droppable message outright.
+    pub drop_rate: f64,
+    /// Probability of adding latency jitter to a message.
+    pub jitter_rate: f64,
+    /// Upper bound (inclusive) on the injected jitter.
+    pub max_jitter: Dur,
+    /// Probability of adversarially holding a message on the unordered
+    /// intra-CMP tier so younger messages overtake it.
+    pub reorder_rate: f64,
+    /// How long a held message is delayed.
+    pub reorder_hold: Dur,
+}
+
+impl FaultSpec {
+    /// True if this spec can never perturb a message.
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate <= 0.0
+            && (self.jitter_rate <= 0.0 || self.max_jitter.is_zero())
+            && (self.reorder_rate <= 0.0 || self.reorder_hold.is_zero())
+    }
+}
+
+/// A per-tier, per-message-class fault-injection plan.
+///
+/// The empty plan ([`FaultPlan::none`], also `Default`) is a guaranteed
+/// pass-through: the network never consults its RNG and produces delivery
+/// times bit-identical to a fault-free network. The uniform builders
+/// ([`dropping`](FaultPlan::dropping), [`jittering`](FaultPlan::jittering),
+/// [`reordering`](FaultPlan::reordering)) apply a knob to every cell and
+/// compose; [`with_spec`](FaultPlan::with_spec) targets a single cell.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FaultPlan {
+    specs: [[FaultSpec; 7]; 3],
+}
+
+impl FaultPlan {
+    /// The empty (pass-through) plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The same spec in every (tier, class) cell.
+    pub fn uniform(spec: FaultSpec) -> FaultPlan {
+        FaultPlan {
+            specs: [[spec; 7]; 3],
+        }
+    }
+
+    /// The spec governing a tier and class.
+    pub fn spec(&self, tier: Tier, class: MsgClass) -> FaultSpec {
+        self.specs[tier.index()][class.index()]
+    }
+
+    /// Replaces the spec of one (tier, class) cell.
+    pub fn with_spec(mut self, tier: Tier, class: MsgClass, spec: FaultSpec) -> FaultPlan {
+        self.specs[tier.index()][class.index()] = spec;
+        self
+    }
+
+    /// Sets the drop rate of every cell (applies only to droppable
+    /// messages; everything else is exempt by construction).
+    pub fn dropping(mut self, rate: f64) -> FaultPlan {
+        for tier in &mut self.specs {
+            for spec in tier {
+                spec.drop_rate = rate;
+            }
+        }
+        self
+    }
+
+    /// Sets the jitter rate and bound of every cell.
+    pub fn jittering(mut self, rate: f64, max: Dur) -> FaultPlan {
+        for tier in &mut self.specs {
+            for spec in tier {
+                spec.jitter_rate = rate;
+                spec.max_jitter = max;
+            }
+        }
+        self
+    }
+
+    /// Sets the reorder rate and hold of every cell (effective on the
+    /// unordered intra-CMP tier only).
+    pub fn reordering(mut self, rate: f64, hold: Dur) -> FaultPlan {
+        for tier in &mut self.specs {
+            for spec in tier {
+                spec.reorder_rate = rate;
+                spec.reorder_hold = hold;
+            }
+        }
+        self
+    }
+
+    /// True if no cell can perturb any message.
+    pub fn is_noop(&self) -> bool {
+        self.specs
+            .iter()
+            .all(|tier| tier.iter().all(FaultSpec::is_noop))
+    }
+
+    /// The largest drop rate anywhere in the plan; protocols without a
+    /// message-loss recovery path reject plans where this is positive.
+    pub fn max_drop_rate(&self) -> f64 {
+        self.specs
+            .iter()
+            .flatten()
+            .map(|s| s.drop_rate)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Counts of injected faults, harvested into the run counters as
+/// `net.fault.dropped` / `net.fault.jittered` / `net.fault.reordered`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultCounters {
+    /// Droppable messages discarded at injection.
+    pub dropped: u64,
+    /// Messages that received extra latency jitter.
+    pub jittered: u64,
+    /// Messages adversarially held on the unordered intra-CMP tier.
+    pub reordered: u64,
+}
+
+/// A shared handle onto a network's fault counters.
+pub type FaultHandle = Rc<RefCell<FaultCounters>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_noop() {
+        assert!(FaultPlan::none().is_noop());
+        assert!(FaultPlan::default().is_noop());
+        assert_eq!(FaultPlan::none().max_drop_rate(), 0.0);
+        // Rates without bounds are still no-ops.
+        assert!(FaultPlan::none().jittering(0.5, Dur::ZERO).is_noop());
+        assert!(FaultPlan::none().reordering(0.5, Dur::ZERO).is_noop());
+    }
+
+    #[test]
+    fn builders_fill_every_cell() {
+        let plan = FaultPlan::none()
+            .dropping(0.05)
+            .jittering(0.2, Dur::from_ns(30))
+            .reordering(0.1, Dur::from_ns(10));
+        assert!(!plan.is_noop());
+        assert_eq!(plan.max_drop_rate(), 0.05);
+        for tier in Tier::ALL {
+            for class in MsgClass::ALL {
+                let s = plan.spec(tier, class);
+                assert_eq!(s.drop_rate, 0.05);
+                assert_eq!(s.jitter_rate, 0.2);
+                assert_eq!(s.max_jitter, Dur::from_ns(30));
+                assert_eq!(s.reorder_rate, 0.1);
+                assert_eq!(s.reorder_hold, Dur::from_ns(10));
+            }
+        }
+    }
+
+    #[test]
+    fn with_spec_targets_one_cell() {
+        let spec = FaultSpec {
+            drop_rate: 0.5,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::none().with_spec(Tier::Inter, MsgClass::Request, spec);
+        assert_eq!(plan.spec(Tier::Inter, MsgClass::Request), spec);
+        assert!(plan.spec(Tier::Intra, MsgClass::Request).is_noop());
+        assert_eq!(plan.max_drop_rate(), 0.5);
+    }
+}

@@ -28,7 +28,11 @@ use std::fmt;
 use std::rc::Rc;
 
 use tokencmp_proto::{Layout, MsgClass, NetMsg, Placement, SystemConfig, Unit};
-use tokencmp_sim::{Dur, NodeId, Time, Transport};
+use tokencmp_sim::{Delivery, Dur, NodeId, Rng, Time, Transport};
+
+pub mod fault;
+
+pub use fault::{FaultCounters, FaultHandle, FaultPlan, FaultSpec};
 
 /// The interconnect tier a byte was charged to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -146,6 +150,34 @@ enum LinkKey {
     Mem { cmp: u8, to_mem: bool },
 }
 
+/// Live fault-injection state: the plan, its private RNG stream, shared
+/// counters, and the per-directed-pair FIFO clamp used so that jitter on
+/// serialized links delays but never reorders.
+struct FaultState {
+    plan: FaultPlan,
+    rng: Rng,
+    counters: FaultHandle,
+    last_arrival: HashMap<(NodeId, NodeId), Time>,
+}
+
+/// Message-trace hook for injected faults: set `TOKENCMP_TRACE_BLOCK=<hex
+/// block>` to print every fault injected into a message touching that
+/// block (companion to the directory crate's protocol-message tracer).
+fn trace_fault<M: NetMsg>(msg: &M, line: impl FnOnce() -> String) {
+    use std::sync::OnceLock;
+    static TARGET: OnceLock<Option<u64>> = OnceLock::new();
+    let target = TARGET.get_or_init(|| {
+        std::env::var("TOKENCMP_TRACE_BLOCK")
+            .ok()
+            .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+    });
+    if let Some(t) = target {
+        if msg.block_id() == Some(*t) {
+            eprintln!("{}", line());
+        }
+    }
+}
+
 /// The three-tier interconnect: computes delivery times (latency +
 /// serialization occupancy) and records per-class traffic.
 pub struct Network {
@@ -158,6 +190,7 @@ pub struct Network {
     mem_gbps: u64,
     next_free: HashMap<LinkKey, Time>,
     traffic: TrafficHandle,
+    faults: Option<Box<FaultState>>,
 }
 
 impl Network {
@@ -173,7 +206,31 @@ impl Network {
             mem_gbps: cfg.mem_gbps,
             next_free: HashMap::new(),
             traffic: Rc::new(RefCell::new(Traffic::new())),
+            faults: None,
         }
+    }
+
+    /// Builds a network with a fault-injection plan. A no-op `plan` is
+    /// dropped entirely (no fault state, no RNG, bit-identical behaviour
+    /// to [`Network::new`]); otherwise the plan's RNG stream is derived
+    /// from `seed` so the same plan and seed replay bit-identically.
+    pub fn with_faults(cfg: &SystemConfig, plan: FaultPlan, seed: u64) -> Network {
+        let mut n = Network::new(cfg);
+        if !plan.is_noop() {
+            n.faults = Some(Box::new(FaultState {
+                plan,
+                rng: Rng::new(seed ^ 0xFA17_1A7E_5EED_C0DE),
+                counters: Rc::new(RefCell::new(FaultCounters::default())),
+                last_arrival: HashMap::new(),
+            }));
+        }
+        n
+    }
+
+    /// A shareable handle onto the fault counters, if fault injection is
+    /// active (`None` means the fault path is provably pass-through).
+    pub fn fault_handle(&self) -> Option<FaultHandle> {
+        self.faults.as_ref().map(|f| Rc::clone(&f.counters))
     }
 
     /// A shareable handle onto the traffic account.
@@ -256,9 +313,104 @@ impl Network {
         *free = start + ser;
         start + ser
     }
+
+    /// Delivery with fault injection, for messages whose route has active
+    /// fault state. Decision order per message is fixed (drop, then
+    /// jitter, then reorder-hold), and a fault kind only consumes
+    /// randomness when its rate is positive — so the RNG stream, and with
+    /// it the whole simulation, is a deterministic function of
+    /// (plan, seed, message sequence).
+    fn dispatch_faulty<M: NetMsg>(
+        &mut self,
+        now: Time,
+        src: NodeId,
+        dst: NodeId,
+        msg: &M,
+    ) -> Delivery {
+        let route = self.route(src, dst);
+        // The tier whose fault spec governs this route: the most failure-
+        // prone link crossed (chip-to-chip for any cross-chip route).
+        let tier = match route {
+            Route::Local => None, // core-internal, never faulted
+            Route::Intra => Some(Tier::Intra),
+            Route::MemLink { .. } => Some(Tier::Mem),
+            Route::Inter { .. } | Route::InterPlusMem { .. } | Route::MemToMem { .. } => {
+                Some(Tier::Inter)
+            }
+        };
+        let Some(tier) = tier else {
+            return Delivery::At(self.deliver_at(now, src, dst, msg));
+        };
+        let mut state = self
+            .faults
+            .take()
+            .expect("dispatch_faulty without fault state");
+        let spec = state.plan.spec(tier, msg.class());
+
+        // Lossy delivery: discarded at injection, so a dropped message
+        // consumes no bandwidth and is not charged to traffic. Gated on
+        // the message's own droppability — token-carrying and persistent-
+        // table messages can never be lost regardless of the plan.
+        if spec.drop_rate > 0.0 && msg.droppable() && state.rng.chance(spec.drop_rate) {
+            state.counters.borrow_mut().dropped += 1;
+            trace_fault(msg, || {
+                format!("[fault] {now:?} DROP {src:?}->{dst:?} on {tier:?}")
+            });
+            self.faults = Some(state);
+            return Delivery::Dropped;
+        }
+
+        let mut arrive = self.deliver_at(now, src, dst, msg);
+        if spec.jitter_rate > 0.0
+            && !spec.max_jitter.is_zero()
+            && state.rng.chance(spec.jitter_rate)
+        {
+            let extra = Dur::from_ps(state.rng.below(spec.max_jitter.as_ps() + 1));
+            arrive += extra;
+            state.counters.borrow_mut().jittered += 1;
+            trace_fault(msg, || {
+                format!("[fault] {now:?} JITTER +{extra:?} {src:?}->{dst:?} on {tier:?}")
+            });
+        }
+        if matches!(route, Route::Intra)
+            && spec.reorder_rate > 0.0
+            && !spec.reorder_hold.is_zero()
+            && state.rng.chance(spec.reorder_rate)
+        {
+            // Adversarial hold on the unordered on-chip fabric: younger
+            // messages between the same endpoints will overtake this one.
+            arrive += spec.reorder_hold;
+            state.counters.borrow_mut().reordered += 1;
+            trace_fault(msg, || {
+                format!(
+                    "[fault] {now:?} HOLD +{:?} {src:?}->{dst:?} on {tier:?}",
+                    spec.reorder_hold
+                )
+            });
+        }
+        if !matches!(route, Route::Intra) {
+            // Serialized links are FIFO channels: jitter may slow a
+            // message but must not let a later send on the same directed
+            // pair arrive earlier.
+            let last = state.last_arrival.entry((src, dst)).or_insert(Time::ZERO);
+            arrive = arrive.max(*last);
+            *last = arrive;
+        }
+        self.faults = Some(state);
+        Delivery::At(arrive)
+    }
 }
 
 impl<M: NetMsg> Transport<M> for Network {
+    fn dispatch(&mut self, now: Time, src: NodeId, dst: NodeId, msg: &M) -> Delivery {
+        if self.faults.is_none() {
+            // Pass-through: without fault state this is exactly the
+            // pre-fault-injection delivery path, RNG untouched.
+            return Delivery::At(self.deliver_at(now, src, dst, msg));
+        }
+        self.dispatch_faulty(now, src, dst, msg)
+    }
+
     fn deliver_at(&mut self, now: Time, src: NodeId, dst: NodeId, msg: &M) -> Time {
         let size = msg.size_bytes() as u64;
         let class = msg.class();
@@ -593,6 +745,140 @@ mod tests {
                 now += Dur::from_ps(1); // strictly increasing send times
             }
         }
+    }
+
+    /// A transient-request stand-in: the only droppable message kind.
+    #[derive(Debug)]
+    struct DroppableMsg;
+
+    impl NetMsg for DroppableMsg {
+        fn size_bytes(&self) -> u32 {
+            8
+        }
+        fn class(&self) -> MsgClass {
+            MsgClass::Request
+        }
+        fn droppable(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn noop_plan_is_pass_through() {
+        let cfg = SystemConfig::default();
+        let l = cfg.layout();
+        let mut plain = Network::new(&cfg);
+        let mut faulty = Network::with_faults(&cfg, FaultPlan::none(), 42);
+        assert!(faulty.fault_handle().is_none());
+        let (src, dst) = (l.l1d(ProcId(0)), l.l1d(ProcId(15)));
+        for i in 0..20 {
+            let now = Time::from_ns(i);
+            let a = Transport::<TestMsg>::dispatch(&mut plain, now, src, dst, &data());
+            let b = Transport::<TestMsg>::dispatch(&mut faulty, now, src, dst, &data());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn drops_hit_only_droppable_messages() {
+        let cfg = SystemConfig::default();
+        let l = cfg.layout();
+        let plan = FaultPlan::none().dropping(1.0);
+        let mut n = Network::with_faults(&cfg, plan, 7);
+        let handle = n.fault_handle().unwrap();
+        let (src, dst) = (l.l1d(ProcId(0)), l.l1d(ProcId(15)));
+        // Droppable: always lost at rate 1.0, and never charged.
+        let v = Transport::<DroppableMsg>::dispatch(&mut n, Time::ZERO, src, dst, &DroppableMsg);
+        assert_eq!(v, Delivery::Dropped);
+        assert_eq!(handle.borrow().dropped, 1);
+        let tr = n.traffic_handle();
+        for tier in Tier::ALL {
+            assert_eq!(tr.borrow().total_msgs(tier), 0, "dropped msg was charged");
+        }
+        // Non-droppable (token-carrying/persistent stand-in): delivered.
+        let v = Transport::<TestMsg>::dispatch(&mut n, Time::ZERO, src, dst, &data());
+        assert!(matches!(v, Delivery::At(_)));
+        assert_eq!(handle.borrow().dropped, 1);
+    }
+
+    #[test]
+    fn jitter_bounds_and_fifo_hold_on_serialized_links() {
+        let cfg = SystemConfig::default();
+        let l = cfg.layout();
+        let max = Dur::from_ns(30);
+        let plan = FaultPlan::none().jittering(1.0, max);
+        let mut faulty = Network::with_faults(&cfg, plan, 11);
+        let mut plain = Network::new(&cfg);
+        let (src, dst) = (l.l1d(ProcId(0)), l.l1d(ProcId(15))); // inter-CMP
+        let mut last = Time::ZERO;
+        for i in 0..200u64 {
+            let now = Time::from_ps(i);
+            let base = Transport::<TestMsg>::deliver_at(&mut plain, now, src, dst, &ctrl());
+            let Delivery::At(t) =
+                Transport::<TestMsg>::dispatch(&mut faulty, now, src, dst, &ctrl())
+            else {
+                panic!("jitter must not drop");
+            };
+            // Jitter only ever adds, is bounded, and preserves FIFO.
+            assert!(t >= base, "jitter went backwards");
+            assert!(t.since(base) <= max, "jitter exceeded bound");
+            assert!(t >= last, "serialized link reordered under jitter");
+            last = t;
+        }
+        assert_eq!(faulty.fault_handle().unwrap().borrow().jittered, 200);
+    }
+
+    #[test]
+    fn reorder_hold_applies_on_intra_tier_only() {
+        let cfg = SystemConfig::default();
+        let l = cfg.layout();
+        let hold = Dur::from_ns(10);
+        let plan = FaultPlan::none().reordering(1.0, hold);
+        let mut faulty = Network::with_faults(&cfg, plan, 13);
+        let mut plain = Network::new(&cfg);
+        // Intra route: always held by exactly `hold`.
+        let (a, b) = (l.l1d(ProcId(0)), l.l2(CmpId(0), 1));
+        let base = Transport::<TestMsg>::deliver_at(&mut plain, Time::ZERO, a, b, &ctrl());
+        let Delivery::At(t) =
+            Transport::<TestMsg>::dispatch(&mut faulty, Time::ZERO, a, b, &ctrl())
+        else {
+            panic!("reorder must not drop");
+        };
+        assert_eq!(t, base + hold);
+        // Inter route: the serialized (FIFO) tier is never held.
+        let (a, b) = (l.l1d(ProcId(0)), l.l1d(ProcId(15)));
+        let base = Transport::<TestMsg>::deliver_at(&mut plain, Time::ZERO, a, b, &ctrl());
+        let Delivery::At(t) =
+            Transport::<TestMsg>::dispatch(&mut faulty, Time::ZERO, a, b, &ctrl())
+        else {
+            panic!("reorder must not drop");
+        };
+        assert_eq!(t, base);
+        assert_eq!(faulty.fault_handle().unwrap().borrow().reordered, 1);
+    }
+
+    #[test]
+    fn same_plan_same_seed_replays_bit_identically() {
+        let cfg = SystemConfig::default();
+        let plan = FaultPlan::none()
+            .dropping(0.3)
+            .jittering(0.5, Dur::from_ns(25))
+            .reordering(0.5, Dur::from_ns(5));
+        let run = |seed: u64| -> Vec<Delivery> {
+            let mut n = Network::with_faults(&cfg, plan, seed);
+            (0..300u64)
+                .map(|i| {
+                    let now = Time::from_ps(i * 7);
+                    let (src, dst) = (NodeId((i % 20) as u32), NodeId(((i + 3) % 20) as u32));
+                    if src == dst {
+                        return Delivery::At(now);
+                    }
+                    Transport::<DroppableMsg>::dispatch(&mut n, now, src, dst, &DroppableMsg)
+                })
+                .collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should perturb differently");
     }
 
     #[test]

@@ -82,6 +82,25 @@ pub trait NetMsg {
     fn size_bytes(&self) -> u32;
     /// Figure 7 class.
     fn class(&self) -> MsgClass;
+
+    /// True if the interconnect may *lose* this message under fault
+    /// injection without violating protocol correctness.
+    ///
+    /// Only messages with a timeout/retry recovery path opt in (TokenCMP
+    /// transient requests, §4). Token-carrying messages would break token
+    /// conservation, persistent-table messages have no retransmission,
+    /// and directory-protocol messages have no recovery story at all —
+    /// all of those keep this default.
+    fn droppable(&self) -> bool {
+        false
+    }
+
+    /// The raw block address this message concerns, if any; lets the
+    /// interconnect's `TOKENCMP_TRACE_BLOCK` fault tracer filter per
+    /// block without knowing the protocol's message type.
+    fn block_id(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,16 @@ impl fmt::Debug for NodeId {
     }
 }
 
+/// The transport's verdict on a message hand-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver at the given time.
+    At(Time),
+    /// The interconnect lost the message (fault injection); it is never
+    /// enqueued, consumes no bandwidth, and is not charged to traffic.
+    Dropped,
+}
+
 /// Computes message delivery times, modelling latency, bandwidth occupancy
 /// and traffic accounting.
 ///
@@ -39,6 +49,13 @@ pub trait Transport<M> {
     /// `dst`. Implementations may mutate internal occupancy state and
     /// traffic statistics.
     fn deliver_at(&mut self, now: Time, src: NodeId, dst: NodeId, msg: &M) -> Time;
+
+    /// Like [`deliver_at`](Transport::deliver_at), but may also decide to
+    /// lose the message entirely. The default implementation never drops,
+    /// so transports without fault injection behave exactly as before.
+    fn dispatch(&mut self, now: Time, src: NodeId, dst: NodeId, msg: &M) -> Delivery {
+        Delivery::At(self.deliver_at(now, src, dst, msg))
+    }
 }
 
 /// A [`Transport`] with a fixed latency and infinite bandwidth; for tests.
@@ -86,6 +103,7 @@ pub struct Ctx<'a, M> {
     queue: &'a mut EventQueue<M>,
     transport: &'a mut dyn Transport<M>,
     stopped: &'a mut bool,
+    last_progress: &'a mut Time,
 }
 
 impl<M> Ctx<'_, M> {
@@ -96,12 +114,19 @@ impl<M> Ctx<'_, M> {
 
     /// Sends `msg` to `dst` after a local processing delay of `delay`
     /// (e.g. a cache tag-array access before the reply hits the wire).
+    ///
+    /// The transport may drop the message (fault injection), in which case
+    /// it is silently discarded — recovery is the protocol's job.
     pub fn send_after(&mut self, delay: Dur, dst: NodeId, msg: M) {
         let depart = self.now + delay;
         let src = self.self_id;
-        let arrive = self.transport.deliver_at(depart, src, dst, &msg);
-        debug_assert!(arrive >= depart);
-        self.queue.push(arrive, dst, EventKind::Msg { src, msg });
+        match self.transport.dispatch(depart, src, dst, &msg) {
+            Delivery::At(arrive) => {
+                debug_assert!(arrive >= depart);
+                self.queue.push(arrive, dst, EventKind::Msg { src, msg });
+            }
+            Delivery::Dropped => {}
+        }
     }
 
     /// Schedules a wakeup for this component `delay` from now.
@@ -123,6 +148,12 @@ impl<M> Ctx<'_, M> {
     pub fn stop(&mut self) {
         *self.stopped = true;
     }
+
+    /// Marks forward progress (e.g. a sequencer committing a memory
+    /// operation), resetting the watchdog of [`Kernel::run_watched`].
+    pub fn progress(&mut self) {
+        *self.last_progress = self.now;
+    }
 }
 
 /// How a [`Kernel::run`] call ended.
@@ -137,6 +168,12 @@ pub enum RunOutcome {
     EventLimit,
     /// Simulated time passed the configured horizon.
     TimeLimit,
+    /// The progress watchdog fired: no component called [`Ctx::progress`]
+    /// for a full stall window of simulated time ([`Kernel::run_watched`]).
+    /// Unlike [`RunOutcome::EventLimit`], this catches a livelock after a
+    /// bounded amount of *simulated time* rather than after billions of
+    /// events.
+    Stalled,
 }
 
 /// The discrete-event simulator: a clock, an event queue, a transport, and
@@ -149,6 +186,7 @@ pub struct Kernel<M> {
     stats: Stats,
     stopped: bool,
     events_processed: u64,
+    last_progress: Time,
 }
 
 impl<M: 'static> Kernel<M> {
@@ -162,6 +200,7 @@ impl<M: 'static> Kernel<M> {
             stats: Stats::new(),
             stopped: false,
             events_processed: 0,
+            last_progress: Time::ZERO,
         }
     }
 
@@ -228,10 +267,25 @@ impl<M: 'static> Kernel<M> {
     }
 
     /// Injects a message from `src` to `dst` through the transport; for
-    /// tests and external stimulus.
+    /// tests and external stimulus. The transport may drop it.
     pub fn inject(&mut self, src: NodeId, dst: NodeId, msg: M) {
-        let arrive = self.transport.deliver_at(self.time, src, dst, &msg);
-        self.queue.push(arrive, dst, EventKind::Msg { src, msg });
+        match self.transport.dispatch(self.time, src, dst, &msg) {
+            Delivery::At(arrive) => self.queue.push(arrive, dst, EventKind::Msg { src, msg }),
+            Delivery::Dropped => {}
+        }
+    }
+
+    /// The pending events, in unspecified (but deterministic) order; used
+    /// by harnesses to build an in-flight message census for watchdog
+    /// diagnostics.
+    pub fn pending_events(&self) -> impl Iterator<Item = &crate::queue::QueuedEvent<M>> {
+        self.queue.iter()
+    }
+
+    /// Simulated time of the last [`Ctx::progress`] call (simulation start
+    /// if none was ever made).
+    pub fn last_progress(&self) -> Time {
+        self.last_progress
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
@@ -259,6 +313,7 @@ impl<M: 'static> Kernel<M> {
             queue: &mut self.queue,
             transport: self.transport.as_mut(),
             stopped: &mut self.stopped,
+            last_progress: &mut self.last_progress,
         };
         match ev.kind {
             EventKind::Msg { src, msg } => self.components[idx].on_msg(src, msg, &mut ctx),
@@ -270,7 +325,27 @@ impl<M: 'static> Kernel<M> {
     /// Runs until a stop request, an empty queue, `max_events`, or the
     /// `horizon` time limit — whichever comes first.
     pub fn run(&mut self, max_events: u64, horizon: Time) -> RunOutcome {
+        self.run_watched(max_events, horizon, None)
+    }
+
+    /// [`run`](Kernel::run) with a progress watchdog: if the next pending
+    /// event lies more than `stall_window` of simulated time after the
+    /// last [`Ctx::progress`] call, the run stops with
+    /// [`RunOutcome::Stalled`] *before* processing that event.
+    ///
+    /// The watchdog is purely an observer — it never reorders or drops
+    /// events, so enabling it cannot change simulation results, only how
+    /// a non-terminating run is reported.
+    pub fn run_watched(
+        &mut self,
+        max_events: u64,
+        horizon: Time,
+        stall_window: Option<Dur>,
+    ) -> RunOutcome {
         let budget_end = self.events_processed.saturating_add(max_events);
+        // The window is measured from the start of this run if nothing
+        // has progressed yet (relevant when resuming a stepped kernel).
+        self.last_progress = self.last_progress.max(self.time);
         loop {
             if self.stopped {
                 return RunOutcome::Stopped;
@@ -281,7 +356,12 @@ impl<M: 'static> Kernel<M> {
             match self.queue.next_time() {
                 None => return RunOutcome::Idle,
                 Some(t) if t > horizon => return RunOutcome::TimeLimit,
-                Some(_) => {
+                Some(t) => {
+                    if let Some(w) = stall_window {
+                        if t.saturating_since(self.last_progress) > w {
+                            return RunOutcome::Stalled;
+                        }
+                    }
                     self.step();
                 }
             }
@@ -398,6 +478,102 @@ mod tests {
         k.wake(a, Dur::ZERO, 0);
         assert_eq!(k.run(1_000, Time::MAX), RunOutcome::EventLimit);
         assert_eq!(k.run(u64::MAX, Time::from_ns(2_000)), RunOutcome::TimeLimit);
+    }
+
+    #[test]
+    fn watchdog_stalls_a_progress_free_spin() {
+        // A component that spins forever without ever calling progress():
+        // the watchdog must fire after one stall window of simulated time,
+        // long before the event budget is exhausted.
+        #[derive(Debug)]
+        struct Spinner;
+        impl Component<u64> for Spinner {
+            fn on_msg(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, u64>) {}
+            fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, u64>) {
+                ctx.wake_in(Dur::from_ns(1), tag);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Spinner);
+        k.wake(a, Dur::ZERO, 0);
+        let outcome = k.run_watched(u64::MAX, Time::MAX, Some(Dur::from_ns(50)));
+        assert_eq!(outcome, RunOutcome::Stalled);
+        // Stopped at the stall window, not after billions of events.
+        assert!(k.now() <= Time::from_ns(51));
+        assert!(k.events_processed() < 100);
+    }
+
+    #[test]
+    fn watchdog_is_reset_by_progress() {
+        // Spins like above, but marks progress every 10th wake: the
+        // watchdog never fires and the run ends via the event budget.
+        #[derive(Debug)]
+        struct Worker(u64);
+        impl Component<u64> for Worker {
+            fn on_msg(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, u64>) {}
+            fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, u64>) {
+                self.0 += 1;
+                if self.0.is_multiple_of(10) {
+                    ctx.progress();
+                }
+                ctx.wake_in(Dur::from_ns(1), tag);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Worker(0));
+        k.wake(a, Dur::ZERO, 0);
+        let outcome = k.run_watched(1_000, Time::MAX, Some(Dur::from_ns(50)));
+        assert_eq!(outcome, RunOutcome::EventLimit);
+        assert!(k.last_progress() > Time::ZERO);
+    }
+
+    #[test]
+    fn pending_events_expose_the_census() {
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Echo::default());
+        k.wake(a, Dur::from_ns(1), 7);
+        k.inject(a, a, 42);
+        let (mut wakes, mut msgs) = (0, 0);
+        for ev in k.pending_events() {
+            match ev.kind {
+                EventKind::Wake { .. } => wakes += 1,
+                EventKind::Msg { .. } => msgs += 1,
+            }
+        }
+        assert_eq!((wakes, msgs), (1, 1));
+    }
+
+    #[test]
+    fn dropping_transport_loses_messages_but_not_wakes() {
+        struct BlackHole;
+        impl Transport<u64> for BlackHole {
+            fn deliver_at(&mut self, now: Time, _: NodeId, _: NodeId, _: &u64) -> Time {
+                now
+            }
+            fn dispatch(&mut self, _: Time, _: NodeId, _: NodeId, _: &u64) -> Delivery {
+                Delivery::Dropped
+            }
+        }
+        let mut k: Kernel<u64> = Kernel::new(Box::new(BlackHole));
+        let a = k.add_component(Echo::default());
+        k.inject(a, a, 1);
+        assert_eq!(k.pending_events().count(), 0);
+        k.wake(a, Dur::from_ns(1), 0);
+        assert_eq!(k.run_to_completion(), RunOutcome::Idle);
+        let e = k.component_as::<Echo>(a).unwrap();
+        assert!(e.received.is_empty());
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use kernel::{Component, Ctx, InstantTransport, Kernel, NodeId, RunOutcome, Transport};
+pub use kernel::{
+    Component, Ctx, Delivery, InstantTransport, Kernel, NodeId, RunOutcome, Transport,
+};
 pub use queue::{EventKind, EventQueue, QueuedEvent};
 pub use rng::Rng;
 pub use stats::{Ewma, Histogram, Stats};

@@ -121,6 +121,12 @@ impl<M> EventQueue<M> {
         self.heap.len()
     }
 
+    /// Iterates over pending events in unspecified (but deterministic,
+    /// heap-internal) order; for diagnostics, not for scheduling.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedEvent<M>> {
+        self.heap.iter()
+    }
+
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

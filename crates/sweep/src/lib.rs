@@ -57,18 +57,47 @@ pub use report::{parse_records, points_to_json, write_json, PointRecord};
 
 /// The number of worker threads [`Sweep::run`] and [`par_map`] use: the
 /// `TOKENCMP_SWEEP_THREADS` environment variable if set to a positive
-/// integer, otherwise [`std::thread::available_parallelism`].
+/// integer, otherwise [`std::thread::available_parallelism`]. A malformed
+/// value aborts with a clear message instead of silently falling back —
+/// a typo'd thread count should never masquerade as a measurement knob.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("TOKENCMP_SWEEP_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+    match parse_threads(std::env::var("TOKENCMP_SWEEP_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+}
+
+/// Parses a `TOKENCMP_SWEEP_THREADS` value (`None` = variable unset,
+/// which means "use available parallelism"). Separated from
+/// [`default_threads`] so malformed inputs are unit-testable without
+/// exercising a process exit.
+pub fn parse_threads(var: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = var else {
+        return Ok(None);
+    };
+    let v = raw.trim();
+    if v.is_empty() {
+        return Err(
+            "TOKENCMP_SWEEP_THREADS is set but empty; unset it or give a positive \
+             worker count"
+                .into(),
+        );
+    }
+    match v.parse::<usize>() {
+        Ok(0) => {
+            Err("TOKENCMP_SWEEP_THREADS must be at least 1 (0 workers cannot run anything)".into())
+        }
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "TOKENCMP_SWEEP_THREADS: `{raw}` is not a positive integer"
+        )),
+    }
 }
 
 /// Applies `f` to every item on a scoped worker pool and returns the
@@ -354,5 +383,30 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_counts_and_unset() {
+        assert_eq!(parse_threads(None).unwrap(), None);
+        assert_eq!(parse_threads(Some("1")).unwrap(), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")).unwrap(), Some(8));
+    }
+
+    #[test]
+    fn parse_threads_rejects_malformed_values_with_clear_messages() {
+        for (input, expect) in [
+            ("", "set but empty"),
+            ("  ", "set but empty"),
+            ("0", "at least 1"),
+            ("junk", "not a positive integer"),
+            ("-2", "not a positive integer"),
+            ("1.5", "not a positive integer"),
+        ] {
+            let err = parse_threads(Some(input)).expect_err(&format!("`{input}` must be rejected"));
+            assert!(
+                err.contains("TOKENCMP_SWEEP_THREADS") && err.contains(expect),
+                "`{input}` -> `{err}` (expected to mention `{expect}`)"
+            );
+        }
     }
 }

@@ -11,10 +11,10 @@ use std::rc::Rc;
 
 use tokencmp_core::{TokenL1, TokenL2, TokenMem, TokenMsg, Variant};
 use tokencmp_directory::{ChipRights, DirHome, DirL1, DirL2, DirMsg, L1State};
-use tokencmp_net::{Network, Traffic, TrafficHandle};
-use tokencmp_proto::{Block, CpuPort, Layout, SystemConfig, Unit};
+use tokencmp_net::{FaultPlan, Network, Traffic, TrafficHandle};
+use tokencmp_proto::{Block, CpuPort, Layout, MsgClass, NetMsg, SystemConfig, Unit};
 use tokencmp_sim::kernel::RunOutcome;
-use tokencmp_sim::{Dur, Kernel, NodeId, Stats, Time};
+use tokencmp_sim::{Dur, EventKind, Kernel, NodeId, Stats, Time};
 
 use crate::perfect::PerfectL2;
 use crate::sequencer::Sequencer;
@@ -63,6 +63,20 @@ pub struct RunOptions {
     /// Check protocol invariants at quiescence (token conservation /
     /// directory consistency). On by default; panics on violation.
     pub audit: bool,
+    /// Interconnect fault-injection plan. The default ([`FaultPlan::none`])
+    /// is a guaranteed pass-through: results are bit-identical to a run
+    /// without fault injection. Plans with a positive drop rate are
+    /// rejected at configuration time for the DirectoryCMP protocols,
+    /// which have no message-loss recovery path; PerfectL2 models no
+    /// interconnect, so faults have no effect there.
+    pub faults: FaultPlan,
+    /// Progress watchdog: if no sequencer commits an operation for this
+    /// much *simulated* time, the run stops with [`RunOutcome::Stalled`]
+    /// and [`RunResult::diagnostic`] carries a snapshot. `None` disables
+    /// the watchdog. The default (1 ms of simulated time, ~10⁴× a typical
+    /// operation latency) is far above any legitimate quiet period of the
+    /// modeled workloads.
+    pub stall_window: Option<Dur>,
 }
 
 impl Default for RunOptions {
@@ -72,7 +86,24 @@ impl Default for RunOptions {
             max_events: 2_000_000_000,
             horizon: Time::MAX,
             audit: true,
+            faults: FaultPlan::none(),
+            stall_window: Some(Dur::from_ns(1_000_000)),
         }
+    }
+}
+
+impl RunOptions {
+    /// Returns these options with the given fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> RunOptions {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns these options with the given stall-watchdog window
+    /// (`None` disables the watchdog).
+    pub fn with_stall_window(mut self, window: Option<Dur>) -> RunOptions {
+        self.stall_window = window;
+        self
     }
 }
 
@@ -89,6 +120,11 @@ pub struct RunResult {
     pub traffic: Traffic,
     /// Merged counters (`l1.misses`, `l1.persistent`, ...).
     pub counters: Stats,
+    /// A human-readable snapshot of the stuck system — per-processor
+    /// pending operation, persistent-table state, in-flight message
+    /// census — populated whenever the run did *not* end cleanly
+    /// (anything but [`RunOutcome::Idle`] / [`RunOutcome::Stopped`]).
+    pub diagnostic: Option<String>,
 }
 
 impl RunResult {
@@ -125,6 +161,19 @@ pub fn run_workload<W: Workload + 'static>(
     opts: &RunOptions,
 ) -> (RunResult, W) {
     cfg.validate().expect("invalid system configuration");
+    if matches!(protocol, Protocol::Directory | Protocol::DirectoryZero) {
+        // TokenCMP tolerates losing transient requests because they carry
+        // no tokens and have a timeout/retry/persistent-escalation path
+        // (§4). DirectoryCMP has no such recovery story for *any* message,
+        // so a lossy plan is a configuration error, not an experiment.
+        assert!(
+            opts.faults.max_drop_rate() <= 0.0,
+            "{}: FaultPlan with drop_rate {} rejected — DirectoryCMP has no \
+             message-loss recovery path (jitter and reordering are allowed)",
+            protocol.name(),
+            opts.faults.max_drop_rate(),
+        );
+    }
     let cfg = Rc::new(cfg.clone());
     let wl = Rc::new(RefCell::new(workload));
     let result = match protocol {
@@ -146,6 +195,7 @@ fn finish<M: 'static>(
     runtime: Dur,
     traffic: Option<&TrafficHandle>,
     counters: Stats,
+    diagnostic: Option<String>,
 ) -> RunResult {
     RunResult {
         outcome,
@@ -153,19 +203,65 @@ fn finish<M: 'static>(
         events: kernel.events_processed(),
         traffic: traffic.map(|t| t.borrow().clone()).unwrap_or_default(),
         counters,
+        diagnostic,
     }
 }
 
-/// Drives the kernel and computes the last-processor-done time.
-fn drive<M: CpuPort + 'static>(
+/// Builds the watchdog diagnostic snapshot for a run that did not end
+/// cleanly: kernel progress state, each processor's pending operation,
+/// and a census of in-flight messages by class.
+fn diagnose<M: CpuPort + NetMsg + 'static>(
+    kernel: &Kernel<M>,
+    layout: &Layout,
+    outcome: RunOutcome,
+) -> Option<String> {
+    use std::fmt::Write as _;
+    if matches!(outcome, RunOutcome::Idle | RunOutcome::Stopped) {
+        return None;
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "watchdog diagnostic: {outcome:?} at {} after {} events (last progress at {})",
+        kernel.now(),
+        kernel.events_processed(),
+        kernel.last_progress(),
+    );
+    for p in layout.proc_ids() {
+        let seq = kernel
+            .component_as::<Sequencer<M>>(layout.proc(p))
+            .expect("sequencer type");
+        let _ = writeln!(s, "  {seq:?}");
+    }
+    let mut wakes = 0u64;
+    let mut by_class = [0u64; 7];
+    for ev in kernel.pending_events() {
+        match &ev.kind {
+            EventKind::Wake { .. } => wakes += 1,
+            EventKind::Msg { msg, .. } => by_class[msg.class().index()] += 1,
+        }
+    }
+    let _ = writeln!(s, "  in flight: {wakes} wakeups");
+    for c in MsgClass::ALL {
+        if by_class[c.index()] > 0 {
+            let _ = writeln!(s, "  in flight: {} \u{d7} {c}", by_class[c.index()]);
+        }
+    }
+    Some(s)
+}
+
+/// Drives the kernel and computes the last-processor-done time, plus a
+/// diagnostic snapshot if the run did not end cleanly.
+fn drive<M: CpuPort + NetMsg + 'static>(
     kernel: &mut Kernel<M>,
     layout: &Layout,
     opts: &RunOptions,
-) -> (RunOutcome, Dur) {
+) -> (RunOutcome, Dur, Option<String>) {
     for p in layout.proc_ids() {
         kernel.wake(layout.proc(p), Dur::ZERO, 0);
     }
-    let outcome = kernel.run(opts.max_events, opts.horizon);
+    let outcome = kernel.run_watched(opts.max_events, opts.horizon, opts.stall_window);
+    let diagnostic = diagnose(kernel, layout, outcome);
     let mut runtime = Dur::ZERO;
     for p in layout.proc_ids() {
         let seq = kernel
@@ -182,7 +278,7 @@ fn drive<M: CpuPort + 'static>(
             }
         }
     }
-    (outcome, runtime)
+    (outcome, runtime, diagnostic)
 }
 
 // ---- TokenCMP -------------------------------------------------------------------
@@ -194,8 +290,9 @@ fn run_token(
     opts: &RunOptions,
 ) -> RunResult {
     let layout = cfg.layout();
-    let net = Network::new(cfg);
+    let net = Network::with_faults(cfg, opts.faults, opts.seed);
     let traffic = net.traffic_handle();
+    let faults = net.fault_handle();
     let mut k: Kernel<TokenMsg> = Kernel::new(Box::new(net));
     for p in layout.proc_ids() {
         let id = k.add_component(Sequencer::<TokenMsg>::new(
@@ -249,7 +346,18 @@ fn run_token(
         assert_eq!(id, me);
     }
 
-    let (outcome, runtime) = drive(&mut k, &layout, opts);
+    let (outcome, runtime, mut diagnostic) = drive(&mut k, &layout, opts);
+    if let Some(d) = diagnostic.as_mut() {
+        use std::fmt::Write as _;
+        for p in layout.proc_ids() {
+            for node in [layout.l1d(p), layout.l1i(p)] {
+                let l1 = k.component_as::<TokenL1>(node).unwrap();
+                if let Some(line) = l1.pending_snapshot() {
+                    let _ = writeln!(d, "  {:?} ({node:?}): {line}", layout.unit(node));
+                }
+            }
+        }
+    }
 
     // Harvest counters.
     let mut counters = k.stats().clone();
@@ -284,10 +392,19 @@ fn run_token(
         counters.add("mem.arb_activations", m.stats.arb_activations);
     }
 
+    // Only fault-injecting runs carry `net.fault.*` counters, so a no-op
+    // plan leaves the counter listing bit-identical to a fault-free run.
+    if let Some(h) = &faults {
+        let f = h.borrow();
+        counters.add("net.fault.dropped", f.dropped);
+        counters.add("net.fault.jittered", f.jittered);
+        counters.add("net.fault.reordered", f.reordered);
+    }
+
     if opts.audit && outcome == RunOutcome::Idle {
         audit_tokens(&k, cfg, &layout);
     }
-    finish(&k, outcome, runtime, Some(&traffic), counters)
+    finish(&k, outcome, runtime, Some(&traffic), counters, diagnostic)
 }
 
 /// Token conservation at quiescence: every touched block holds exactly
@@ -341,8 +458,9 @@ fn run_directory(
     }
     let cfg = Rc::new(cfg2);
     let layout = cfg.layout();
-    let net = Network::new(&cfg);
+    let net = Network::with_faults(&cfg, opts.faults, opts.seed);
     let traffic = net.traffic_handle();
+    let faults = net.fault_handle();
     let mut k: Kernel<DirMsg> = Kernel::new(Box::new(net));
     for p in layout.proc_ids() {
         let id = k.add_component(Sequencer::<DirMsg>::new(
@@ -372,7 +490,7 @@ fn run_directory(
         assert_eq!(k.add_component(DirHome::new(cfg.clone(), me, c)), me);
     }
 
-    let (outcome, runtime) = drive(&mut k, &layout, opts);
+    let (outcome, runtime, diagnostic) = drive(&mut k, &layout, opts);
 
     let mut counters = k.stats().clone();
     for p in layout.proc_ids() {
@@ -402,10 +520,17 @@ fn run_directory(
         counters.add("home.writebacks", h.stats.writebacks);
     }
 
+    if let Some(h) = &faults {
+        let f = h.borrow();
+        counters.add("net.fault.dropped", f.dropped);
+        counters.add("net.fault.jittered", f.jittered);
+        counters.add("net.fault.reordered", f.reordered);
+    }
+
     if opts.audit && outcome == RunOutcome::Idle {
         audit_directory(&k, &layout);
     }
-    finish(&k, outcome, runtime, Some(&traffic), counters)
+    finish(&k, outcome, runtime, Some(&traffic), counters, diagnostic)
 }
 
 /// Directory consistency at quiescence: per block, at most one L1 in M/E
@@ -496,7 +621,8 @@ fn run_perfect(
     for &s in &seqs {
         k.wake(s, Dur::ZERO, 0);
     }
-    let outcome = k.run(opts.max_events, opts.horizon);
+    let outcome = k.run_watched(opts.max_events, opts.horizon, opts.stall_window);
+    let diagnostic = diagnose(&k, &layout, outcome);
     let mut runtime = Dur::ZERO;
     for &s in &seqs {
         let seq = k.component_as::<Sequencer<TokenMsg>>(s).unwrap();
@@ -509,5 +635,5 @@ fn run_perfect(
     let m = k.component_as::<PerfectL2<TokenMsg>>(magic).unwrap();
     counters.add("l1.hits", m.stats.hits);
     counters.add("l1.misses", m.stats.misses);
-    finish(&k, outcome, runtime, None, counters)
+    finish(&k, outcome, runtime, None, counters, diagnostic)
 }

@@ -97,6 +97,9 @@ impl<M: CpuPort + 'static> Component<M> for Sequencer<M> {
             (CpuResp::Done { kind, block }, SeqState::Waiting { kind: k, block: b }) => {
                 assert_eq!((kind, block), (k, b), "completion mismatch");
                 self.ops += 1;
+                // A committed memory operation is the liveness signal the
+                // kernel's stall watchdog listens for.
+                ctx.progress();
                 self.advance(Some(Completed { kind, block }), ctx);
             }
             (CpuResp::WatchFired { block }, SeqState::Spinning { block: b }) => {

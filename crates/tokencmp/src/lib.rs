@@ -58,7 +58,7 @@ pub use tokencmp_system as system;
 pub use tokencmp_workloads as workloads;
 
 pub use tokencmp_core::{ReqKind, TokenBundle, TokenMsg, Variant};
-pub use tokencmp_net::{Tier, Traffic};
+pub use tokencmp_net::{FaultCounters, FaultPlan, FaultSpec, Tier, Traffic};
 pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, SystemConfig};
 pub use tokencmp_sim::{Dur, RunOutcome, Time};
 pub use tokencmp_sweep::{par_map, PointRecord, PointResult, Sweep, SweepPoint};

@@ -1,0 +1,239 @@
+//! Adversarial interconnect fault injection (the substrate's §3 claim,
+//! made testable): TokenCMP must complete its workloads — with correct
+//! functional results — while the network drops transient requests,
+//! jitters latencies, and adversarially reorders unordered-tier messages.
+//! Recovery must leave fingerprints in the counters, everything must be
+//! seed-deterministic, and protocols without a loss-recovery path must
+//! reject lossy plans outright.
+
+use proptest::prelude::*;
+
+use tokencmp::{
+    run_workload, BarrierWorkload, Dur, FaultPlan, LockingWorkload, MsgClass, Protocol, RunOptions,
+    RunOutcome, RunResult, SystemConfig, Tier, Variant,
+};
+
+/// A hostile but survivable plan: 5 % transient loss, frequent bounded
+/// jitter, and occasional adversarial holds on the unordered intra tier.
+fn hostile_plan() -> FaultPlan {
+    FaultPlan::none()
+        .dropping(0.05)
+        .jittering(0.25, Dur::from_ns(20))
+        .reordering(0.10, Dur::from_ns(15))
+}
+
+fn run_locking(protocol: Protocol, plan: FaultPlan, seed: u64) -> (RunResult, LockingWorkload) {
+    let cfg = SystemConfig::default();
+    let w = LockingWorkload::new(16, 2, 10, seed);
+    let opts = RunOptions {
+        seed,
+        ..RunOptions::default()
+    }
+    .with_faults(plan);
+    let (res, w) = run_workload(&cfg, protocol, w, &opts);
+    (res, w)
+}
+
+#[test]
+fn every_variant_completes_locking_under_transient_drop() {
+    let plan = FaultPlan::none().dropping(0.05);
+    for v in Variant::ALL {
+        let (res, w) = run_locking(Protocol::Token(v), plan, 21);
+        assert_eq!(res.outcome, RunOutcome::Idle, "{v:?} under 5% drop");
+        assert_eq!(w.total_acquires, 16 * 10, "{v:?} lost acquires");
+        let dropped = res.counters.counter("net.fault.dropped");
+        if v.max_transient() > 0 {
+            assert!(dropped > 0, "{v:?}: no transient requests were dropped");
+            // Every lost transient must be recovered via the §4 path:
+            // timeout retry or persistent escalation.
+            let recoveries =
+                res.counters.counter("l1.retries") + res.counters.counter("l1.persistent");
+            assert!(
+                recoveries > 0,
+                "{v:?}: {dropped} drops but no retries/persistent escalations"
+            );
+        } else {
+            // arb0/dst0 never issue transients — the only droppable class —
+            // so a lossy network cannot touch them at all.
+            assert_eq!(dropped, 0, "{v:?} has nothing droppable");
+        }
+    }
+}
+
+#[test]
+fn every_variant_completes_barrier_under_combined_faults() {
+    let cfg = SystemConfig::default();
+    for v in Variant::ALL {
+        let w = BarrierWorkload::new(16, 3, Dur::from_ns(1000), Dur::from_ns(300), 9);
+        let opts = RunOptions::default().with_faults(hostile_plan());
+        let (res, w) = run_workload(&cfg, Protocol::Token(v), w, &opts);
+        assert_eq!(res.outcome, RunOutcome::Idle, "{v:?} under combined faults");
+        assert_eq!(w.passes, 16 * 3, "{v:?} lost barrier passes");
+        assert!(
+            res.counters.counter("net.fault.jittered") > 0,
+            "{v:?}: jitter never fired"
+        );
+        assert!(
+            res.counters.counter("net.fault.reordered") > 0,
+            "{v:?}: reordering never fired"
+        );
+    }
+}
+
+#[test]
+fn same_plan_and_seed_replay_bit_identically() {
+    let run = || run_locking(Protocol::Token(Variant::Dst1), hostile_plan(), 77).0;
+    let (a, b) = (run(), run());
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.events, b.events);
+    let counters = |r: &RunResult| -> Vec<(String, u64)> {
+        r.counters
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    };
+    assert_eq!(counters(&a), counters(&b), "counters diverged");
+    for tier in Tier::ALL {
+        for class in MsgClass::ALL {
+            assert_eq!(
+                a.traffic.bytes(tier, class),
+                b.traffic.bytes(tier, class),
+                "traffic diverged at {tier:?}/{class:?}"
+            );
+        }
+    }
+    assert!(
+        a.counters.counter("net.fault.dropped") > 0,
+        "plan was inert"
+    );
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_no_fault_layer() {
+    // `with_faults(FaultPlan::none())` must not just "mostly" match a
+    // fault-free run — the fault layer is provably absent (no RNG draws,
+    // no counters), so every observable is identical.
+    let (plain, _) = run_locking(Protocol::Token(Variant::Dst4), FaultPlan::none(), 5);
+    let cfg = SystemConfig::default();
+    let w = LockingWorkload::new(16, 2, 10, 5);
+    let opts = RunOptions {
+        seed: 5,
+        ..RunOptions::default()
+    };
+    let (base, _) = run_workload(&cfg, Protocol::Token(Variant::Dst4), w, &opts);
+    assert_eq!(plain.runtime, base.runtime);
+    assert_eq!(plain.events, base.events);
+    let keys = |r: &RunResult| -> Vec<String> {
+        r.counters.counters().map(|(k, _)| k.to_string()).collect()
+    };
+    assert_eq!(keys(&plain), keys(&base), "no-op plan leaked counters");
+    assert!(!keys(&base).iter().any(|k| k.starts_with("net.fault.")));
+}
+
+#[test]
+#[should_panic(expected = "no message-loss recovery path")]
+fn directory_rejects_lossy_plans_at_config_time() {
+    let cfg = SystemConfig::small_test();
+    let w = LockingWorkload::new(4, 2, 1, 1);
+    let opts = RunOptions::default().with_faults(FaultPlan::none().dropping(0.01));
+    let _ = run_workload(&cfg, Protocol::Directory, w, &opts);
+}
+
+#[test]
+fn directory_survives_jitter() {
+    // DirectoryCMP rejects loss but must tolerate a slow network: jitter
+    // is FIFO-preserving on the serialized tiers by construction.
+    let cfg = SystemConfig::default();
+    let w = LockingWorkload::new(16, 4, 6, 13);
+    let opts = RunOptions {
+        seed: 13,
+        ..RunOptions::default()
+    }
+    .with_faults(FaultPlan::none().jittering(0.3, Dur::from_ns(25)));
+    let (res, w) = run_workload(&cfg, Protocol::Directory, w, &opts);
+    assert_eq!(res.outcome, RunOutcome::Idle);
+    assert_eq!(w.total_acquires, 16 * 6);
+    assert!(res.counters.counter("net.fault.jittered") > 0);
+    assert_eq!(res.counters.counter("net.fault.dropped"), 0);
+}
+
+#[test]
+fn watchdog_reports_stall_with_diagnostic_snapshot() {
+    // Force the watchdog: a barrier workload with ~1 µs of think time
+    // between commits cannot possibly satisfy a 50 ns stall window, so the
+    // run must stop as Stalled — after a bounded amount of *simulated
+    // time*, not after burning the event budget — and carry a snapshot.
+    let cfg = SystemConfig::default();
+    let w = BarrierWorkload::new(16, 4, Dur::from_ns(3000), Dur::from_ns(1000), 3);
+    let opts = RunOptions {
+        audit: false,
+        ..RunOptions::default()
+    }
+    .with_stall_window(Some(Dur::from_ns(50)));
+    let (res, _) = run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &opts);
+    assert_eq!(res.outcome, RunOutcome::Stalled);
+    assert!(
+        res.events < 1_000_000,
+        "stall detection must not burn the event budget ({} events)",
+        res.events
+    );
+    let diag = res.diagnostic.expect("stalled runs must carry a snapshot");
+    assert!(
+        diag.contains("watchdog diagnostic"),
+        "header missing: {diag}"
+    );
+    assert!(
+        diag.contains("Sequencer"),
+        "per-processor state missing: {diag}"
+    );
+    assert!(diag.contains("in flight"), "message census missing: {diag}");
+}
+
+#[test]
+fn clean_runs_carry_no_diagnostic() {
+    let (res, _) = run_locking(Protocol::Token(Variant::Dst1), FaultPlan::none(), 2);
+    assert_eq!(res.outcome, RunOutcome::Idle);
+    assert!(res.diagnostic.is_none());
+}
+
+/// Percent-encoded fault knobs, decoded into a [`FaultPlan`].
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (0u32..=8, 0u32..=100, 0u64..=40, 0u32..=50, 0u64..=25).prop_map(
+        |(drop_pct, jitter_pct, jitter_ns, reorder_pct, hold_ns)| {
+            FaultPlan::none()
+                .dropping(f64::from(drop_pct) / 100.0)
+                .jittering(f64::from(jitter_pct) / 100.0, Dur::from_ns(jitter_ns))
+                .reordering(f64::from(reorder_pct) / 100.0, Dur::from_ns(hold_ns))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random fault plans on random variants: completion and functional
+    /// correctness are plan-independent (the substrate's whole claim).
+    #[test]
+    fn random_plans_never_break_locking(
+        plan in plan_strategy(),
+        variant in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SystemConfig::small_test();
+        let v = Variant::ALL[variant];
+        let w = LockingWorkload::new(4, 2, 4, seed);
+        let opts = RunOptions {
+            seed,
+            max_events: 80_000_000,
+            ..RunOptions::default()
+        }
+        .with_faults(plan);
+        let (res, w) = run_workload(&cfg, Protocol::Token(v), w, &opts);
+        prop_assert_eq!(res.outcome, RunOutcome::Idle, "{:?} under {:?}", v, plan);
+        prop_assert_eq!(w.total_acquires, 4 * 4, "{:?} lost acquires", v);
+    }
+}

@@ -21,6 +21,39 @@ pub trait Strategy {
         let _ = value;
         Vec::new()
     }
+
+    /// Maps generated values through `f` (upstream-proptest compatible).
+    /// Mapped strategies do not shrink: the source value is not retained,
+    /// so candidates cannot be re-derived.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy whose values are another strategy's, passed through a
+/// function (see [`Strategy::prop_map`]).
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -157,6 +190,8 @@ tuple_strategy! {
     (A / a / 0, B / b / 1)
     (A / a / 0, B / b / 1, C / c / 2)
     (A / a / 0, B / b / 1, C / c / 2, D / d / 3)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4, F / f / 5)
 }
 
 #[cfg(test)]

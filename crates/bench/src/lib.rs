@@ -16,7 +16,7 @@
 
 use std::path::PathBuf;
 
-use tokencmp::sim::stats::mean_stderr;
+use tokencmp::sim::stats::{mean_stderr, Stats};
 use tokencmp::sweep::{PointResult, Sweep};
 use tokencmp::{Protocol, RunOptions, RunResult, SystemConfig, Workload};
 
@@ -269,6 +269,20 @@ impl BenchResults {
         &self.group(g).last().expect("empty group").result
     }
 
+    /// Folds the group's per-seed counter snapshots into one registry
+    /// via [`Stats::merge`] — counters summed across seeds, gauges
+    /// last-write-wins in seed order. Use this when a figure annotation
+    /// wants totals over the whole replication (e.g. aggregate
+    /// persistent-request counts) rather than [`last`](Self::last)'s
+    /// single-run view.
+    pub fn merged_counters(&self, g: GroupId) -> Stats {
+        let mut folded = Stats::new();
+        for p in self.group(g) {
+            folded.merge(&p.result.counters);
+        }
+        folded
+    }
+
     /// Writes every per-point record to `target/sweep/<name>.json` (see
     /// [`tokencmp::sweep::write_json`]) and returns the path.
     pub fn export(&self, name: &str) -> std::io::Result<PathBuf> {
@@ -389,6 +403,24 @@ mod tests {
         let pts = results.points();
         assert_eq!(pts.last().unwrap().point.seed, 99);
         assert_eq!(results.measure(single).half, 0.0);
+    }
+
+    #[test]
+    fn merged_counters_sum_across_seeds() {
+        let cfg = SystemConfig::small_test();
+        let mut grid = BenchGrid::new();
+        let g = grid.push(&cfg, Protocol::Token(Variant::Dst1), |_| {
+            ScriptedWorkload::new(script())
+        });
+        let results = grid.run();
+        let folded = results.merged_counters(g);
+        let by_hand: u64 = results
+            .points()
+            .iter()
+            .map(|p| p.result.counters.counter("l1.misses"))
+            .sum();
+        assert_eq!(folded.counter("l1.misses"), by_hand);
+        assert!(folded.counter("l1.misses") >= seeds().len() as u64);
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::rc::Rc;
 use tokencmp_cache::{InsertOutcome, SetAssoc};
 use tokencmp_proto::Block;
 use tokencmp_proto::{AccessKind, CpuReq, CpuResp, Layout, ProcId, SystemConfig, Unit};
-use tokencmp_sim::{Component, Ctx, Dur, Ewma, Histogram, NodeId, Rng, Time};
+use tokencmp_sim::{Component, Ctx, Dur, Ewma, NodeId, Rng, Time};
+use tokencmp_trace::{LatencyBreakdown, Segment, SegmentParts, TraceEvent, TraceHandle};
 
 use crate::common::{persistent_grant, transient_grant, GrantRules, PersistentState, TokenLine};
 use crate::msg::{ReqKind, TokenBundle, TokenMsg};
@@ -44,8 +45,8 @@ pub struct L1Stats {
     pub persistent_reads: u64,
     /// Misses sent straight to a persistent request by the predictor.
     pub predictor_shortcuts: u64,
-    /// Miss latency distribution (picoseconds).
-    pub miss_latency: Histogram,
+    /// Miss latency distribution with per-tier attribution (picoseconds).
+    pub lat: LatencyBreakdown,
 }
 
 #[derive(Debug)]
@@ -57,6 +58,11 @@ struct Mshr {
     started: Time,
     last_issue: Time,
     persistent: bool,
+    /// When the miss escalated to a persistent request (attribution).
+    escalated_at: Option<Time>,
+    /// The tier that supplied the most recent tokens for this miss — the
+    /// winning supplier once the miss completes (attribution).
+    supplier: Segment,
     epoch: u64,
 }
 
@@ -92,6 +98,7 @@ pub struct TokenL1 {
     persistent_epoch: Rc<Cell<u64>>,
     /// The epoch of this cache's own outstanding persistent request.
     my_epoch: u64,
+    trace: Option<TraceHandle>,
     /// Run statistics.
     pub stats: L1Stats,
 }
@@ -136,8 +143,25 @@ impl TokenL1 {
             epoch: 0,
             persistent_epoch,
             my_epoch: 0,
+            trace: None,
             cfg,
             stats: L1Stats::default(),
+        }
+    }
+
+    /// Installs the run's trace sink (no sink ⇒ zero tracing work).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// The tier a token supplier `src` belongs to, seen from this cache.
+    fn supplier_tier(&self, src: NodeId) -> Segment {
+        if matches!(self.layout.unit(src), Unit::Mem(_)) {
+            Segment::Mem
+        } else if self.layout.placement(src).cmp() == self.layout.cmp_of_proc(self.proc) {
+            Segment::Intra
+        } else {
+            Segment::Inter
         }
     }
 
@@ -205,6 +229,18 @@ impl TokenL1 {
         writeback: bool,
     ) {
         debug_assert!(bundle.count >= 1);
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::TokensMoved {
+                    block,
+                    from: self.me,
+                    to: dst,
+                    count: bundle.count,
+                    owner: bundle.owner,
+                },
+            );
+        }
         ctx.send_after(
             delay,
             dst,
@@ -294,9 +330,29 @@ impl TokenL1 {
         if let Some(line) = self.lines.get_mut(block) {
             line.fold(bundle);
         } else {
+            if let Some(t) = &self.trace {
+                t.borrow_mut().record(
+                    ctx.now,
+                    TraceEvent::CacheFill {
+                        node: self.me,
+                        block,
+                        state: if bundle.owner { "O" } else { "S" },
+                    },
+                );
+            }
             match self.lines.insert(block, TokenLine::from_bundle(bundle)) {
                 InsertOutcome::Evicted(vblock, mut vline) => {
                     let vb = vline.take_all(true);
+                    if let Some(t) = &self.trace {
+                        t.borrow_mut().record(
+                            ctx.now,
+                            TraceEvent::CacheEvict {
+                                node: self.me,
+                                block: vblock,
+                                state: if vb.owner { "O" } else { "S" },
+                            },
+                        );
+                    }
                     self.spill(ctx, vblock, vb);
                     self.after_line_change(vblock, ctx);
                 }
@@ -320,6 +376,13 @@ impl TokenL1 {
                     self.mem_ewma.observe(lat.as_ps() as f64);
                 }
             }
+        }
+        // Attribution: remember which tier the latest tokens came from —
+        // if they complete the miss, that tier supplied the winning
+        // transfer.
+        if self.mshr.as_ref().is_some_and(|m| m.block == block) {
+            let seg = self.supplier_tier(src);
+            self.mshr.as_mut().unwrap().supplier = seg;
         }
         self.maybe_complete(ctx);
         self.try_forward(block, ctx);
@@ -348,9 +411,33 @@ impl TokenL1 {
             line.written = true;
             self.lock(m.block, ctx);
         }
-        self.stats
-            .miss_latency
-            .record(ctx.now.since(m.started).as_ps());
+        // Attribution: decompose the miss into the time burned on timed-out
+        // attempts (retry), the wait under a persistent request, and the
+        // winning transfer, credited to the tier that supplied it.
+        let total = ctx.now.since(m.started).as_ps();
+        let mut parts = SegmentParts::default();
+        if let Some(esc) = m.escalated_at {
+            parts.add(Segment::Retry, esc.since(m.started).as_ps());
+            parts.add(Segment::PersistentWait, ctx.now.since(esc).as_ps());
+        } else if m.attempts > 1 {
+            parts.add(Segment::Retry, m.last_issue.since(m.started).as_ps());
+            parts.add(m.supplier, ctx.now.since(m.last_issue).as_ps());
+        } else {
+            parts.add(m.supplier, total);
+        }
+        self.stats.lat.record(total, parts);
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::MissCommit {
+                    proc: self.proc,
+                    block: m.block,
+                    kind: m.access,
+                    total: Dur::from_ps(total),
+                    parts,
+                },
+            );
+        }
         ctx.send(
             self.proc_node,
             TokenMsg::CpuResp(CpuResp::Done {
@@ -367,8 +454,27 @@ impl TokenL1 {
         self.try_forward(m.block, ctx);
     }
 
+    /// Emits a persistent activate/deactivate trace event, if tracing.
+    fn emit_persistent(&self, block: Block, activate: bool, now: Time) {
+        if let Some(t) = &self.trace {
+            let ev = if activate {
+                TraceEvent::PersistentActivate {
+                    block,
+                    proc: self.proc,
+                }
+            } else {
+                TraceEvent::PersistentDeactivate {
+                    block,
+                    proc: self.proc,
+                }
+            };
+            t.borrow_mut().record(now, ev);
+        }
+    }
+
     fn finish_persistent(&mut self, block: Block, ctx: &mut Ctx<'_, TokenMsg>) {
         let epoch = self.my_epoch;
+        self.emit_persistent(block, false, ctx.now);
         match self.variant.activation() {
             Activation::Distributed => {
                 self.persistent.dist.deactivate(self.proc, epoch);
@@ -467,11 +573,16 @@ impl TokenL1 {
                     self.pending_persistent = Some((block, kind));
                     return;
                 }
-                self.mshr.as_mut().unwrap().persistent = true;
+                {
+                    let m = self.mshr.as_mut().unwrap();
+                    m.persistent = true;
+                    m.escalated_at.get_or_insert(ctx.now);
+                }
                 self.stats.persistent_issued += 1;
                 if kind == ReqKind::Read {
                     self.stats.persistent_reads += 1;
                 }
+                self.emit_persistent(block, true, ctx.now);
                 let epoch = self.persistent_epoch.get() + 1;
                 self.persistent_epoch.set(epoch);
                 self.my_epoch = epoch;
@@ -495,11 +606,16 @@ impl TokenL1 {
                 self.maybe_complete(ctx);
             }
             Activation::Arbiter => {
-                self.mshr.as_mut().unwrap().persistent = true;
+                {
+                    let m = self.mshr.as_mut().unwrap();
+                    m.persistent = true;
+                    m.escalated_at.get_or_insert(ctx.now);
+                }
                 self.stats.persistent_issued += 1;
                 if kind == ReqKind::Read {
                     self.stats.persistent_reads += 1;
                 }
+                self.emit_persistent(block, true, ctx.now);
                 let epoch = self.persistent_epoch.get() + 1;
                 self.persistent_epoch.set(epoch);
                 self.my_epoch = epoch;
@@ -561,6 +677,8 @@ impl TokenL1 {
                     started: ctx.now,
                     last_issue: ctx.now,
                     persistent: false,
+                    escalated_at: None,
+                    supplier: Segment::Intra,
                     epoch: self.epoch,
                 });
                 let predicted_contended = self

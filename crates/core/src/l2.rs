@@ -20,6 +20,7 @@ use std::rc::Rc;
 use tokencmp_cache::{InsertOutcome, SetAssoc};
 use tokencmp_proto::{Block, CmpId, Layout, SystemConfig, Unit};
 use tokencmp_sim::{Component, Ctx, Dur, NodeId};
+use tokencmp_trace::{TraceEvent, TraceHandle};
 
 use crate::common::{
     persistent_grant, storage_grant, transient_grant, GrantRules, PersistentState, TokenLine,
@@ -59,6 +60,7 @@ pub struct TokenL2 {
     /// bit `i` set means local L1 `i` (in [`Layout::l1s_on`] order) may
     /// hold tokens.
     filter: Option<HashMap<Block, u16>>,
+    trace: Option<TraceHandle>,
     /// Run statistics.
     pub stats: L2Stats,
 }
@@ -93,8 +95,14 @@ impl TokenL2 {
             bank,
             rules,
             cfg,
+            trace: None,
             stats: L2Stats::default(),
         }
+    }
+
+    /// Installs the run's trace sink (no sink ⇒ zero tracing work).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Tokens currently held, per block (for conservation audits).
@@ -142,6 +150,18 @@ impl TokenL2 {
         writeback: bool,
     ) {
         debug_assert!(bundle.count >= 1);
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::TokensMoved {
+                    block,
+                    from: self.me,
+                    to: dst,
+                    count: bundle.count,
+                    owner: bundle.owner,
+                },
+            );
+        }
         ctx.send_after(
             delay,
             dst,

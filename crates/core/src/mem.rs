@@ -12,6 +12,7 @@ use std::rc::Rc;
 
 use tokencmp_proto::{Block, CmpId, Layout, SystemConfig};
 use tokencmp_sim::{Component, Ctx, NodeId};
+use tokencmp_trace::{TraceEvent, TraceHandle};
 
 use crate::common::{persistent_grant, storage_grant, GrantRules, PersistentState, TokenLine};
 use crate::msg::{ReqKind, TokenBundle, TokenMsg};
@@ -51,6 +52,7 @@ pub struct TokenMem {
     blocks: HashMap<Block, MemLine>,
     persistent: PersistentState,
     arbiter: Arbiter,
+    trace: Option<TraceHandle>,
     /// Run statistics.
     pub stats: MemStats,
 }
@@ -73,8 +75,14 @@ impl TokenMem {
             cmp,
             rules,
             cfg,
+            trace: None,
             stats: MemStats::default(),
         }
+    }
+
+    /// Installs the run's trace sink (no sink ⇒ zero tracing work).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Token state for `block`. Untouched blocks implicitly hold all `T`
@@ -127,6 +135,18 @@ impl TokenMem {
             self.stats.token_responses += 1;
             self.cfg.memctl_latency
         };
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::TokensMoved {
+                    block,
+                    from: self.me,
+                    to: dst,
+                    count: bundle.count,
+                    owner: bundle.owner,
+                },
+            );
+        }
         ctx.send_after(
             delay,
             dst,

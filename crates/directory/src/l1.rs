@@ -15,11 +15,21 @@ use std::rc::Rc;
 
 use tokencmp_cache::{InsertOutcome, SetAssoc};
 use tokencmp_proto::{AccessKind, Block, CpuReq, CpuResp, Layout, ProcId, SystemConfig};
-use tokencmp_sim::{Component, Ctx, Histogram, NodeId, Time};
+use tokencmp_sim::{Component, Ctx, Dur, NodeId, Time};
+use tokencmp_trace::{LatencyBreakdown, Segment, SegmentParts, TraceEvent, TraceHandle};
 
-use crate::msg::{DirMsg, L1Grant, ReqKind};
+use crate::msg::{DirMsg, GrantSource, L1Grant, ReqKind};
 
 const TAG_LOCK: u64 = 1 << 63;
+
+/// Stable label for trace events.
+fn state_label(s: L1State) -> &'static str {
+    match s {
+        L1State::S => "S",
+        L1State::E => "E",
+        L1State::M => "M",
+    }
+}
 
 /// L1 line states (MESI minus a distinct Invalid: absent = invalid).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,8 +51,8 @@ pub struct DirL1Stats {
     pub misses: u64,
     /// Writebacks issued (three-phase handshakes started).
     pub writebacks: u64,
-    /// Miss latency distribution (picoseconds).
-    pub miss_latency: Histogram,
+    /// Miss latency distribution with per-tier attribution (picoseconds).
+    pub lat: LatencyBreakdown,
 }
 
 #[derive(Debug)]
@@ -66,6 +76,7 @@ pub struct DirL1 {
     watch: Option<Block>,
     locks: HashMap<Block, Time>,
     deferred: Vec<DirMsg>,
+    trace: Option<TraceHandle>,
     /// Run statistics.
     pub stats: DirL1Stats,
 }
@@ -85,9 +96,15 @@ impl DirL1 {
             watch: None,
             locks: HashMap::new(),
             deferred: Vec::new(),
+            trace: None,
             cfg,
             stats: DirL1Stats::default(),
         }
+    }
+
+    /// Installs the run's trace sink (no sink ⇒ zero tracing work).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// True if a miss is outstanding.
@@ -193,7 +210,13 @@ impl DirL1 {
         }
     }
 
-    fn handle_grant(&mut self, block: Block, state: L1Grant, ctx: &mut Ctx<'_, DirMsg>) {
+    fn handle_grant(
+        &mut self,
+        block: Block,
+        state: L1Grant,
+        source: GrantSource,
+        ctx: &mut Ctx<'_, DirMsg>,
+    ) {
         let m = self.miss.take().expect("grant without an outstanding miss");
         assert_eq!(m.block, block, "grant for the wrong block");
         let write = m.access.needs_write();
@@ -210,6 +233,16 @@ impl DirL1 {
         match self.lines.insert(block, installed) {
             InsertOutcome::Evicted(vb, vs) => {
                 self.fire_watch_if(vb, ctx);
+                if let Some(t) = &self.trace {
+                    t.borrow_mut().record(
+                        ctx.now,
+                        TraceEvent::CacheEvict {
+                            node: self.me,
+                            block: vb,
+                            state: state_label(vs),
+                        },
+                    );
+                }
                 match vs {
                     L1State::S => {} // silent drop; stale sharer bits are tolerated
                     s => self.start_writeback(vb, s, ctx),
@@ -220,9 +253,40 @@ impl DirL1 {
         if write {
             self.lock(block, ctx);
         }
-        self.stats
-            .miss_latency
-            .record(ctx.now.since(m.started).as_ps());
+        // The directory path has no retries: the entire miss is governed by
+        // whichever tier supplied the data.
+        let total = ctx.now.since(m.started).as_ps();
+        let mut parts = SegmentParts::default();
+        parts.add(
+            match source {
+                GrantSource::Intra => Segment::Intra,
+                GrantSource::Inter => Segment::Inter,
+                GrantSource::Mem => Segment::Mem,
+            },
+            total,
+        );
+        self.stats.lat.record(total, parts);
+        if let Some(t) = &self.trace {
+            let mut t = t.borrow_mut();
+            t.record(
+                ctx.now,
+                TraceEvent::CacheFill {
+                    node: self.me,
+                    block,
+                    state: state_label(installed),
+                },
+            );
+            t.record(
+                ctx.now,
+                TraceEvent::MissCommit {
+                    proc: self.proc,
+                    block,
+                    kind: m.access,
+                    total: Dur::from_ps(total),
+                    parts,
+                },
+            );
+        }
         ctx.send(self.bank_of(block), DirMsg::UnblockL1 { block });
         ctx.send(
             self.proc_node,
@@ -331,7 +395,11 @@ impl Component<DirMsg> for DirL1 {
         });
         match msg {
             DirMsg::Cpu(req) => self.handle_cpu(req, ctx),
-            DirMsg::GrantToL1 { block, state } => self.handle_grant(block, state, ctx),
+            DirMsg::GrantToL1 {
+                block,
+                state,
+                source,
+            } => self.handle_grant(block, state, source, ctx),
             DirMsg::FwdL1 { block, kind } => self.handle_fwd(block, kind, ctx),
             DirMsg::InvL1 { block } => self.handle_inv(block, ctx),
             DirMsg::WbGrantL1 { block } => self.handle_wb_grant(block, ctx),

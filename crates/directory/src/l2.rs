@@ -27,7 +27,7 @@ use std::rc::Rc;
 use tokencmp_proto::{Block, CmpId, Layout, SystemConfig};
 use tokencmp_sim::{Component, Ctx, NodeId};
 
-use crate::msg::{ChipGrant, DirMsg, HomeResult, L1Grant, ReqKind};
+use crate::msg::{ChipGrant, DirMsg, GrantSource, HomeResult, L1Grant, ReqKind};
 
 /// Chip-level rights over a block (entry absent = no rights).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,6 +78,8 @@ struct RemoteTxn {
     /// Completion arrived while a service invalidation was collecting; run
     /// the finish phase when the service drains.
     completion_pending: bool,
+    /// Which tier is supplying the data (latency attribution on the grant).
+    source: GrantSource,
 }
 
 #[derive(Debug)]
@@ -99,6 +101,7 @@ enum Txn {
         requester: NodeId,
         kind: ReqKind,
         grant: L1Grant,
+        source: GrantSource,
         acks_left: u32,
     },
     AwaitUnblock,
@@ -367,6 +370,7 @@ impl DirL2 {
                     DirMsg::GrantToL1 {
                         block,
                         state: grant,
+                        source: GrantSource::Intra,
                     },
                 );
             }
@@ -419,6 +423,10 @@ impl DirL2 {
                     acks_expected: None,
                     acks_got: 0,
                     completion_pending: false,
+                    // An upgrade already holds the data; the inter-CMP home
+                    // round trip is what governs the latency. Otherwise the
+                    // data response (MemData / DataL2ToL2) sets the source.
+                    source: GrantSource::Inter,
                 }));
                 ctx.send_after(
                     self.cfg.l2_latency,
@@ -475,6 +483,7 @@ impl DirL2 {
             DirMsg::GrantToL1 {
                 block,
                 state: grant,
+                source: GrantSource::Intra,
             },
         );
     }
@@ -508,11 +517,12 @@ impl DirL2 {
             t.completion_pending = true;
             return;
         }
-        let (requester, kind, chip_grant, data_dirty) = (
+        let (requester, kind, chip_grant, data_dirty, source) = (
             t.requester,
             t.kind,
             t.chip_grant.expect("data without grant state"),
             t.data_dirty,
+            t.source,
         );
         // The home entry is finalized now; local invalidation is chip-
         // internal business.
@@ -553,12 +563,13 @@ impl DirL2 {
         let targets = nodes_of(&self.local_l1s, inv_mask);
         let e = self.entries.get_mut(&block).unwrap();
         if targets.is_empty() {
-            self.grant_after_remote(block, requester, kind, grant, ctx);
+            self.grant_after_remote(block, requester, kind, grant, source, ctx);
         } else {
             e.busy = Some(Txn::FinishInv {
                 requester,
                 kind,
                 grant,
+                source,
                 acks_left: targets.len() as u32,
             });
             for t in targets {
@@ -573,6 +584,7 @@ impl DirL2 {
         requester: NodeId,
         kind: ReqKind,
         grant: L1Grant,
+        source: GrantSource,
         ctx: &mut Ctx<'_, DirMsg>,
     ) {
         let e = self.entries.get_mut(&block).unwrap();
@@ -595,6 +607,7 @@ impl DirL2 {
             DirMsg::GrantToL1 {
                 block,
                 state: grant,
+                source,
             },
         );
     }
@@ -952,12 +965,13 @@ impl DirL2 {
                 requester,
                 kind,
                 grant,
+                source,
                 acks_left,
             }) => {
                 *acks_left -= 1;
                 if *acks_left == 0 {
-                    let (r, k, g) = (*requester, *kind, *grant);
-                    self.grant_after_remote(block, r, k, g, ctx);
+                    let (r, k, g, s) = (*requester, *kind, *grant, *source);
+                    self.grant_after_remote(block, r, k, g, s, ctx);
                 }
             }
             Some(Txn::EvictLocal { acks_left, .. }) => {
@@ -1179,6 +1193,7 @@ impl DirL2 {
                     t.chip_grant = Some(state);
                     t.data_dirty = false;
                     t.acks_expected = Some(acks);
+                    t.source = GrantSource::Mem;
                 },
                 ctx,
             ),
@@ -1192,6 +1207,7 @@ impl DirL2 {
                     t.have_data = true;
                     t.chip_grant = Some(state);
                     t.data_dirty = dirty;
+                    t.source = GrantSource::Inter;
                     if t.acks_expected.is_none() {
                         // FwdInfo may still be in flight; forwarded paths
                         // without invalidations expect zero acks and the

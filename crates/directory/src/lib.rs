@@ -19,16 +19,12 @@ use tokencmp_proto::Block;
 
 /// Message-trace hook: set `TOKENCMP_TRACE_BLOCK=<hex block>` to print
 /// every directory-protocol message touching that block (debugging aid).
+/// Parsing lives in the shared [`tokencmp_proto::trace_block`] helper;
+/// the structured successor of these prints is the [`tokencmp_trace`]
+/// ring recorder.
 pub(crate) fn trace(msg: &DirMsg, line: impl FnOnce() -> String) {
-    use std::sync::OnceLock;
-    static TARGET: OnceLock<Option<u64>> = OnceLock::new();
-    let target = TARGET.get_or_init(|| {
-        std::env::var("TOKENCMP_TRACE_BLOCK")
-            .ok()
-            .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
-    });
-    if let Some(t) = target {
-        if msg_block(msg) == Some(Block(*t)) {
+    if let Some(t) = tokencmp_proto::trace_block_filter() {
+        if msg_block(msg) == Some(Block(t)) {
             eprintln!("{}", line());
         }
     }
@@ -73,4 +69,4 @@ pub mod msg;
 pub use home::{DirHome, HomeState, HomeStats};
 pub use l1::{DirL1, DirL1Stats, L1State};
 pub use l2::{ChipRights, DirL2, DirL2Stats};
-pub use msg::{ChipGrant, DirMsg, HomeResult, L1Grant, ReqKind};
+pub use msg::{ChipGrant, DirMsg, GrantSource, HomeResult, L1Grant, ReqKind};

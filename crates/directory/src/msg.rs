@@ -23,6 +23,21 @@ pub enum L1Grant {
     M,
 }
 
+/// Where the data satisfying an L1 miss ultimately came from — carried on
+/// the grant so the requesting L1 can attribute the whole miss latency to
+/// the tier that governed it (intra-CMP transfer, inter-CMP transfer, or
+/// DRAM). Purely observational: no protocol decision depends on it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GrantSource {
+    /// Satisfied on chip (local L2 bank or a sibling L1).
+    Intra,
+    /// Satisfied by another chip (L2-to-L2 forward, or a home round trip
+    /// that only orchestrated invalidations/upgrades).
+    Inter,
+    /// Satisfied from DRAM at the home memory controller.
+    Mem,
+}
+
 /// The rights granted to a chip (the requesting L2 bank).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ChipGrant {
@@ -107,6 +122,8 @@ pub enum DirMsg {
         block: Block,
         /// Granted rights.
         state: L1Grant,
+        /// Which tier supplied the data (latency attribution).
+        source: GrantSource,
     },
     /// Requesting L1 → L2 bank: grant received; close the intra txn.
     UnblockL1 {
@@ -310,6 +327,7 @@ mod tests {
         let g = DirMsg::GrantToL1 {
             block: Block(1),
             state: L1Grant::M,
+            source: GrantSource::Intra,
         };
         assert_eq!(g.size_bytes(), 72);
         assert_eq!(g.class(), MsgClass::ResponseData);

@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use tokencmp_directory::{
-    ChipGrant, DirHome, DirL1, DirL2, DirMsg, HomeResult, HomeState, L1Grant, ReqKind,
+    ChipGrant, DirHome, DirL1, DirL2, DirMsg, GrantSource, HomeResult, HomeState, L1Grant, ReqKind,
 };
 use tokencmp_proto::{AccessKind, Block, CmpId, CpuReq, CpuResp, ProcId, SystemConfig, Unit};
 use tokencmp_sim::{Component, Ctx, Kernel, NodeId, Time};
@@ -112,6 +112,7 @@ fn l1_miss_requests_the_right_bank_and_unblocks_after_grant() {
         DirMsg::GrantToL1 {
             block,
             state: L1Grant::S,
+            source: GrantSource::Intra,
         },
     );
     k.run(10_000, Time::from_ns(50));
@@ -151,6 +152,7 @@ fn l1_store_on_exclusive_clean_is_a_silent_hit() {
         DirMsg::GrantToL1 {
             block,
             state: L1Grant::E,
+            source: GrantSource::Intra,
         },
     );
     k.run(10_000, Time::from_ns(50));
@@ -211,6 +213,7 @@ fn l1_migratory_decision_is_made_by_the_owner() {
         DirMsg::GrantToL1 {
             block,
             state: L1Grant::M,
+            source: GrantSource::Intra,
         },
     );
     // Run past the response-delay window before the forward arrives.
@@ -282,6 +285,7 @@ fn l1_runs_the_three_phase_writeback() {
             DirMsg::GrantToL1 {
                 block: b,
                 state: L1Grant::M,
+                source: GrantSource::Intra,
             },
         );
         k.run(10_000, Time::MAX);

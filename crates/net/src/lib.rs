@@ -27,8 +27,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use tokencmp_proto::{Layout, MsgClass, NetMsg, Placement, SystemConfig, Unit};
+use tokencmp_proto::{Block, Layout, MsgClass, NetMsg, Placement, SystemConfig, Unit};
 use tokencmp_sim::{Delivery, Dur, NodeId, Rng, Time, Transport};
+use tokencmp_trace::{FaultKind, TraceEvent, TraceHandle, TraceTier};
 
 pub mod fault;
 
@@ -163,17 +164,27 @@ struct FaultState {
 /// Message-trace hook for injected faults: set `TOKENCMP_TRACE_BLOCK=<hex
 /// block>` to print every fault injected into a message touching that
 /// block (companion to the directory crate's protocol-message tracer).
+/// Parsing lives in the shared [`tokencmp_proto::trace_block`] helper;
+/// the structured successor of these prints is the [`tokencmp_trace`]
+/// ring recorder.
 fn trace_fault<M: NetMsg>(msg: &M, line: impl FnOnce() -> String) {
-    use std::sync::OnceLock;
-    static TARGET: OnceLock<Option<u64>> = OnceLock::new();
-    let target = TARGET.get_or_init(|| {
-        std::env::var("TOKENCMP_TRACE_BLOCK")
-            .ok()
-            .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
-    });
-    if let Some(t) = target {
-        if msg.block_id() == Some(*t) {
+    if let Some(t) = tokencmp_proto::trace_block_filter() {
+        if msg.block_id() == Some(t) {
             eprintln!("{}", line());
+        }
+    }
+}
+
+/// The single tier a route's trace events are labelled with: the
+/// dominant (most failure-prone / highest-latency) link crossed, matching
+/// the tier whose fault spec governs the route in `dispatch_faulty`.
+fn trace_tier(route: Route) -> TraceTier {
+    match route {
+        Route::Local => TraceTier::Local,
+        Route::Intra => TraceTier::Intra,
+        Route::MemLink { .. } => TraceTier::Mem,
+        Route::Inter { .. } | Route::InterPlusMem { .. } | Route::MemToMem { .. } => {
+            TraceTier::Inter
         }
     }
 }
@@ -191,6 +202,7 @@ pub struct Network {
     next_free: HashMap<LinkKey, Time>,
     traffic: TrafficHandle,
     faults: Option<Box<FaultState>>,
+    trace: Option<TraceHandle>,
 }
 
 impl Network {
@@ -207,6 +219,36 @@ impl Network {
             next_free: HashMap::new(),
             traffic: Rc::new(RefCell::new(Traffic::new())),
             faults: None,
+            trace: None,
+        }
+    }
+
+    /// Installs a trace sink; every accepted message emits a
+    /// [`TraceEvent::MsgSend`] and every injected fault a
+    /// [`TraceEvent::Fault`]. Call before the network is boxed into the
+    /// kernel. With no sink (the default) no event is constructed.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Emits a [`TraceEvent::Fault`] if a sink is installed (free
+    /// otherwise, like every emission site).
+    fn emit_fault<M: NetMsg>(&self, now: Time, kind: FaultKind, tier: Tier, msg: &M) {
+        if let Some(trace) = &self.trace {
+            let tt = match tier {
+                Tier::Intra => TraceTier::Intra,
+                Tier::Inter => TraceTier::Inter,
+                Tier::Mem => TraceTier::Mem,
+            };
+            trace.borrow_mut().record(
+                now,
+                TraceEvent::Fault {
+                    kind,
+                    class: msg.class(),
+                    tier: tt,
+                    block: msg.block_id().map(Block),
+                },
+            );
         }
     }
 
@@ -356,6 +398,7 @@ impl Network {
             trace_fault(msg, || {
                 format!("[fault] {now:?} DROP {src:?}->{dst:?} on {tier:?}")
             });
+            self.emit_fault(now, FaultKind::Drop, tier, msg);
             self.faults = Some(state);
             return Delivery::Dropped;
         }
@@ -371,6 +414,7 @@ impl Network {
             trace_fault(msg, || {
                 format!("[fault] {now:?} JITTER +{extra:?} {src:?}->{dst:?} on {tier:?}")
             });
+            self.emit_fault(now, FaultKind::Jitter, tier, msg);
         }
         if matches!(route, Route::Intra)
             && spec.reorder_rate > 0.0
@@ -387,6 +431,7 @@ impl Network {
                     spec.reorder_hold
                 )
             });
+            self.emit_fault(now, FaultKind::Hold, tier, msg);
         }
         if !matches!(route, Route::Intra) {
             // Serialized links are FIFO channels: jitter may slow a
@@ -414,8 +459,9 @@ impl<M: NetMsg> Transport<M> for Network {
     fn deliver_at(&mut self, now: Time, src: NodeId, dst: NodeId, msg: &M) -> Time {
         let size = msg.size_bytes() as u64;
         let class = msg.class();
+        let route = self.route(src, dst);
         let mut traffic = self.traffic.borrow_mut();
-        match self.route(src, dst) {
+        let at = match route {
             Route::Local => now,
             Route::Intra => {
                 if size > 0 {
@@ -520,7 +566,26 @@ impl<M: NetMsg> Transport<M> for Network {
                 );
                 t3 + self.offchip_latency
             }
+        };
+        // The single emission point every protocol message funnels
+        // through: one MsgSend per accepted message, labelled with the
+        // route's dominant tier. The fault layer's drop path returns
+        // before reaching here, so dropped messages emit no MsgSend.
+        if let Some(trace) = &self.trace {
+            trace.borrow_mut().record(
+                now,
+                TraceEvent::MsgSend {
+                    src,
+                    dst,
+                    class,
+                    tier: trace_tier(route),
+                    bytes: msg.size_bytes(),
+                    block: msg.block_id().map(Block),
+                    arrive: at,
+                },
+            );
         }
+        at
     }
 }
 

@@ -1,0 +1,83 @@
+//! The shared `TOKENCMP_TRACE_BLOCK` filter.
+//!
+//! Setting `TOKENCMP_TRACE_BLOCK=<hex block id>` narrows every tracing
+//! facility — the legacy per-block `eprintln!` hooks in `crates/net` and
+//! `crates/directory`, and the structured [`tokencmp-trace`] ring
+//! recorder — to a single cache block. The value is a block id in hex,
+//! with or without a `0x` prefix (`TOKENCMP_TRACE_BLOCK=0x2a`).
+//!
+//! Historically each crate parsed the variable itself with
+//! `u64::from_str_radix(..).ok()`, so a malformed value (say,
+//! `TOKENCMP_TRACE_BLOCK=42g`) *silently disabled* tracing — the worst
+//! possible failure mode for a debugging aid. This module is the single
+//! parser: strict, unit-tested, and aborting with a clear message on
+//! malformed input, matching the repo's convention for env knobs
+//! (`TOKENCMP_BENCH_SEEDS`, `TOKENCMP_SWEEP_THREADS`).
+//!
+//! [`tokencmp-trace`]: ../../tokencmp_trace/index.html
+
+use std::sync::OnceLock;
+
+/// Parses a `TOKENCMP_TRACE_BLOCK` value: hex digits with an optional
+/// `0x`/`0X` prefix. Separated from [`trace_block_filter`] so malformed
+/// inputs are unit-testable without exercising a process exit.
+pub fn parse_trace_block(raw: &str) -> Result<u64, String> {
+    let v = raw.trim();
+    if v.is_empty() {
+        return Err(
+            "TOKENCMP_TRACE_BLOCK is set but empty; unset it, or give a block id \
+             in hex (e.g. `0x2a`)"
+                .into(),
+        );
+    }
+    let digits = v
+        .strip_prefix("0x")
+        .or_else(|| v.strip_prefix("0X"))
+        .unwrap_or(v);
+    u64::from_str_radix(digits, 16)
+        .map_err(|_| format!("TOKENCMP_TRACE_BLOCK: `{raw}` is not a hex block id (e.g. `0x2a`)"))
+}
+
+/// The process-wide block filter: `None` when `TOKENCMP_TRACE_BLOCK` is
+/// unset, `Some(block id)` when set to valid hex. Parsed once; a
+/// malformed value aborts the process with a clear message instead of
+/// silently disabling tracing.
+pub fn trace_block_filter() -> Option<u64> {
+    static FILTER: OnceLock<Option<u64>> = OnceLock::new();
+    *FILTER.get_or_init(|| {
+        let raw = std::env::var("TOKENCMP_TRACE_BLOCK").ok()?;
+        match parse_trace_block(&raw) {
+            Ok(b) => Some(b),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hex_with_and_without_prefix() {
+        assert_eq!(parse_trace_block("2a"), Ok(0x2a));
+        assert_eq!(parse_trace_block("0x2a"), Ok(0x2a));
+        assert_eq!(parse_trace_block("0X2A"), Ok(0x2a));
+        assert_eq!(parse_trace_block(" 0xdeadbeef "), Ok(0xdead_beef));
+        assert_eq!(parse_trace_block("0"), Ok(0));
+    }
+
+    #[test]
+    fn rejects_malformed_values_with_clear_messages() {
+        for input in ["", "   ", "42g", "0x", "xyz", "-1", "0x12 34", "1,2"] {
+            let err = parse_trace_block(input)
+                .expect_err(&format!("`{input}` must be rejected, not silently ignored"));
+            assert!(
+                err.contains("TOKENCMP_TRACE_BLOCK"),
+                "`{input}` -> `{err}` (must name the variable)"
+            );
+        }
+    }
+}

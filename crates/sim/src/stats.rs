@@ -82,6 +82,20 @@ impl Stats {
             .map(|(_, &v)| v)
             .sum()
     }
+
+    /// Folds `other` into `self`: counters are summed, gauges are
+    /// last-write-wins (`other`'s value replaces an existing gauge).
+    ///
+    /// This is the end-of-run aggregation primitive: components keep local
+    /// stats, the harness merges them into one registry.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in other.counters() {
+            self.add(k, v);
+        }
+        for (k, v) in other.gauges() {
+            self.set_gauge(k, v);
+        }
+    }
 }
 
 impl fmt::Display for Stats {
@@ -171,7 +185,9 @@ impl Histogram {
     }
 
     /// An upper bound for the `q`-quantile (`0.0..=1.0`), accurate to a
-    /// power-of-two bucket.
+    /// power-of-two bucket and never outside the observed `[min, max]`
+    /// range (a raw bucket boundary can overshoot the true maximum —
+    /// e.g. 1023 for samples `1..=1000`).
     pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -181,10 +197,28 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target.max(1) {
-                return Some(if i >= 63 { u64::MAX } else { (2u64 << i) - 1 });
+                let bound = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return Some(bound.clamp(self.min, self.max));
             }
         }
         Some(self.max)
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket; the result is exactly
+    /// the histogram that would have recorded both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 }
 
@@ -298,6 +332,81 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_overwrites_gauges() {
+        let mut a = Stats::new();
+        a.add("x", 3);
+        a.add("only_a", 1);
+        a.set_gauge("g", 1.0);
+        a.set_gauge("only_a_gauge", 7.0);
+        let mut b = Stats::new();
+        b.add("x", 4);
+        b.add("only_b", 2);
+        b.set_gauge("g", 2.5);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 7);
+        assert_eq!(a.counter("only_a"), 1);
+        assert_eq!(a.counter("only_b"), 2);
+        assert_eq!(a.gauge("g"), Some(2.5)); // last write wins
+        assert_eq!(a.gauge("only_a_gauge"), Some(7.0));
+        // b is untouched
+        assert_eq!(b.counter("x"), 4);
+    }
+
+    #[test]
+    fn stats_merge_empty_is_identity() {
+        let mut a = Stats::new();
+        a.add("k", 9);
+        let before: Vec<_> = a.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        a.merge(&Stats::new());
+        let after: Vec<_> = a.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0u64, 1, 5, 100, 1 << 40] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 7, 7, 3000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(a.quantile_upper_bound(q), both.quantile_upper_bound(q));
+        }
+        // merging an empty histogram is the identity
+        let count = a.count();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), count);
+    }
+
+    #[test]
+    fn quantile_upper_bound_never_exceeds_observed_range() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // bucket bound for q=1.0 would be 1023; the observed max is 1000
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1000));
+        let mut z = Histogram::new();
+        z.record(0);
+        // bucket 0's raw bound is 1; the only sample is 0
+        assert_eq!(z.quantile_upper_bound(0.5), Some(0));
+        let mut one = Histogram::new();
+        one.record(700);
+        assert_eq!(one.quantile_upper_bound(0.5), Some(700));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::path::{Path, PathBuf};
 
 use tokencmp_net::Tier;
 use tokencmp_proto::MsgClass;
+use tokencmp_trace::Segment;
 
 use crate::json::{parse, JsonError, Value};
 use crate::PointResult;
@@ -99,6 +100,30 @@ impl PointRecord {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
+    /// Number of committed misses with latency attribution (the
+    /// `lat.total.count` counter); zero when the run had no misses or
+    /// the protocol does not attribute (PerfectL2).
+    pub fn miss_count(&self) -> u64 {
+        self.counter("lat.total.count")
+    }
+
+    /// Mean committed-miss latency in nanoseconds, or `None` when no
+    /// misses were attributed.
+    pub fn miss_latency_mean_ns(&self) -> Option<f64> {
+        let n = self.miss_count();
+        (n > 0).then(|| self.counter("lat.total.ps_sum") as f64 / n as f64 / 1_000.0)
+    }
+
+    /// Median (p50 upper-bound) committed-miss latency in nanoseconds.
+    pub fn miss_latency_p50_ns(&self) -> Option<f64> {
+        (self.miss_count() > 0).then(|| self.counter("lat.total.p50_ps") as f64 / 1_000.0)
+    }
+
+    /// Tail (p99 upper-bound) committed-miss latency in nanoseconds.
+    pub fn miss_latency_p99_ns(&self) -> Option<f64> {
+        (self.miss_count() > 0).then(|| self.counter("lat.total.p99_ps") as f64 / 1_000.0)
+    }
+
     /// Total traffic bytes on one tier.
     pub fn tier_bytes(&self, tier: Tier) -> u64 {
         let prefix = format!("{}/", tier_name(tier));
@@ -170,6 +195,50 @@ impl PointRecord {
             traffic_msgs: int_map(traffic.and_then(|t| t.get("msgs")), "traffic.msgs")?,
         })
     }
+}
+
+/// Renders the per-record miss-latency attribution as an aligned text
+/// table: one row per record with mean/p50/p99 miss latency (ns) and
+/// each attribution segment's share of the total latency-weighted time.
+/// Records without attribution counters (no misses, PerfectL2) are
+/// listed with dashes so every input record stays visible.
+pub fn latency_table(records: &[PointRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{:<14} {:>6}", "protocol", "seed");
+    for col in ["misses", "mean", "p50", "p99"] {
+        let _ = write!(out, " {col:>9}");
+    }
+    for seg in Segment::ALL {
+        let _ = write!(out, " {:>9}", seg.label());
+    }
+    out.push('\n');
+    for r in records {
+        let _ = write!(out, "{:<14} {:>6}", r.protocol, r.seed);
+        let n = r.miss_count();
+        if n == 0 {
+            for _ in 0..4 + Segment::ALL.len() {
+                let _ = write!(out, " {:>9}", "-");
+            }
+            out.push('\n');
+            continue;
+        }
+        let _ = write!(out, " {n:>9}");
+        for q in [
+            r.miss_latency_mean_ns(),
+            r.miss_latency_p50_ns(),
+            r.miss_latency_p99_ns(),
+        ] {
+            let _ = write!(out, " {:>9.1}", q.unwrap_or(0.0));
+        }
+        let total = r.counter("lat.total.ps_sum").max(1) as f64;
+        for seg in Segment::ALL {
+            let share = r.counter(&format!("lat.{}.ps_sum", seg.label())) as f64 / total;
+            let _ = write!(out, " {:>8.1}%", 100.0 * share);
+        }
+        out.push('\n');
+    }
+    out
 }
 
 /// Serializes completed sweep points to a JSON array (one record each,
@@ -299,6 +368,34 @@ mod tests {
             let r = PointRecord::from_point(p);
             assert_eq!(r.runtime_ns(), p.result.runtime_ns());
         }
+    }
+
+    #[test]
+    fn latency_quantiles_and_table_surface_attribution() {
+        let points = sample_points();
+        let records: Vec<PointRecord> = points.iter().map(PointRecord::from_point).collect();
+        // Both protocols miss at least once, so attribution must be present.
+        for r in &records {
+            assert!(r.miss_count() > 0, "no attributed misses in {r:?}");
+            let mean = r.miss_latency_mean_ns().unwrap();
+            let p50 = r.miss_latency_p50_ns().unwrap();
+            let p99 = r.miss_latency_p99_ns().unwrap();
+            assert!(mean > 0.0 && p50 > 0.0 && p99 >= p50);
+        }
+        let table = latency_table(&records);
+        assert!(table.contains("protocol") && table.contains("p99"));
+        // One header plus one row per record.
+        assert_eq!(table.lines().count(), 1 + records.len());
+        // A record without attribution renders as dashes, not a panic.
+        let empty = PointRecord {
+            counters: BTreeMap::new(),
+            ..records[0].clone()
+        };
+        assert!(latency_table(&[empty])
+            .lines()
+            .nth(1)
+            .unwrap()
+            .contains('-'));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use tokencmp_net::{FaultPlan, Network, Traffic, TrafficHandle};
 use tokencmp_proto::{Block, CpuPort, Layout, MsgClass, NetMsg, SystemConfig, Unit};
 use tokencmp_sim::kernel::RunOutcome;
 use tokencmp_sim::{Dur, EventKind, Kernel, NodeId, Stats, Time};
+use tokencmp_trace::{LatencyBreakdown, TraceHandle};
 
 use crate::perfect::PerfectL2;
 use crate::sequencer::Sequencer;
@@ -160,6 +161,24 @@ pub fn run_workload<W: Workload + 'static>(
     workload: W,
     opts: &RunOptions,
 ) -> (RunResult, W) {
+    run_workload_traced(cfg, protocol, workload, opts, None)
+}
+
+/// [`run_workload`] with an optional trace sink installed into every
+/// emitting component (network, L1 controllers, sequencers).
+///
+/// With `trace: None` this is exactly `run_workload`: no event is even
+/// constructed, and results are bit-identical with tracing on or off —
+/// tracing observes the simulation but never feeds back into it. When a
+/// sink is installed and the run ends un-cleanly, the sink's flight-
+/// recorder tail is appended to [`RunResult::diagnostic`].
+pub fn run_workload_traced<W: Workload + 'static>(
+    cfg: &SystemConfig,
+    protocol: Protocol,
+    workload: W,
+    opts: &RunOptions,
+    trace: Option<TraceHandle>,
+) -> (RunResult, W) {
     cfg.validate().expect("invalid system configuration");
     if matches!(protocol, Protocol::Directory | Protocol::DirectoryZero) {
         // TokenCMP tolerates losing transient requests because they carry
@@ -177,10 +196,10 @@ pub fn run_workload<W: Workload + 'static>(
     let cfg = Rc::new(cfg.clone());
     let wl = Rc::new(RefCell::new(workload));
     let result = match protocol {
-        Protocol::Token(v) => run_token(&cfg, v, wl.clone(), opts),
-        Protocol::Directory => run_directory(&cfg, wl.clone(), opts, false),
-        Protocol::DirectoryZero => run_directory(&cfg, wl.clone(), opts, true),
-        Protocol::PerfectL2 => run_perfect(&cfg, wl.clone(), opts),
+        Protocol::Token(v) => run_token(&cfg, v, wl.clone(), opts, trace),
+        Protocol::Directory => run_directory(&cfg, wl.clone(), opts, false, trace),
+        Protocol::DirectoryZero => run_directory(&cfg, wl.clone(), opts, true, trace),
+        Protocol::PerfectL2 => run_perfect(&cfg, wl.clone(), opts, trace),
     };
     let w = Rc::try_unwrap(wl)
         .ok()
@@ -204,6 +223,16 @@ fn finish<M: 'static>(
         traffic: traffic.map(|t| t.borrow().clone()).unwrap_or_default(),
         counters,
         diagnostic,
+    }
+}
+
+/// Appends the sink's flight-recorder tail (the last N trace events) to
+/// an un-clean run's diagnostic snapshot.
+fn append_flight_dump(diagnostic: &mut Option<String>, trace: &Option<TraceHandle>) {
+    if let (Some(d), Some(t)) = (diagnostic.as_mut(), trace) {
+        if let Some(dump) = t.borrow().flight_dump() {
+            d.push_str(&dump);
+        }
     }
 }
 
@@ -288,9 +317,13 @@ fn run_token(
     variant: Variant,
     wl: Rc<RefCell<dyn Workload>>,
     opts: &RunOptions,
+    trace: Option<TraceHandle>,
 ) -> RunResult {
     let layout = cfg.layout();
-    let net = Network::with_faults(cfg, opts.faults, opts.seed);
+    let mut net = Network::with_faults(cfg, opts.faults, opts.seed);
+    if let Some(t) = &trace {
+        net.set_trace(t.clone());
+    }
     let traffic = net.traffic_handle();
     let faults = net.fault_handle();
     let mut k: Kernel<TokenMsg> = Kernel::new(Box::new(net));
@@ -345,8 +378,31 @@ fn run_token(
         let id = k.add_component(TokenMem::new(cfg.clone(), me, c));
         assert_eq!(id, me);
     }
+    if let Some(t) = &trace {
+        for p in layout.proc_ids() {
+            k.component_as_mut::<Sequencer<TokenMsg>>(layout.proc(p))
+                .unwrap()
+                .set_trace(t.clone());
+            for node in [layout.l1d(p), layout.l1i(p)] {
+                k.component_as_mut::<TokenL1>(node)
+                    .unwrap()
+                    .set_trace(t.clone());
+            }
+        }
+        for c in layout.cmp_ids() {
+            for b in 0..layout.banks_per_cmp {
+                k.component_as_mut::<TokenL2>(layout.l2(c, b))
+                    .unwrap()
+                    .set_trace(t.clone());
+            }
+            k.component_as_mut::<TokenMem>(layout.mem(c))
+                .unwrap()
+                .set_trace(t.clone());
+        }
+    }
 
     let (outcome, runtime, mut diagnostic) = drive(&mut k, &layout, opts);
+    append_flight_dump(&mut diagnostic, &trace);
     if let Some(d) = diagnostic.as_mut() {
         use std::fmt::Write as _;
         for p in layout.proc_ids() {
@@ -361,6 +417,7 @@ fn run_token(
 
     // Harvest counters.
     let mut counters = k.stats().clone();
+    let mut lat = LatencyBreakdown::new();
     for p in layout.proc_ids() {
         for node in [layout.l1d(p), layout.l1i(p)] {
             let l1 = k.component_as::<TokenL1>(node).unwrap();
@@ -371,12 +428,11 @@ fn run_token(
             counters.add("l1.persistent", l1.stats.persistent_issued);
             counters.add("l1.persistent_reads", l1.stats.persistent_reads);
             counters.add("l1.pred_shortcuts", l1.stats.predictor_shortcuts);
-            counters.add(
-                "l1.miss_latency_ps_sum",
-                (l1.stats.miss_latency.mean() * l1.stats.miss_latency.count() as f64) as u64,
-            );
+            lat.merge(&l1.stats.lat);
         }
     }
+    counters.add("l1.miss_latency_ps_sum", lat.total().sum() as u64);
+    lat.export_into(&mut counters);
     for c in layout.cmp_ids() {
         for b in 0..layout.banks_per_cmp {
             let l2 = k.component_as::<TokenL2>(layout.l2(c, b)).unwrap();
@@ -451,6 +507,7 @@ fn run_directory(
     wl: Rc<RefCell<dyn Workload>>,
     opts: &RunOptions,
     zero_cycle: bool,
+    trace: Option<TraceHandle>,
 ) -> RunResult {
     let mut cfg2 = (**cfg).clone();
     if zero_cycle {
@@ -458,7 +515,10 @@ fn run_directory(
     }
     let cfg = Rc::new(cfg2);
     let layout = cfg.layout();
-    let net = Network::with_faults(&cfg, opts.faults, opts.seed);
+    let mut net = Network::with_faults(&cfg, opts.faults, opts.seed);
+    if let Some(t) = &trace {
+        net.set_trace(t.clone());
+    }
     let traffic = net.traffic_handle();
     let faults = net.fault_handle();
     let mut k: Kernel<DirMsg> = Kernel::new(Box::new(net));
@@ -489,22 +549,35 @@ fn run_directory(
         let me = layout.mem(c);
         assert_eq!(k.add_component(DirHome::new(cfg.clone(), me, c)), me);
     }
+    if let Some(t) = &trace {
+        for p in layout.proc_ids() {
+            k.component_as_mut::<Sequencer<DirMsg>>(layout.proc(p))
+                .unwrap()
+                .set_trace(t.clone());
+            for node in [layout.l1d(p), layout.l1i(p)] {
+                k.component_as_mut::<DirL1>(node)
+                    .unwrap()
+                    .set_trace(t.clone());
+            }
+        }
+    }
 
-    let (outcome, runtime, diagnostic) = drive(&mut k, &layout, opts);
+    let (outcome, runtime, mut diagnostic) = drive(&mut k, &layout, opts);
+    append_flight_dump(&mut diagnostic, &trace);
 
     let mut counters = k.stats().clone();
+    let mut lat = LatencyBreakdown::new();
     for p in layout.proc_ids() {
         for node in [layout.l1d(p), layout.l1i(p)] {
             let l1 = k.component_as::<DirL1>(node).unwrap();
             counters.add("l1.hits", l1.stats.hits);
             counters.add("l1.misses", l1.stats.misses);
             counters.add("l1.writebacks", l1.stats.writebacks);
-            counters.add(
-                "l1.miss_latency_ps_sum",
-                (l1.stats.miss_latency.mean() * l1.stats.miss_latency.count() as f64) as u64,
-            );
+            lat.merge(&l1.stats.lat);
         }
     }
+    counters.add("l1.miss_latency_ps_sum", lat.total().sum() as u64);
+    lat.export_into(&mut counters);
     for c in layout.cmp_ids() {
         for b in 0..layout.banks_per_cmp {
             let l2 = k.component_as::<DirL2>(layout.l2(c, b)).unwrap();
@@ -606,6 +679,7 @@ fn run_perfect(
     cfg: &Rc<SystemConfig>,
     wl: Rc<RefCell<dyn Workload>>,
     opts: &RunOptions,
+    trace: Option<TraceHandle>,
 ) -> RunResult {
     let layout = cfg.layout();
     let mut k: Kernel<TokenMsg> = Kernel::new_instant();
@@ -617,12 +691,20 @@ fn run_perfect(
     }
     let id = k.add_component(PerfectL2::<TokenMsg>::new(cfg.clone(), seqs.clone()));
     assert_eq!(id, magic);
+    if let Some(t) = &trace {
+        for &s in &seqs {
+            k.component_as_mut::<Sequencer<TokenMsg>>(s)
+                .unwrap()
+                .set_trace(t.clone());
+        }
+    }
 
     for &s in &seqs {
         k.wake(s, Dur::ZERO, 0);
     }
     let outcome = k.run_watched(opts.max_events, opts.horizon, opts.stall_window);
-    let diagnostic = diagnose(&k, &layout, outcome);
+    let mut diagnostic = diagnose(&k, &layout, outcome);
+    append_flight_dump(&mut diagnostic, &trace);
     let mut runtime = Dur::ZERO;
     for &s in &seqs {
         let seq = k.component_as::<Sequencer<TokenMsg>>(s).unwrap();

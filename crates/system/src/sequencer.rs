@@ -14,6 +14,7 @@ use std::rc::Rc;
 
 use tokencmp_proto::{AccessKind, Block, CpuPort, CpuReq, CpuResp, ProcId};
 use tokencmp_sim::{Component, Ctx, Dur, NodeId, Time};
+use tokencmp_trace::{TraceEvent, TraceHandle};
 
 use crate::workload::{Completed, Step, Workload};
 
@@ -36,6 +37,7 @@ pub struct Sequencer<M> {
     pub ops: u64,
     /// When this processor's program finished.
     pub done_at: Option<Time>,
+    trace: Option<TraceHandle>,
     _msg: PhantomData<fn(M)>,
 }
 
@@ -55,8 +57,14 @@ impl<M: CpuPort + 'static> Sequencer<M> {
             state: SeqState::Idle,
             ops: 0,
             done_at: None,
+            trace: None,
             _msg: PhantomData,
         }
+    }
+
+    /// Installs the run's trace sink (no sink ⇒ zero tracing work).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     fn advance(&mut self, completed: Option<Completed>, ctx: &mut Ctx<'_, M>) {
@@ -72,6 +80,16 @@ impl<M: CpuPort + 'static> Sequencer<M> {
             }
             Step::Access { kind, block } => {
                 self.state = SeqState::Waiting { kind, block };
+                if let Some(t) = &self.trace {
+                    t.borrow_mut().record(
+                        ctx.now,
+                        TraceEvent::SeqIssue {
+                            proc: self.proc,
+                            block,
+                            kind,
+                        },
+                    );
+                }
                 let l1 = if kind.is_ifetch() { self.l1i } else { self.l1d };
                 ctx.send(l1, M::from_cpu_req(CpuReq::Access { kind, block }));
             }
@@ -97,6 +115,16 @@ impl<M: CpuPort + 'static> Component<M> for Sequencer<M> {
             (CpuResp::Done { kind, block }, SeqState::Waiting { kind: k, block: b }) => {
                 assert_eq!((kind, block), (k, b), "completion mismatch");
                 self.ops += 1;
+                if let Some(t) = &self.trace {
+                    t.borrow_mut().record(
+                        ctx.now,
+                        TraceEvent::SeqCommit {
+                            proc: self.proc,
+                            block,
+                            kind,
+                        },
+                    );
+                }
                 // A committed memory operation is the liveness signal the
                 // kernel's stall watchdog listens for.
                 ctx.progress();

@@ -45,6 +45,7 @@
 //! | [`workloads`] | `tokencmp-workloads` | locking/barrier micro-benchmarks, commercial generators |
 //! | [`mcheck`] | `tokencmp-mcheck` | explicit-state model checker + protocol models (§5) |
 //! | [`sweep`] | `tokencmp-sweep` | deterministic parallel sweep engine + JSON export |
+//! | [`trace`] | `tokencmp-trace` | structured event tracing, latency attribution, flight recorder |
 
 pub use tokencmp_cache as cache;
 pub use tokencmp_core as core;
@@ -55,14 +56,21 @@ pub use tokencmp_proto as proto;
 pub use tokencmp_sim as sim;
 pub use tokencmp_sweep as sweep;
 pub use tokencmp_system as system;
+pub use tokencmp_trace as trace;
 pub use tokencmp_workloads as workloads;
 
 pub use tokencmp_core::{ReqKind, TokenBundle, TokenMsg, Variant};
 pub use tokencmp_net::{FaultCounters, FaultPlan, FaultSpec, Tier, Traffic};
 pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, SystemConfig};
 pub use tokencmp_sim::{Dur, RunOutcome, Time};
-pub use tokencmp_sweep::{par_map, PointRecord, PointResult, Sweep, SweepPoint};
-pub use tokencmp_system::{run_workload, Protocol, RunOptions, RunResult, Step, Workload};
+pub use tokencmp_sweep::{latency_table, par_map, PointRecord, PointResult, Sweep, SweepPoint};
+pub use tokencmp_system::{
+    run_workload, run_workload_traced, Protocol, RunOptions, RunResult, Step, Workload,
+};
+pub use tokencmp_trace::{
+    block_timeline, chrome_trace_json, LatencyBreakdown, RingRecorder, Segment, SegmentParts,
+    TraceEvent, TraceHandle, TraceRecord, TraceSink,
+};
 pub use tokencmp_workloads::{
     BarrierWorkload, CommercialParams, CommercialWorkload, LockingWorkload,
 };

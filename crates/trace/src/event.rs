@@ -1,0 +1,308 @@
+//! The trace event taxonomy.
+//!
+//! Events are plain data: constructing one allocates nothing and touches
+//! no globals, so emission sites can stay inside
+//! `if let Some(sink) = &self.trace` with no disabled-path cost.
+
+use std::fmt;
+
+use tokencmp_sim::{Dur, NodeId, Time};
+
+use tokencmp_proto::{AccessKind, Block, MsgClass, ProcId};
+
+use crate::latency::SegmentParts;
+
+/// Which interconnect tier a message crossed.
+///
+/// Mirrors the interconnect crate's tier taxonomy without depending on
+/// it (`tokencmp-net` depends on this crate's siblings, so the dependency
+/// must point this way). `Local` covers zero-latency same-node hops that
+/// the network never charges to a tier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceTier {
+    /// Processor↔L1 and other same-node hops (no interconnect).
+    Local,
+    /// The on-chip interconnect.
+    Intra,
+    /// The chip-to-chip interconnect.
+    Inter,
+    /// A memory-controller link.
+    Mem,
+}
+
+impl TraceTier {
+    /// Short lowercase label (`"intra"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceTier::Local => "local",
+            TraceTier::Intra => "intra",
+            TraceTier::Inter => "inter",
+            TraceTier::Mem => "mem",
+        }
+    }
+}
+
+/// What the fault layer did to a message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Dropped outright (droppable classes only).
+    Drop,
+    /// Delivery delayed by bounded jitter.
+    Jitter,
+    /// Held for adversarial reordering on an unordered tier.
+    Hold,
+}
+
+impl FaultKind {
+    /// Uppercase label matching the legacy `eprintln!` hooks.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "DROP",
+            FaultKind::Jitter => "JITTER",
+            FaultKind::Hold => "HOLD",
+        }
+    }
+}
+
+/// One structured protocol event. Timestamps live outside the event (the
+/// sink records the simulation time of emission); `arrive` fields are
+/// *future* times computed by the network.
+///
+/// Component-emitted events are stamped at the handler's current time and
+/// are therefore monotone in record order. Network-emitted events
+/// ([`MsgSend`](TraceEvent::MsgSend), [`Fault`](TraceEvent::Fault)) are
+/// stamped at *wire departure* — the sender's time plus its local
+/// processing delay, the instant the kernel reserves link occupancy — so
+/// they may run slightly ahead of adjacent component events.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// The interconnect accepted a message for delivery.
+    MsgSend {
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Message class (paper Fig 7 taxonomy).
+        class: MsgClass,
+        /// Tier charged for the hop.
+        tier: TraceTier,
+        /// Wire size in bytes.
+        bytes: u32,
+        /// Block the message concerns, if any.
+        block: Option<Block>,
+        /// Scheduled arrival time.
+        arrive: Time,
+    },
+    /// The fault layer dropped, jittered or held a message.
+    Fault {
+        /// What was done.
+        kind: FaultKind,
+        /// Class of the affected message.
+        class: MsgClass,
+        /// Tier on which the fault fired.
+        tier: TraceTier,
+        /// Block the message concerns, if any.
+        block: Option<Block>,
+    },
+    /// A sequencer handed an access to its L1.
+    SeqIssue {
+        /// Issuing processor.
+        proc: ProcId,
+        /// Target block.
+        block: Block,
+        /// Operation kind.
+        kind: AccessKind,
+    },
+    /// A sequencer observed the access complete.
+    SeqCommit {
+        /// Committing processor.
+        proc: ProcId,
+        /// Completed block.
+        block: Block,
+        /// Operation kind.
+        kind: AccessKind,
+    },
+    /// Tokens (and possibly the owner token) moved between nodes.
+    TokensMoved {
+        /// Block whose tokens moved.
+        block: Block,
+        /// Supplying node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Token count in the bundle.
+        count: u32,
+        /// Whether the owner token was included.
+        owner: bool,
+    },
+    /// A persistent request was activated for `proc` on `block`.
+    PersistentActivate {
+        /// Block under persistent request.
+        block: Block,
+        /// Starving processor.
+        proc: ProcId,
+    },
+    /// The persistent request for `proc` on `block` was deactivated.
+    PersistentDeactivate {
+        /// Block whose request ended.
+        block: Block,
+        /// Formerly starving processor.
+        proc: ProcId,
+    },
+    /// A cache installed a line (L1/L2 transition into a valid state).
+    CacheFill {
+        /// Cache node.
+        node: NodeId,
+        /// Installed block.
+        block: Block,
+        /// Human-readable resulting state (`"M"`, `"S"`, `"T=3+O"`, …).
+        state: &'static str,
+    },
+    /// A cache evicted or invalidated a line.
+    CacheEvict {
+        /// Cache node.
+        node: NodeId,
+        /// Evicted block.
+        block: Block,
+        /// Human-readable prior state.
+        state: &'static str,
+    },
+    /// A miss completed in the L1/MSHR path, with its latency decomposed
+    /// into attribution segments (the segments sum exactly to `total`).
+    MissCommit {
+        /// Processor whose miss completed.
+        proc: ProcId,
+        /// Missed block.
+        block: Block,
+        /// Operation kind.
+        kind: AccessKind,
+        /// End-to-end miss latency.
+        total: Dur,
+        /// Per-segment attribution; sums to `total`.
+        parts: SegmentParts,
+    },
+}
+
+impl TraceEvent {
+    /// The block this event concerns, if it concerns exactly one.
+    pub fn block(&self) -> Option<Block> {
+        match *self {
+            TraceEvent::MsgSend { block, .. } | TraceEvent::Fault { block, .. } => block,
+            TraceEvent::SeqIssue { block, .. }
+            | TraceEvent::SeqCommit { block, .. }
+            | TraceEvent::TokensMoved { block, .. }
+            | TraceEvent::PersistentActivate { block, .. }
+            | TraceEvent::PersistentDeactivate { block, .. }
+            | TraceEvent::CacheFill { block, .. }
+            | TraceEvent::CacheEvict { block, .. }
+            | TraceEvent::MissCommit { block, .. } => Some(block),
+        }
+    }
+
+    /// Short kind label for timelines and Chrome event names.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            TraceEvent::MsgSend { .. } => "msg",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::SeqIssue { .. } => "seq.issue",
+            TraceEvent::SeqCommit { .. } => "seq.commit",
+            TraceEvent::TokensMoved { .. } => "tokens",
+            TraceEvent::PersistentActivate { .. } => "persistent.activate",
+            TraceEvent::PersistentDeactivate { .. } => "persistent.deactivate",
+            TraceEvent::CacheFill { .. } => "cache.fill",
+            TraceEvent::CacheEvict { .. } => "cache.evict",
+            TraceEvent::MissCommit { .. } => "miss.commit",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::MsgSend {
+                src,
+                dst,
+                class,
+                tier,
+                bytes,
+                block,
+                arrive,
+            } => {
+                write!(
+                    f,
+                    "msg {} n{}->n{} {}B on {} arrive {}",
+                    class.label(),
+                    src.0,
+                    dst.0,
+                    bytes,
+                    tier.label(),
+                    arrive
+                )?;
+                if let Some(b) = block {
+                    write!(f, " block {b:?}")?;
+                }
+                Ok(())
+            }
+            TraceEvent::Fault {
+                kind,
+                class,
+                tier,
+                block,
+            } => {
+                write!(
+                    f,
+                    "fault {} {} on {}",
+                    kind.label(),
+                    class.label(),
+                    tier.label()
+                )?;
+                if let Some(b) = block {
+                    write!(f, " block {b:?}")?;
+                }
+                Ok(())
+            }
+            TraceEvent::SeqIssue { proc, block, kind } => {
+                write!(f, "seq.issue p{} {kind:?} {block:?}", proc.0)
+            }
+            TraceEvent::SeqCommit { proc, block, kind } => {
+                write!(f, "seq.commit p{} {kind:?} {block:?}", proc.0)
+            }
+            TraceEvent::TokensMoved {
+                block,
+                from,
+                to,
+                count,
+                owner,
+            } => write!(
+                f,
+                "tokens {block:?} n{}->n{} count {count}{}",
+                from.0,
+                to.0,
+                if owner { "+owner" } else { "" }
+            ),
+            TraceEvent::PersistentActivate { block, proc } => {
+                write!(f, "persistent.activate {block:?} for p{}", proc.0)
+            }
+            TraceEvent::PersistentDeactivate { block, proc } => {
+                write!(f, "persistent.deactivate {block:?} for p{}", proc.0)
+            }
+            TraceEvent::CacheFill { node, block, state } => {
+                write!(f, "cache.fill n{} {block:?} -> {state}", node.0)
+            }
+            TraceEvent::CacheEvict { node, block, state } => {
+                write!(f, "cache.evict n{} {block:?} was {state}", node.0)
+            }
+            TraceEvent::MissCommit {
+                proc,
+                block,
+                kind,
+                total,
+                parts,
+            } => write!(
+                f,
+                "miss.commit p{} {kind:?} {block:?} total {total} [{parts}]",
+                proc.0
+            ),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Miss-latency attribution across the protocol ladder: runs the
+//! directory baseline and every TokenCMP variant on the locking and
+//! barrier micro-benchmarks, then prints the per-protocol attribution
+//! table (mean/p50/p99 miss latency plus each segment's share of the
+//! total latency-weighted time) and exports the raw records as JSON.
+//!
+//! ```sh
+//! cargo run --release --example latency_breakdown
+//! ```
+
+use tokencmp::sweep::{self, Sweep};
+use tokencmp::system::Workload;
+use tokencmp::{
+    latency_table, BarrierWorkload, Dur, LockingWorkload, PointRecord, Protocol, RunOptions,
+    SystemConfig, Variant,
+};
+
+fn ladder() -> Vec<Protocol> {
+    std::iter::once(Protocol::Directory)
+        .chain(Variant::ALL.into_iter().map(Protocol::Token))
+        .collect()
+}
+
+fn run<W: Workload + 'static>(
+    name: &str,
+    cfg: &SystemConfig,
+    mk: impl Fn(u64) -> W + Send + Sync + 'static,
+) -> Vec<PointRecord> {
+    let mut sweep = Sweep::new();
+    sweep.push_grid(cfg, &ladder(), &[42], RunOptions::default(), mk);
+    let points = sweep.run();
+    for p in &points {
+        assert_eq!(
+            format!("{:?}", p.result.outcome),
+            "Idle",
+            "{} did not finish cleanly",
+            p.point.label
+        );
+    }
+    let records: Vec<PointRecord> = points.iter().map(PointRecord::from_point).collect();
+    println!("== {name} ==");
+    println!("{}", latency_table(&records));
+    if let Ok(path) = sweep::write_json(&format!("latency_{name}"), &points) {
+        println!("records: {}\n", path.display());
+    }
+    records
+}
+
+fn main() {
+    let cfg = SystemConfig::default();
+    // High-contention locking: 16 processors fighting over 4 locks.
+    let locking = run("locking", &cfg, |seed| {
+        LockingWorkload::new(16, 4, 40, seed)
+    });
+    // Barrier phases: compute bursts separated by global synchronization.
+    let barrier = run("barrier", &cfg, |seed| {
+        BarrierWorkload::new(16, 8, Dur::from_ns(3000), Dur::from_ns(1000), seed)
+    });
+    // Every record that ran must have attributed every committed miss.
+    for r in locking.iter().chain(&barrier) {
+        assert!(r.miss_count() > 0, "{}: no attributed misses", r.protocol);
+        let seg_sum: u64 = tokencmp::Segment::ALL
+            .iter()
+            .map(|s| r.counter(&format!("lat.{}.ps_sum", s.label())))
+            .sum();
+        assert_eq!(
+            seg_sum,
+            r.counter("lat.total.ps_sum"),
+            "{}: segment sums must tile the total",
+            r.protocol
+        );
+    }
+}

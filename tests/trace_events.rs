@@ -1,0 +1,279 @@
+//! Structured-tracing integration tests: the golden event chain for a
+//! single load miss, the zero-cost guarantee (tracing on/off is
+//! bit-identical for every protocol), and the flight-recorder dump on a
+//! watchdog stall.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tokencmp::{
+    run_workload, run_workload_traced, AccessKind, Block, Dur, FaultPlan, LockingWorkload,
+    Protocol, RingRecorder, RunOptions, RunOutcome, RunResult, SystemConfig, TraceEvent,
+    TraceHandle, TraceRecord, Variant,
+};
+
+use tokencmp::system::ScriptedWorkload;
+
+/// One load of `Block(1)` by processor 0; everyone else idle.
+fn single_load() -> ScriptedWorkload {
+    ScriptedWorkload::new(vec![
+        vec![(AccessKind::Load, Block(1))],
+        vec![],
+        vec![],
+        vec![],
+    ])
+}
+
+/// Runs `protocol` on the small test system with a fresh ring recorder
+/// and returns the run result plus the captured records.
+fn record_single_load(protocol: Protocol) -> (RunResult, Vec<TraceRecord>) {
+    let cfg = SystemConfig::small_test();
+    let rec = RingRecorder::default().into_handle();
+    let handle: TraceHandle = rec.clone();
+    let (res, _) = run_workload_traced(
+        &cfg,
+        protocol,
+        single_load(),
+        &RunOptions::default(),
+        Some(handle),
+    );
+    let records = rec.borrow().to_vec();
+    (res, records)
+}
+
+/// Sequence number of the first record matching `pred`.
+fn first_seq(records: &[TraceRecord], pred: impl Fn(&TraceEvent) -> bool) -> u64 {
+    records
+        .iter()
+        .find(|r| pred(&r.ev))
+        .unwrap_or_else(|| panic!("no matching record among {} events", records.len()))
+        .seq
+}
+
+/// The golden-chain assertions shared by both protocol families: a
+/// single load miss produces issue → request on the wire → line fill →
+/// attributed commit → sequencer commit, with monotone timestamps.
+fn assert_load_miss_chain(records: &[TraceRecord]) {
+    assert!(!records.is_empty(), "tracing recorded nothing");
+    for w in records.windows(2) {
+        assert!(w[1].seq == w[0].seq + 1, "sequence numbers must be dense");
+    }
+    // Component-emitted events are stamped at the handler's current time
+    // and must be monotone in record order; network events (MsgSend,
+    // Fault) are stamped at wire departure and may legitimately run a
+    // local-processing delay ahead, but never past their own arrival.
+    let mut last = None;
+    for r in records {
+        match r.ev {
+            TraceEvent::MsgSend { arrive, .. } => {
+                assert!(r.at <= arrive, "#{}: departs after it arrives", r.seq)
+            }
+            TraceEvent::Fault { .. } => {}
+            _ => {
+                if let Some(prev) = last {
+                    assert!(
+                        r.at >= prev,
+                        "#{} {} at {} leaps backward past {prev}",
+                        r.seq,
+                        r.ev,
+                        r.at
+                    );
+                }
+                last = Some(r.at);
+            }
+        }
+    }
+    let issue = first_seq(records, |e| {
+        matches!(
+            e,
+            TraceEvent::SeqIssue { proc, block, kind }
+                if proc.0 == 0 && *block == Block(1) && *kind == AccessKind::Load
+        )
+    });
+    let send = first_seq(records, |e| matches!(e, TraceEvent::MsgSend { .. }));
+    let fill = first_seq(
+        records,
+        |e| matches!(e, TraceEvent::CacheFill { block, .. } if *block == Block(1)),
+    );
+    let commits: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| matches!(r.ev, TraceEvent::MissCommit { .. }))
+        .collect();
+    assert_eq!(commits.len(), 1, "exactly one miss must commit");
+    let commit = commits[0];
+    let TraceEvent::MissCommit {
+        block,
+        kind,
+        total,
+        parts,
+        ..
+    } = commit.ev
+    else {
+        unreachable!()
+    };
+    assert_eq!(block, Block(1));
+    assert_eq!(kind, AccessKind::Load);
+    assert!(!total.is_zero(), "a miss cannot complete in zero time");
+    assert_eq!(
+        parts.total(),
+        total.as_ps(),
+        "attribution segments must sum to the miss latency"
+    );
+    let seq_commit = first_seq(
+        records,
+        |e| matches!(e, TraceEvent::SeqCommit { block, .. } if *block == Block(1)),
+    );
+    assert!(
+        issue < send && send < fill && fill < commit.seq && commit.seq < seq_commit,
+        "chain out of order: issue={issue} send={send} fill={fill} \
+         miss={} seq.commit={seq_commit}",
+        commit.seq
+    );
+}
+
+#[test]
+fn token_load_miss_emits_golden_chain() {
+    let (res, records) = record_single_load(Protocol::Token(Variant::Dst1));
+    assert_eq!(res.outcome, RunOutcome::Idle);
+    assert_load_miss_chain(&records);
+    // The supplying hop is visible as a token movement before the fill.
+    let tokens = first_seq(
+        &records,
+        |e| matches!(e, TraceEvent::TokensMoved { block, .. } if *block == Block(1)),
+    );
+    let fill = first_seq(&records, |e| matches!(e, TraceEvent::CacheFill { .. }));
+    assert!(tokens < fill, "tokens must arrive before the line fills");
+}
+
+#[test]
+fn directory_load_miss_emits_golden_chain() {
+    let (res, records) = record_single_load(Protocol::Directory);
+    assert_eq!(res.outcome, RunOutcome::Idle);
+    assert_load_miss_chain(&records);
+}
+
+/// Full observable surface of a run, for bit-identical comparison.
+fn observables(r: &RunResult) -> (RunOutcome, u64, u64, Vec<(String, u64)>) {
+    let counters = r
+        .counters
+        .counters()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    (r.outcome, r.runtime.as_ps(), r.events, counters)
+}
+
+#[test]
+fn tracing_leaves_every_protocol_bit_identical() {
+    // The zero-cost claim, measured: installing a sink changes nothing
+    // observable — runtime, event count, outcome, and every counter are
+    // bit-identical across all six TokenCMP variants and both directory
+    // baselines. Tracing observes the simulation, never feeds back.
+    let cfg = SystemConfig::small_test();
+    let protocols: Vec<Protocol> = Variant::ALL
+        .into_iter()
+        .map(Protocol::Token)
+        .chain([Protocol::Directory, Protocol::DirectoryZero])
+        .collect();
+    for protocol in protocols {
+        let mk = || LockingWorkload::new(4, 2, 3, 42);
+        let opts = RunOptions {
+            seed: 42,
+            ..RunOptions::default()
+        };
+        let (plain, _) = run_workload(&cfg, protocol, mk(), &opts);
+        let rec = RingRecorder::default().into_handle();
+        let handle: TraceHandle = rec.clone();
+        let (traced, _) = run_workload_traced(&cfg, protocol, mk(), &opts, Some(handle));
+        assert_eq!(
+            observables(&plain),
+            observables(&traced),
+            "{protocol:?}: tracing perturbed the run"
+        );
+        assert!(
+            rec.borrow().recorded() > 0,
+            "{protocol:?}: sink was installed but saw no events"
+        );
+    }
+}
+
+#[test]
+fn traced_runs_replay_bit_identically() {
+    // Two traced runs of the same seed must also capture the *same
+    // events* — the recorder itself is part of the deterministic state.
+    let run = || {
+        let cfg = SystemConfig::small_test();
+        let rec = RingRecorder::default().into_handle();
+        let handle: TraceHandle = rec.clone();
+        let opts = RunOptions {
+            seed: 7,
+            ..RunOptions::default()
+        };
+        let (_, _) = run_workload_traced(
+            &cfg,
+            Protocol::Token(Variant::Dst1Filt),
+            LockingWorkload::new(4, 2, 3, 7),
+            &opts,
+            Some(handle),
+        );
+        Rc::try_unwrap(rec)
+            .map(RefCell::into_inner)
+            .expect("run must drop its handles")
+            .to_vec()
+    };
+    assert_eq!(run(), run(), "trace streams diverged across replays");
+}
+
+#[test]
+fn stalled_traced_run_dumps_flight_recorder_tail() {
+    // Force a stall *after* real activity: hold every unordered-tier
+    // message for 20 µs while the watchdog only tolerates 2 µs without
+    // progress. The processors issue their first accesses (~10 ns think
+    // time), the requests leave on the wire and are adversarially held,
+    // and the watchdog fires — so the diagnostic must carry both the
+    // kernel snapshot and the flight recorder's tail of the structured
+    // events leading up to the wedge.
+    let cfg = SystemConfig::default();
+    let w = LockingWorkload::new(16, 2, 10, 3);
+    let opts = RunOptions {
+        seed: 3,
+        audit: false,
+        ..RunOptions::default()
+    }
+    .with_faults(FaultPlan::none().reordering(1.0, Dur::from_ns(20_000)))
+    .with_stall_window(Some(Dur::from_ns(2_000)));
+    let rec = RingRecorder::default().into_handle();
+    let handle: TraceHandle = rec.clone();
+    let (res, _) =
+        run_workload_traced(&cfg, Protocol::Token(Variant::Dst1), w, &opts, Some(handle));
+    assert_eq!(res.outcome, RunOutcome::Stalled);
+    let diag = res.diagnostic.expect("stalled runs must carry a snapshot");
+    assert!(
+        diag.contains("watchdog diagnostic"),
+        "kernel snapshot missing: {diag}"
+    );
+    assert!(
+        diag.contains("flight recorder: last"),
+        "flight-recorder tail missing: {diag}"
+    );
+    // The dump renders real events, not an empty frame.
+    assert!(
+        diag.contains("seq.issue") || diag.contains("msg "),
+        "dump carries no events: {diag}"
+    );
+}
+
+#[test]
+fn clean_traced_runs_carry_no_diagnostic() {
+    let cfg = SystemConfig::small_test();
+    let rec = RingRecorder::default().into_handle();
+    let handle: TraceHandle = rec.clone();
+    let (res, _) = run_workload_traced(
+        &cfg,
+        Protocol::Token(Variant::Dst1),
+        single_load(),
+        &RunOptions::default(),
+        Some(handle),
+    );
+    assert_eq!(res.outcome, RunOutcome::Idle);
+    assert!(res.diagnostic.is_none());
+}

@@ -1,0 +1,55 @@
+//! **Litmus outcome grid** — the consistency counterpart of the
+//! performance benches: every classic litmus shape on every protocol of
+//! the evaluation, many seeds each, with the axiomatic SC oracle judging
+//! each harvested outcome and a histogram showing which SC outcomes the
+//! timing actually explores.
+//!
+//! The grid must contain *zero* SC-forbidden outcomes — this target
+//! exits non-zero otherwise, so CI can run it as a gate. Raw per-cell
+//! records land in `target/sweep/litmus_outcomes.json`.
+
+use tokencmp::litmus::{classic_shapes, export_grid, histogram_table, litmus_grid, Pinning};
+use tokencmp::{Protocol, SystemConfig};
+use tokencmp_bench::{banner, seeds};
+
+fn main() {
+    banner(
+        "Litmus outcome grid: shape x protocol x seed",
+        "DESIGN.md \u{a7}12 (litmus engine & SC oracle)",
+    );
+    let cfg = SystemConfig::small_test();
+    let shapes = classic_shapes();
+    let seeds = seeds();
+    let points = litmus_grid(&cfg, &shapes, &Protocol::ALL, &seeds, Pinning::Spread);
+
+    println!(
+        "\noutcome histogram ({} shapes x {} protocols x {} seeds, small system, spread pinning):\n",
+        shapes.len(),
+        Protocol::ALL.len(),
+        seeds.len()
+    );
+    print!("{}", histogram_table(&points));
+
+    let forbidden: Vec<_> = points
+        .iter()
+        .filter(|p| !p.allowed || p.forbidden_hit)
+        .collect();
+    match export_grid("litmus_outcomes", &points) {
+        Ok(path) => println!("\nwrote {} records to {}", points.len(), path.display()),
+        Err(e) => println!("\nJSON export failed: {e}"),
+    }
+    if !forbidden.is_empty() {
+        for p in &forbidden {
+            eprintln!(
+                "SC-FORBIDDEN: {} on {} seed {}: {}",
+                p.shape, p.protocol, p.seed, p.key
+            );
+        }
+        eprintln!("{} forbidden outcomes in the grid", forbidden.len());
+        std::process::exit(1);
+    }
+    println!(
+        "all {} outcomes SC-allowed; zero forbidden-predicate hits",
+        points.len()
+    );
+}

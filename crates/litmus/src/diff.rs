@@ -1,0 +1,375 @@
+//! The differential harness: every program × every protocol × many
+//! seeds (× optional fault plans), each run's harvested outcome judged
+//! by the SC oracle.
+//!
+//! A forbidden outcome is reported as a [`Violation`] carrying the full
+//! reproduction coordinates, the oracle's explanation, and a
+//! flight-recorder tail for the suspect block — captured by
+//! deterministically re-running the identical simulation with a
+//! block-filtered [`RingRecorder`] installed (tracing never perturbs a
+//! run, so the replay is bit-identical to the offending one).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tokencmp_net::FaultPlan;
+use tokencmp_proto::{Block, SystemConfig};
+use tokencmp_sim::kernel::RunOutcome;
+use tokencmp_sim::Dur;
+use tokencmp_system::{run_workload_traced, Protocol, RunOptions};
+use tokencmp_trace::{RingRecorder, TraceSink};
+
+use crate::adapter::{LitmusWorkload, Pinning};
+use crate::ir::{Op, Outcome, Program};
+use crate::oracle;
+
+/// Differential-harness knobs.
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Seeds to run per (protocol, plan) cell.
+    pub seeds: Vec<u64>,
+    /// Named fault plans; lossy plans are skipped for the DirectoryCMP
+    /// protocols (they have no message-loss recovery path).
+    pub plans: Vec<(String, FaultPlan)>,
+    /// Thread placement.
+    pub pinning: Pinning,
+    /// Upper bound of the per-thread seeded start stagger.
+    pub stagger_max: Dur,
+    /// Use the deliberately broken store-buffer harvesting (mutation
+    /// testing of the oracle itself).
+    pub broken: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            seeds: (1..=8).collect(),
+            plans: vec![("none".to_string(), FaultPlan::none())],
+            pinning: Pinning::Spread,
+            stagger_max: Dur::from_ns(40),
+            broken: false,
+        }
+    }
+}
+
+impl DiffOptions {
+    /// Replaces the seed list.
+    pub fn with_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> DiffOptions {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the fault-plan list.
+    pub fn with_plans(mut self, plans: Vec<(String, FaultPlan)>) -> DiffOptions {
+        self.plans = plans;
+        self
+    }
+
+    /// Sets the pinning.
+    pub fn with_pinning(mut self, pinning: Pinning) -> DiffOptions {
+        self.pinning = pinning;
+        self
+    }
+
+    /// Switches to the broken store-buffer harvesting.
+    pub fn with_broken(mut self) -> DiffOptions {
+        self.broken = true;
+        self
+    }
+}
+
+/// One SC-forbidden outcome, with everything needed to reproduce and
+/// debug it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The offending program (display form).
+    pub program: String,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Run seed.
+    pub seed: u64,
+    /// Fault-plan name.
+    pub plan: String,
+    /// The forbidden outcome.
+    pub outcome: Outcome,
+    /// The oracle's account of why no interleaving explains it.
+    pub explanation: String,
+    /// The variable whose observation the report centres on.
+    pub suspect_var: usize,
+    /// The block carrying that variable.
+    pub suspect_block: Block,
+    /// Flight-recorder tail for the suspect block, from a bit-identical
+    /// replay of the offending run.
+    pub flight_tail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SC violation: {} on {} (seed {}, faults '{}')",
+            self.program, self.protocol, self.seed, self.plan
+        )?;
+        writeln!(f, "  outcome: {}", self.outcome)?;
+        writeln!(f, "  {}", self.explanation)?;
+        writeln!(
+            f,
+            "  flight recorder tail for v{} ({:?}):",
+            self.suspect_var, self.suspect_block
+        )?;
+        f.write_str(&self.flight_tail)
+    }
+}
+
+/// What one program's differential sweep saw (when no violation).
+#[derive(Clone, Debug)]
+pub struct ShapeReport {
+    /// Program name.
+    pub name: String,
+    /// Total runs performed.
+    pub runs: usize,
+    /// Outcome histogram over all runs: [`Outcome::key`] → count.
+    pub histogram: BTreeMap<String, usize>,
+}
+
+impl ShapeReport {
+    /// Number of distinct outcomes observed.
+    pub fn distinct(&self) -> usize {
+        self.histogram.len()
+    }
+}
+
+/// Runs `program` once and harvests its [`Outcome`].
+///
+/// # Panics
+///
+/// Panics (with the watchdog diagnostic) if the run does not end cleanly
+/// — a litmus program must always quiesce.
+#[allow(clippy::too_many_arguments)] // the args *are* the reproduction coordinates
+pub fn run_litmus(
+    cfg: &SystemConfig,
+    protocol: Protocol,
+    program: &Program,
+    seed: u64,
+    plan: FaultPlan,
+    pinning: Pinning,
+    stagger_max: Dur,
+    broken: bool,
+) -> Outcome {
+    let workload = if broken {
+        LitmusWorkload::broken(cfg, program, pinning, seed, stagger_max)
+    } else {
+        LitmusWorkload::new(cfg, program, pinning, seed, stagger_max)
+    };
+    let opts = RunOptions {
+        seed,
+        faults: plan,
+        ..RunOptions::default()
+    };
+    let trace = RingRecorder::default().into_handle();
+    let (result, workload) = run_workload_traced(cfg, protocol, workload, &opts, Some(trace));
+    assert_eq!(
+        result.outcome,
+        RunOutcome::Idle,
+        "{}: {} (seed {seed}) did not quiesce\n{}",
+        program.name,
+        protocol,
+        result.diagnostic.as_deref().unwrap_or("<no diagnostic>"),
+    );
+    workload.outcome()
+}
+
+/// The variable (and its block) a violation report should centre on:
+/// the first load the forbidden predicate constrains, else the
+/// program's first load, else variable 0.
+fn suspect_var(program: &Program, _outcome: &Outcome) -> usize {
+    if let Some(f) = &program.forbidden {
+        if let Some(&(t, i, _)) = f.loads.first() {
+            return program.threads[t][i].var();
+        }
+    }
+    program
+        .threads
+        .iter()
+        .flatten()
+        .find(|op| op.is_load())
+        .map(Op::var)
+        .unwrap_or(0)
+}
+
+/// Replays the offending run with a block-filtered flight recorder and
+/// returns the recorder's tail (replays are bit-identical: tracing
+/// observes the simulation without feeding back into it).
+#[allow(clippy::too_many_arguments)]
+fn capture_flight_tail(
+    cfg: &SystemConfig,
+    protocol: Protocol,
+    program: &Program,
+    seed: u64,
+    plan: FaultPlan,
+    pinning: Pinning,
+    stagger_max: Dur,
+    broken: bool,
+    block: Block,
+) -> String {
+    let workload = if broken {
+        LitmusWorkload::broken(cfg, program, pinning, seed, stagger_max)
+    } else {
+        LitmusWorkload::new(cfg, program, pinning, seed, stagger_max)
+    };
+    let opts = RunOptions {
+        seed,
+        faults: plan,
+        ..RunOptions::default()
+    };
+    let trace = RingRecorder::new(RingRecorder::DEFAULT_CAPACITY)
+        .with_block_filter(block)
+        .into_handle();
+    let (_, _) = run_workload_traced(cfg, protocol, workload, &opts, Some(trace.clone()));
+    let dump = trace.borrow().flight_dump();
+    dump.unwrap_or_else(|| "  <no events recorded for block>\n".to_string())
+}
+
+/// Runs `program` across `protocols` × plans × seeds, checking every
+/// harvested outcome against the SC oracle.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found, with its oracle explanation
+/// and flight-recorder tail.
+pub fn differential_check(
+    cfg: &SystemConfig,
+    program: &Program,
+    protocols: &[Protocol],
+    opts: &DiffOptions,
+) -> Result<ShapeReport, Box<Violation>> {
+    let mut histogram = BTreeMap::new();
+    let mut runs = 0usize;
+    for &protocol in protocols {
+        for (plan_name, plan) in &opts.plans {
+            let lossless = plan.max_drop_rate() <= 0.0;
+            if !lossless && matches!(protocol, Protocol::Directory | Protocol::DirectoryZero) {
+                // DirectoryCMP has no message-loss recovery; run_workload
+                // rejects lossy plans for it by design.
+                continue;
+            }
+            for &seed in &opts.seeds {
+                let outcome = run_litmus(
+                    cfg,
+                    protocol,
+                    program,
+                    seed,
+                    *plan,
+                    opts.pinning,
+                    opts.stagger_max,
+                    opts.broken,
+                );
+                program
+                    .validate_outcome(&outcome)
+                    .expect("harvested outcome shape");
+                runs += 1;
+                if !oracle::sc_allowed(program, &outcome) {
+                    let var = suspect_var(program, &outcome);
+                    let block = crate::adapter::var_blocks(cfg, program.vars())[var];
+                    let flight_tail = capture_flight_tail(
+                        cfg,
+                        protocol,
+                        program,
+                        seed,
+                        *plan,
+                        opts.pinning,
+                        opts.stagger_max,
+                        opts.broken,
+                        block,
+                    );
+                    return Err(Box::new(Violation {
+                        program: program.to_string(),
+                        protocol,
+                        seed,
+                        plan: plan_name.clone(),
+                        outcome: outcome.clone(),
+                        explanation: oracle::explain(program, &outcome),
+                        suspect_var: var,
+                        suspect_block: block,
+                        flight_tail,
+                    }));
+                }
+                *histogram.entry(outcome.key()).or_insert(0) += 1;
+            }
+        }
+    }
+    Ok(ShapeReport {
+        name: program.name.clone(),
+        runs,
+        histogram,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn mp_on_one_token_variant_is_sc() {
+        let cfg = SystemConfig::small_test();
+        let opts = DiffOptions::default().with_seeds(1..=2);
+        let report = differential_check(
+            &cfg,
+            &shapes::mp(),
+            &[Protocol::Token(tokencmp_core::Variant::Dst1)],
+            &opts,
+        )
+        .expect("MP must be SC on a token protocol");
+        assert_eq!(report.runs, 2);
+        assert!(!report.histogram.is_empty());
+    }
+
+    #[test]
+    fn replayed_seeds_harvest_identical_outcomes() {
+        let cfg = SystemConfig::small_test();
+        let p = shapes::sb();
+        let proto = Protocol::Token(tokencmp_core::Variant::Arb0);
+        let run = || {
+            run_litmus(
+                &cfg,
+                proto,
+                &p,
+                7,
+                FaultPlan::none(),
+                Pinning::Spread,
+                Dur::from_ns(40),
+                false,
+            )
+        };
+        assert_eq!(run(), run(), "same seed must replay bit-identically");
+    }
+
+    #[test]
+    fn broken_harvesting_is_flagged_with_flight_tail() {
+        let cfg = SystemConfig::small_test();
+        let opts = DiffOptions::default().with_seeds([1]).with_broken();
+        let err = differential_check(
+            &cfg,
+            &shapes::sb(),
+            &[Protocol::Token(tokencmp_core::Variant::Dst1)],
+            &opts,
+        )
+        .expect_err("store-buffer harvesting must violate SC on SB");
+        assert!(err.explanation.contains("SC-FORBIDDEN"), "{err}");
+        let text = err.to_string();
+        assert!(text.contains("flight recorder tail"), "{text}");
+        assert!(text.contains("seed 1"), "{text}");
+    }
+
+    #[test]
+    fn lossy_plans_are_skipped_for_directory() {
+        let cfg = SystemConfig::small_test();
+        let opts = DiffOptions::default()
+            .with_seeds([1])
+            .with_plans(vec![("drop".into(), FaultPlan::none().dropping(0.05))]);
+        let report = differential_check(&cfg, &shapes::corr(), &[Protocol::Directory], &opts)
+            .expect("skipped cell cannot violate");
+        assert_eq!(report.runs, 0, "lossy plan must be skipped, not run");
+    }
+}

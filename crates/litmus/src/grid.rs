@@ -1,0 +1,207 @@
+//! The litmus outcome grid: shapes × protocols × seeds, run in parallel
+//! through the deterministic sweep engine, exported as JSON and rendered
+//! as the per-shape outcome-histogram tables in EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+
+use tokencmp_proto::SystemConfig;
+use tokencmp_sim::Dur;
+use tokencmp_sweep::json::Value;
+use tokencmp_sweep::{par_map, write_value};
+use tokencmp_system::Protocol;
+
+use crate::adapter::Pinning;
+use crate::ir::Program;
+use crate::oracle;
+
+/// One (shape, protocol, seed) cell of the grid.
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// Shape name.
+    pub shape: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Harvested-outcome key ([`crate::ir::Outcome::key`]).
+    pub key: String,
+    /// Oracle verdict: SC-allowed?
+    pub allowed: bool,
+    /// Whether the shape's classic forbidden predicate matched.
+    pub forbidden_hit: bool,
+    /// Run length in simulated nanoseconds.
+    pub runtime_ns: f64,
+}
+
+/// Runs every shape on every protocol for every seed (in parallel, in
+/// deterministic input order) and classifies each harvested outcome.
+pub fn litmus_grid(
+    cfg: &SystemConfig,
+    shapes: &[Program],
+    protocols: &[Protocol],
+    seeds: &[u64],
+    pinning: Pinning,
+) -> Vec<GridPoint> {
+    let mut cells = Vec::new();
+    for shape in shapes {
+        for &protocol in protocols {
+            for &seed in seeds {
+                cells.push((shape.clone(), protocol, seed));
+            }
+        }
+    }
+    par_map(cells, |(shape, protocol, seed)| {
+        let workload =
+            crate::adapter::LitmusWorkload::new(cfg, &shape, pinning, seed, Dur::from_ns(40));
+        let opts = tokencmp_system::RunOptions {
+            seed,
+            ..Default::default()
+        };
+        let (result, workload) = tokencmp_system::run_workload(cfg, protocol, workload, &opts);
+        assert_eq!(
+            result.outcome,
+            tokencmp_sim::kernel::RunOutcome::Idle,
+            "{}: {} (seed {seed}) did not quiesce",
+            shape.name,
+            protocol
+        );
+        let outcome = workload.outcome();
+        GridPoint {
+            shape: shape.name.clone(),
+            protocol: protocol.name().to_string(),
+            seed,
+            key: outcome.key(),
+            allowed: oracle::sc_allowed(&shape, &outcome),
+            forbidden_hit: shape
+                .forbidden
+                .as_ref()
+                .is_some_and(|f| f.matches(&outcome)),
+            runtime_ns: result.runtime_ns(),
+        }
+    })
+}
+
+/// Serializes grid points as a JSON array of objects.
+pub fn grid_to_json(points: &[GridPoint]) -> Value {
+    Value::Arr(
+        points
+            .iter()
+            .map(|p| {
+                let mut o = BTreeMap::new();
+                o.insert("shape".into(), Value::Str(p.shape.clone()));
+                o.insert("protocol".into(), Value::Str(p.protocol.clone()));
+                o.insert("seed".into(), Value::Int(p.seed));
+                o.insert("outcome".into(), Value::Str(p.key.clone()));
+                o.insert("sc_allowed".into(), Value::Bool(p.allowed));
+                o.insert("forbidden_hit".into(), Value::Bool(p.forbidden_hit));
+                o.insert("runtime_ns".into(), Value::Float(p.runtime_ns));
+                Value::Obj(o)
+            })
+            .collect(),
+    )
+}
+
+/// Writes the grid to `target/sweep/<name>.json`.
+pub fn export_grid(name: &str, points: &[GridPoint]) -> std::io::Result<std::path::PathBuf> {
+    write_value(name, &grid_to_json(points))
+}
+
+/// Renders a per-shape outcome histogram as a markdown-ish table:
+/// one row per (shape, outcome), one count column per protocol.
+pub fn histogram_table(points: &[GridPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut protocols: Vec<&str> = Vec::new();
+    for p in points {
+        if !protocols.contains(&p.protocol.as_str()) {
+            protocols.push(&p.protocol);
+        }
+    }
+    // (shape, outcome key) → protocol → count, shapes in first-seen order.
+    let mut shapes: Vec<&str> = Vec::new();
+    let mut rows: BTreeMap<(usize, String), BTreeMap<&str, usize>> = BTreeMap::new();
+    for p in points {
+        let si = match shapes.iter().position(|&s| s == p.shape) {
+            Some(i) => i,
+            None => {
+                shapes.push(&p.shape);
+                shapes.len() - 1
+            }
+        };
+        *rows
+            .entry((si, p.key.clone()))
+            .or_default()
+            .entry(&p.protocol)
+            .or_insert(0) += 1;
+    }
+    let mut s = String::new();
+    let _ = write!(s, "| shape | outcome |");
+    for proto in &protocols {
+        let _ = write!(s, " {proto} |");
+    }
+    let _ = writeln!(s);
+    let _ = write!(s, "|---|---|");
+    for _ in &protocols {
+        let _ = write!(s, "---|");
+    }
+    let _ = writeln!(s);
+    for ((si, key), counts) in &rows {
+        let _ = write!(s, "| {} | `{key}` |", shapes[*si]);
+        for proto in &protocols {
+            let _ = write!(s, " {} |", counts.get(proto).copied().unwrap_or(0));
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::run_litmus;
+    use crate::shapes;
+
+    #[test]
+    fn tiny_grid_runs_and_serializes() {
+        let cfg = SystemConfig::small_test();
+        let shapes = vec![shapes::corr()];
+        let protocols = [Protocol::ALL[0], Protocol::PerfectL2];
+        let points = litmus_grid(&cfg, &shapes, &protocols, &[1, 2], Pinning::Spread);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.allowed && !p.forbidden_hit));
+        // Deterministic input-order results.
+        assert_eq!(points[0].protocol, Protocol::ALL[0].name());
+        assert_eq!(points[0].seed, 1);
+        let json = grid_to_json(&points).to_string();
+        assert!(json.contains("\"sc_allowed\":true"), "{json}");
+        let table = histogram_table(&points);
+        assert!(table.contains("| CoRR |"), "{table}");
+        assert!(table.contains("PerfectL2"), "{table}");
+    }
+
+    #[test]
+    fn run_litmus_is_reused_consistently_with_grid_runs() {
+        // The grid runs untraced; run_litmus runs traced. Tracing must
+        // not perturb outcomes, so the two paths agree bit-for-bit.
+        let cfg = SystemConfig::small_test();
+        let shape = shapes::mp();
+        let proto = Protocol::ALL[1];
+        let points = litmus_grid(
+            &cfg,
+            std::slice::from_ref(&shape),
+            &[proto],
+            &[5],
+            Pinning::Spread,
+        );
+        let traced = run_litmus(
+            &cfg,
+            proto,
+            &shape,
+            5,
+            tokencmp_net::FaultPlan::none(),
+            Pinning::Spread,
+            Dur::from_ns(40),
+            false,
+        );
+        assert_eq!(points[0].key, traced.key());
+    }
+}

@@ -1,0 +1,390 @@
+//! The litmus-test intermediate representation.
+//!
+//! A litmus test is a handful of threads, each a straight-line program of
+//! loads and stores over a few shared variables, plus (optionally) the
+//! classic "forbidden" outcome the shape is named for. Variables are
+//! abstract indices `0..vars`; the adapter maps them onto cache blocks
+//! spread across L2 banks and home chips (see [`crate::adapter`]).
+//!
+//! Every load has an implicit observed-value register, identified by its
+//! `(thread, op index)` position; an [`Outcome`] records the value each
+//! register observed plus the final memory image, and the SC oracle
+//! ([`crate::oracle`]) classifies the pair as SC-allowed or forbidden.
+
+use std::fmt;
+
+/// One straight-line operation of a litmus thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Read variable `var` into this position's observed-value register.
+    Load {
+        /// Variable index.
+        var: usize,
+    },
+    /// Write `value` to variable `var`.
+    Store {
+        /// Variable index.
+        var: usize,
+        /// Value written. Must be nonzero (zero is the initial value) and
+        /// unique among the stores to `var`, so observations identify
+        /// their writer unambiguously.
+        value: u64,
+    },
+}
+
+impl Op {
+    /// The variable this operation touches.
+    pub fn var(&self) -> usize {
+        match *self {
+            Op::Load { var } | Op::Store { var, .. } => var,
+        }
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+}
+
+/// One expected register observation of a [`Predicate`]: thread, op
+/// index, observed value.
+pub type RegExpect = (usize, usize, u64);
+
+/// A final-state predicate: the conjunction of register observations and
+/// final-memory values that the shape's *forbidden* (non-SC) outcome
+/// exhibits. Used to label histograms and to seed mutation tests; the
+/// oracle itself needs no predicate — it classifies any outcome.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Predicate {
+    /// Expected register observations.
+    pub loads: Vec<RegExpect>,
+    /// Expected final values, as `(var, value)` pairs.
+    pub final_mem: Vec<(usize, u64)>,
+}
+
+impl Predicate {
+    /// True if `outcome` satisfies every conjunct.
+    pub fn matches(&self, outcome: &Outcome) -> bool {
+        self.loads
+            .iter()
+            .all(|&(t, i, v)| outcome.loads[t][i] == Some(v))
+            && self
+                .final_mem
+                .iter()
+                .all(|&(var, v)| outcome.final_mem[var] == v)
+    }
+}
+
+/// A litmus test: named threads of straight-line loads/stores.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Shape name (`"SB"`, `"IRIW"`, `"rand-42"`, ...).
+    pub name: String,
+    /// Per-thread operation lists.
+    pub threads: Vec<Vec<Op>>,
+    /// The shape's classic forbidden outcome, if it has one.
+    pub forbidden: Option<Predicate>,
+    vars: usize,
+}
+
+impl Program {
+    /// Creates a program, inferring the variable count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is malformed: no threads, no operations, a
+    /// store of value zero, or two stores of the same value to the same
+    /// variable (observed values must identify their writer).
+    pub fn new(name: impl Into<String>, threads: Vec<Vec<Op>>) -> Program {
+        let name = name.into();
+        assert!(!threads.is_empty(), "{name}: a litmus test needs threads");
+        assert!(
+            threads.iter().any(|t| !t.is_empty()),
+            "{name}: a litmus test needs operations"
+        );
+        let vars = threads
+            .iter()
+            .flatten()
+            .map(|op| op.var() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut seen: Vec<Vec<u64>> = vec![Vec::new(); vars];
+        for op in threads.iter().flatten() {
+            if let Op::Store { var, value } = *op {
+                assert!(value != 0, "{name}: store of 0 to v{var} (0 is initial)");
+                assert!(
+                    !seen[var].contains(&value),
+                    "{name}: duplicate store of {value} to v{var}"
+                );
+                seen[var].push(value);
+            }
+        }
+        Program {
+            name,
+            threads,
+            forbidden: None,
+            vars,
+        }
+    }
+
+    /// Attaches the shape's classic forbidden outcome.
+    pub fn with_forbidden(mut self, forbidden: Predicate) -> Program {
+        for &(t, i, _) in &forbidden.loads {
+            assert!(
+                self.threads
+                    .get(t)
+                    .and_then(|ops| ops.get(i))
+                    .is_some_and(Op::is_load),
+                "{}: predicate register ({t},{i}) is not a load",
+                self.name
+            );
+        }
+        for &(var, _) in &forbidden.final_mem {
+            assert!(
+                var < self.vars,
+                "{}: predicate var v{var} unused",
+                self.name
+            );
+        }
+        self.forbidden = Some(forbidden);
+        self
+    }
+
+    /// Number of distinct variables (indices `0..vars`).
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Total operations across all threads.
+    pub fn ops(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Every value the program can leave in `var`: the initial zero plus
+    /// each stored value (the SC oracle's value-domain prune).
+    pub fn value_domain(&self, var: usize) -> Vec<u64> {
+        let mut d = vec![0];
+        for op in self.threads.iter().flatten() {
+            if let Op::Store { var: v, value } = *op {
+                if v == var {
+                    d.push(value);
+                }
+            }
+        }
+        d
+    }
+
+    /// An empty [`Outcome`] template matching this program's shape.
+    pub fn blank_outcome(&self) -> Outcome {
+        Outcome {
+            loads: self.threads.iter().map(|t| vec![None; t.len()]).collect(),
+            final_mem: vec![0; self.vars],
+        }
+    }
+
+    /// Checks that `outcome` has this program's shape: one `Some` per
+    /// load, one `None` per store, `vars` final-memory cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn validate_outcome(&self, outcome: &Outcome) -> Result<(), String> {
+        if outcome.loads.len() != self.threads.len() {
+            return Err(format!(
+                "{}: outcome has {} threads, program has {}",
+                self.name,
+                outcome.loads.len(),
+                self.threads.len()
+            ));
+        }
+        for (t, (ops, obs)) in self.threads.iter().zip(&outcome.loads).enumerate() {
+            if ops.len() != obs.len() {
+                return Err(format!(
+                    "{}: thread {t} has {} ops but {} observations",
+                    self.name,
+                    ops.len(),
+                    obs.len()
+                ));
+            }
+            for (i, (op, o)) in ops.iter().zip(obs).enumerate() {
+                if op.is_load() != o.is_some() {
+                    return Err(format!(
+                        "{}: ({t},{i}) is {op:?} but observation is {o:?}",
+                        self.name
+                    ));
+                }
+            }
+        }
+        if outcome.final_mem.len() != self.vars {
+            return Err(format!(
+                "{}: outcome has {} memory cells, program has {}",
+                self.name,
+                outcome.final_mem.len(),
+                self.vars
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.name)?;
+        for (t, ops) in self.threads.iter().enumerate() {
+            write!(f, " T{t}[")?;
+            for (i, op) in ops.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("; ")?;
+                }
+                match op {
+                    Op::Load { var } => write!(f, "r=v{var}")?,
+                    Op::Store { var, value } => write!(f, "v{var}={value}")?,
+                }
+            }
+            f.write_str("]")?;
+        }
+        Ok(())
+    }
+}
+
+/// What one simulated (or enumerated) execution of a [`Program`]
+/// observed: a value per load register, plus the final memory image.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Outcome {
+    /// `loads[t][i]` is the value thread `t`'s op `i` observed (`Some`
+    /// exactly for loads).
+    pub loads: Vec<Vec<Option<u64>>>,
+    /// `final_mem[var]` is the variable's value at quiescence.
+    pub final_mem: Vec<u64>,
+}
+
+impl Outcome {
+    /// A compact, histogram-friendly rendering: every register
+    /// observation, then the final memory image.
+    pub fn key(&self) -> String {
+        let mut s = String::new();
+        for (t, obs) in self.loads.iter().enumerate() {
+            for (i, o) in obs.iter().enumerate() {
+                if let Some(v) = o {
+                    if !s.is_empty() {
+                        s.push(' ');
+                    }
+                    s.push_str(&format!("{t}:{i}={v}"));
+                }
+            }
+        }
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str("mem=[");
+        for (var, v) in self.final_mem.iter().enumerate() {
+            if var > 0 {
+                s.push(',');
+            }
+            s.push_str(&v.to_string());
+        }
+        s.push(']');
+        s
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp() -> Program {
+        Program::new(
+            "MP",
+            vec![
+                vec![
+                    Op::Store { var: 0, value: 1 },
+                    Op::Store { var: 1, value: 1 },
+                ],
+                vec![Op::Load { var: 1 }, Op::Load { var: 0 }],
+            ],
+        )
+    }
+
+    #[test]
+    fn program_infers_vars_and_counts_ops() {
+        let p = mp();
+        assert_eq!(p.vars(), 2);
+        assert_eq!(p.ops(), 4);
+        assert_eq!(p.value_domain(0), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate store")]
+    fn duplicate_store_values_rejected() {
+        Program::new(
+            "bad",
+            vec![vec![
+                Op::Store { var: 0, value: 1 },
+                Op::Store { var: 0, value: 1 },
+            ]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "0 is initial")]
+    fn zero_store_rejected() {
+        Program::new("bad", vec![vec![Op::Store { var: 0, value: 0 }]]);
+    }
+
+    #[test]
+    fn outcome_validation_checks_shape() {
+        let p = mp();
+        let mut o = p.blank_outcome();
+        assert!(p.validate_outcome(&o).is_err(), "loads unobserved");
+        o.loads[1] = vec![Some(1), Some(0)];
+        assert!(p.validate_outcome(&o).is_ok());
+        o.loads[0][0] = Some(9);
+        let err = p.validate_outcome(&o).unwrap_err();
+        assert!(err.contains("(0,0)"), "{err}");
+    }
+
+    #[test]
+    fn outcome_key_is_stable_and_readable() {
+        let p = mp();
+        let mut o = p.blank_outcome();
+        o.loads[1] = vec![Some(1), Some(0)];
+        o.final_mem = vec![1, 1];
+        assert_eq!(o.key(), "1:0=1 1:1=0 mem=[1,1]");
+        assert_eq!(o.to_string(), o.key());
+    }
+
+    #[test]
+    fn predicate_matches_its_outcome() {
+        let p = mp().with_forbidden(Predicate {
+            loads: vec![(1, 0, 1), (1, 1, 0)],
+            final_mem: vec![(0, 1), (1, 1)],
+        });
+        let mut o = p.blank_outcome();
+        o.loads[1] = vec![Some(1), Some(0)];
+        o.final_mem = vec![1, 1];
+        assert!(p.forbidden.as_ref().unwrap().matches(&o));
+        o.loads[1][1] = Some(1);
+        assert!(!p.forbidden.as_ref().unwrap().matches(&o));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a load")]
+    fn predicate_register_must_be_a_load() {
+        mp().with_forbidden(Predicate {
+            loads: vec![(0, 0, 1)],
+            final_mem: vec![],
+        });
+    }
+
+    #[test]
+    fn display_renders_threads() {
+        let s = mp().to_string();
+        assert_eq!(s, "MP: T0[v0=1; v1=1] T1[r=v1; r=v0]");
+    }
+}

@@ -1,0 +1,52 @@
+//! # Litmus-test engine with an axiomatic SC oracle
+//!
+//! Memory-consistency litmus testing for the M-CMP protocol stacks, in
+//! the herd/diy tradition: small multi-threaded programs whose observed
+//! values distinguish sequential consistency from weaker behaviours.
+//!
+//! The pieces (see DESIGN.md §12):
+//!
+//! - [`ir`] — the test IR: straight-line per-thread loads/stores over a
+//!   few variables, per-load observed-value registers, an [`ir::Outcome`]
+//!   per run, and optional classic *forbidden* predicates.
+//! - [`shapes`] — the eight classic shapes (SB, MP, LB, IRIW, CoRR,
+//!   CoWW, WRC, 2+2W); [`gen`] — seeded random programs.
+//! - [`oracle`] — the axiomatic SC oracle: memoized,
+//!   observation-constrained interleaving search, plus an unpruned
+//!   brute-force enumerator that validates it.
+//! - [`adapter`] — runs a program through the real protocol stacks via
+//!   the system layer's [`Workload`](tokencmp_system::Workload)
+//!   interface, pinning threads across CMP boundaries and harvesting
+//!   values at commit instants; also hosts the deliberately broken
+//!   store-buffer harvesting used for mutation-testing the oracle.
+//! - [`diff`] — the differential harness: program × protocol × seed
+//!   (× fault plan), every outcome judged, violations reported with a
+//!   flight-recorder tail for the suspect block.
+//! - [`grid`] — the shape × protocol outcome grid behind the
+//!   `litmus_outcomes` bench and EXPERIMENTS.md histograms.
+//!
+//! The protocols move *permissions*, not values, so SC here is a
+//! checked property of the whole stack: the protocol's completion
+//! ordering plus the substrate's single-writer invariant must make
+//! commit-instant value harvesting equivalent to an atomic-memory
+//! execution. The oracle then confirms every harvested outcome has an
+//! SC witness — and the store-buffer mutation proves it can say no.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod diff;
+pub mod gen;
+pub mod grid;
+pub mod ir;
+pub mod oracle;
+pub mod shapes;
+
+pub use adapter::{var_blocks, LitmusWorkload, Mode, Pinning};
+pub use diff::{differential_check, run_litmus, DiffOptions, ShapeReport, Violation};
+pub use gen::{random_program, GenLimits};
+pub use grid::{export_grid, grid_to_json, histogram_table, litmus_grid, GridPoint};
+pub use ir::{Op, Outcome, Predicate, Program};
+pub use oracle::{enumerate_outcomes, explain, sc_allowed, sc_witness};
+pub use shapes::classic_shapes;

@@ -1,0 +1,413 @@
+//! The axiomatic sequential-consistency oracle.
+//!
+//! An outcome is **SC-allowed** iff some interleaving of the threads'
+//! operations — respecting each thread's program order, with every load
+//! returning the latest store to its variable (or the initial zero) —
+//! reproduces every observed register value and the final memory image.
+//! [`sc_allowed`] decides this by exhaustive witness search; because the
+//! programs are straight-line, the search space is finite and small.
+//!
+//! Three prunings keep IRIW-sized tests (and the random-program property
+//! suite) fast without giving up exhaustiveness:
+//!
+//! 1. **Value-domain prune** — a load observation outside
+//!    `{0} ∪ stores(var)` (or a final value outside it) is forbidden with
+//!    no search at all.
+//! 2. **Observation-constrained expansion** — a branch only executes a
+//!    load when the current memory value equals the observed value, so
+//!    the DFS explores exactly the interleavings consistent with the
+//!    prefix of observations, never all `n!/(∏ nᵢ!)` of them.
+//! 3. **Memoized state hashing** — the reachable-state graph is a DAG on
+//!    `(program counters, memory image)`; a state whose subtree failed
+//!    once can never succeed later (observations are position-dependent,
+//!    not history-dependent), so each state is expanded at most once.
+//!
+//! [`enumerate_outcomes`] is the deliberately unpruned brute-force
+//! interleaver: it walks every interleaving and collects every reachable
+//! outcome. It exists to validate the oracle (the property suite checks
+//! `sc_allowed(p, o) ⇔ o ∈ enumerate_outcomes(p)` on small programs) and
+//! to prove shapes' forbidden predicates unreachable; use the oracle for
+//! anything larger.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::ir::{Op, Outcome, Program};
+
+/// Statistics from one witness search, for reporting and for the pruning
+/// tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SearchStats {
+    /// States expanded by the DFS.
+    pub expanded: u64,
+    /// Branches cut by the memo table.
+    pub memo_hits: u64,
+}
+
+/// Decides whether `outcome` is sequentially consistent for `program`.
+///
+/// # Panics
+///
+/// Panics if the outcome does not match the program's shape (use
+/// [`Program::validate_outcome`] first for a graceful error).
+pub fn sc_allowed(program: &Program, outcome: &Outcome) -> bool {
+    sc_witness(program, outcome).is_some()
+}
+
+/// Like [`sc_allowed`], but returns the witness interleaving — the
+/// sequence of `(thread, op index)` steps — when one exists.
+pub fn sc_witness(program: &Program, outcome: &Outcome) -> Option<Vec<(usize, usize)>> {
+    sc_witness_with_stats(program, outcome).0
+}
+
+/// [`sc_witness`] plus search statistics.
+pub fn sc_witness_with_stats(
+    program: &Program,
+    outcome: &Outcome,
+) -> (Option<Vec<(usize, usize)>>, SearchStats) {
+    program
+        .validate_outcome(outcome)
+        .expect("outcome shape mismatch");
+    let mut stats = SearchStats::default();
+
+    // Prune 1: value domains.
+    if !value_domains_ok(program, outcome) {
+        return (None, stats);
+    }
+
+    let mut search = Search {
+        program,
+        outcome,
+        memo: HashSet::new(),
+        trail: Vec::with_capacity(program.ops()),
+        stats: &mut stats,
+    };
+    let mut pcs = vec![0usize; program.threads.len()];
+    let mut mem = vec![0u64; program.vars()];
+    if search.dfs(&mut pcs, &mut mem) {
+        let trail = search.trail.clone();
+        (Some(trail), stats)
+    } else {
+        (None, stats)
+    }
+}
+
+fn value_domains_ok(program: &Program, outcome: &Outcome) -> bool {
+    let domains: Vec<Vec<u64>> = (0..program.vars())
+        .map(|v| program.value_domain(v))
+        .collect();
+    for (ops, obs) in program.threads.iter().zip(&outcome.loads) {
+        for (op, o) in ops.iter().zip(obs) {
+            if let (Op::Load { var }, Some(v)) = (op, o) {
+                if !domains[*var].contains(v) {
+                    return false;
+                }
+            }
+        }
+    }
+    outcome
+        .final_mem
+        .iter()
+        .enumerate()
+        .all(|(var, v)| domains[var].contains(v))
+}
+
+struct Search<'a> {
+    program: &'a Program,
+    outcome: &'a Outcome,
+    /// States whose subtree contains no witness (prune 3). Key: packed
+    /// program counters followed by the memory image.
+    memo: HashSet<Vec<u64>>,
+    trail: Vec<(usize, usize)>,
+    stats: &'a mut SearchStats,
+}
+
+impl Search<'_> {
+    fn key(&self, pcs: &[usize], mem: &[u64]) -> Vec<u64> {
+        let mut k = Vec::with_capacity(pcs.len() + mem.len());
+        k.extend(pcs.iter().map(|&p| p as u64));
+        k.extend_from_slice(mem);
+        k
+    }
+
+    fn dfs(&mut self, pcs: &mut [usize], mem: &mut [u64]) -> bool {
+        if pcs
+            .iter()
+            .zip(&self.program.threads)
+            .all(|(&pc, ops)| pc == ops.len())
+        {
+            return mem == &self.outcome.final_mem[..];
+        }
+        let key = self.key(pcs, mem);
+        if self.memo.contains(&key) {
+            self.stats.memo_hits += 1;
+            return false;
+        }
+        self.stats.expanded += 1;
+        for t in 0..pcs.len() {
+            let pc = pcs[t];
+            let Some(&op) = self.program.threads[t].get(pc) else {
+                continue;
+            };
+            match op {
+                Op::Load { var } => {
+                    // Prune 2: the load must observe the current value.
+                    if self.outcome.loads[t][pc] != Some(mem[var]) {
+                        continue;
+                    }
+                    pcs[t] = pc + 1;
+                    self.trail.push((t, pc));
+                    if self.dfs(pcs, mem) {
+                        return true;
+                    }
+                    self.trail.pop();
+                    pcs[t] = pc;
+                }
+                Op::Store { var, value } => {
+                    let old = mem[var];
+                    mem[var] = value;
+                    pcs[t] = pc + 1;
+                    self.trail.push((t, pc));
+                    if self.dfs(pcs, mem) {
+                        return true;
+                    }
+                    self.trail.pop();
+                    pcs[t] = pc;
+                    mem[var] = old;
+                }
+            }
+        }
+        self.memo.insert(key);
+        false
+    }
+}
+
+/// Renders a human-readable account of why `outcome` is forbidden (or a
+/// note that it is allowed): the value-domain verdict and the exhaustive
+/// search statistics.
+pub fn explain(program: &Program, outcome: &Outcome) -> String {
+    if !value_domains_ok(program, outcome) {
+        return format!(
+            "{}: outcome {} observes a value outside its variable's \
+             write set — no interleaving can produce it",
+            program.name, outcome
+        );
+    }
+    let (witness, stats) = sc_witness_with_stats(program, outcome);
+    match witness {
+        Some(w) => {
+            let steps: Vec<String> = w.iter().map(|(t, i)| format!("T{t}.{i}")).collect();
+            format!(
+                "{}: outcome {} is SC-allowed; witness interleaving: {}",
+                program.name,
+                outcome,
+                steps.join(" → ")
+            )
+        }
+        None => format!(
+            "{}: outcome {} is SC-FORBIDDEN — exhaustive witness search \
+             exhausted {} states ({} memo hits) without explaining the \
+             observed values under any program-order-respecting \
+             interleaving",
+            program.name, outcome, stats.expanded, stats.memo_hits
+        ),
+    }
+}
+
+/// Every SC-reachable outcome of `program`, by unpruned brute-force
+/// enumeration of all interleavings. Exponential — for oracle validation
+/// and tiny programs only.
+pub fn enumerate_outcomes(program: &Program) -> BTreeSet<Outcome> {
+    let mut out = BTreeSet::new();
+    let mut pcs = vec![0usize; program.threads.len()];
+    let mut mem = vec![0u64; program.vars()];
+    let mut obs = program.blank_outcome();
+    brute(program, &mut pcs, &mut mem, &mut obs, &mut out);
+    out
+}
+
+fn brute(
+    program: &Program,
+    pcs: &mut [usize],
+    mem: &mut [u64],
+    obs: &mut Outcome,
+    out: &mut BTreeSet<Outcome>,
+) {
+    let mut done = true;
+    for t in 0..pcs.len() {
+        let pc = pcs[t];
+        let Some(&op) = program.threads[t].get(pc) else {
+            continue;
+        };
+        done = false;
+        pcs[t] = pc + 1;
+        match op {
+            Op::Load { var } => {
+                obs.loads[t][pc] = Some(mem[var]);
+                brute(program, pcs, mem, obs, out);
+                obs.loads[t][pc] = None;
+            }
+            Op::Store { var, value } => {
+                let old = mem[var];
+                mem[var] = value;
+                brute(program, pcs, mem, obs, out);
+                mem[var] = old;
+            }
+        }
+        pcs[t] = pc;
+    }
+    if done {
+        let mut o = obs.clone();
+        o.final_mem = mem.to_vec();
+        out.insert(o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    fn outcome_of(_p: &Program, loads: &[&[Option<u64>]], mem: &[u64]) -> Outcome {
+        Outcome {
+            loads: loads.iter().map(|l| l.to_vec()).collect(),
+            final_mem: mem.to_vec(),
+        }
+    }
+
+    #[test]
+    fn sb_allows_three_and_forbids_the_fourth() {
+        let p = shapes::sb();
+        let o = |a: u64, b: u64| outcome_of(&p, &[&[None, Some(a)], &[None, Some(b)]], &[1, 1]);
+        assert!(sc_allowed(&p, &o(1, 1)));
+        assert!(sc_allowed(&p, &o(0, 1)));
+        assert!(sc_allowed(&p, &o(1, 0)));
+        assert!(
+            !sc_allowed(&p, &o(0, 0)),
+            "Dekker failure must be forbidden"
+        );
+    }
+
+    #[test]
+    fn mp_forbids_flag_without_data() {
+        let p = shapes::mp();
+        let o = |y: u64, x: u64, fx: u64, fy: u64| {
+            outcome_of(&p, &[&[None, None], &[Some(y), Some(x)]], &[fx, fy])
+        };
+        assert!(sc_allowed(&p, &o(0, 0, 1, 1)));
+        assert!(sc_allowed(&p, &o(0, 1, 1, 1)));
+        assert!(sc_allowed(&p, &o(1, 1, 1, 1)));
+        assert!(!sc_allowed(&p, &o(1, 0, 1, 1)));
+    }
+
+    #[test]
+    fn iriw_forbids_disagreeing_readers() {
+        let p = shapes::iriw();
+        let o = |r2: (u64, u64), r3: (u64, u64)| {
+            outcome_of(
+                &p,
+                &[
+                    &[None],
+                    &[None],
+                    &[Some(r2.0), Some(r2.1)],
+                    &[Some(r3.0), Some(r3.1)],
+                ],
+                &[1, 1],
+            )
+        };
+        assert!(sc_allowed(&p, &o((1, 1), (1, 1))));
+        assert!(sc_allowed(&p, &o((1, 0), (0, 1))), "x-then-y agreed order");
+        assert!(!sc_allowed(&p, &o((1, 0), (1, 0))), "readers disagree");
+    }
+
+    #[test]
+    fn corr_forbids_backwards_coherence_reads() {
+        let p = shapes::corr();
+        let o = |a: u64, b: u64, m: u64| outcome_of(&p, &[&[None], &[Some(a), Some(b)]], &[m]);
+        assert!(sc_allowed(&p, &o(0, 0, 1)));
+        assert!(sc_allowed(&p, &o(0, 1, 1)));
+        assert!(sc_allowed(&p, &o(1, 1, 1)));
+        assert!(!sc_allowed(&p, &o(1, 0, 1)));
+    }
+
+    #[test]
+    fn final_memory_is_checked() {
+        let p = shapes::coww();
+        assert!(sc_allowed(&p, &outcome_of(&p, &[&[None, None]], &[2])));
+        assert!(!sc_allowed(&p, &outcome_of(&p, &[&[None, None]], &[1])));
+    }
+
+    #[test]
+    fn value_domain_prune_fires_without_search() {
+        let p = shapes::mp();
+        let o = outcome_of(&p, &[&[None, None], &[Some(7), Some(0)]], &[1, 1]);
+        let (w, stats) = sc_witness_with_stats(&p, &o);
+        assert!(w.is_none());
+        assert_eq!(stats.expanded, 0, "domain prune must precede search");
+        assert!(explain(&p, &o).contains("outside its variable's write set"));
+    }
+
+    #[test]
+    fn witness_is_a_valid_interleaving() {
+        let p = shapes::wrc();
+        let o = outcome_of(
+            &p,
+            &[&[None], &[Some(1), None], &[Some(1), Some(1)]],
+            &[1, 1],
+        );
+        let w = sc_witness(&p, &o).expect("causal outcome is allowed");
+        assert_eq!(w.len(), p.ops());
+        // Program order per thread.
+        for t in 0..p.threads.len() {
+            let idxs: Vec<usize> = w
+                .iter()
+                .filter(|(wt, _)| *wt == t)
+                .map(|&(_, i)| i)
+                .collect();
+            let mut sorted = idxs.clone();
+            sorted.sort_unstable();
+            assert_eq!(idxs, sorted, "thread {t} out of program order");
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_with_brute_force_on_every_sb_candidate() {
+        let p = shapes::sb();
+        let reachable = enumerate_outcomes(&p);
+        // All 4 load combinations over the value domains.
+        for a in [0u64, 1] {
+            for b in [0u64, 1] {
+                let o = outcome_of(&p, &[&[None, Some(a)], &[None, Some(b)]], &[1, 1]);
+                assert_eq!(
+                    sc_allowed(&p, &o),
+                    reachable.contains(&o),
+                    "disagreement on ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoization_prunes_repeated_states() {
+        // IRIW's two single-store writer threads create many interleavings
+        // that converge on identical (pcs, mem) states; the memo table
+        // must collapse them.
+        let p = shapes::iriw();
+        let o = outcome_of(
+            &p,
+            &[&[None], &[None], &[Some(0), Some(0)], &[Some(0), Some(0)]],
+            &[1, 1],
+        );
+        let (w, stats) = sc_witness_with_stats(&p, &o);
+        assert!(w.is_some());
+        assert!(stats.expanded > 0);
+    }
+
+    #[test]
+    fn explain_names_the_verdict() {
+        let p = shapes::sb();
+        let good = outcome_of(&p, &[&[None, Some(1)], &[None, Some(1)]], &[1, 1]);
+        let bad = outcome_of(&p, &[&[None, Some(0)], &[None, Some(0)]], &[1, 1]);
+        assert!(explain(&p, &good).contains("witness interleaving"));
+        assert!(explain(&p, &bad).contains("SC-FORBIDDEN"));
+    }
+}

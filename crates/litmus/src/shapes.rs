@@ -1,0 +1,183 @@
+//! The classic litmus shapes (herd/diy naming), over variables
+//! `x = v0`, `y = v1`.
+//!
+//! Each constructor attaches the shape's textbook *forbidden* outcome —
+//! the observation pattern sequential consistency rules out but weaker
+//! models (TSO store buffering, non-multi-copy-atomic fabrics) admit.
+//! The SC oracle does not need these predicates; they label histograms
+//! and seed the mutation tests that prove the oracle can fail.
+
+use crate::ir::{Op, Predicate, Program};
+
+const X: usize = 0;
+const Y: usize = 1;
+
+fn st(var: usize, value: u64) -> Op {
+    Op::Store { var, value }
+}
+
+fn ld(var: usize) -> Op {
+    Op::Load { var }
+}
+
+/// Store buffering (Dekker): both threads store then read the other's
+/// variable. Forbidden: both loads read the initial value — the classic
+/// TSO-visible reordering a store buffer introduces.
+pub fn sb() -> Program {
+    Program::new("SB", vec![vec![st(X, 1), ld(Y)], vec![st(Y, 1), ld(X)]]).with_forbidden(
+        Predicate {
+            loads: vec![(0, 1, 0), (1, 1, 0)],
+            final_mem: vec![(X, 1), (Y, 1)],
+        },
+    )
+}
+
+/// Message passing: data then flag; the reader sees the flag but not the
+/// data. Forbidden: `r(y)=1, r(x)=0`.
+pub fn mp() -> Program {
+    Program::new("MP", vec![vec![st(X, 1), st(Y, 1)], vec![ld(Y), ld(X)]]).with_forbidden(
+        Predicate {
+            loads: vec![(1, 0, 1), (1, 1, 0)],
+            final_mem: vec![],
+        },
+    )
+}
+
+/// Load buffering: each thread loads one variable then stores the other.
+/// Forbidden: both loads observe the other thread's (program-later)
+/// store — a causality cycle.
+pub fn lb() -> Program {
+    Program::new("LB", vec![vec![ld(X), st(Y, 1)], vec![ld(Y), st(X, 1)]]).with_forbidden(
+        Predicate {
+            loads: vec![(0, 0, 1), (1, 0, 1)],
+            final_mem: vec![],
+        },
+    )
+}
+
+/// Independent reads of independent writes: two writers, two readers
+/// disagreeing on the order of the writes. Forbidden: reader 2 sees
+/// `x` before `y`, reader 3 sees `y` before `x` — the canonical
+/// multi-copy-atomicity test, and the shape most sensitive to the
+/// inter-CMP broadcast races this repo's protocols navigate.
+pub fn iriw() -> Program {
+    Program::new(
+        "IRIW",
+        vec![
+            vec![st(X, 1)],
+            vec![st(Y, 1)],
+            vec![ld(X), ld(Y)],
+            vec![ld(Y), ld(X)],
+        ],
+    )
+    .with_forbidden(Predicate {
+        loads: vec![(2, 0, 1), (2, 1, 0), (3, 0, 1), (3, 1, 0)],
+        final_mem: vec![],
+    })
+}
+
+/// Coherence read-read: two program-ordered reads of one variable must
+/// not observe its coherence order backwards. Forbidden: new value then
+/// old value.
+pub fn corr() -> Program {
+    Program::new("CoRR", vec![vec![st(X, 1)], vec![ld(X), ld(X)]]).with_forbidden(Predicate {
+        loads: vec![(1, 0, 1), (1, 1, 0)],
+        final_mem: vec![],
+    })
+}
+
+/// Coherence write-write: two program-ordered writes to one variable
+/// must settle in program order. Forbidden: the first write survives.
+pub fn coww() -> Program {
+    Program::new("CoWW", vec![vec![st(X, 1), st(X, 2)]]).with_forbidden(Predicate {
+        loads: vec![],
+        final_mem: vec![(X, 1)],
+    })
+}
+
+/// Write-to-read causality: T1 reads T0's write then writes its own;
+/// T2 sees T1's write but not T0's. Forbidden: causality chain broken
+/// (`r(x)=1` in T1, `r(y)=1, r(x)=0` in T2).
+pub fn wrc() -> Program {
+    Program::new(
+        "WRC",
+        vec![vec![st(X, 1)], vec![ld(X), st(Y, 1)], vec![ld(Y), ld(X)]],
+    )
+    .with_forbidden(Predicate {
+        loads: vec![(1, 0, 1), (2, 0, 1), (2, 1, 0)],
+        final_mem: vec![],
+    })
+}
+
+/// 2+2W: both threads write both variables in opposite orders.
+/// Forbidden: each variable keeps the *first* write of one thread —
+/// a coherence-order cycle with program order.
+pub fn two_plus_two_w() -> Program {
+    Program::new(
+        "2+2W",
+        vec![vec![st(X, 1), st(Y, 2)], vec![st(Y, 1), st(X, 2)]],
+    )
+    .with_forbidden(Predicate {
+        loads: vec![],
+        final_mem: vec![(X, 1), (Y, 1)],
+    })
+}
+
+/// All eight classic shapes, in a stable order.
+pub fn classic_shapes() -> Vec<Program> {
+    vec![
+        sb(),
+        mp(),
+        lb(),
+        iriw(),
+        corr(),
+        coww(),
+        wrc(),
+        two_plus_two_w(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    #[test]
+    fn eight_shapes_with_stable_names() {
+        let names: Vec<String> = classic_shapes().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["SB", "MP", "LB", "IRIW", "CoRR", "CoWW", "WRC", "2+2W"]
+        );
+    }
+
+    #[test]
+    fn every_forbidden_predicate_is_truly_sc_forbidden() {
+        // No SC-reachable outcome may satisfy a shape's forbidden
+        // predicate — otherwise the predicate (or the shape) is wrong.
+        for p in classic_shapes() {
+            let forbidden = p.forbidden.clone().unwrap();
+            for o in oracle::enumerate_outcomes(&p) {
+                assert!(
+                    !forbidden.matches(&o),
+                    "{}: SC admits 'forbidden' outcome {o}",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_shape_admits_at_least_two_outcomes_or_is_deterministic() {
+        for p in classic_shapes() {
+            let outcomes = oracle::enumerate_outcomes(&p);
+            assert!(!outcomes.is_empty(), "{}", p.name);
+            if p.name == "CoWW" {
+                // Single-threaded: exactly one SC outcome.
+                assert_eq!(outcomes.len(), 1);
+            } else {
+                assert!(outcomes.len() >= 2, "{} admits {}", p.name, outcomes.len());
+            }
+        }
+    }
+}

@@ -53,7 +53,9 @@ use tokencmp_system::{run_workload, Protocol, RunOptions, RunResult, Workload};
 pub mod json;
 pub mod report;
 
-pub use report::{latency_table, parse_records, points_to_json, write_json, PointRecord};
+pub use report::{
+    latency_table, parse_records, points_to_json, write_json, write_value, PointRecord,
+};
 
 /// The number of worker threads [`Sweep::run`] and [`par_map`] use: the
 /// `TOKENCMP_SWEEP_THREADS` environment variable if set to a positive

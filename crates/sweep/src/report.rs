@@ -289,11 +289,22 @@ pub fn sweep_dir() -> PathBuf {
 
 /// Writes `points` to `target/sweep/<name>.json` and returns the path.
 pub fn write_json(name: &str, points: &[PointResult]) -> std::io::Result<PathBuf> {
+    write_text(name, &points_to_json(points))
+}
+
+/// Writes any JSON value to `target/sweep/<name>.json` and returns the
+/// path — the generic exporter behind [`write_json`], for grids whose
+/// records are not [`PointResult`]s (e.g. the litmus outcome grid).
+pub fn write_value(name: &str, value: &crate::json::Value) -> std::io::Result<PathBuf> {
+    write_text(name, &value.to_string())
+}
+
+fn write_text(name: &str, text: &str) -> std::io::Result<PathBuf> {
     let dir = sweep_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path)?;
-    f.write_all(points_to_json(points).as_bytes())?;
+    f.write_all(text.as_bytes())?;
     Ok(path)
 }
 

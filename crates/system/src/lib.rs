@@ -17,4 +17,4 @@ pub mod workload;
 pub use perfect::{PerfectL2, PerfectStats};
 pub use run::{run_workload, run_workload_traced, Protocol, RunOptions, RunResult};
 pub use sequencer::{uniform_work, Sequencer};
-pub use workload::{Completed, ScriptedWorkload, Step, Workload};
+pub use workload::{Completed, ScriptedWorkload, Step, ValueStore, Workload};

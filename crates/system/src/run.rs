@@ -35,6 +35,25 @@ pub enum Protocol {
 }
 
 impl Protocol {
+    /// Every protocol configuration of the paper's evaluation, in the
+    /// paper's presentation order: the six TokenCMP variants (Table 1),
+    /// the two DirectoryCMP baselines, and the PerfectL2 lower bound.
+    ///
+    /// Cross-protocol suites (`tests/cross_protocol.rs`, the litmus
+    /// differential harness) iterate this list rather than spelling out
+    /// their own, so adding a protocol cannot silently skip a suite.
+    pub const ALL: [Protocol; 9] = [
+        Protocol::Token(Variant::Arb0),
+        Protocol::Token(Variant::Dst0),
+        Protocol::Token(Variant::Dst4),
+        Protocol::Token(Variant::Dst1),
+        Protocol::Token(Variant::Dst1Pred),
+        Protocol::Token(Variant::Dst1Filt),
+        Protocol::Directory,
+        Protocol::DirectoryZero,
+        Protocol::PerfectL2,
+    ];
+
     /// The paper's name for this protocol.
     pub fn name(&self) -> &'static str {
         match self {

@@ -52,6 +52,74 @@ pub trait Workload {
     fn next(&mut self, p: ProcId, now: Time, completed: Option<Completed>) -> Step;
 }
 
+/// A value memory for workloads that harvest observed values at commit
+/// instants (the litmus layer's value substrate).
+///
+/// The coherence protocols move *permissions*, not data values; workloads
+/// own the values. The sequencer calls [`Workload::next`] with
+/// `completed = Some(..)` exactly at each operation's commit instant, and
+/// the substrate's single-writer invariant guarantees that at a store's
+/// commit instant no other cache holds write (or read) permission, so
+/// commits of conflicting operations are totally ordered in (simulated
+/// time, kernel dispatch order). Applying stores and sampling loads
+/// against a `ValueStore` at those instants therefore yields exactly the
+/// observed values of an atomic-memory execution in global commit order —
+/// the reference the litmus SC oracle checks against (DESIGN.md §12).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueStore {
+    vals: Vec<u64>,
+    commits: u64,
+}
+
+impl ValueStore {
+    /// Creates a store of `vars` cells, all initially zero.
+    pub fn new(vars: usize) -> ValueStore {
+        ValueStore {
+            vals: vec![0; vars],
+            commits: 0,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if the store has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The current value of cell `var` (a load observation; counts as a
+    /// harvested commit).
+    pub fn load(&mut self, var: usize) -> u64 {
+        self.commits += 1;
+        self.vals[var]
+    }
+
+    /// Commits a store of `value` to cell `var`.
+    pub fn store(&mut self, var: usize, value: u64) {
+        self.commits += 1;
+        self.vals[var] = value;
+    }
+
+    /// Total value-affecting commits harvested so far (loads + stores) —
+    /// the length of the global commit order this store has witnessed.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// The current memory image.
+    pub fn snapshot(&self) -> &[u64] {
+        &self.vals
+    }
+
+    /// Consumes the store, returning the final memory image.
+    pub fn into_values(self) -> Vec<u64> {
+        self.vals
+    }
+}
+
 /// A trivial workload for tests: each processor performs a fixed list of
 /// accesses with no think time.
 #[derive(Debug, Clone)]
@@ -89,6 +157,21 @@ impl Workload for ScriptedWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_store_tracks_values_and_commit_count() {
+        let mut m = ValueStore::new(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.load(0), 0, "cells start at zero");
+        m.store(1, 42);
+        m.store(1, 7);
+        assert_eq!(m.load(1), 7, "last store wins");
+        assert_eq!(m.load(2), 0);
+        assert_eq!(m.commits(), 5, "loads and stores both count");
+        assert_eq!(m.snapshot(), &[0, 7, 0]);
+        assert_eq!(m.into_values(), vec![0, 7, 0]);
+    }
 
     #[test]
     fn scripted_workload_walks_its_script() {

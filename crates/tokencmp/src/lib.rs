@@ -46,10 +46,12 @@
 //! | [`mcheck`] | `tokencmp-mcheck` | explicit-state model checker + protocol models (§5) |
 //! | [`sweep`] | `tokencmp-sweep` | deterministic parallel sweep engine + JSON export |
 //! | [`trace`] | `tokencmp-trace` | structured event tracing, latency attribution, flight recorder |
+//! | [`litmus`] | `tokencmp-litmus` | litmus-test engine + axiomatic SC oracle (differential consistency checking) |
 
 pub use tokencmp_cache as cache;
 pub use tokencmp_core as core;
 pub use tokencmp_directory as directory;
+pub use tokencmp_litmus as litmus;
 pub use tokencmp_mcheck as mcheck;
 pub use tokencmp_net as net;
 pub use tokencmp_proto as proto;
@@ -60,6 +62,10 @@ pub use tokencmp_trace as trace;
 pub use tokencmp_workloads as workloads;
 
 pub use tokencmp_core::{ReqKind, TokenBundle, TokenMsg, Variant};
+pub use tokencmp_litmus::{
+    classic_shapes, differential_check, sc_allowed, DiffOptions, LitmusWorkload, Outcome, Pinning,
+    Program,
+};
 pub use tokencmp_net::{FaultCounters, FaultPlan, FaultSpec, Tier, Traffic};
 pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, SystemConfig};
 pub use tokencmp_sim::{Dur, RunOutcome, Time};

@@ -1,0 +1,30 @@
+//! Shared helpers for the repo-root integration suites.
+//!
+//! Include with `#[path = "common/mod.rs"] mod common;` — the suites are
+//! separate test binaries, so this module compiles into each and any
+//! helper a given suite doesn't call is dead code there (hence the
+//! allow attributes on every item).
+
+use tokencmp::{Protocol, Variant};
+
+/// Every protocol configuration of the paper's evaluation
+/// ([`Protocol::ALL`]): the six TokenCMP variants, both DirectoryCMP
+/// baselines, and the PerfectL2 lower bound.
+#[allow(dead_code)]
+pub fn all_protocols() -> [Protocol; 9] {
+    Protocol::ALL
+}
+
+/// The six TokenCMP variants only (Table 1) — the protocols with a
+/// message-loss recovery path, so the ones fault-injection suites sweep.
+#[allow(dead_code)]
+pub fn token_variants() -> [Protocol; 6] {
+    [
+        Protocol::Token(Variant::Arb0),
+        Protocol::Token(Variant::Dst0),
+        Protocol::Token(Variant::Dst4),
+        Protocol::Token(Variant::Dst1),
+        Protocol::Token(Variant::Dst1Pred),
+        Protocol::Token(Variant::Dst1Filt),
+    ]
+}

@@ -8,19 +8,9 @@ use tokencmp::{
     SystemConfig, Variant,
 };
 
-fn all_protocols() -> [Protocol; 9] {
-    [
-        Protocol::Token(Variant::Arb0),
-        Protocol::Token(Variant::Dst0),
-        Protocol::Token(Variant::Dst4),
-        Protocol::Token(Variant::Dst1),
-        Protocol::Token(Variant::Dst1Pred),
-        Protocol::Token(Variant::Dst1Filt),
-        Protocol::Directory,
-        Protocol::DirectoryZero,
-        Protocol::PerfectL2,
-    ]
-}
+#[path = "common/mod.rs"]
+mod common;
+use common::all_protocols;
 
 #[test]
 fn locking_outcomes_agree_across_protocols() {

@@ -1,0 +1,152 @@
+//! Litmus testing under interconnect fault injection: TokenCMP's §3
+//! fault-tolerance claim, sharpened from "the workload completes" to
+//! "the completed execution is still sequentially consistent".
+//!
+//! Dropped transients force timeout/retry/persistent-escalation paths;
+//! jitter and adversarial reordering perturb every race. None of it may
+//! change *what values* a litmus program can observe — only when.
+
+use tokencmp::litmus::{
+    classic_shapes, differential_check, run_litmus, shapes, DiffOptions, Pinning,
+};
+use tokencmp::{Dur, FaultPlan, Protocol, SystemConfig};
+
+#[path = "common/mod.rs"]
+mod common;
+use common::token_variants;
+
+/// The fault-injection suite's standard adversaries, mirroring
+/// `tests/fault_injection.rs`.
+fn fault_plans() -> Vec<(String, FaultPlan)> {
+    vec![
+        ("drop".into(), FaultPlan::none().dropping(0.05)),
+        (
+            "jitter".into(),
+            FaultPlan::none().jittering(0.25, Dur::from_ns(20)),
+        ),
+        (
+            "reorder".into(),
+            FaultPlan::none().reordering(0.10, Dur::from_ns(15)),
+        ),
+        (
+            "hostile".into(),
+            FaultPlan::none()
+                .dropping(0.05)
+                .jittering(0.25, Dur::from_ns(20))
+                .reordering(0.10, Dur::from_ns(15)),
+        ),
+    ]
+}
+
+#[test]
+fn classic_shapes_stay_sc_on_every_token_variant_under_faults() {
+    // 8 shapes × 6 variants × 4 plans × 3 seeds = 576 runs.
+    let cfg = SystemConfig::small_test();
+    let opts = DiffOptions::default()
+        .with_seeds(1..=3)
+        .with_plans(fault_plans());
+    for shape in classic_shapes() {
+        let report = differential_check(&cfg, &shape, &token_variants(), &opts)
+            .unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(report.runs, 6 * 4 * 3, "{}", shape.name);
+    }
+}
+
+#[test]
+fn iriw_under_hostile_faults_on_the_table3_system() {
+    // The multi-copy-atomicity shape, threads on four different chips,
+    // with the fabric dropping, delaying and reordering — the worst case
+    // for inter-CMP write propagation.
+    let cfg = SystemConfig::default();
+    let hostile = fault_plans().pop().unwrap();
+    let opts = DiffOptions::default()
+        .with_seeds(1..=4)
+        .with_plans(vec![hostile]);
+    differential_check(&cfg, &shapes::iriw(), &token_variants(), &opts)
+        .unwrap_or_else(|v| panic!("{v}"));
+}
+
+#[test]
+fn harvested_outcomes_replay_deterministically_under_faults() {
+    // Fault injection is seeded; the harvested Outcome — not just the
+    // pass/fail verdict — must be bit-identical across replays.
+    let cfg = SystemConfig::small_test();
+    for (name, plan) in fault_plans() {
+        for &protocol in &token_variants()[..2] {
+            let run = || {
+                run_litmus(
+                    &cfg,
+                    protocol,
+                    &shapes::wrc(),
+                    11,
+                    plan,
+                    Pinning::Spread,
+                    Dur::from_ns(40),
+                    false,
+                )
+            };
+            assert_eq!(run(), run(), "{protocol} under '{name}' not replayable");
+        }
+    }
+}
+
+#[test]
+fn directory_stays_sc_under_lossless_faults() {
+    // DirectoryCMP rejects lossy plans (no recovery path) but must stay
+    // SC under jitter and reordering, which it does have to tolerate.
+    let cfg = SystemConfig::small_test();
+    let lossless: Vec<(String, FaultPlan)> = fault_plans()
+        .into_iter()
+        .filter(|(_, p)| p.max_drop_rate() <= 0.0)
+        .collect();
+    assert_eq!(lossless.len(), 2, "jitter and reorder plans");
+    let opts = DiffOptions::default()
+        .with_seeds(1..=3)
+        .with_plans(lossless);
+    for shape in [shapes::mp(), shapes::corr()] {
+        let report = differential_check(
+            &cfg,
+            &shape,
+            &[Protocol::Directory, Protocol::DirectoryZero],
+            &opts,
+        )
+        .unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(report.runs, 2 * 2 * 3, "{}", shape.name);
+    }
+}
+
+#[test]
+fn dropped_messages_leave_fingerprints_without_breaking_sc() {
+    // Under a heavy drop plan the protocols must actually be *recovering*
+    // (not just lucky): check SC via the harness, then confirm the runs
+    // lost messages at all. Only transient requests are droppable, so
+    // this needs a variant that issues them (Dst4's four attempts, not
+    // Arb0/Dst0, which escalate straight to undroppable persistent
+    // requests).
+    use tokencmp::litmus::LitmusWorkload;
+    use tokencmp::{run_workload, RunOptions, RunOutcome, Variant};
+    let cfg = SystemConfig::small_test();
+    let shape = shapes::mp();
+    let plan = FaultPlan::none().dropping(0.20);
+    let mut dropped_total = 0;
+    for seed in 1..=6 {
+        let w = LitmusWorkload::new(&cfg, &shape, Pinning::Spread, seed, Dur::from_ns(40));
+        let opts = RunOptions {
+            seed,
+            ..RunOptions::default()
+        }
+        .with_faults(plan);
+        let (res, w) = run_workload(&cfg, Protocol::Token(Variant::Dst4), w, &opts);
+        assert_eq!(res.outcome, RunOutcome::Idle, "seed {seed}");
+        let outcome = w.outcome();
+        assert!(
+            tokencmp::litmus::sc_allowed(&shape, &outcome),
+            "seed {seed}: {outcome}"
+        );
+        dropped_total += res.counters.counter("net.fault.dropped");
+    }
+    assert!(
+        dropped_total > 0,
+        "a 20 % drop plan over 6 runs must drop something"
+    );
+}

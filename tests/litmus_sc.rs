@@ -1,0 +1,139 @@
+//! Litmus consistency suite: the eight classic shapes run through every
+//! protocol stack, every harvested outcome judged by the axiomatic SC
+//! oracle — plus the mutation tests proving the oracle can say no.
+//!
+//! The substrate claims sequential consistency by construction (the
+//! single-writer invariant plus in-order, one-outstanding-op sequencers;
+//! DESIGN.md §12), so the real protocols must never produce a forbidden
+//! outcome on any seed. A deliberately broken store-buffer harvesting
+//! mode then seeds the exact TSO reordering the SB shape names, and the
+//! harness must flag it on *every* protocol, with a flight-recorder tail
+//! for the suspect block in the report.
+
+use tokencmp::litmus::{
+    classic_shapes, differential_check, sc_allowed, shapes, DiffOptions, Pinning,
+};
+use tokencmp::{Dur, Protocol, SystemConfig};
+
+#[path = "common/mod.rs"]
+mod common;
+use common::all_protocols;
+
+#[test]
+fn classic_shapes_are_sc_on_every_protocol() {
+    // 8 shapes × 9 protocols × 8 seeds = 576 runs on the small system,
+    // threads spread across CMP boundaries so every race crosses the
+    // inter-chip fabric.
+    let cfg = SystemConfig::small_test();
+    let opts = DiffOptions::default(); // seeds 1..=8, Spread pinning
+    for shape in classic_shapes() {
+        let report = differential_check(&cfg, &shape, &all_protocols(), &opts)
+            .unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(report.runs, 9 * 8, "{}", shape.name);
+        assert!(report.distinct() >= 1, "{}", shape.name);
+    }
+}
+
+#[test]
+fn sb_and_iriw_are_sc_on_the_table3_system_under_both_pinnings() {
+    // The full 4×4 system: Spread puts every thread on its own chip,
+    // Packed packs them onto one chip's cores.
+    let cfg = SystemConfig::default();
+    for pinning in [Pinning::Spread, Pinning::Packed] {
+        let opts = DiffOptions::default()
+            .with_seeds(1..=3)
+            .with_pinning(pinning);
+        for shape in [shapes::sb(), shapes::iriw()] {
+            differential_check(&cfg, &shape, &all_protocols(), &opts)
+                .unwrap_or_else(|v| panic!("{pinning:?}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn store_buffer_mutation_is_flagged_on_every_protocol() {
+    // The protocols underneath run faithfully; only the value harvesting
+    // lies (per-thread store buffers that never drain). The oracle must
+    // catch it everywhere, and the report must carry the reproduction
+    // coordinates plus a flight-recorder tail for the suspect block.
+    let cfg = SystemConfig::small_test();
+    let sb = shapes::sb();
+    for protocol in all_protocols() {
+        let opts = DiffOptions::default().with_seeds(1..=4).with_broken();
+        let violation = differential_check(&cfg, &sb, &[protocol], &opts)
+            .err()
+            .unwrap_or_else(|| panic!("{protocol}: store-buffer mutation not flagged"));
+        assert_eq!(violation.protocol, protocol);
+        assert!(
+            sb.forbidden.as_ref().unwrap().matches(&violation.outcome),
+            "{protocol}: flagged outcome should be the classic Dekker failure"
+        );
+        let report = violation.to_string();
+        assert!(report.contains("SC-FORBIDDEN"), "{protocol}: {report}");
+        assert!(
+            report.contains("flight recorder tail"),
+            "{protocol}: {report}"
+        );
+        assert!(
+            report.contains(&format!("{:?}", violation.suspect_block)),
+            "{protocol}: report must name the suspect block\n{report}"
+        );
+    }
+}
+
+#[test]
+fn oracle_rejects_a_hand_corrupted_outcome() {
+    // Mutation test at the oracle level (no simulator): take a legal MP
+    // outcome and flip the data load to the forbidden flag-without-data
+    // pattern; the oracle must reject exactly the corrupted one.
+    let mp = shapes::mp();
+    let mut outcome = mp.blank_outcome();
+    outcome.loads[1] = vec![Some(1), Some(1)];
+    outcome.final_mem = vec![1, 1];
+    assert!(sc_allowed(&mp, &outcome));
+    outcome.loads[1][1] = Some(0); // saw the flag, missed the data
+    assert!(!sc_allowed(&mp, &outcome));
+    assert!(mp.forbidden.as_ref().unwrap().matches(&outcome));
+}
+
+#[test]
+fn violation_reports_are_deterministic() {
+    // Same cfg/protocol/seed ⇒ byte-identical violation report (the
+    // flight tail comes from a bit-identical replay).
+    let cfg = SystemConfig::small_test();
+    let opts = DiffOptions::default().with_seeds([2]).with_broken();
+    let report = |_: ()| {
+        differential_check(&cfg, &shapes::sb(), &[Protocol::ALL[0]], &opts)
+            .expect_err("mutation must be flagged")
+            .to_string()
+    };
+    assert_eq!(report(()), report(()));
+}
+
+#[test]
+fn stagger_diversifies_interleavings_across_seeds() {
+    // The whole point of running many seeds: the seeded start stagger
+    // must actually steer shapes into different SC outcomes. A stagger
+    // window spanning a full cross-chip miss (~hundreds of ns) lets one
+    // thread run ahead of the other, so SB on the small system across
+    // 32 seeds should show at least two outcomes.
+    let cfg = SystemConfig::small_test();
+    let opts = DiffOptions::default()
+        .with_seeds(1..=32)
+        .with_pinning(Pinning::Spread);
+    let report = differential_check(
+        &cfg,
+        &shapes::sb(),
+        &[Protocol::ALL[0]],
+        &DiffOptions {
+            stagger_max: Dur::from_ns(500),
+            ..opts
+        },
+    )
+    .unwrap_or_else(|v| panic!("{v}"));
+    assert!(
+        report.distinct() >= 2,
+        "32 staggered seeds produced a single outcome: {:?}",
+        report.histogram
+    );
+}

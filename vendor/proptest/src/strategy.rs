@@ -33,6 +33,21 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Maps generated values through `f` to a *strategy*, then draws from
+    /// it (upstream-proptest compatible) — the way to make one drawn
+    /// value parameterize the next (e.g. a thread count choosing how many
+    /// per-thread op lists to draw). Like [`Strategy::prop_map`], the
+    /// composite does not shrink: the intermediate strategy is not
+    /// retained, so candidates cannot be re-derived.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// A strategy whose values are another strategy's, passed through a
@@ -53,6 +68,27 @@ where
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy drawn from another strategy's output (see
+/// [`Strategy::prop_flat_map`]).
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
@@ -204,6 +240,17 @@ mod tests {
         assert_eq!(shrink_toward(0, 1), vec![0]);
         assert_eq!(shrink_toward(0, 10), vec![0, 5, 9]);
         assert_eq!(shrink_toward(4, 5), vec![4]);
+    }
+
+    #[test]
+    fn flat_map_parameterizes_the_inner_strategy() {
+        let mut rng = TestRng::new(99);
+        let s = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1));
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()), "{v:?}");
+            assert!(v.iter().all(|&x| x < 10), "{v:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! **Conformance grid** — trace-driven refinement checking as a CI
+//! gate: every protocol of the evaluation, replayed against the
+//! verified mcheck substrate models across litmus shapes, the lock and
+//! barrier micro-benchmarks, and an eviction-heavy script, under both
+//! clean and lossy interconnects.
+//!
+//! The grid must contain *zero* refinement violations, and the token
+//! substrate must keep its model-transition coverage at or above 90% —
+//! this target exits non-zero otherwise. The full report (per-protocol
+//! coverage with every uncovered transition listed by name) lands in
+//! `target/sweep/conformance.json`.
+
+use tokencmp::conform::{conformance_grid, conformance_report, export_conformance};
+use tokencmp::sweep::json::Value;
+use tokencmp_bench::{banner, seeds};
+
+/// Token-substrate coverage floor enforced by this gate.
+const TOKEN_COVERAGE_FLOOR: f64 = 90.0;
+
+fn pct(report: &Value, section: &str, key: &str) -> f64 {
+    report
+        .get(section)
+        .and_then(|s| s.get(key))
+        .and_then(|p| p.get("coverage_pct"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+fn uncovered(report: &Value, section: &str, key: &str) -> String {
+    match report
+        .get(section)
+        .and_then(|s| s.get(key))
+        .and_then(|p| p.get("uncovered"))
+    {
+        Some(Value::Arr(kinds)) if !kinds.is_empty() => kinds
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => "-".into(),
+    }
+}
+
+fn main() {
+    banner(
+        "Conformance grid: workload x protocol x seed x plan",
+        "DESIGN.md \u{a7}13 (refinement checking)",
+    );
+    let seeds = seeds();
+    let points = conformance_grid(&seeds);
+    let report = conformance_report(&points);
+
+    println!(
+        "\nmodel-transition coverage ({} runs, seeds {seeds:?}):\n",
+        points.len()
+    );
+    println!(
+        "{:<22} {:>10} {:>8} uncovered",
+        "protocol", "coverage", "runs"
+    );
+    if let Some(Value::Obj(protocols)) = report.get("protocols") {
+        for name in protocols.keys() {
+            let runs = report
+                .get("protocols")
+                .and_then(|s| s.get(name))
+                .and_then(|p| p.get("runs"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            println!(
+                "{name:<22} {:>9.1}% {runs:>8} {}",
+                pct(&report, "protocols", name),
+                uncovered(&report, "protocols", name)
+            );
+        }
+    }
+    println!();
+    for substrate in ["token", "directory", "perfect"] {
+        println!(
+            "substrate {substrate:<10} {:>9.1}%  uncovered: {}",
+            pct(&report, "substrates", substrate),
+            uncovered(&report, "substrates", substrate)
+        );
+    }
+
+    match export_conformance(&points) {
+        Ok(path) => println!("\nwrote {} records to {}", points.len(), path.display()),
+        Err(e) => println!("\nJSON export failed: {e}"),
+    }
+
+    let violation_count = report
+        .get("violation_count")
+        .and_then(Value::as_u64)
+        .unwrap_or(u64::MAX);
+    if violation_count > 0 {
+        for pt in points.iter().filter(|p| p.violation.is_some()) {
+            eprintln!(
+                "REFINEMENT VIOLATION: {}\n{}\n",
+                pt.coordinates(),
+                pt.violation.as_deref().unwrap_or("")
+            );
+        }
+        eprintln!("{violation_count} refinement violations in the grid");
+        std::process::exit(1);
+    }
+    let token_pct = pct(&report, "substrates", "token");
+    if token_pct < TOKEN_COVERAGE_FLOOR {
+        eprintln!(
+            "token substrate coverage {token_pct:.1}% below the {TOKEN_COVERAGE_FLOOR:.0}% floor \
+             (uncovered: {})",
+            uncovered(&report, "substrates", "token")
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "all {} runs refine their substrate model; token coverage {token_pct:.1}%",
+        points.len()
+    );
+}

@@ -424,6 +424,49 @@ mod tests {
     }
 
     #[test]
+    fn merged_counters_single_point_group_is_that_run() {
+        let cfg = SystemConfig::small_test();
+        let mut grid = BenchGrid::new();
+        let g = grid.push_single(&cfg, Protocol::Token(Variant::Dst1), 5, |_| {
+            ScriptedWorkload::new(script())
+        });
+        let results = grid.run();
+        let folded = results.merged_counters(g);
+        let raw = &results.points().last().unwrap().result.counters;
+        assert_eq!(
+            folded.counters().collect::<Vec<_>>(),
+            raw.counters().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merged_counters_across_protocols_union_disjoint_keys() {
+        // Token and directory runs produce (partly) disjoint counter
+        // families; folding their merged registries must union the keys
+        // without cross-talk.
+        let cfg = SystemConfig::small_test();
+        let mut grid = BenchGrid::new();
+        let t = grid.push_single(&cfg, Protocol::Token(Variant::Dst1), 1, |_| {
+            ScriptedWorkload::new(script())
+        });
+        let d = grid.push_single(&cfg, Protocol::Directory, 1, |_| {
+            ScriptedWorkload::new(script())
+        });
+        let results = grid.run();
+        let token = results.merged_counters(t);
+        let dir = results.merged_counters(d);
+        let mut union = token.clone();
+        union.merge(&dir);
+        for (k, v) in token.counters() {
+            assert_eq!(union.counter(k), v + dir.counter(k), "key {k}");
+        }
+        for (k, v) in dir.counters() {
+            assert_eq!(union.counter(k), v + token.counter(k), "key {k}");
+        }
+        assert!(union.counters().count() >= token.counters().count().max(dir.counters().count()));
+    }
+
+    #[test]
     fn grid_matches_sequential_measure_runtime() {
         // The engine must reproduce the old sequential harness exactly.
         let cfg = SystemConfig::small_test();

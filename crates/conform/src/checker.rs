@@ -1,0 +1,643 @@
+//! The online refinement checker: a [`TraceSink`] that replays the
+//! timing simulator's event stream against the verified substrate
+//! rules, step by step, as the run produces it.
+//!
+//! The checker maintains the *abstraction* of the concrete system state
+//! that the mcheck models reason about — per-block token holdings, the
+//! in-flight bundle multiset, persistent-table activation counts, the
+//! directory holder map, and each processor's outstanding operation —
+//! and checks every observed protocol action against the corresponding
+//! model transition guard (see DESIGN.md §13 for the refinement mapping
+//! and its soundness argument). The first inadmissible step poisons the
+//! checker: the violation report freezes with the flight-recorder tail
+//! at the offending instant, and later events are ignored so the report
+//! is deterministic and minimal.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+use tokencmp_proto::{AccessKind, Block, Layout, ProcId, SystemConfig, Unit};
+use tokencmp_sim::{NodeId, Time};
+use tokencmp_system::Protocol;
+use tokencmp_trace::{TraceEvent, TraceSink};
+
+use crate::coverage::Family;
+
+/// How many trailing events a violation report retains.
+const TAIL: usize = 48;
+
+/// A deliberately-introduced checker blind spot for mutation testing:
+/// each mode suppresses or duplicates exactly one event, simulating a
+/// protocol bug the checker must flag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mutation {
+    /// Faithful replay (the normal mode).
+    #[default]
+    None,
+    /// Process the first [`TraceEvent::SeqCommit`] twice, simulating a
+    /// sequencer that commits an operation it never issued. Every
+    /// protocol traces sequencer events, so this must be flagged on all
+    /// nine protocol configurations.
+    ForgeCommit,
+    /// Skip the first [`TraceEvent::TokensDelivered`], simulating a
+    /// token bundle the interconnect lost. Conservation can no longer
+    /// balance: the checker must flag the undelivered bundle at
+    /// quiescence (token protocols only — directory protocols move no
+    /// tokens).
+    DropDelivery,
+}
+
+/// Per-node token holding for one block.
+type Holding = (u32, bool);
+
+/// The trace-driven refinement checker. Install it as a run's trace
+/// sink (`Rc<RefCell<ConformChecker>>` coerces to
+/// [`tokencmp_trace::TraceHandle`]), then read [`verdict`] — or let the
+/// runner query it through [`TraceSink::conformance`] when
+/// [`tokencmp_system::RunOptions::with_conformance`] is set.
+///
+/// [`verdict`]: ConformChecker::verdict
+pub struct ConformChecker {
+    layout: Layout,
+    cfg: SystemConfig,
+    family: Family,
+    tokens_per_block: u32,
+
+    // ---- token-substrate abstraction -------------------------------
+    /// Per-(block, node) token holdings. Blocks are tracked lazily:
+    /// first touch seeds the block's home memory controller with all
+    /// `T` tokens plus the owner token (the substrate's initial state).
+    holdings: BTreeMap<(Block, NodeId), Holding>,
+    touched: BTreeSet<Block>,
+    /// Multiset of in-flight token bundles, keyed by destination.
+    inflight: BTreeMap<(Block, NodeId, u32, bool), u32>,
+    /// Persistent-table activation counts per (block, proc), summed
+    /// over the issuer and every applied remote table entry. Positive
+    /// means some table still holds the request — used only to label
+    /// token moves as model `forward` steps for coverage.
+    table_active: BTreeMap<(Block, ProcId), u32>,
+
+    // ---- directory abstraction -------------------------------------
+    /// Per-block L1 holder map (`'S'`/`'E'`/`'M'`).
+    holders: BTreeMap<Block, BTreeMap<NodeId, char>>,
+
+    // ---- sequencer abstraction --------------------------------------
+    /// Each processor's outstanding (issued, uncommitted) operation.
+    outstanding: BTreeMap<ProcId, (Block, AccessKind)>,
+
+    // ---- accounting --------------------------------------------------
+    covered: BTreeSet<&'static str>,
+    mutation: Mutation,
+    mutation_fired: bool,
+    /// Events processed (a mutation-skipped event still counts).
+    pub events_seen: u64,
+    seq: u64,
+    ring: VecDeque<(u64, Time, TraceEvent)>,
+    violation: Option<String>,
+}
+
+impl ConformChecker {
+    /// Creates a checker for runs of `protocol` on `cfg`.
+    pub fn new(cfg: &SystemConfig, protocol: Protocol) -> ConformChecker {
+        ConformChecker {
+            layout: cfg.layout(),
+            cfg: cfg.clone(),
+            family: Family::of(protocol),
+            tokens_per_block: cfg.tokens_per_block,
+            holdings: BTreeMap::new(),
+            touched: BTreeSet::new(),
+            inflight: BTreeMap::new(),
+            table_active: BTreeMap::new(),
+            holders: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            covered: BTreeSet::new(),
+            mutation: Mutation::None,
+            mutation_fired: false,
+            events_seen: 0,
+            seq: 0,
+            ring: VecDeque::with_capacity(TAIL),
+            violation: None,
+        }
+    }
+
+    /// Returns this checker with a mutation installed (see [`Mutation`]).
+    pub fn with_mutation(mut self, mutation: Mutation) -> ConformChecker {
+        self.mutation = mutation;
+        self
+    }
+
+    /// Model-transition kinds this run exercised (label heads of the
+    /// matched model transitions).
+    pub fn covered(&self) -> &BTreeSet<&'static str> {
+        &self.covered
+    }
+
+    /// The substrate family this checker abstracts to.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The checker's verdict: `Ok` if every observed step mapped to an
+    /// admissible model transition *and* the end-of-run state is
+    /// quiescent (no undelivered bundles, no uncommitted operations,
+    /// token conservation with a unique owner per touched block).
+    /// Meaningful after a clean ([`Idle`]) run.
+    ///
+    /// [`Idle`]: tokencmp_sim::kernel::RunOutcome::Idle
+    pub fn verdict(&self) -> Result<(), String> {
+        if let Some(v) = &self.violation {
+            return Err(v.clone());
+        }
+        if let Some(((block, node, count, owner), n)) = self.inflight.iter().next() {
+            return Err(self.final_report(format!(
+                "{n} undelivered in-flight bundle(s) at quiescence; first: \
+                 {count} token(s){} of {block:?} bound for n{}",
+                if *owner { "+owner" } else { "" },
+                node.0
+            )));
+        }
+        if let Some((p, (block, kind))) = self.outstanding.iter().next() {
+            return Err(self.final_report(format!(
+                "p{} still has an uncommitted {kind:?} on {block:?} at quiescence",
+                p.0
+            )));
+        }
+        for &block in &self.touched {
+            let mut tokens = 0u32;
+            let mut owners = 0u32;
+            for ((b, _), &(t, o)) in self.holdings.range((block, NodeId(0))..) {
+                if *b != block {
+                    break;
+                }
+                tokens += t;
+                owners += o as u32;
+            }
+            if tokens != self.tokens_per_block || owners != 1 {
+                return Err(self.final_report(format!(
+                    "token conservation violated for {block:?} at quiescence: \
+                     {tokens}/{} tokens, {owners} owner token(s)",
+                    self.tokens_per_block
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    fn tail(&self) -> String {
+        let mut s = format!(
+            "flight tail: last {} of {} trace events (most recent last)\n",
+            self.ring.len(),
+            self.seq
+        );
+        for (seq, at, ev) in &self.ring {
+            let _ = writeln!(s, "  #{seq:<6} @{at:>12} {ev}");
+        }
+        s
+    }
+
+    fn final_report(&self, msg: String) -> String {
+        format!("at quiescence: {msg}\n{}", self.tail())
+    }
+
+    fn fail(&mut self, at: Time, ev: &TraceEvent, msg: String) {
+        if self.violation.is_none() {
+            self.violation = Some(format!(
+                "step #{} @{at}: {ev}\n  {msg}\n{}",
+                self.seq,
+                self.tail()
+            ));
+        }
+    }
+
+    fn is_mem(&self, node: NodeId) -> bool {
+        matches!(self.layout.unit(node), Unit::Mem(_))
+    }
+
+    /// Lazy block init: the home memory controller starts with all `T`
+    /// tokens and the owner token.
+    fn touch(&mut self, block: Block) {
+        if self.touched.insert(block) {
+            let home = self.layout.mem(self.cfg.home_of(block));
+            self.holdings
+                .insert((block, home), (self.tokens_per_block, true));
+        }
+    }
+
+    fn holding(&self, block: Block, node: NodeId) -> Holding {
+        self.holdings
+            .get(&(block, node))
+            .copied()
+            .unwrap_or((0, false))
+    }
+
+    /// Labels a token move with the model transition it refines, for
+    /// coverage accounting. Approximate by design (see DESIGN.md §13):
+    /// a mislabel here can skew the coverage report, never the
+    /// violation verdict.
+    fn move_kind(&self, block: Block, from: NodeId, to: NodeId, sent_all: bool) -> &'static str {
+        let forwarded = self
+            .table_active
+            .range((block, ProcId(0))..=(block, ProcId(u8::MAX)))
+            .any(|(&(_, p), &n)| n > 0 && (self.layout.l1d(p) == to || self.layout.l1i(p) == to));
+        if forwarded {
+            "forward"
+        } else if self.is_mem(from) {
+            "mem-grant"
+        } else if self.is_mem(to) {
+            "writeback"
+        } else if sent_all {
+            "send-all"
+        } else {
+            "send-1"
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors TokensMoved's fields
+    fn on_tokens_moved(
+        &mut self,
+        at: Time,
+        ev: &TraceEvent,
+        block: Block,
+        from: NodeId,
+        to: NodeId,
+        count: u32,
+        owner: bool,
+    ) {
+        self.touch(block);
+        let (held, held_owner) = self.holding(block, from);
+        if count > held {
+            return self.fail(
+                at,
+                ev,
+                format!("n{} sends {count} token(s) but holds only {held}", from.0),
+            );
+        }
+        if owner && !held_owner {
+            return self.fail(
+                at,
+                ev,
+                format!("n{} sends the owner token without holding it", from.0),
+            );
+        }
+        let kind = self.move_kind(block, from, to, count == held);
+        self.covered.insert(kind);
+        self.holdings
+            .insert((block, from), (held - count, held_owner && !owner));
+        *self.inflight.entry((block, to, count, owner)).or_insert(0) += 1;
+    }
+
+    fn on_tokens_delivered(
+        &mut self,
+        at: Time,
+        ev: &TraceEvent,
+        block: Block,
+        node: NodeId,
+        count: u32,
+        owner: bool,
+    ) {
+        self.touch(block);
+        match self.inflight.get_mut(&(block, node, count, owner)) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    self.inflight.remove(&(block, node, count, owner));
+                }
+            }
+            _ => {
+                return self.fail(
+                    at,
+                    ev,
+                    format!(
+                        "n{} folds {count} token(s){} with no matching in-flight bundle",
+                        node.0,
+                        if owner { "+owner" } else { "" }
+                    ),
+                );
+            }
+        }
+        let (held, held_owner) = self.holding(block, node);
+        let total = held + count;
+        if total > self.tokens_per_block || (owner && held_owner) {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "token inflation at n{}: {total}/{} tokens, owner twice: {}",
+                    node.0,
+                    self.tokens_per_block,
+                    owner && held_owner
+                ),
+            );
+        }
+        self.holdings
+            .insert((block, node), (total, held_owner || owner));
+        self.covered.insert("deliver-tokens");
+    }
+
+    fn on_access_done(
+        &mut self,
+        at: Time,
+        ev: &TraceEvent,
+        node: NodeId,
+        proc: ProcId,
+        block: Block,
+        kind: AccessKind,
+    ) {
+        match self.outstanding.get(&proc) {
+            Some(&(b, k)) if b == block && k == kind => {}
+            other => {
+                return self.fail(
+                    at,
+                    ev,
+                    format!(
+                        "access completes at n{} but p{} has {} outstanding",
+                        node.0,
+                        proc.0,
+                        match other {
+                            Some((b, k)) => format!("{k:?} {b:?}"),
+                            None => "nothing".into(),
+                        }
+                    ),
+                );
+            }
+        }
+        match self.family {
+            Family::Token => {
+                self.touch(block);
+                let (held, owner) = self.holding(block, node);
+                if kind.needs_write() {
+                    if held != self.tokens_per_block || !owner {
+                        return self.fail(
+                            at,
+                            ev,
+                            format!(
+                                "write guard fails at n{}: {held}/{} tokens, owner {owner}",
+                                node.0, self.tokens_per_block
+                            ),
+                        );
+                    }
+                    self.covered.insert("write");
+                } else if held == 0 {
+                    self.fail(
+                        at,
+                        ev,
+                        format!("read guard fails at n{}: zero tokens held", node.0),
+                    );
+                }
+            }
+            Family::Directory => {
+                let state = self.holders.get(&block).and_then(|h| h.get(&node)).copied();
+                if kind.needs_write() {
+                    match state {
+                        Some('M') => {}
+                        Some('E') => {
+                            self.covered.insert("silent-store");
+                            self.holders.get_mut(&block).unwrap().insert(node, 'M');
+                        }
+                        s => {
+                            self.fail(
+                                at,
+                                ev,
+                                format!(
+                                    "write at n{} without an exclusive copy (state {s:?})",
+                                    node.0
+                                ),
+                            );
+                        }
+                    }
+                } else if state.is_none() {
+                    self.fail(
+                        at,
+                        ev,
+                        format!("read at n{} without a resident copy", node.0),
+                    );
+                }
+            }
+            Family::Perfect => {}
+        }
+    }
+
+    fn on_cache_fill(
+        &mut self,
+        at: Time,
+        ev: &TraceEvent,
+        node: NodeId,
+        block: Block,
+        state: &str,
+    ) {
+        if self.family != Family::Directory {
+            return; // token fills are bookkept through token moves
+        }
+        let new = match state {
+            "S" => 'S',
+            "E" => 'E',
+            "M" => 'M',
+            _ => return,
+        };
+        let holders = self.holders.entry(block).or_default();
+        let downgrade = new == 'S' && matches!(holders.get(&node), Some('E') | Some('M'));
+        for (&other, &s) in holders.iter() {
+            if other == node {
+                continue;
+            }
+            let conflict = match new {
+                'S' => s != 'S',
+                _ => true,
+            };
+            if conflict {
+                return self.fail(
+                    at,
+                    ev,
+                    format!(
+                        "fill {new} at n{} conflicts with n{} holding {s}",
+                        node.0, other.0
+                    ),
+                );
+            }
+        }
+        holders.insert(node, new);
+        if downgrade {
+            self.covered.insert("fwd");
+        }
+    }
+
+    fn on_cache_evict(&mut self, node: NodeId, block: Block, state: &str) {
+        if self.family != Family::Directory {
+            return;
+        }
+        if let Some(h) = self.holders.get_mut(&block) {
+            h.remove(&node);
+        }
+        self.covered.insert(match state {
+            "S" => "evict-s",
+            "E" | "M" => "evict-wb",
+            "inv" => "inv",
+            "fwd" => "fwd",
+            _ => return,
+        });
+    }
+
+    fn on_table_count(&mut self, block: Block, proc: ProcId, activate: bool) {
+        let n = self.table_active.entry((block, proc)).or_insert(0);
+        if activate {
+            *n += 1;
+        } else {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    fn step(&mut self, at: Time, ev: TraceEvent) {
+        match ev {
+            TraceEvent::SeqIssue { proc, block, kind } => {
+                if let Some(&(b, k)) = self.outstanding.get(&proc) {
+                    return self.fail(
+                        at,
+                        &ev,
+                        format!("p{} issues while {k:?} {b:?} is outstanding", proc.0),
+                    );
+                }
+                self.outstanding.insert(proc, (block, kind));
+            }
+            TraceEvent::SeqCommit { proc, block, kind } => match self.outstanding.get(&proc) {
+                Some(&(b, k)) if b == block && k == kind => {
+                    self.outstanding.remove(&proc);
+                }
+                other => {
+                    let have = match other {
+                        Some((b, k)) => format!("{k:?} {b:?}"),
+                        None => "nothing".into(),
+                    };
+                    self.fail(
+                        at,
+                        &ev,
+                        format!(
+                            "p{} commits {kind:?} {block:?} but has {have} outstanding",
+                            proc.0
+                        ),
+                    );
+                }
+            },
+            TraceEvent::TokensMoved {
+                block,
+                from,
+                to,
+                count,
+                owner,
+            } => {
+                if self.family == Family::Token && (count > 0 || owner) {
+                    self.on_tokens_moved(at, &ev, block, from, to, count, owner);
+                }
+            }
+            TraceEvent::TokensDelivered {
+                block,
+                node,
+                count,
+                owner,
+            } => {
+                if self.family == Family::Token && (count > 0 || owner) {
+                    self.on_tokens_delivered(at, &ev, block, node, count, owner);
+                }
+            }
+            TraceEvent::AccessDone {
+                node,
+                proc,
+                block,
+                kind,
+            } => self.on_access_done(at, &ev, node, proc, block, kind),
+            TraceEvent::PersistentActivate { block, proc } => {
+                self.covered.insert("issue");
+                self.on_table_count(block, proc, true);
+            }
+            TraceEvent::PersistentDeactivate { block, proc } => {
+                self.covered.insert("complete");
+                self.on_table_count(block, proc, false);
+            }
+            TraceEvent::TableApply {
+                block,
+                proc,
+                activate,
+                arb,
+                ..
+            } => {
+                self.covered.insert(match (arb, activate) {
+                    (false, true) => "deliver-activate",
+                    (false, false) => "deliver-deactivate",
+                    (true, true) => "deliver-arb-activate",
+                    (true, false) => "deliver-arb-deactivate",
+                });
+                self.on_table_count(block, proc, activate);
+            }
+            TraceEvent::ArbRequest { .. } => {
+                self.covered.insert("arb-request");
+            }
+            TraceEvent::ArbDone { .. } => {
+                self.covered.insert("arb-done");
+            }
+            TraceEvent::CacheFill { node, block, state } => {
+                self.on_cache_fill(at, &ev, node, block, state)
+            }
+            TraceEvent::CacheEvict { node, block, state } => {
+                self.on_cache_evict(node, block, state)
+            }
+            TraceEvent::MissCommit { .. } => {
+                if self.family == Family::Directory {
+                    self.covered.insert("req");
+                }
+            }
+            TraceEvent::MsgSend { .. } | TraceEvent::Fault { .. } => {}
+        }
+    }
+}
+
+impl TraceSink for ConformChecker {
+    fn record(&mut self, at: Time, ev: TraceEvent) {
+        if self.violation.is_some() {
+            return; // poisoned: freeze the report at the first violation
+        }
+        self.events_seen += 1;
+        self.seq += 1;
+        if self.ring.len() == TAIL {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((self.seq, at, ev));
+        let forge = match (self.mutation, &ev) {
+            (Mutation::DropDelivery, TraceEvent::TokensDelivered { .. })
+                if !self.mutation_fired =>
+            {
+                self.mutation_fired = true;
+                return; // pretend the bundle was lost
+            }
+            (Mutation::ForgeCommit, TraceEvent::SeqCommit { .. }) if !self.mutation_fired => {
+                self.mutation_fired = true;
+                true
+            }
+            _ => false,
+        };
+        self.step(at, ev);
+        if forge && self.violation.is_none() {
+            self.step(at, ev); // replay the commit: the second must be inadmissible
+        }
+    }
+
+    fn flight_dump(&self) -> Option<String> {
+        Some(self.tail())
+    }
+
+    fn conformance(&self) -> Option<Result<(), String>> {
+        Some(self.verdict())
+    }
+}
+
+impl std::fmt::Debug for ConformChecker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConformChecker")
+            .field("family", &self.family)
+            .field("events_seen", &self.events_seen)
+            .field("blocks", &self.touched.len())
+            .field("covered", &self.covered.len())
+            .field("violated", &self.violation.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,369 @@
+//! The conformance sweep: workloads × protocols × seeds × fault plans,
+//! each run replayed through the [`ConformChecker`], aggregated into
+//! the `target/sweep/conformance.json` report with per-protocol and
+//! per-substrate model-transition coverage.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use tokencmp_litmus::{classic_shapes, LitmusWorkload, Pinning, Program};
+use tokencmp_net::FaultPlan;
+use tokencmp_proto::{AccessKind, Block, SystemConfig};
+use tokencmp_sim::kernel::RunOutcome;
+use tokencmp_sim::Dur;
+use tokencmp_sweep::json::Value;
+use tokencmp_sweep::{par_map, write_value};
+use tokencmp_system::{run_workload_traced, Protocol, RunOptions, ScriptedWorkload};
+use tokencmp_trace::TraceHandle;
+use tokencmp_workloads::{BarrierWorkload, LockingWorkload};
+
+use crate::checker::{ConformChecker, Mutation};
+use crate::coverage::{family_universe, universe, Family};
+
+/// A workload cell of the conformance sweep.
+#[derive(Clone, Debug)]
+pub enum ConformWork {
+    /// One litmus shape, threads spread across chips.
+    Litmus(Program),
+    /// The lock-handoff micro-benchmark (contention → persistent paths).
+    Locking,
+    /// The sense-reversing barrier micro-benchmark.
+    Barrier,
+    /// A capacity-thrashing scripted workload on a deliberately tiny
+    /// cache configuration, forcing L1→L2 spills and L2→memory
+    /// writebacks (the model's `writeback` transition never fires
+    /// without it).
+    Eviction,
+}
+
+impl ConformWork {
+    /// The sweep's standard workload set.
+    pub fn all() -> Vec<ConformWork> {
+        let mut works: Vec<ConformWork> = classic_shapes()
+            .into_iter()
+            .map(ConformWork::Litmus)
+            .collect();
+        works.push(ConformWork::Locking);
+        works.push(ConformWork::Barrier);
+        works.push(ConformWork::Eviction);
+        works
+    }
+
+    /// Stable cell label (`"litmus:SB"`, `"locking"`, …).
+    pub fn name(&self) -> String {
+        match self {
+            ConformWork::Litmus(p) => format!("litmus:{}", p.name),
+            ConformWork::Locking => "locking".into(),
+            ConformWork::Barrier => "barrier".into(),
+            ConformWork::Eviction => "eviction".into(),
+        }
+    }
+
+    /// The system configuration this cell runs on.
+    pub fn config(&self) -> SystemConfig {
+        match self {
+            ConformWork::Eviction => SystemConfig {
+                cmps: 2,
+                procs_per_cmp: 1,
+                banks_per_cmp: 1,
+                l1_sets: 2,
+                l1_ways: 1,
+                // Bigger than the L1 (so L1 capacity evictions fire
+                // before inclusive-L2 recalls kill the lines) yet small
+                // enough that the private sweep still spills from L2
+                // down to memory.
+                l2_sets: 8,
+                l2_ways: 1,
+                tokens_per_block: 8,
+                ..SystemConfig::default()
+            },
+            _ => SystemConfig::small_test(),
+        }
+    }
+}
+
+/// One finished cell of the conformance sweep.
+#[derive(Clone, Debug)]
+pub struct ConformPoint {
+    /// Workload label ([`ConformWork::name`]).
+    pub workload: String,
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Run seed.
+    pub seed: u64,
+    /// Fault-plan label (`"clean"` / `"lossy"`).
+    pub plan: &'static str,
+    /// Trace events the checker replayed.
+    pub events: u64,
+    /// Model-transition kinds the run exercised.
+    pub covered: BTreeSet<String>,
+    /// The checker's rendered violation report, if any.
+    pub violation: Option<String>,
+}
+
+impl ConformPoint {
+    /// The cell's reproduction coordinates, as prefixed to violation
+    /// reports and listed in the JSON export.
+    pub fn coordinates(&self) -> String {
+        format!(
+            "workload {} protocol {} seed {} plan {}",
+            self.workload, self.protocol, self.seed, self.plan
+        )
+    }
+}
+
+/// The sweep's lossy adversary: drops transient requests and perturbs
+/// everything else, forcing timeout/retry/persistent-escalation paths
+/// the clean runs never take (token protocols only — DirectoryCMP
+/// rejects lossy plans by design).
+pub fn lossy_plan() -> FaultPlan {
+    FaultPlan::none()
+        .dropping(0.05)
+        .jittering(0.25, Dur::from_ns(20))
+        .reordering(0.10, Dur::from_ns(15))
+}
+
+/// Runs one conformance cell: builds the system, installs a
+/// [`ConformChecker`] as the trace sink, drives the workload to
+/// quiescence and returns the checker's verdict and coverage.
+///
+/// # Panics
+///
+/// Panics if the run does not end cleanly ([`RunOutcome::Idle`]) — the
+/// sweep checks refinement of *completed* executions; a hung run is a
+/// different bug with its own watchdog report.
+pub fn run_conform(
+    work: &ConformWork,
+    protocol: Protocol,
+    seed: u64,
+    lossy: bool,
+    mutation: Mutation,
+) -> ConformPoint {
+    let cfg = work.config();
+    let procs = cfg.layout().procs();
+    let checker = Rc::new(RefCell::new(
+        ConformChecker::new(&cfg, protocol).with_mutation(mutation),
+    ));
+    let handle: TraceHandle = checker.clone();
+    let opts = RunOptions {
+        seed,
+        faults: if lossy {
+            lossy_plan()
+        } else {
+            FaultPlan::none()
+        },
+        ..RunOptions::default()
+    };
+    let outcome = match work {
+        ConformWork::Litmus(p) => {
+            let wl = LitmusWorkload::new(&cfg, p, Pinning::Spread, seed, Dur::from_ns(50));
+            run_workload_traced(&cfg, protocol, wl, &opts, Some(handle))
+                .0
+                .outcome
+        }
+        ConformWork::Locking => {
+            let wl = LockingWorkload::new(procs, 2, 4, seed);
+            run_workload_traced(&cfg, protocol, wl, &opts, Some(handle))
+                .0
+                .outcome
+        }
+        ConformWork::Barrier => {
+            let wl = BarrierWorkload::new(procs, 2, Dur::from_ns(200), Dur::from_ns(100), seed);
+            run_workload_traced(&cfg, protocol, wl, &opts, Some(handle))
+                .0
+                .outcome
+        }
+        ConformWork::Eviction => {
+            // Three phases against the tiny caches: a private sweep
+            // (capacity-evicts dirty lines, spilling tokens down to the
+            // home memory), a shared read sweep (builds shared copies,
+            // then capacity-evicts them), and a shared write burst
+            // (invalidates the peers' copies and migrates ownership
+            // chip-to-chip).
+            let scripts: Vec<Vec<(AccessKind, Block)>> = (0..procs as u64)
+                .map(|p| {
+                    let mut s: Vec<(AccessKind, Block)> = Vec::new();
+                    for b in 0..16 {
+                        let private = Block(0x100 + p * 0x40 + b);
+                        s.push((AccessKind::Store, private));
+                        s.push((AccessKind::Load, private));
+                    }
+                    for b in 0..16 {
+                        s.push((AccessKind::Load, Block(b)));
+                    }
+                    for b in 0..4 {
+                        s.push((AccessKind::Store, Block(b)));
+                    }
+                    s
+                })
+                .collect();
+            let wl = ScriptedWorkload::new(scripts);
+            run_workload_traced(&cfg, protocol, wl, &opts, Some(handle))
+                .0
+                .outcome
+        }
+    };
+    assert_eq!(
+        outcome,
+        RunOutcome::Idle,
+        "{}: conformance cell did not reach quiescence",
+        protocol.name()
+    );
+    let c = checker.borrow();
+    ConformPoint {
+        workload: work.name(),
+        protocol: protocol.name(),
+        seed,
+        plan: if lossy { "lossy" } else { "clean" },
+        events: c.events_seen,
+        covered: c.covered().iter().map(|s| s.to_string()).collect(),
+        violation: c.verdict().err(),
+    }
+}
+
+/// The full sweep: every workload × every protocol × every seed, clean
+/// plans everywhere plus the lossy adversary on the token protocols.
+/// Runs through the deterministic sweep engine (`par_map`): results are
+/// in input order regardless of `TOKENCMP_SWEEP_THREADS`.
+pub fn conformance_grid(seeds: &[u64]) -> Vec<ConformPoint> {
+    let works = ConformWork::all();
+    let mut cells: Vec<(ConformWork, Protocol, u64, bool)> = Vec::new();
+    for protocol in Protocol::ALL {
+        let plans: &[bool] = if matches!(protocol, Protocol::Token(_)) {
+            &[false, true]
+        } else {
+            &[false]
+        };
+        for &seed in seeds {
+            for &lossy in plans {
+                for w in &works {
+                    cells.push((w.clone(), protocol, seed, lossy));
+                }
+            }
+        }
+    }
+    par_map(cells, |(w, p, seed, lossy)| {
+        run_conform(&w, p, seed, lossy, Mutation::None)
+    })
+}
+
+fn pct(covered: usize, universe: usize) -> f64 {
+    if universe == 0 {
+        100.0
+    } else {
+        (covered as f64 * 1000.0 / universe as f64).round() / 10.0
+    }
+}
+
+fn coverage_obj(
+    covered: &BTreeSet<String>,
+    universe: &BTreeSet<String>,
+    runs: u64,
+    violations: u64,
+) -> Value {
+    let hit: Vec<Value> = universe
+        .iter()
+        .filter(|k| covered.contains(*k))
+        .map(|k| Value::Str(k.clone()))
+        .collect();
+    let missed: Vec<Value> = universe
+        .iter()
+        .filter(|k| !covered.contains(*k))
+        .map(|k| Value::Str(k.clone()))
+        .collect();
+    let mut o = BTreeMap::new();
+    o.insert("runs".into(), Value::Int(runs));
+    o.insert("violations".into(), Value::Int(violations));
+    o.insert("universe".into(), Value::Int(universe.len() as u64));
+    o.insert(
+        "coverage_pct".into(),
+        Value::Float(pct(hit.len(), universe.len())),
+    );
+    o.insert("covered".into(), Value::Arr(hit));
+    o.insert("uncovered".into(), Value::Arr(missed));
+    Value::Obj(o)
+}
+
+/// Aggregates sweep results into the conformance report: overall run
+/// and violation counts, per-protocol coverage against that protocol's
+/// model universe, and per-substrate aggregates against the family
+/// union universe. Fully deterministic (sorted keys, input-order
+/// violations).
+pub fn conformance_report(points: &[ConformPoint]) -> Value {
+    let mut per_proto: BTreeMap<&'static str, (BTreeSet<String>, u64, u64, Protocol)> =
+        BTreeMap::new();
+    let mut per_family: BTreeMap<Family, (BTreeSet<String>, u64, u64)> = BTreeMap::new();
+    let mut violations = Vec::new();
+    for pt in points {
+        let protocol = Protocol::ALL
+            .into_iter()
+            .find(|p| p.name() == pt.protocol)
+            .expect("unknown protocol name in sweep results");
+        let e = per_proto
+            .entry(pt.protocol)
+            .or_insert_with(|| (BTreeSet::new(), 0, 0, protocol));
+        e.0.extend(pt.covered.iter().cloned());
+        e.1 += 1;
+        let f = per_family.entry(Family::of(protocol)).or_default();
+        f.0.extend(pt.covered.iter().cloned());
+        f.1 += 1;
+        if let Some(report) = &pt.violation {
+            e.2 += 1;
+            f.2 += 1;
+            let mut v = BTreeMap::new();
+            v.insert("workload".into(), Value::Str(pt.workload.clone()));
+            v.insert("protocol".into(), Value::Str(pt.protocol.into()));
+            v.insert("seed".into(), Value::Int(pt.seed));
+            v.insert("plan".into(), Value::Str(pt.plan.into()));
+            v.insert("report".into(), Value::Str(report.clone()));
+            violations.push(Value::Obj(v));
+        }
+    }
+    let mut protocols = BTreeMap::new();
+    for (name, (covered, runs, viols, protocol)) in &per_proto {
+        protocols.insert(
+            name.to_string(),
+            coverage_obj(covered, universe(*protocol), *runs, *viols),
+        );
+    }
+    let mut substrates = BTreeMap::new();
+    for (family, (covered, runs, viols)) in &per_family {
+        substrates.insert(
+            family.label().to_string(),
+            coverage_obj(covered, &family_universe(*family), *runs, *viols),
+        );
+    }
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".into(),
+        Value::Str("tokencmp-conformance-v1".into()),
+    );
+    root.insert("runs".into(), Value::Int(points.len() as u64));
+    root.insert(
+        "violation_count".into(),
+        Value::Int(violations.len() as u64),
+    );
+    root.insert("violations".into(), Value::Arr(violations));
+    root.insert("protocols".into(), Value::Obj(protocols));
+    root.insert("substrates".into(), Value::Obj(substrates));
+    Value::Obj(root)
+}
+
+/// Writes the conformance report to `target/sweep/conformance.json`
+/// and returns its path.
+pub fn export_conformance(points: &[ConformPoint]) -> std::io::Result<PathBuf> {
+    write_value("conformance", &conformance_report(points))
+}
+
+/// Token-substrate aggregate coverage percentage from a report (the
+/// number the CI gate floors at 90%).
+pub fn token_substrate_pct(report: &Value) -> f64 {
+    report
+        .get("substrates")
+        .and_then(|s| s.get("token"))
+        .and_then(|t| t.get("coverage_pct"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}

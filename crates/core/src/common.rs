@@ -6,6 +6,8 @@
 //! policy's choice of who to ask first.
 
 use tokencmp_proto::Block;
+use tokencmp_sim::NodeId;
+use tokencmp_trace::TraceEvent;
 
 use crate::msg::{ReqKind, TokenBundle, TokenMsg};
 use crate::persistent::{ActiveReq, ArbNodeTable, DistTable};
@@ -214,6 +216,27 @@ pub fn persistent_grant(
             }
         }
     }
+}
+
+/// The [`TraceEvent::TableApply`] event describing the application of a
+/// persistent-table message at `node`, or `None` if `msg` is not one.
+/// Shared by every holder's table-apply site so the refinement checker
+/// sees identical shapes regardless of which controller applied it.
+pub fn table_apply_event(msg: &TokenMsg, node: NodeId) -> Option<TraceEvent> {
+    let (block, proc, activate, arb) = match *msg {
+        TokenMsg::PersistentActivate { block, proc, .. } => (block, proc, true, false),
+        TokenMsg::PersistentDeactivate { block, proc, .. } => (block, proc, false, false),
+        TokenMsg::ArbActivate { block, proc, .. } => (block, proc, true, true),
+        TokenMsg::ArbDeactivate { block, proc, .. } => (block, proc, false, true),
+        _ => return None,
+    };
+    Some(TraceEvent::TableApply {
+        block,
+        node,
+        proc,
+        activate,
+        arb,
+    })
 }
 
 /// The persistent-request bookkeeping every coherence node carries: the

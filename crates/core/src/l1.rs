@@ -306,6 +306,17 @@ impl TokenL1 {
         bundle: TokenBundle,
         ctx: &mut Ctx<'_, TokenMsg>,
     ) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::TokensDelivered {
+                    block,
+                    node: self.me,
+                    count: bundle.count,
+                    owner: bundle.owner,
+                },
+            );
+        }
         let wanted =
             self.mshr.as_ref().is_some_and(|m| m.block == block) || self.lines.contains(block);
         if !wanted {
@@ -315,12 +326,8 @@ impl TokenL1 {
             // §3.2), else pass them to the L2 so they are never lost.
             if let Some(req) = self.persistent.active_for(block) {
                 if req.requester != self.me {
-                    let fwd = TokenMsg::Tokens {
-                        block,
-                        bundle,
-                        writeback: false,
-                    };
-                    ctx.send(req.requester, fwd);
+                    let requester = req.requester;
+                    self.send_tokens(ctx, Dur::ZERO, requester, block, bundle, false);
                     return;
                 }
             }
@@ -405,6 +412,19 @@ impl TokenL1 {
             m.kind != ReqKind::Write || self.lines.peek(m.block).unwrap().owner,
             "all tokens must include the owner token"
         );
+        // The access happens *now* — the instant the substrate's token
+        // guard holds (the later CpuResp::Done is just wire latency).
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::AccessDone {
+                    node: self.me,
+                    proc: self.proc,
+                    block: m.block,
+                    kind: m.access,
+                },
+            );
+        }
         if m.kind == ReqKind::Write {
             let line = self.lines.get_mut(m.block).unwrap();
             line.dirty = true;
@@ -656,6 +676,17 @@ impl TokenL1 {
                     }
                 });
                 if hit {
+                    if let Some(t) = &self.trace {
+                        t.borrow_mut().record(
+                            ctx.now,
+                            TraceEvent::AccessDone {
+                                node: self.me,
+                                proc: self.proc,
+                                block,
+                                kind,
+                            },
+                        );
+                    }
                     if rkind == ReqKind::Write {
                         self.lock(block, ctx);
                     }
@@ -748,6 +779,11 @@ impl TokenL1 {
         let Some(block) = self.persistent.apply(msg) else {
             return;
         };
+        if let Some(t) = &self.trace {
+            if let Some(ev) = crate::common::table_apply_event(msg, self.me) {
+                t.borrow_mut().record(ctx.now, ev);
+            }
+        }
         // A held-back persistent request may now be issuable.
         if let TokenMsg::PersistentDeactivate { .. } | TokenMsg::ArbDeactivate { .. } = msg {
             if let Some((pblock, _)) = self.pending_persistent {

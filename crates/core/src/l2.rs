@@ -209,6 +209,17 @@ impl TokenL2 {
         bundle: TokenBundle,
         ctx: &mut Ctx<'_, TokenMsg>,
     ) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::TokensDelivered {
+                    block,
+                    node: self.me,
+                    count: bundle.count,
+                    owner: bundle.owner,
+                },
+            );
+        }
         // A writeback from a local L1 clears its (approximate) sharer bit.
         if matches!(self.layout.unit(src), Unit::L1D(_) | Unit::L1I(_)) {
             self.clear_sharer(block, src);
@@ -375,6 +386,11 @@ impl Component<TokenMsg> for TokenL2 {
             | TokenMsg::ArbActivate { .. }
             | TokenMsg::ArbDeactivate { .. } => {
                 if let Some(block) = self.persistent.apply(&msg) {
+                    if let Some(t) = &self.trace {
+                        if let Some(ev) = crate::common::table_apply_event(&msg, self.me) {
+                            t.borrow_mut().record(ctx.now, ev);
+                        }
+                    }
                     self.try_forward(block, ctx);
                 }
             }

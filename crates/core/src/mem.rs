@@ -216,6 +216,17 @@ impl TokenMem {
     }
 
     fn fold_tokens(&mut self, block: Block, bundle: TokenBundle, ctx: &mut Ctx<'_, TokenMsg>) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::TokensDelivered {
+                    block,
+                    node: self.me,
+                    count: bundle.count,
+                    owner: bundle.owner,
+                },
+            );
+        }
         self.stats.writebacks += 1;
         let mut ml = self.line(block);
         ml.tokens += bundle.count;
@@ -235,6 +246,11 @@ impl TokenMem {
         }
         // Apply to our own table as well.
         if let Some(block) = self.persistent.apply(&msg) {
+            if let Some(t) = &self.trace {
+                if let Some(ev) = crate::common::table_apply_event(&msg, self.me) {
+                    t.borrow_mut().record(ctx.now, ev);
+                }
+            }
             self.try_forward(block, ctx);
         }
     }
@@ -251,6 +267,15 @@ impl TokenMem {
             self.cmp,
             "arbiter request routed to the wrong home"
         );
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::ArbRequest {
+                    block,
+                    proc: req.proc,
+                },
+            );
+        }
         if let Some((b, r, e)) = self.arbiter.enqueue(block, req, epoch) {
             self.stats.arb_activations += 1;
             self.broadcast_arb(
@@ -277,6 +302,10 @@ impl TokenMem {
         // activate the next one (the indirection the paper's Figure 2
         // shows hurting under contention). A request satisfied before
         // activation is withdrawn from the queue instead.
+        if let Some(t) = &self.trace {
+            t.borrow_mut()
+                .record(ctx.now, TraceEvent::ArbDone { block, proc });
+        }
         let next = self.arbiter.complete(block, proc, epoch);
         self.broadcast_arb(TokenMsg::ArbDeactivate { block, proc, epoch }, ctx);
         if let Some((b, r, e)) = next {
@@ -329,6 +358,11 @@ impl Component<TokenMsg> for TokenMem {
             | TokenMsg::ArbActivate { .. }
             | TokenMsg::ArbDeactivate { .. } => {
                 if let Some(block) = self.persistent.apply(&msg) {
+                    if let Some(t) = &self.trace {
+                        if let Some(ev) = crate::common::table_apply_event(&msg, self.me) {
+                            t.borrow_mut().record(ctx.now, ev);
+                        }
+                    }
                     self.try_forward(block, ctx);
                 }
             }

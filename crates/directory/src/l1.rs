@@ -169,6 +169,17 @@ impl DirL1 {
                     None => false,
                 };
                 if hit {
+                    if let Some(t) = &self.trace {
+                        t.borrow_mut().record(
+                            ctx.now,
+                            TraceEvent::AccessDone {
+                                node: self.me,
+                                proc: self.proc,
+                                block,
+                                kind,
+                            },
+                        );
+                    }
                     if write {
                         self.lock(block, ctx);
                     }
@@ -278,6 +289,15 @@ impl DirL1 {
             );
             t.record(
                 ctx.now,
+                TraceEvent::AccessDone {
+                    node: self.me,
+                    proc: self.proc,
+                    block,
+                    kind: m.access,
+                },
+            );
+            t.record(
+                ctx.now,
                 TraceEvent::MissCommit {
                     proc: self.proc,
                     block,
@@ -337,12 +357,36 @@ impl DirL1 {
                 self.wb_buffer.remove(&block);
             } else {
                 self.lines.remove(block);
+                // The buffered copy was already traced as evicted when it
+                // left the cache; only a resident line's departure is new.
+                if let Some(t) = &self.trace {
+                    t.borrow_mut().record(
+                        ctx.now,
+                        TraceEvent::CacheEvict {
+                            node: self.me,
+                            block,
+                            state: "fwd",
+                        },
+                    );
+                }
             }
             self.fire_watch_if(block, ctx);
         } else if buffered {
             self.wb_buffer.insert(block, L1State::S);
         } else {
             *self.lines.get_mut(block).unwrap() = L1State::S;
+            // Downgrade in place: the refinement checker sees the holder's
+            // new read-only state as a fill.
+            if let Some(t) = &self.trace {
+                t.borrow_mut().record(
+                    ctx.now,
+                    TraceEvent::CacheFill {
+                        node: self.me,
+                        block,
+                        state: "S",
+                    },
+                );
+            }
         }
         ctx.send_after(
             self.cfg.l1_latency,
@@ -361,8 +405,21 @@ impl DirL1 {
             self.deferred.push(DirMsg::InvL1 { block });
             return;
         }
+        let resident = self.lines.contains(block);
         self.lines.remove(block);
         self.wb_buffer.remove(&block);
+        if resident {
+            if let Some(t) = &self.trace {
+                t.borrow_mut().record(
+                    ctx.now,
+                    TraceEvent::CacheEvict {
+                        node: self.me,
+                        block,
+                        state: "inv",
+                    },
+                );
+            }
+        }
         self.fire_watch_if(block, ctx);
         ctx.send_after(
             self.cfg.l1_latency,

@@ -33,6 +33,59 @@ pub trait Model {
     /// True if `s` is allowed to have no successors, and is a valid
     /// target for the progress (EF-quiescence) check.
     fn is_quiescent(&self, s: &Self::State) -> bool;
+
+    /// Takes the single labeled step `label` from `s`, if the model
+    /// offers it — the refinement-checker entry point: an observed
+    /// implementation action conforms iff the model can take the
+    /// matching transition from its current abstract state.
+    fn step_labeled(&self, s: &Self::State, label: &str) -> Option<Self::State> {
+        let mut succ = Vec::new();
+        self.successors(s, &mut succ);
+        succ.into_iter().find(|(l, _)| l == label).map(|(_, t)| t)
+    }
+}
+
+/// The set of distinct transition *kinds* (first whitespace-separated
+/// word of each action label) fired anywhere in the model's reachable
+/// state space, up to `max_states` distinct states.
+///
+/// This is the coverage universe for conformance accounting: a kind in
+/// this set that a simulator trace never maps to is either dead spec or
+/// a missing test.
+///
+/// # Panics
+///
+/// Panics if the reachable state count exceeds `max_states`.
+pub fn reachable_kinds<M: Model>(
+    model: &M,
+    max_states: usize,
+) -> std::collections::BTreeSet<String> {
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut seen: std::collections::HashSet<M::State> = std::collections::HashSet::new();
+    let mut frontier: Vec<M::State> = Vec::new();
+    for s in model.initial() {
+        if seen.insert(s.clone()) {
+            frontier.push(s);
+        }
+    }
+    let mut succ = Vec::new();
+    while let Some(s) = frontier.pop() {
+        succ.clear();
+        model.successors(&s, &mut succ);
+        for (label, t) in succ.drain(..) {
+            let kind = label.split_whitespace().next().unwrap_or("").to_string();
+            kinds.insert(kind);
+            if !seen.contains(&t) {
+                assert!(
+                    seen.len() < max_states,
+                    "state space exceeded {max_states} states"
+                );
+                seen.insert(t.clone());
+                frontier.push(t);
+            }
+        }
+    }
+    kinds
 }
 
 /// A property violation plus the action trace leading to it.
@@ -346,6 +399,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.states, 2);
+    }
+
+    #[test]
+    fn step_labeled_follows_exactly_one_transition() {
+        let m = Counter {
+            max: 5,
+            broken_invariant: false,
+            deadlock_at_max: false,
+        };
+        assert_eq!(m.step_labeled(&2, "inc 2"), Some(3));
+        assert_eq!(m.step_labeled(&2, "inc 3"), None, "label must match state");
+        assert_eq!(m.step_labeled(&5, "reset"), Some(0));
+        assert_eq!(m.step_labeled(&5, "inc 5"), None);
+    }
+
+    #[test]
+    fn reachable_kinds_collects_label_heads() {
+        let m = Counter {
+            max: 3,
+            broken_invariant: false,
+            deadlock_at_max: false,
+        };
+        let kinds = reachable_kinds(&m, 1000);
+        let kinds: Vec<&str> = kinds.iter().map(String::as_str).collect();
+        assert_eq!(kinds, ["inc", "reset"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state space exceeded")]
+    fn reachable_kinds_respects_state_budget() {
+        let m = Counter {
+            max: 100,
+            broken_invariant: false,
+            deadlock_at_max: false,
+        };
+        let _ = reachable_kinds(&m, 10);
     }
 
     #[test]

@@ -366,6 +366,69 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_empty_copies_everything() {
+        let mut src = Stats::new();
+        src.add("c", 4);
+        src.set_gauge("g", 2.5);
+        let mut dst = Stats::new();
+        dst.merge(&src);
+        assert_eq!(dst.counter("c"), 4);
+        assert_eq!(dst.gauge("g"), Some(2.5));
+        assert_eq!(
+            dst.counters().collect::<Vec<_>>(),
+            src.counters().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_disjoint_keys_is_a_union() {
+        let mut a = Stats::new();
+        a.add("token.persistent", 3);
+        let mut b = Stats::new();
+        b.add("dir.forward", 8);
+        b.set_gauge("dir.occupancy", 0.5);
+        a.merge(&b);
+        assert_eq!(a.counters().count(), 2);
+        assert_eq!(a.counter("token.persistent"), 3);
+        assert_eq!(a.counter("dir.forward"), 8);
+        assert_eq!(a.gauge("dir.occupancy"), Some(0.5));
+    }
+
+    #[test]
+    fn histogram_merge_of_empty_histograms_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_disjoint_ranges_preserves_quantile_bounds() {
+        // Two latency populations that never overlap: merging must keep
+        // p50 inside the low population's bucket and p99 inside the
+        // high one's, both clamped to the observed [min, max].
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        for _ in 0..100 {
+            low.record(10);
+            high.record(1_000_000);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 200);
+        assert_eq!(low.min(), Some(10));
+        assert_eq!(low.max(), Some(1_000_000));
+        let p50 = low.quantile_upper_bound(0.5).unwrap();
+        let p99 = low.quantile_upper_bound(0.99).unwrap();
+        // p50 lands in 10's power-of-two bucket [8, 15]; p99 in the high
+        // population's bucket, clamped to the true max.
+        assert!((10..=15).contains(&p50), "p50 bound {p50}");
+        assert_eq!(p99, 1_000_000);
+        assert!(p50 <= p99);
+    }
+
+    #[test]
     fn histogram_merge_equals_combined_recording() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -71,6 +71,18 @@ impl std::fmt::Display for Protocol {
     }
 }
 
+/// Online refinement-checking knobs (the `tokencmp-conform` crate
+/// provides the checking sink; the runner only queries its verdict).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConformOptions {
+    /// Query the installed trace sink's conformance verdict
+    /// ([`tokencmp_trace::TraceSink::conformance`]) when a run ends
+    /// cleanly, and panic on a refinement violation — audit-like
+    /// semantics, mirroring [`RunOptions::audit`]. A no-op when the
+    /// installed sink is not a checking sink (or no sink is installed).
+    pub online: bool,
+}
+
 /// Run limits and reproducibility knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct RunOptions {
@@ -97,6 +109,8 @@ pub struct RunOptions {
     /// operation latency) is far above any legitimate quiet period of the
     /// modeled workloads.
     pub stall_window: Option<Dur>,
+    /// Online refinement checking against the verified mcheck models.
+    pub conform: ConformOptions,
 }
 
 impl Default for RunOptions {
@@ -108,6 +122,7 @@ impl Default for RunOptions {
             audit: true,
             faults: FaultPlan::none(),
             stall_window: Some(Dur::from_ns(1_000_000)),
+            conform: ConformOptions::default(),
         }
     }
 }
@@ -116,6 +131,14 @@ impl RunOptions {
     /// Returns these options with the given fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> RunOptions {
         self.faults = faults;
+        self
+    }
+
+    /// Returns these options with online conformance checking enabled
+    /// (panic at end of a clean run if the installed checking sink saw a
+    /// refinement violation).
+    pub fn with_conformance(mut self) -> RunOptions {
+        self.conform.online = true;
         self
     }
 
@@ -215,15 +238,22 @@ pub fn run_workload_traced<W: Workload + 'static>(
     let cfg = Rc::new(cfg.clone());
     let wl = Rc::new(RefCell::new(workload));
     let result = match protocol {
-        Protocol::Token(v) => run_token(&cfg, v, wl.clone(), opts, trace),
-        Protocol::Directory => run_directory(&cfg, wl.clone(), opts, false, trace),
-        Protocol::DirectoryZero => run_directory(&cfg, wl.clone(), opts, true, trace),
-        Protocol::PerfectL2 => run_perfect(&cfg, wl.clone(), opts, trace),
+        Protocol::Token(v) => run_token(&cfg, v, wl.clone(), opts, trace.clone()),
+        Protocol::Directory => run_directory(&cfg, wl.clone(), opts, false, trace.clone()),
+        Protocol::DirectoryZero => run_directory(&cfg, wl.clone(), opts, true, trace.clone()),
+        Protocol::PerfectL2 => run_perfect(&cfg, wl.clone(), opts, trace.clone()),
     };
     let w = Rc::try_unwrap(wl)
         .ok()
         .expect("kernel leaked workload references")
         .into_inner();
+    if opts.conform.online && result.outcome == RunOutcome::Idle {
+        if let Some(t) = &trace {
+            if let Some(Err(report)) = t.borrow().conformance() {
+                panic!("refinement violation (protocol {protocol}):\n{report}");
+            }
+        }
+    }
     (result, w)
 }
 

@@ -47,8 +47,10 @@
 //! | [`sweep`] | `tokencmp-sweep` | deterministic parallel sweep engine + JSON export |
 //! | [`trace`] | `tokencmp-trace` | structured event tracing, latency attribution, flight recorder |
 //! | [`litmus`] | `tokencmp-litmus` | litmus-test engine + axiomatic SC oracle (differential consistency checking) |
+//! | [`conform`] | `tokencmp-conform` | trace-driven refinement checking against the verified models + transition coverage |
 
 pub use tokencmp_cache as cache;
+pub use tokencmp_conform as conform;
 pub use tokencmp_core as core;
 pub use tokencmp_directory as directory;
 pub use tokencmp_litmus as litmus;
@@ -61,6 +63,10 @@ pub use tokencmp_system as system;
 pub use tokencmp_trace as trace;
 pub use tokencmp_workloads as workloads;
 
+pub use tokencmp_conform::{
+    conformance_grid, conformance_report, export_conformance, ConformChecker, ConformPoint,
+    ConformWork, Mutation,
+};
 pub use tokencmp_core::{ReqKind, TokenBundle, TokenMsg, Variant};
 pub use tokencmp_litmus::{
     classic_shapes, differential_check, sc_allowed, DiffOptions, LitmusWorkload, Outcome, Pinning,
@@ -71,7 +77,8 @@ pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, Sys
 pub use tokencmp_sim::{Dur, RunOutcome, Time};
 pub use tokencmp_sweep::{latency_table, par_map, PointRecord, PointResult, Sweep, SweepPoint};
 pub use tokencmp_system::{
-    run_workload, run_workload_traced, Protocol, RunOptions, RunResult, Step, Workload,
+    run_workload, run_workload_traced, ConformOptions, Protocol, RunOptions, RunResult, Step,
+    Workload,
 };
 pub use tokencmp_trace::{
     block_timeline, chrome_trace_json, LatencyBreakdown, RingRecorder, Segment, SegmentParts,

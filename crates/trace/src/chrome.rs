@@ -71,7 +71,9 @@ fn lane(ev: &TraceEvent) -> u64 {
         | TraceEvent::SeqCommit { proc, .. }
         | TraceEvent::MissCommit { proc, .. }
         | TraceEvent::PersistentActivate { proc, .. }
-        | TraceEvent::PersistentDeactivate { proc, .. } => proc.0 as u64,
+        | TraceEvent::PersistentDeactivate { proc, .. }
+        | TraceEvent::ArbRequest { proc, .. }
+        | TraceEvent::ArbDone { proc, .. } => proc.0 as u64,
         TraceEvent::MsgSend { src: NodeId(n), .. }
         | TraceEvent::TokensMoved {
             from: NodeId(n), ..
@@ -80,6 +82,15 @@ fn lane(ev: &TraceEvent) -> u64 {
             node: NodeId(n), ..
         }
         | TraceEvent::CacheEvict {
+            node: NodeId(n), ..
+        }
+        | TraceEvent::TokensDelivered {
+            node: NodeId(n), ..
+        }
+        | TraceEvent::AccessDone {
+            node: NodeId(n), ..
+        }
+        | TraceEvent::TableApply {
             node: NodeId(n), ..
         } => n as u64,
         TraceEvent::Fault { .. } => 0,

@@ -167,6 +167,67 @@ pub enum TraceEvent {
         /// Human-readable prior state.
         state: &'static str,
     },
+    /// A token bundle arrived at a holder and was folded into its state
+    /// (or relayed onward; a relay emits a delivery followed by a fresh
+    /// [`TokensMoved`](TraceEvent::TokensMoved)). Together with
+    /// `TokensMoved` this brackets every bundle's flight, so a refinement
+    /// checker can account in-flight tokens exactly.
+    TokensDelivered {
+        /// Block whose tokens arrived.
+        block: Block,
+        /// Receiving node.
+        node: NodeId,
+        /// Token count in the bundle.
+        count: u32,
+        /// Whether the owner token was included.
+        owner: bool,
+    },
+    /// An L1 satisfied a processor access *at this instant* — the moment
+    /// the substrate's read/write guard (≥ 1 token for reads, all `T`
+    /// plus the owner token for writes) must hold. The later
+    /// [`SeqCommit`](TraceEvent::SeqCommit) fires after the L1→processor
+    /// latency, when tokens may already have moved on.
+    AccessDone {
+        /// The L1 that performed the access.
+        node: NodeId,
+        /// Owning processor.
+        proc: ProcId,
+        /// Accessed block.
+        block: Block,
+        /// Operation kind.
+        kind: AccessKind,
+    },
+    /// A coherence node applied a persistent-request table message
+    /// (activate or deactivate, distributed or arbiter style) to its
+    /// local table.
+    TableApply {
+        /// Block the request concerns.
+        block: Block,
+        /// Node whose table changed.
+        node: NodeId,
+        /// Starving processor the entry belongs to.
+        proc: ProcId,
+        /// True for an activation, false for a deactivation.
+        activate: bool,
+        /// True for arbiter-style messages, false for distributed ones.
+        arb: bool,
+    },
+    /// The home memory controller's arbiter received a persistent
+    /// activation request (and enqueued or activated it).
+    ArbRequest {
+        /// Block under persistent request.
+        block: Block,
+        /// Requesting processor.
+        proc: ProcId,
+    },
+    /// The home arbiter retired a completed persistent request (and may
+    /// activate the next queued one).
+    ArbDone {
+        /// Block whose request completed.
+        block: Block,
+        /// Formerly starving processor.
+        proc: ProcId,
+    },
     /// A miss completed in the L1/MSHR path, with its latency decomposed
     /// into attribution segments (the segments sum exactly to `total`).
     MissCommit {
@@ -195,6 +256,11 @@ impl TraceEvent {
             | TraceEvent::PersistentDeactivate { block, .. }
             | TraceEvent::CacheFill { block, .. }
             | TraceEvent::CacheEvict { block, .. }
+            | TraceEvent::TokensDelivered { block, .. }
+            | TraceEvent::AccessDone { block, .. }
+            | TraceEvent::TableApply { block, .. }
+            | TraceEvent::ArbRequest { block, .. }
+            | TraceEvent::ArbDone { block, .. }
             | TraceEvent::MissCommit { block, .. } => Some(block),
         }
     }
@@ -211,6 +277,11 @@ impl TraceEvent {
             TraceEvent::PersistentDeactivate { .. } => "persistent.deactivate",
             TraceEvent::CacheFill { .. } => "cache.fill",
             TraceEvent::CacheEvict { .. } => "cache.evict",
+            TraceEvent::TokensDelivered { .. } => "tokens.delivered",
+            TraceEvent::AccessDone { .. } => "access.done",
+            TraceEvent::TableApply { .. } => "table.apply",
+            TraceEvent::ArbRequest { .. } => "arb.request",
+            TraceEvent::ArbDone { .. } => "arb.done",
             TraceEvent::MissCommit { .. } => "miss.commit",
         }
     }
@@ -291,6 +362,47 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::CacheEvict { node, block, state } => {
                 write!(f, "cache.evict n{} {block:?} was {state}", node.0)
+            }
+            TraceEvent::TokensDelivered {
+                block,
+                node,
+                count,
+                owner,
+            } => write!(
+                f,
+                "tokens.delivered {block:?} at n{} count {count}{}",
+                node.0,
+                if owner { "+owner" } else { "" }
+            ),
+            TraceEvent::AccessDone {
+                node,
+                proc,
+                block,
+                kind,
+            } => write!(
+                f,
+                "access.done p{} {kind:?} {block:?} at n{}",
+                proc.0, node.0
+            ),
+            TraceEvent::TableApply {
+                block,
+                node,
+                proc,
+                activate,
+                arb,
+            } => write!(
+                f,
+                "table.apply n{} {}{} p{} {block:?}",
+                node.0,
+                if arb { "arb-" } else { "" },
+                if activate { "activate" } else { "deactivate" },
+                proc.0
+            ),
+            TraceEvent::ArbRequest { block, proc } => {
+                write!(f, "arb.request {block:?} p{}", proc.0)
+            }
+            TraceEvent::ArbDone { block, proc } => {
+                write!(f, "arb.done {block:?} p{}", proc.0)
             }
             TraceEvent::MissCommit {
                 proc,

@@ -41,6 +41,15 @@ pub trait TraceSink {
     fn flight_dump(&self) -> Option<String> {
         None
     }
+
+    /// The sink's conformance verdict, if it is a checking sink (the
+    /// refinement-checker contract — see `tokencmp-conform`). `None`
+    /// means this sink performs no checking; `Some(Err(report))`
+    /// carries a rendered violation report. Queried by the system
+    /// runner at end of run when online conformance is enabled.
+    fn conformance(&self) -> Option<Result<(), String>> {
+        None
+    }
 }
 
 /// Shared handle to a run's sink.

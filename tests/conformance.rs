@@ -1,0 +1,182 @@
+//! Trace-driven refinement checking: every completed run of every
+//! protocol must replay, step by step, as transitions of the verified
+//! mcheck substrate models — and the checker must provably be able to
+//! say no (mutation modes) and say it deterministically.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tokencmp::conform::{
+    conformance_grid, conformance_report, run_conform, token_substrate_pct, ConformChecker,
+    ConformWork, Mutation,
+};
+use tokencmp::litmus::classic_shapes;
+use tokencmp::{
+    run_workload_traced, Dur, LitmusWorkload, Pinning, Protocol, RunOptions, RunOutcome,
+    SystemConfig, TraceHandle,
+};
+
+#[path = "common/mod.rs"]
+mod common;
+use common::{all_protocols, token_variants};
+
+fn mp_shape() -> tokencmp::Program {
+    classic_shapes()
+        .into_iter()
+        .find(|p| p.name == "MP")
+        .expect("classic shapes include MP")
+}
+
+#[test]
+fn every_protocol_conforms_on_every_shape_clean_and_lossy() {
+    // Shapes × protocols × seeds, clean everywhere plus the lossy
+    // adversary on the token variants (the bench runs the same sweep
+    // wider: ≥ 4 seeds plus the micro-benchmark cells).
+    let shapes: Vec<ConformWork> = classic_shapes()
+        .into_iter()
+        .map(ConformWork::Litmus)
+        .collect();
+    for protocol in all_protocols() {
+        for work in &shapes {
+            for seed in [1, 2] {
+                let plans: &[bool] = if matches!(protocol, Protocol::Token(_)) {
+                    &[false, true]
+                } else {
+                    &[false]
+                };
+                for &lossy in plans {
+                    let pt = run_conform(work, protocol, seed, lossy, Mutation::None);
+                    assert!(
+                        pt.violation.is_none(),
+                        "{}: refinement violation\n{}",
+                        pt.coordinates(),
+                        pt.violation.unwrap()
+                    );
+                    assert!(pt.events > 0, "{}: empty trace", pt.coordinates());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn micro_benchmarks_conform_on_every_protocol() {
+    for protocol in all_protocols() {
+        for work in [
+            ConformWork::Locking,
+            ConformWork::Barrier,
+            ConformWork::Eviction,
+        ] {
+            let pt = run_conform(&work, protocol, 7, false, Mutation::None);
+            assert!(
+                pt.violation.is_none(),
+                "{}: refinement violation\n{}",
+                pt.coordinates(),
+                pt.violation.unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn forged_commit_is_flagged_on_every_protocol() {
+    // The ForgeCommit mutation replays the first sequencer commit
+    // twice; a sound checker must reject the second on all nine
+    // protocol configurations.
+    let work = ConformWork::Litmus(mp_shape());
+    for protocol in all_protocols() {
+        let pt = run_conform(&work, protocol, 1, false, Mutation::ForgeCommit);
+        let v = pt
+            .violation
+            .unwrap_or_else(|| panic!("{}: forged commit not flagged", protocol.name()));
+        assert!(
+            v.contains("commits"),
+            "{}: unexpected report\n{v}",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn dropped_delivery_is_flagged_on_every_token_variant() {
+    // The DropDelivery mutation hides one token bundle's arrival from
+    // the checker: conservation can no longer balance at quiescence.
+    let work = ConformWork::Litmus(mp_shape());
+    for protocol in token_variants() {
+        let pt = run_conform(&work, protocol, 1, false, Mutation::DropDelivery);
+        let report = pt
+            .violation
+            .unwrap_or_else(|| panic!("{}: dropped delivery not flagged", protocol.name()));
+        assert!(
+            report.contains("undelivered") || report.contains("tokens"),
+            "{}: unexpected report\n{report}",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn violation_reports_are_deterministic() {
+    let work = ConformWork::Litmus(mp_shape());
+    let run = || {
+        run_conform(
+            &work,
+            Protocol::Token(tokencmp::Variant::Dst1),
+            3,
+            true,
+            Mutation::DropDelivery,
+        )
+        .violation
+        .expect("mutation must be flagged")
+    };
+    assert_eq!(run(), run(), "violation report differs across reruns");
+}
+
+#[test]
+fn conformance_report_is_deterministic_and_covers_the_token_substrate() {
+    // A miniature sweep is enough for report determinism; substrate
+    // coverage of the full-universe claim rides on the bench grid, but
+    // even this small one must stay well-formed and repeatable.
+    let points = conformance_grid(&[1]);
+    let again = conformance_grid(&[1]);
+    let a = conformance_report(&points).to_string();
+    let b = conformance_report(&again).to_string();
+    assert_eq!(a, b, "conformance report differs across reruns");
+    let report = conformance_report(&points);
+    assert_eq!(
+        report.get("violation_count").and_then(|v| v.as_u64()),
+        Some(0),
+        "sweep reported violations:\n{report}"
+    );
+    assert!(
+        token_substrate_pct(&report) >= 90.0,
+        "token substrate coverage below 90%:\n{report}"
+    );
+}
+
+#[test]
+fn online_mode_passes_clean_runs() {
+    let cfg = SystemConfig::small_test();
+    let protocol = Protocol::Token(tokencmp::Variant::Dst1);
+    let checker = Rc::new(RefCell::new(ConformChecker::new(&cfg, protocol)));
+    let handle: TraceHandle = checker.clone();
+    let wl = LitmusWorkload::new(&cfg, &mp_shape(), Pinning::Spread, 1, Dur::from_ns(50));
+    let opts = RunOptions::default().with_conformance();
+    let (result, _) = run_workload_traced(&cfg, protocol, wl, &opts, Some(handle));
+    assert_eq!(result.outcome, RunOutcome::Idle);
+    assert!(checker.borrow().events_seen > 0);
+}
+
+#[test]
+#[should_panic(expected = "refinement violation")]
+fn online_mode_panics_on_violation() {
+    let cfg = SystemConfig::small_test();
+    let protocol = Protocol::Token(tokencmp::Variant::Dst1);
+    let checker = Rc::new(RefCell::new(
+        ConformChecker::new(&cfg, protocol).with_mutation(Mutation::ForgeCommit),
+    ));
+    let handle: TraceHandle = checker.clone();
+    let wl = LitmusWorkload::new(&cfg, &mp_shape(), Pinning::Spread, 1, Dur::from_ns(50));
+    let opts = RunOptions::default().with_conformance();
+    let _ = run_workload_traced(&cfg, protocol, wl, &opts, Some(handle));
+}

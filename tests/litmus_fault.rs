@@ -13,7 +13,7 @@ use tokencmp::{Dur, FaultPlan, Protocol, SystemConfig};
 
 #[path = "common/mod.rs"]
 mod common;
-use common::token_variants;
+use common::{table3_system, token_variants};
 
 /// The fault-injection suite's standard adversaries, mirroring
 /// `tests/fault_injection.rs`.
@@ -57,7 +57,7 @@ fn iriw_under_hostile_faults_on_the_table3_system() {
     // The multi-copy-atomicity shape, threads on four different chips,
     // with the fabric dropping, delaying and reordering — the worst case
     // for inter-CMP write propagation.
-    let cfg = SystemConfig::default();
+    let cfg = table3_system();
     let hostile = fault_plans().pop().unwrap();
     let opts = DiffOptions::default()
         .with_seeds(1..=4)

@@ -1,0 +1,31 @@
+//! Tier-1 smoke for the verification study: exhaustively check the
+//! downscaled protocol models — the same models the conformance sweep
+//! measures coverage against — so a regression in either model or
+//! checker fails fast in `cargo test` rather than only in the bench.
+
+use tokencmp::mcheck::{
+    check, CheckOptions, DirModel, DirModelParams, SubstrateMode, TokenModel, TokenModelParams,
+};
+
+#[test]
+fn token_model_holds_in_all_three_substrate_modes() {
+    for mode in [
+        SubstrateMode::SafetyOnly,
+        SubstrateMode::Distributed,
+        SubstrateMode::Arbiter,
+    ] {
+        let model = TokenModel::new(TokenModelParams::small(mode));
+        let report = check(&model, &CheckOptions::default())
+            .unwrap_or_else(|v| panic!("{mode:?}: {}", v.message));
+        assert!(report.states > 0, "{mode:?}: empty state space");
+        assert!(report.progress_checked, "{mode:?}: progress not checked");
+    }
+}
+
+#[test]
+fn directory_model_holds() {
+    let model = DirModel::new(DirModelParams::small());
+    let report =
+        check(&model, &CheckOptions::default()).unwrap_or_else(|v| panic!("{}", v.message));
+    assert!(report.states > 0);
+}

@@ -8,8 +8,12 @@ use tokencmp::{
     run_workload, LockingWorkload, Protocol, RunOptions, RunOutcome, SystemConfig, Variant,
 };
 
+#[path = "common/mod.rs"]
+mod common;
+use common::table3_system;
+
 fn hammer(protocol: Protocol, locks: u32, seed: u64) -> (tokencmp::RunResult, LockingWorkload) {
-    let cfg = SystemConfig::default();
+    let cfg = table3_system();
     let w = LockingWorkload::new(16, locks, 25, seed);
     let (res, w) = run_workload(&cfg, protocol, w, &RunOptions::default());
     assert_eq!(res.outcome, RunOutcome::Idle, "{protocol} at {locks} locks");
@@ -125,7 +129,7 @@ fn destination_prediction_narrows_stable_owner_fetches() {
     let cfg = SystemConfig {
         migratory_sharing: false, // keep ownership parked at the producer side
         l2_sets: 64,              // small L2: re-fetch off chip every round
-        ..SystemConfig::default()
+        ..table3_system()
     };
     let blocks: Vec<Block> = (0..4096u64).map(|i| Block(0x100_0000 + i)).collect();
     let run = |v| {
@@ -153,7 +157,7 @@ fn destination_prediction_narrows_stable_owner_fetches() {
 fn response_delay_can_be_disabled() {
     let cfg = SystemConfig {
         response_delay: tokencmp::Dur::ZERO,
-        ..SystemConfig::default()
+        ..table3_system()
     };
     let w = LockingWorkload::new(16, 2, 15, 4);
     let (res, w) = run_workload(
@@ -170,7 +174,7 @@ fn response_delay_can_be_disabled() {
 fn event_budget_flags_pathologies_instead_of_hanging() {
     // A tiny event budget must abort cleanly with EventLimit rather than
     // spin forever.
-    let cfg = SystemConfig::default();
+    let cfg = table3_system();
     let w = LockingWorkload::new(16, 2, 1000, 5);
     let opts = RunOptions {
         max_events: 10_000,

@@ -255,9 +255,11 @@ fn stalled_traced_run_dumps_flight_recorder_tail() {
         diag.contains("flight recorder: last"),
         "flight-recorder tail missing: {diag}"
     );
-    // The dump renders real events, not an empty frame.
+    // The dump renders real events, not an empty frame. Under this
+    // wedge the tail is persistent-escalation traffic, so accept any
+    // of the renders that storm dominates.
     assert!(
-        diag.contains("seq.issue") || diag.contains("msg "),
+        diag.contains("seq.issue") || diag.contains("msg ") || diag.contains("table.apply"),
         "dump carries no events: {diag}"
     );
 }

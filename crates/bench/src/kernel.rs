@@ -1,0 +1,386 @@
+//! The kernel events/sec trajectory (`BENCH_kernel.json`).
+//!
+//! Unlike the `target/sweep/` exports — regenerated scratch output — the
+//! kernel bench writes to a *committed* file at the repository root so
+//! successive PRs append comparable `(run, backend, bench)` records and
+//! the scheduler's throughput history stays reviewable in diffs. This
+//! module owns the record model, the merge-with-replacement semantics,
+//! the schema validation CI runs, and the wheel-vs-heap regression gate.
+//!
+//! Schema (`tokencmp-kernel-bench-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "tokencmp-kernel-bench-v1",
+//!   "entries": [
+//!     {"run": "pr6", "backend": "wheel", "bench": "churn/d4096",
+//!      "events": 2000000, "elapsed_ns": 91000000,
+//!      "events_per_sec": 21978021.9, "ns_per_event": 45.5}
+//!   ]
+//! }
+//! ```
+//!
+//! `bench` names are namespaced: `churn/d<depth>` is the pure-kernel
+//! hold-model microbench (pop one, push one at a random future offset,
+//! steady-state depth `<depth>`), `table3/<protocol>` is a full
+//! protocol run on the paper's Table 3 system. The regression gate
+//! compares backends on the *deepest* churn bench of a run — the most
+//! queue-bound point, where the wheel's O(1) scheduling must show.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use tokencmp::sweep::json::{parse, Value};
+use tokencmp::SchedulerKind;
+
+/// Schema tag every trajectory file must carry.
+pub const SCHEMA: &str = "tokencmp-kernel-bench-v1";
+
+/// One measurement: a named bench, on one scheduler backend, in one
+/// bench invocation (`run` labels the invocation, e.g. a PR number).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelBenchEntry {
+    /// Trajectory label for the invocation (`TOKENCMP_BENCH_RUN`).
+    pub run: String,
+    /// Scheduler backend name (`heap` / `wheel`).
+    pub backend: String,
+    /// Bench name (`churn/d4096`, `table3/token-dst1`, ...).
+    pub bench: String,
+    /// Events processed during the timed section.
+    pub events: u64,
+    /// Wall time of the timed section.
+    pub elapsed_ns: u64,
+    /// `events / elapsed` in events per second.
+    pub events_per_sec: f64,
+    /// `elapsed / events` in nanoseconds.
+    pub ns_per_event: f64,
+}
+
+impl KernelBenchEntry {
+    /// An entry from a raw measurement; derives both rate fields.
+    pub fn measured(
+        run: &str,
+        backend: SchedulerKind,
+        bench: String,
+        events: u64,
+        elapsed: Duration,
+    ) -> KernelBenchEntry {
+        let ns = elapsed.as_nanos() as u64;
+        KernelBenchEntry {
+            run: run.to_string(),
+            backend: backend.name().to_string(),
+            bench,
+            events,
+            elapsed_ns: ns,
+            events_per_sec: events as f64 / elapsed.as_secs_f64(),
+            ns_per_event: ns as f64 / events as f64,
+        }
+    }
+
+    /// The replacement key: re-running a bench overwrites the same cell.
+    fn key(&self) -> (&str, &str, &str) {
+        (&self.run, &self.backend, &self.bench)
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(BTreeMap::from([
+            ("run".into(), Value::Str(self.run.clone())),
+            ("backend".into(), Value::Str(self.backend.clone())),
+            ("bench".into(), Value::Str(self.bench.clone())),
+            ("events".into(), Value::Int(self.events)),
+            ("elapsed_ns".into(), Value::Int(self.elapsed_ns)),
+            ("events_per_sec".into(), Value::Float(self.events_per_sec)),
+            ("ns_per_event".into(), Value::Float(self.ns_per_event)),
+        ]))
+    }
+
+    fn from_value(v: &Value, idx: usize) -> Result<KernelBenchEntry, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry {idx}: `{k}` missing or not a string"))
+        };
+        let int_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("entry {idx}: `{k}` missing or not an integer"))
+        };
+        let rate_field = |k: &str| {
+            let x = v
+                .get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("entry {idx}: `{k}` missing or not a number"))?;
+            if x.is_finite() && x > 0.0 {
+                Ok(x)
+            } else {
+                Err(format!("entry {idx}: `{k}` = {x} is not a positive rate"))
+            }
+        };
+        let backend = str_field("backend")?;
+        if SchedulerKind::ALL.iter().all(|k| k.name() != backend) {
+            return Err(format!("entry {idx}: unknown backend `{backend}`"));
+        }
+        Ok(KernelBenchEntry {
+            run: str_field("run")?,
+            backend,
+            bench: str_field("bench")?,
+            events: int_field("events")?,
+            elapsed_ns: int_field("elapsed_ns")?,
+            events_per_sec: rate_field("events_per_sec")?,
+            ns_per_event: rate_field("ns_per_event")?,
+        })
+    }
+}
+
+/// The committed trajectory file: `<repo root>/BENCH_kernel.json`.
+pub fn trajectory_path() -> PathBuf {
+    // bench crate manifest dir is `<repo>/crates/bench`.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the repo root")
+        .join("BENCH_kernel.json")
+}
+
+/// Parses and schema-validates a trajectory file's text.
+pub fn parse_trajectory(text: &str) -> Result<Vec<KernelBenchEntry>, String> {
+    let root = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    match root.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema `{s}` != expected `{SCHEMA}`")),
+        None => return Err("missing `schema` tag".into()),
+    }
+    let entries = root
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("missing `entries` array")?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, v)| KernelBenchEntry::from_value(v, i))
+        .collect()
+}
+
+/// Loads a trajectory file; a missing file is an empty trajectory.
+pub fn load(path: &Path) -> Result<Vec<KernelBenchEntry>, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => parse_trajectory(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Merges fresh measurements into an existing trajectory: an entry with
+/// the same `(run, backend, bench)` replaces the old record in place
+/// (re-running a bench updates its cell); new keys append in
+/// measurement order, so the file reads chronologically run by run.
+pub fn merge(
+    mut existing: Vec<KernelBenchEntry>,
+    fresh: Vec<KernelBenchEntry>,
+) -> Vec<KernelBenchEntry> {
+    for entry in fresh {
+        match existing.iter_mut().find(|e| e.key() == entry.key()) {
+            Some(slot) => *slot = entry,
+            None => existing.push(entry),
+        }
+    }
+    existing
+}
+
+/// Renders a trajectory: valid JSON, one entry per line so appending a
+/// run produces a line-per-record diff.
+pub fn render(entries: &[KernelBenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "\"schema\": {},", Value::Str(SCHEMA.into()));
+    out.push_str("\"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(out, "{}{sep}", e.to_value());
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Loads, merges, and writes back the trajectory at `path`.
+pub fn append(path: &Path, fresh: Vec<KernelBenchEntry>) -> Result<Vec<KernelBenchEntry>, String> {
+    let merged = merge(load(path)?, fresh);
+    fs::write(path, render(&merged)).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(merged)
+}
+
+/// The depth of a churn bench name (`churn/d4096` → 4096).
+fn churn_depth(bench: &str) -> Option<u64> {
+    bench.strip_prefix("churn/d").and_then(|d| d.parse().ok())
+}
+
+/// The regression gate: within one run, on the deepest churn bench
+/// measured for both backends, the wheel must not fall below the heap
+/// baseline. Returns a one-line verdict, or an error describing the
+/// regression (or the absence of a comparable pair).
+pub fn check_wheel_vs_heap(entries: &[KernelBenchEntry], run: &str) -> Result<String, String> {
+    let mut by_depth: BTreeMap<u64, (Option<f64>, Option<f64>)> = BTreeMap::new();
+    for e in entries.iter().filter(|e| e.run == run) {
+        if let Some(depth) = churn_depth(&e.bench) {
+            let cell = by_depth.entry(depth).or_default();
+            match e.backend.as_str() {
+                "heap" => cell.0 = Some(e.events_per_sec),
+                "wheel" => cell.1 = Some(e.events_per_sec),
+                _ => {}
+            }
+        }
+    }
+    let (depth, heap, wheel) = by_depth
+        .into_iter()
+        .rev()
+        .find_map(|(d, (h, w))| Some((d, h?, w?)))
+        .ok_or_else(|| format!("run `{run}`: no churn bench measured on both backends"))?;
+    let ratio = wheel / heap;
+    if wheel >= heap {
+        Ok(format!(
+            "run `{run}` churn/d{depth}: wheel {:.2e} ev/s vs heap {:.2e} ev/s ({ratio:.2}x) — ok",
+            wheel, heap
+        ))
+    } else {
+        Err(format!(
+            "run `{run}` churn/d{depth}: wheel {wheel:.2e} ev/s REGRESSED below heap \
+             {heap:.2e} ev/s ({ratio:.2}x)"
+        ))
+    }
+}
+
+/// CI entry point: schema-validate `path` and run the wheel-vs-heap
+/// gate for every run label that has a comparable churn pair. At least
+/// one run must be gateable, otherwise the file proves nothing.
+pub fn validate_file(path: &Path) -> Result<String, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = parse_trajectory(&text)?;
+    if entries.is_empty() {
+        return Err("trajectory is empty".into());
+    }
+    let mut runs: Vec<&str> = entries.iter().map(|e| e.run.as_str()).collect();
+    runs.dedup();
+    runs.sort_unstable();
+    runs.dedup();
+    let mut report = format!("{}: {} entries, schema ok\n", path.display(), entries.len());
+    let mut gated = 0;
+    for run in runs {
+        match check_wheel_vs_heap(&entries, run) {
+            Ok(line) => {
+                gated += 1;
+                let _ = writeln!(report, "{line}");
+            }
+            Err(e) if e.contains("REGRESSED") => return Err(e),
+            // A run without a churn pair (e.g. protocol-only rows) is
+            // reported but not fatal — some other run must gate.
+            Err(e) => {
+                let _ = writeln!(report, "{e} — skipped");
+            }
+        }
+    }
+    if gated == 0 {
+        return Err("no run has a wheel/heap churn pair to gate on".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(run: &str, backend: &str, bench: &str, eps: f64) -> KernelBenchEntry {
+        KernelBenchEntry {
+            run: run.into(),
+            backend: backend.into(),
+            bench: bench.into(),
+            events: 1_000_000,
+            elapsed_ns: (1e15 / eps) as u64,
+            events_per_sec: eps,
+            ns_per_event: 1e9 / eps,
+        }
+    }
+
+    #[test]
+    fn render_round_trips_through_the_parser() {
+        let entries = vec![
+            entry("pr6", "heap", "churn/d4096", 1.25e7),
+            entry("pr6", "wheel", "table3/token-dst1", 3.5e6),
+        ];
+        let parsed = parse_trajectory(&render(&entries)).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected_with_a_reason() {
+        for (text, needle) in [
+            ("[]", "schema"),
+            (
+                r#"{"schema":"tokencmp-kernel-bench-v0","entries":[]}"#,
+                "v0",
+            ),
+            (r#"{"schema":"tokencmp-kernel-bench-v1"}"#, "entries"),
+            (
+                r#"{"schema":"tokencmp-kernel-bench-v1","entries":[{"run":"a"}]}"#,
+                "backend",
+            ),
+        ] {
+            let err = parse_trajectory(text).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+        // Unknown backend and non-positive rates are schema errors too.
+        let mut bogus = entry("a", "heap", "churn/d8", 1e6);
+        bogus.backend = "splay".into();
+        let err = parse_trajectory(&render(&[bogus])).unwrap_err();
+        assert!(err.contains("splay"), "{err}");
+        let mut zero = entry("a", "heap", "churn/d8", 1e6);
+        zero.events_per_sec = 0.0;
+        let err = parse_trajectory(&render(&[zero])).unwrap_err();
+        assert!(err.contains("events_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn merge_replaces_same_key_and_appends_new_runs() {
+        let old = vec![
+            entry("pr5", "heap", "churn/d8", 1e6),
+            entry("pr5", "wheel", "churn/d8", 2e6),
+        ];
+        let fresh = vec![
+            entry("pr5", "wheel", "churn/d8", 3e6), // re-measured: replaces
+            entry("pr6", "wheel", "churn/d8", 4e6), // new run: appends
+        ];
+        let merged = merge(old, fresh);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[1].events_per_sec, 3e6, "replacement kept its slot");
+        assert_eq!(merged[2].run, "pr6");
+    }
+
+    #[test]
+    fn the_gate_reads_the_deepest_churn_pair_only() {
+        // Wheel loses at depth 8 but wins at depth 4096: the gate cares
+        // about the deepest (most queue-bound) point.
+        let entries = vec![
+            entry("pr6", "heap", "churn/d8", 2e7),
+            entry("pr6", "wheel", "churn/d8", 1e7),
+            entry("pr6", "heap", "churn/d4096", 1e7),
+            entry("pr6", "wheel", "churn/d4096", 2e7),
+        ];
+        let verdict = check_wheel_vs_heap(&entries, "pr6").unwrap();
+        assert!(verdict.contains("d4096"), "{verdict}");
+
+        // Swap the deep pair: now it must fail, naming the regression.
+        let entries = vec![
+            entry("pr6", "heap", "churn/d4096", 2e7),
+            entry("pr6", "wheel", "churn/d4096", 1e7),
+        ];
+        let err = check_wheel_vs_heap(&entries, "pr6").unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+
+        // Protocol-only rows cannot gate.
+        let entries = vec![entry("pr6", "wheel", "table3/dir", 1e6)];
+        assert!(check_wheel_vs_heap(&entries, "pr6").is_err());
+    }
+}

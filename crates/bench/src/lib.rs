@@ -14,6 +14,8 @@
 //! loops for any worker count, and each grid can export its raw per-point
 //! records as JSON under `target/sweep/` via [`BenchResults::export`].
 
+pub mod kernel;
+
 use std::path::PathBuf;
 
 use tokencmp::sim::stats::{mean_stderr, Stats};

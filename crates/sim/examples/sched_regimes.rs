@@ -1,0 +1,82 @@
+//! Scheduler regime matrix: per-op cost of each backend across queue
+//! regimes (depth × delta distribution × payload kind).
+//!
+//! This is the experiment behind the wheel's geometry choices (see the
+//! constant docs in `sim::sched` and DESIGN.md §14): the `fine` regime
+//! exposed the unsorted-bucket O(k²) burst pathology that motivated the
+//! in-bucket lockstep min-heaps, and comparing `fine` against `bimodal`
+//! under different bucket widths showed narrow 1 ns buckets (with µs
+//! think times relegated to the overflow heap) beating wide buckets
+//! that cover think times in-window.
+//!
+//! Run with `cargo run --release -p tokencmp-sim --example sched_regimes`.
+
+use std::time::Instant;
+
+use tokencmp_sim::{EventKind, EventQueue, NodeId, SchedulerKind, Time};
+
+type Payload = [u64; 5]; // TokenMsg-sized
+
+fn run(kind: SchedulerKind, depth: u64, deltas: &[u64], msgs: bool) -> f64 {
+    let mut q: EventQueue<Payload> = EventQueue::with_backend(kind);
+    let mut lcg: u64 = 0x9E3779B97F4A7C15 ^ depth;
+    let mut step = || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lcg >> 33
+    };
+    for i in 0..depth {
+        let d = deltas[(step() % deltas.len() as u64) as usize];
+        q.push(
+            Time::from_ps(d),
+            NodeId((i % 16) as u32),
+            EventKind::Wake { tag: i },
+        );
+    }
+    let pops = 2_000_000u64;
+    let start = Instant::now();
+    for _ in 0..pops {
+        let ev = q.pop().unwrap();
+        let d = deltas[(step() % deltas.len() as u64) as usize];
+        let t = Time::from_ps(ev.time.as_ps() + d);
+        if msgs {
+            q.push(
+                t,
+                ev.dst,
+                EventKind::Msg {
+                    src: ev.dst,
+                    msg: [1, 2, 3, 4, 5],
+                },
+            );
+        } else {
+            q.push(t, ev.dst, EventKind::Wake { tag: 0 });
+        }
+    }
+    start.elapsed().as_nanos() as f64 / pops as f64
+}
+
+fn main() {
+    // ps deltas: "fine" = link/cache latencies, "think" = µs sleeps.
+    let fine: Vec<u64> = vec![500, 1000, 2400, 10_000, 80_000, 150_000];
+    let mut bimodal = fine.clone();
+    bimodal.push(3_000_000); // 3 µs think time, 1 in 7 draws
+    let uniform: Vec<u64> = (0..64).map(|i| i * 131_072 + 500).collect();
+    for (dname, deltas) in [
+        ("fine", &fine),
+        ("bimodal", &bimodal),
+        ("uniform", &uniform),
+    ] {
+        for depth in [16u64, 64, 512] {
+            for msgs in [false, true] {
+                let h = run(SchedulerKind::Heap, depth, deltas, msgs);
+                let w = run(SchedulerKind::Wheel, depth, deltas, msgs);
+                println!(
+                    "{dname:8} depth={depth:<4} {} heap={h:6.1} wheel={w:6.1} ns/op ({:.2}x)",
+                    if msgs { "msg " } else { "wake" },
+                    h / w
+                );
+            }
+        }
+    }
+}

@@ -3,7 +3,8 @@
 use std::any::Any;
 use std::fmt;
 
-use crate::queue::{EventKind, EventQueue};
+use crate::queue::{EventKind, EventQueue, PendingEvent};
+use crate::sched::SchedulerKind;
 use crate::stats::Stats;
 use crate::time::{Dur, Time};
 
@@ -190,11 +191,19 @@ pub struct Kernel<M> {
 }
 
 impl<M: 'static> Kernel<M> {
-    /// Creates a kernel using the given transport.
+    /// Creates a kernel using the given transport, on the process-default
+    /// scheduler backend ([`SchedulerKind::from_env`]).
     pub fn new(transport: Box<dyn Transport<M>>) -> Kernel<M> {
+        Kernel::with_scheduler(transport, SchedulerKind::from_env())
+    }
+
+    /// Creates a kernel on an explicitly chosen scheduler backend;
+    /// differential suites pin both backends this way instead of racing
+    /// on `TOKENCMP_SCHEDULER`.
+    pub fn with_scheduler(transport: Box<dyn Transport<M>>, sched: SchedulerKind) -> Kernel<M> {
         Kernel {
             time: Time::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(sched),
             components: Vec::new(),
             transport,
             stats: Stats::new(),
@@ -202,6 +211,11 @@ impl<M: 'static> Kernel<M> {
             events_processed: 0,
             last_progress: Time::ZERO,
         }
+    }
+
+    /// Which scheduler backend this kernel runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.backend_kind()
     }
 
     /// Creates a kernel whose transport delivers instantly (for tests).
@@ -275,11 +289,12 @@ impl<M: 'static> Kernel<M> {
         }
     }
 
-    /// The pending events, in unspecified (but deterministic) order; used
-    /// by harnesses to build an in-flight message census for watchdog
-    /// diagnostics.
-    pub fn pending_events(&self) -> impl Iterator<Item = &crate::queue::QueuedEvent<M>> {
-        self.queue.iter()
+    /// A snapshot of the pending events, sorted by `(time, seq)` — the
+    /// order they would be delivered in — used by harnesses to build an
+    /// in-flight message census for watchdog diagnostics. The sort makes
+    /// stall dumps stable across scheduler backends.
+    pub fn pending_events(&self) -> Vec<PendingEvent<'_, M>> {
+        self.queue.census()
     }
 
     /// Simulated time of the last [`Ctx::progress`] call (simulation start
@@ -541,6 +556,7 @@ mod tests {
 
     #[test]
     fn pending_events_expose_the_census() {
+        use crate::queue::EventKindRef;
         let mut k: Kernel<u64> = Kernel::new_instant();
         let a = k.add_component(Echo::default());
         k.wake(a, Dur::from_ns(1), 7);
@@ -548,11 +564,34 @@ mod tests {
         let (mut wakes, mut msgs) = (0, 0);
         for ev in k.pending_events() {
             match ev.kind {
-                EventKind::Wake { .. } => wakes += 1,
-                EventKind::Msg { .. } => msgs += 1,
+                EventKindRef::Wake { .. } => wakes += 1,
+                EventKindRef::Msg { .. } => msgs += 1,
             }
         }
         assert_eq!((wakes, msgs), (1, 1));
+    }
+
+    #[test]
+    fn pending_events_census_is_delivery_ordered() {
+        // Regression: the census used to report heap-internal order, so
+        // watchdog stall dumps differed between backends. It must be
+        // sorted by (time, seq) on every backend.
+        for sched in SchedulerKind::ALL {
+            let mut k: Kernel<u64> =
+                Kernel::with_scheduler(Box::new(InstantTransport { latency: Dur::ZERO }), sched);
+            assert_eq!(k.scheduler_kind(), sched);
+            let a = k.add_component(Echo::default());
+            // Scrambled times plus same-time ties.
+            for (delay, tag) in [(9, 0), (1, 1), (9, 2), (4, 3), (1, 4)] {
+                k.wake(a, Dur::from_ns(delay), tag);
+            }
+            let order: Vec<(Time, u64)> =
+                k.pending_events().iter().map(|e| (e.time, e.seq)).collect();
+            let mut sorted = order.clone();
+            sorted.sort();
+            assert_eq!(order, sorted, "census unsorted on {sched}");
+            assert_eq!(order.len(), 5);
+        }
     }
 
     #[test]
@@ -569,7 +608,7 @@ mod tests {
         let mut k: Kernel<u64> = Kernel::new(Box::new(BlackHole));
         let a = k.add_component(Echo::default());
         k.inject(a, a, 1);
-        assert_eq!(k.pending_events().count(), 0);
+        assert_eq!(k.pending_events().len(), 0);
         k.wake(a, Dur::from_ns(1), 0);
         assert_eq!(k.run_to_completion(), RunOutcome::Idle);
         let e = k.component_as::<Echo>(a).unwrap();

@@ -50,13 +50,15 @@
 pub mod kernel;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use kernel::{
     Component, Ctx, Delivery, InstantTransport, Kernel, NodeId, RunOutcome, Transport,
 };
-pub use queue::{EventKind, EventQueue, QueuedEvent};
+pub use queue::{EventKind, EventKindRef, EventQueue, PendingEvent, QueuedEvent};
 pub use rng::Rng;
+pub use sched::{HeapScheduler, Scheduler, SchedulerKind, WheelScheduler};
 pub use stats::{Ewma, Histogram, Stats};
 pub use time::{Dur, Time};

@@ -1,13 +1,21 @@
 //! The pending-event queue.
 //!
-//! A binary heap ordered by `(time, sequence)`; the sequence number makes
-//! tie-breaking deterministic (FIFO among events scheduled for the same
-//! picosecond), which in turn makes whole simulations reproducible.
+//! A deterministic min-queue ordered by `(time, sequence)`; the sequence
+//! number — assigned here, centrally, so every backend sees the same
+//! numbering — makes tie-breaking FIFO among events scheduled for the
+//! same picosecond, which in turn makes whole simulations reproducible.
+//!
+//! The storage/ordering engine behind the queue is a pluggable
+//! [`Scheduler`](crate::sched::Scheduler) backend: the reference binary
+//! heap or the calendar timing wheel (see [`crate::sched`]). The two are
+//! bit-identical in pop order; the queue picks one at construction
+//! ([`EventQueue::new`] honours `TOKENCMP_SCHEDULER`,
+//! [`EventQueue::with_backend`] pins one explicitly).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use crate::kernel::NodeId;
+use crate::sched::{HeapScheduler, Scheduler, SchedulerKind, WheelScheduler};
 use crate::time::Time;
 
 /// What a queued event delivers to its destination component.
@@ -27,6 +35,68 @@ pub enum EventKind<M> {
     },
 }
 
+/// A by-reference view of an [`EventKind`], as yielded by the census
+/// ([`EventQueue::census`]) — the wheel backend stores message payloads
+/// in a slab, so a borrowing census cannot hand out `&EventKind<M>`.
+#[derive(Debug)]
+pub enum EventKindRef<'a, M> {
+    /// A pending message.
+    Msg {
+        /// Sending component.
+        src: NodeId,
+        /// Protocol payload.
+        msg: &'a M,
+    },
+    /// A pending wakeup.
+    Wake {
+        /// Component-defined discriminator.
+        tag: u64,
+    },
+}
+
+impl<M> Clone for EventKindRef<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for EventKindRef<'_, M> {}
+
+/// One row of the pending-event census: delivery coordinates plus a
+/// borrowed payload view.
+#[derive(Debug)]
+pub struct PendingEvent<'a, M> {
+    /// Delivery time.
+    pub time: Time,
+    /// Queue sequence number (FIFO tie-break key).
+    pub seq: u64,
+    /// Destination component.
+    pub dst: NodeId,
+    /// Payload view.
+    pub kind: EventKindRef<'a, M>,
+}
+
+impl<M> Clone for PendingEvent<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for PendingEvent<'_, M> {}
+
+impl<'a, M> PendingEvent<'a, M> {
+    /// A census row borrowing an owned queued event.
+    pub(crate) fn of(e: &'a QueuedEvent<M>) -> PendingEvent<'a, M> {
+        PendingEvent {
+            time: e.time,
+            seq: e.seq,
+            dst: e.dst,
+            kind: match &e.kind {
+                EventKind::Msg { src, msg } => EventKindRef::Msg { src: *src, msg },
+                EventKind::Wake { tag } => EventKindRef::Wake { tag: *tag },
+            },
+        }
+    }
+}
+
 /// An event plus its delivery coordinates.
 #[derive(Debug, Clone)]
 pub struct QueuedEvent<M> {
@@ -36,7 +106,15 @@ pub struct QueuedEvent<M> {
     pub dst: NodeId,
     /// Payload.
     pub kind: EventKind<M>,
-    seq: u64,
+    pub(crate) seq: u64,
+}
+
+impl<M> QueuedEvent<M> {
+    /// The queue sequence number (FIFO tie-break key among same-time
+    /// events). Assigned by [`EventQueue::push`], strictly increasing.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 impl<M> PartialEq for QueuedEvent<M> {
@@ -62,6 +140,18 @@ impl<M> Ord for QueuedEvent<M> {
     }
 }
 
+/// The scheduler backend actually in use. A two-armed enum (rather than
+/// `Box<dyn Scheduler>`) so the hot path stays a static match with both
+/// implementations inlinable.
+#[derive(Debug)]
+enum Backend<M> {
+    Heap(HeapScheduler<M>),
+    // Boxed: the wheel's inline occupancy bitmap makes it an order of
+    // magnitude larger than the heap arm, and `EventQueue` values move
+    // through `Kernel` constructors by value.
+    Wheel(Box<WheelScheduler<M>>),
+}
+
 /// A deterministic min-queue of simulation events.
 ///
 /// # Example
@@ -75,7 +165,7 @@ impl<M> Ord for QueuedEvent<M> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<QueuedEvent<M>>,
+    backend: Backend<M>,
     next_seq: u64,
 }
 
@@ -86,11 +176,30 @@ impl<M> Default for EventQueue<M> {
 }
 
 impl<M> EventQueue<M> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the process-default backend
+    /// ([`SchedulerKind::from_env`]).
     pub fn new() -> EventQueue<M> {
+        Self::with_backend(SchedulerKind::from_env())
+    }
+
+    /// Creates an empty queue on an explicitly chosen backend —
+    /// differential suites pin both backends this way instead of racing
+    /// on the environment.
+    pub fn with_backend(kind: SchedulerKind) -> EventQueue<M> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match kind {
+                SchedulerKind::Heap => Backend::Heap(HeapScheduler::default()),
+                SchedulerKind::Wheel => Backend::Wheel(Box::default()),
+            },
             next_seq: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend_kind(&self) -> SchedulerKind {
+        match self.backend {
+            Backend::Heap(_) => SchedulerKind::Heap,
+            Backend::Wheel(_) => SchedulerKind::Wheel,
         }
     }
 
@@ -98,38 +207,58 @@ impl<M> EventQueue<M> {
     pub fn push(&mut self, time: Time, dst: NodeId, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(QueuedEvent {
-            time,
-            dst,
-            kind,
-            seq,
-        });
+        match &mut self.backend {
+            Backend::Heap(s) => s.insert(time, seq, dst, kind),
+            Backend::Wheel(s) => s.insert(time, seq, dst, kind),
+        }
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
-        self.heap.pop()
+        match &mut self.backend {
+            Backend::Heap(s) => s.remove_min(),
+            Backend::Wheel(s) => s.remove_min(),
+        }
     }
 
     /// Delivery time of the earliest pending event.
     pub fn next_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Heap(s) => s.next_time(),
+            Backend::Wheel(s) => s.next_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(s) => Scheduler::len(s),
+            Backend::Wheel(s) => Scheduler::len(s.as_ref()),
+        }
     }
 
-    /// Iterates over pending events in unspecified (but deterministic,
-    /// heap-internal) order; for diagnostics, not for scheduling.
-    pub fn iter(&self) -> impl Iterator<Item = &QueuedEvent<M>> {
-        self.heap.iter()
+    /// The sequence number the next [`push`](Self::push) will assign —
+    /// equivalently, the number of events ever pushed.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// A snapshot of every pending event, sorted by `(time, seq)` — the
+    /// order events would leave the queue — so watchdog stall dumps and
+    /// flight-recorder diagnostics are stable across backends.
+    pub fn census(&self) -> Vec<PendingEvent<'_, M>> {
+        let mut out = Vec::with_capacity(self.len());
+        match &self.backend {
+            Backend::Heap(s) => s.collect_pending(&mut out),
+            Backend::Wheel(s) => s.collect_pending(&mut out),
+        }
+        out.sort_by_key(|e| (e.time, e.seq));
+        out
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -141,43 +270,87 @@ mod tests {
         EventKind::Wake { tag }
     }
 
+    fn both() -> [EventQueue<u8>; 2] {
+        [
+            EventQueue::with_backend(SchedulerKind::Heap),
+            EventQueue::with_backend(SchedulerKind::Wheel),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_ns(30), NodeId(0), wake(3));
-        q.push(Time::from_ns(10), NodeId(0), wake(1));
-        q.push(Time::from_ns(20), NodeId(0), wake(2));
-        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Wake { tag } => tag,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(tags, vec![1, 2, 3]);
+        for mut q in both() {
+            q.push(Time::from_ns(30), NodeId(0), wake(3));
+            q.push(Time::from_ns(10), NodeId(0), wake(1));
+            q.push(Time::from_ns(20), NodeId(0), wake(2));
+            let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Wake { tag } => tag,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(tags, vec![1, 2, 3]);
+        }
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        let t = Time::from_ns(5);
-        for tag in 0..10 {
-            q.push(t, NodeId(0), wake(tag));
-        }
-        for expect in 0..10 {
-            match q.pop().unwrap().kind {
-                EventKind::Wake { tag } => assert_eq!(tag, expect),
-                _ => unreachable!(),
+        for mut q in both() {
+            let t = Time::from_ns(5);
+            for tag in 0..10 {
+                q.push(t, NodeId(0), wake(tag));
+            }
+            for expect in 0..10 {
+                match q.pop().unwrap().kind {
+                    EventKind::Wake { tag } => assert_eq!(tag, expect),
+                    _ => unreachable!(),
+                }
             }
         }
     }
 
     #[test]
     fn next_time_peeks_without_removing() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.next_time(), None);
-        q.push(Time::from_ns(7), NodeId(1), wake(0));
-        assert_eq!(q.next_time(), Some(Time::from_ns(7)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for mut q in both() {
+            assert_eq!(q.next_time(), None);
+            q.push(Time::from_ns(7), NodeId(1), wake(0));
+            assert_eq!(q.next_time(), Some(Time::from_ns(7)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn census_is_sorted_by_time_then_seq_on_both_backends() {
+        for mut q in both() {
+            // Push in scrambled time order, with a same-time tie pair.
+            q.push(Time::from_ns(9), NodeId(0), wake(0));
+            q.push(Time::from_ns(1), NodeId(1), wake(1));
+            q.push(Time::from_ns(9), NodeId(2), wake(2));
+            q.push(Time::from_ns(4), NodeId(3), wake(3));
+            let census = q.census();
+            let order: Vec<(Time, u64)> = census.iter().map(|e| (e.time, e.seq)).collect();
+            let mut sorted = order.clone();
+            sorted.sort();
+            assert_eq!(order, sorted, "census must be (time, seq)-sorted");
+            // And it matches the pop order exactly.
+            let popped: Vec<(Time, u64)> = std::iter::from_fn(|| q.pop())
+                .map(|e| (e.time, e.seq()))
+                .collect();
+            assert_eq!(order, popped);
+        }
+    }
+
+    #[test]
+    fn next_seq_counts_every_push() {
+        for mut q in both() {
+            assert_eq!(q.next_seq(), 0);
+            for i in 0..100 {
+                q.push(Time::from_ns(i % 7), NodeId(0), wake(i));
+            }
+            assert_eq!(q.next_seq(), 100);
+            q.pop();
+            assert_eq!(q.next_seq(), 100, "pops do not consume sequence numbers");
+        }
     }
 }

@@ -80,6 +80,23 @@ impl Time {
     pub fn max(self, other: Time) -> Time {
         Time(self.0.max(other.0))
     }
+
+    /// `self + d`, or `None` if the sum would pass [`Time::MAX`].
+    #[inline]
+    pub const fn checked_add(self, d: Dur) -> Option<Time> {
+        match self.0.checked_add(d.0) {
+            Some(ps) => Some(Time(ps)),
+            None => None,
+        }
+    }
+
+    /// `self + d`, clamped to [`Time::MAX`] on overflow — for horizon
+    /// math near the sentinel, where plain `+` would panic (debug) or
+    /// wrap (release).
+    #[inline]
+    pub const fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
 }
 
 impl Dur {
@@ -235,6 +252,20 @@ mod tests {
     fn occupancy_rounds_up() {
         // 1 byte at 3 GB/s = 333.33.. ps, rounded up to 334.
         assert_eq!(Dur::from_bytes_at_gbps(1, 3).as_ps(), 334);
+    }
+
+    #[test]
+    fn checked_and_saturating_add_handle_the_sentinel() {
+        let near = Time::from_ps(u64::MAX - 10);
+        assert_eq!(near.checked_add(Dur::from_ps(10)), Some(Time::MAX));
+        assert_eq!(near.checked_add(Dur::from_ps(11)), None);
+        assert_eq!(near.saturating_add(Dur::from_ps(10)), Time::MAX);
+        assert_eq!(near.saturating_add(Dur::from_ps(999)), Time::MAX);
+        assert_eq!(Time::MAX.saturating_add(Dur::ZERO), Time::MAX);
+        assert_eq!(
+            Time::ZERO.checked_add(Dur::from_ns(1)),
+            Some(Time::from_ns(1))
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ use tokencmp_directory::{ChipRights, DirHome, DirL1, DirL2, DirMsg, L1State};
 use tokencmp_net::{FaultPlan, Network, Traffic, TrafficHandle};
 use tokencmp_proto::{Block, CpuPort, Layout, MsgClass, NetMsg, SystemConfig, Unit};
 use tokencmp_sim::kernel::RunOutcome;
-use tokencmp_sim::{Dur, EventKind, Kernel, NodeId, Stats, Time};
+use tokencmp_sim::{
+    Dur, EventKindRef, InstantTransport, Kernel, NodeId, SchedulerKind, Stats, Time,
+};
 use tokencmp_trace::{LatencyBreakdown, TraceHandle};
 
 use crate::perfect::PerfectL2;
@@ -111,6 +113,13 @@ pub struct RunOptions {
     pub stall_window: Option<Dur>,
     /// Online refinement checking against the verified mcheck models.
     pub conform: ConformOptions,
+    /// Scheduler backend for the kernel's event queue. `None` (the
+    /// default) uses the process-wide choice
+    /// ([`SchedulerKind::from_env`], i.e. the `TOKENCMP_SCHEDULER` knob
+    /// or the wheel); pin one explicitly for differential runs. Both
+    /// backends produce bit-identical simulations — this knob selects an
+    /// engine, never a result.
+    pub scheduler: Option<SchedulerKind>,
 }
 
 impl Default for RunOptions {
@@ -123,6 +132,7 @@ impl Default for RunOptions {
             faults: FaultPlan::none(),
             stall_window: Some(Dur::from_ns(1_000_000)),
             conform: ConformOptions::default(),
+            scheduler: None,
         }
     }
 }
@@ -147,6 +157,17 @@ impl RunOptions {
     pub fn with_stall_window(mut self, window: Option<Dur>) -> RunOptions {
         self.stall_window = window;
         self
+    }
+
+    /// Returns these options pinned to the given scheduler backend.
+    pub fn with_scheduler(mut self, sched: SchedulerKind) -> RunOptions {
+        self.scheduler = Some(sched);
+        self
+    }
+
+    /// The backend the kernels of this run will use.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler.unwrap_or_else(SchedulerKind::from_env)
     }
 }
 
@@ -313,10 +334,12 @@ fn diagnose<M: CpuPort + NetMsg + 'static>(
     }
     let mut wakes = 0u64;
     let mut by_class = [0u64; 7];
+    // The census is (time, seq)-sorted, so this count — and any future
+    // per-event dump — is stable across scheduler backends.
     for ev in kernel.pending_events() {
-        match &ev.kind {
-            EventKind::Wake { .. } => wakes += 1,
-            EventKind::Msg { msg, .. } => by_class[msg.class().index()] += 1,
+        match ev.kind {
+            EventKindRef::Wake { .. } => wakes += 1,
+            EventKindRef::Msg { msg, .. } => by_class[msg.class().index()] += 1,
         }
     }
     let _ = writeln!(s, "  in flight: {wakes} wakeups");
@@ -375,7 +398,7 @@ fn run_token(
     }
     let traffic = net.traffic_handle();
     let faults = net.fault_handle();
-    let mut k: Kernel<TokenMsg> = Kernel::new(Box::new(net));
+    let mut k: Kernel<TokenMsg> = Kernel::with_scheduler(Box::new(net), opts.scheduler_kind());
     for p in layout.proc_ids() {
         let id = k.add_component(Sequencer::<TokenMsg>::new(
             p,
@@ -570,7 +593,7 @@ fn run_directory(
     }
     let traffic = net.traffic_handle();
     let faults = net.fault_handle();
-    let mut k: Kernel<DirMsg> = Kernel::new(Box::new(net));
+    let mut k: Kernel<DirMsg> = Kernel::with_scheduler(Box::new(net), opts.scheduler_kind());
     for p in layout.proc_ids() {
         let id = k.add_component(Sequencer::<DirMsg>::new(
             p,
@@ -731,7 +754,10 @@ fn run_perfect(
     trace: Option<TraceHandle>,
 ) -> RunResult {
     let layout = cfg.layout();
-    let mut k: Kernel<TokenMsg> = Kernel::new_instant();
+    let mut k: Kernel<TokenMsg> = Kernel::with_scheduler(
+        Box::new(InstantTransport { latency: Dur::ZERO }),
+        opts.scheduler_kind(),
+    );
     let magic = NodeId(layout.procs());
     let mut seqs = Vec::new();
     for p in layout.proc_ids() {

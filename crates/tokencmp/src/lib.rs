@@ -74,7 +74,7 @@ pub use tokencmp_litmus::{
 };
 pub use tokencmp_net::{FaultCounters, FaultPlan, FaultSpec, Tier, Traffic};
 pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, SystemConfig};
-pub use tokencmp_sim::{Dur, RunOutcome, Time};
+pub use tokencmp_sim::{Dur, RunOutcome, SchedulerKind, Time};
 pub use tokencmp_sweep::{latency_table, par_map, PointRecord, PointResult, Sweep, SweepPoint};
 pub use tokencmp_system::{
     run_workload, run_workload_traced, ConformOptions, Protocol, RunOptions, RunResult, Step,

@@ -1,0 +1,95 @@
+//! Cross-protocol scheduler bit-identity.
+//!
+//! The timing wheel is only admissible as the default backend if it is
+//! *invisible*: for every protocol of the paper's evaluation, a run on
+//! the wheel must be bit-identical — runtime, event count, every
+//! counter including the `lat.*` histogram exports, every traffic cell —
+//! to the same run on the reference heap. This suite proves that on the
+//! paper's Table 3 system (`common::table3_system`) for all nine
+//! protocols and two seeds, plus a fault-injection run (drops perturb
+//! event interleavings, the hardest case for a reordering bug to hide
+//! in).
+
+#[path = "common/mod.rs"]
+mod common;
+
+use tokencmp::{
+    run_workload, FaultPlan, LockingWorkload, MsgClass, Protocol, RunOptions, RunOutcome,
+    RunResult, SchedulerKind, Tier, Variant,
+};
+
+fn run_on(protocol: Protocol, seed: u64, sched: SchedulerKind) -> RunResult {
+    let cfg = common::table3_system();
+    // The cross_protocol.rs contention workload, scaled to stay tier-1
+    // affordable across 9 protocols × 2 backends × 2 seeds.
+    let w = LockingWorkload::new(16, 8, 12, seed ^ 0x5EED);
+    let opts = RunOptions::default().with_scheduler(sched);
+    let opts = RunOptions { seed, ..opts };
+    let (res, _) = run_workload(&cfg, protocol, w, &opts);
+    assert_eq!(res.outcome, RunOutcome::Idle, "{protocol} did not finish");
+    res
+}
+
+/// Every observable of two runs must match exactly.
+fn assert_bit_identical(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(a.runtime, b.runtime, "{label}: runtime diverged");
+    assert_eq!(a.events, b.events, "{label}: event count diverged");
+    for tier in [Tier::Intra, Tier::Inter, Tier::Mem] {
+        for class in MsgClass::ALL {
+            assert_eq!(
+                a.traffic.bytes(tier, class),
+                b.traffic.bytes(tier, class),
+                "{label}: traffic {tier:?}/{class} diverged"
+            );
+            assert_eq!(
+                a.traffic.msgs(tier, class),
+                b.traffic.msgs(tier, class),
+                "{label}: message count {tier:?}/{class} diverged"
+            );
+        }
+    }
+    // Full counter registries — includes the lat.* histogram exports, so
+    // a single resequenced miss anywhere in the run fails here.
+    let ka: Vec<_> = a.counters.counters().collect();
+    let kb: Vec<_> = b.counters.counters().collect();
+    assert_eq!(ka, kb, "{label}: counters diverged");
+}
+
+#[test]
+fn all_protocols_are_bit_identical_across_backends() {
+    for protocol in common::all_protocols() {
+        for seed in [1u64, 42] {
+            let heap = run_on(protocol, seed, SchedulerKind::Heap);
+            let wheel = run_on(protocol, seed, SchedulerKind::Wheel);
+            assert_bit_identical(&heap, &wheel, &format!("{protocol} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn fault_injected_runs_are_bit_identical_across_backends() {
+    // Message drops + retries reshape the event schedule mid-run; the
+    // recovery path (timeouts, persistent requests) is the most
+    // tie-break-sensitive code in the repo.
+    let cfg = common::table3_system();
+    let plan = FaultPlan::none().dropping(0.02);
+    let run = |sched| {
+        let w = LockingWorkload::new(16, 8, 10, 7);
+        let opts = RunOptions {
+            seed: 7,
+            ..RunOptions::default()
+                .with_faults(plan)
+                .with_scheduler(sched)
+        };
+        let (res, _) = run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &opts);
+        assert_eq!(res.outcome, RunOutcome::Idle);
+        res
+    };
+    let heap = run(SchedulerKind::Heap);
+    let wheel = run(SchedulerKind::Wheel);
+    assert_bit_identical(&heap, &wheel, "Dst1 under 2% drops");
+    assert!(
+        heap.counters.counter("net.fault.dropped") > 0,
+        "fault plan never dropped a message — test has no teeth"
+    );
+}

@@ -36,9 +36,22 @@ pub mod test_runner;
 /// The glob-import surface the real crate exposes.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Draws from one of several strategies over the same value type, chosen
+/// uniformly per case (upstream-proptest compatible, minus arm weights):
+/// each arm is [boxed](strategy::Strategy::boxed) and the set becomes a
+/// [`Union`](strategy::Union).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
 }
 
 /// Declares property tests.

@@ -48,6 +48,69 @@ pub trait Strategy {
     {
         FlatMap { inner: self, f }
     }
+
+    /// Erases the strategy's concrete type (upstream-proptest
+    /// compatible) so differently-shaped strategies over one value type
+    /// can live in one collection — notably the arms of [`Union`] /
+    /// [`prop_oneof!`](crate::prop_oneof).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
+    }
+}
+
+/// A strategy that draws from one of several same-valued strategies,
+/// chosen uniformly per case (the engine behind
+/// [`prop_oneof!`](crate::prop_oneof)).
+///
+/// Shrinking concatenates every arm's candidates for the value: an arm
+/// other than the producing one may propose values only it could have
+/// generated, but any such value is still a legal `Union` value, which is
+/// all [`Strategy::shrink`] requires.
+pub struct Union<S: Strategy> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// A union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<S>) -> Union<S> {
+        assert!(!options.is_empty(), "empty Union strategy");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let arm = rng.below(self.options.len() as u64) as usize;
+        self.options[arm].generate(rng)
+    }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.options.iter().flat_map(|o| o.shrink(value)).collect()
+    }
 }
 
 /// A strategy whose values are another strategy's, passed through a
@@ -251,6 +314,26 @@ mod tests {
             assert!((1..4).contains(&v.len()), "{v:?}");
             assert!(v.iter().all(|&x| x < 10), "{v:?}");
         }
+    }
+
+    #[test]
+    fn union_draws_every_arm_and_shrinks_downward() {
+        let mut rng = TestRng::new(5);
+        let s = Union::new(vec![(0u32..10).boxed(), (100u32..110).boxed()]);
+        let (mut low, mut high) = (0, 0);
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                v if v < 10 => low += 1,
+                v if (100..110).contains(&v) => high += 1,
+                v => panic!("value {v} outside every arm"),
+            }
+        }
+        assert!(low > 0 && high > 0, "one arm never drawn ({low}/{high})");
+        // Shrinks come from both arms and never exceed the value.
+        let cands = s.shrink(&105);
+        assert!(cands.iter().all(|&c| c < 105));
+        assert!(cands.contains(&100), "high arm's minimum missing");
+        assert!(cands.contains(&0), "low arm's minimum missing");
     }
 
     #[test]

@@ -69,8 +69,24 @@ pub struct ConformChecker {
     /// `T` tokens plus the owner token (the substrate's initial state).
     holdings: BTreeMap<(Block, NodeId), Holding>,
     touched: BTreeSet<Block>,
-    /// Multiset of in-flight token bundles, keyed by destination.
-    inflight: BTreeMap<(Block, NodeId, u32, bool), u32>,
+    /// Multiset of in-flight token bundles, keyed by destination and
+    /// the recreation serial the bundle was minted under (tagged from
+    /// the sender's tracked serial at send time).
+    inflight: BTreeMap<(Block, NodeId, u32, bool, u32), u32>,
+    /// Per-(block, node) recreation serial, updated when a node applies
+    /// a recreation invalidation ([`TraceEvent::EpochInval`]). Absent
+    /// means serial 0 — on a lossless run these maps stay empty.
+    node_serial: BTreeMap<(Block, NodeId), u32>,
+    /// Per-block recreation serial in force at the token authority.
+    block_serial: BTreeMap<Block, u32>,
+    /// Blocks with a recreation in progress (started, not yet minted).
+    recreating: BTreeSet<Block>,
+    /// Tokens the interconnect destroyed, per (block, serial):
+    /// `(count, owner tokens)`. Quiescent conservation balances the
+    /// census against the entry for the block's *current* serial —
+    /// losses under superseded serials were already wiped from the
+    /// holdings by the recreation invalidations.
+    lost: BTreeMap<(Block, u32), (u32, u32)>,
     /// Persistent-table activation counts per (block, proc), summed
     /// over the issuer and every applied remote table entry. Positive
     /// means some table still holds the request — used only to label
@@ -107,6 +123,10 @@ impl ConformChecker {
             holdings: BTreeMap::new(),
             touched: BTreeSet::new(),
             inflight: BTreeMap::new(),
+            node_serial: BTreeMap::new(),
+            block_serial: BTreeMap::new(),
+            recreating: BTreeSet::new(),
+            lost: BTreeMap::new(),
             table_active: BTreeMap::new(),
             holders: BTreeMap::new(),
             outstanding: BTreeMap::new(),
@@ -148,10 +168,15 @@ impl ConformChecker {
         if let Some(v) = &self.violation {
             return Err(v.clone());
         }
-        if let Some(((block, node, count, owner), n)) = self.inflight.iter().next() {
+        if let Some(&block) = self.recreating.iter().next() {
+            return Err(self.final_report(format!(
+                "token recreation of {block:?} still in progress at quiescence"
+            )));
+        }
+        if let Some(((block, node, count, owner, serial), n)) = self.inflight.iter().next() {
             return Err(self.final_report(format!(
                 "{n} undelivered in-flight bundle(s) at quiescence; first: \
-                 {count} token(s){} of {block:?} bound for n{}",
+                 {count} token(s){} of {block:?} (serial {serial}) bound for n{}",
                 if *owner { "+owner" } else { "" },
                 node.0
             )));
@@ -163,6 +188,8 @@ impl ConformChecker {
             )));
         }
         for &block in &self.touched {
+            let serial = self.block_serial.get(&block).copied().unwrap_or(0);
+            let (lost, lost_owners) = self.lost.get(&(block, serial)).copied().unwrap_or((0, 0));
             let mut tokens = 0u32;
             let mut owners = 0u32;
             for ((b, _), &(t, o)) in self.holdings.range((block, NodeId(0))..) {
@@ -172,10 +199,11 @@ impl ConformChecker {
                 tokens += t;
                 owners += o as u32;
             }
-            if tokens != self.tokens_per_block || owners != 1 {
+            if tokens + lost != self.tokens_per_block || owners + lost_owners != 1 {
                 return Err(self.final_report(format!(
-                    "token conservation violated for {block:?} at quiescence: \
-                     {tokens}/{} tokens, {owners} owner token(s)",
+                    "token conservation violated for {block:?} at quiescence \
+                     (serial {serial}): {tokens} held + {lost} lost of {} tokens, \
+                     {owners} owner token(s) held + {lost_owners} lost",
                     self.tokens_per_block
                 )));
             }
@@ -232,6 +260,27 @@ impl ConformChecker {
             .unwrap_or((0, false))
     }
 
+    /// The recreation serial `node` currently tracks for `block`
+    /// (0 until the block's first recreation invalidation).
+    fn serial_at(&self, block: Block, node: NodeId) -> u32 {
+        self.node_serial.get(&(block, node)).copied().unwrap_or(0)
+    }
+
+    /// Removes one bundle from the in-flight multiset; false if none
+    /// matched the key.
+    fn take_inflight(&mut self, key: (Block, NodeId, u32, bool, u32)) -> bool {
+        match self.inflight.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    self.inflight.remove(&key);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Labels a token move with the model transition it refines, for
     /// coverage accounting. Approximate by design (see DESIGN.md §13):
     /// a mislabel here can skew the coverage report, never the
@@ -283,9 +332,16 @@ impl ConformChecker {
         }
         let kind = self.move_kind(block, from, to, count == held);
         self.covered.insert(kind);
+        // The concrete sender stamps the bundle with its tracked serial;
+        // mirror that here so delivery, loss, and stale-discard events
+        // all resolve against the serial the bundle actually carries.
+        let serial = self.serial_at(block, from);
         self.holdings
             .insert((block, from), (held - count, held_owner && !owner));
-        *self.inflight.entry((block, to, count, owner)).or_insert(0) += 1;
+        *self
+            .inflight
+            .entry((block, to, count, owner, serial))
+            .or_insert(0) += 1;
     }
 
     fn on_tokens_delivered(
@@ -298,24 +354,23 @@ impl ConformChecker {
         owner: bool,
     ) {
         self.touch(block);
-        match self.inflight.get_mut(&(block, node, count, owner)) {
-            Some(n) if *n > 0 => {
-                *n -= 1;
-                if *n == 0 {
-                    self.inflight.remove(&(block, node, count, owner));
-                }
-            }
-            _ => {
-                return self.fail(
-                    at,
-                    ev,
-                    format!(
-                        "n{} folds {count} token(s){} with no matching in-flight bundle",
-                        node.0,
-                        if owner { "+owner" } else { "" }
-                    ),
-                );
-            }
+        // A folded (non-discarded) bundle always carries the receiver's
+        // current serial: the home mints new-serial tokens only after
+        // every node acked the invalidation, and an acked node discards
+        // older-serial bundles at receipt — so old-at-new or new-at-old
+        // pairings are inadmissible.
+        let serial = self.serial_at(block, node);
+        if !self.take_inflight((block, node, count, owner, serial)) {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "n{} folds {count} token(s){} with no matching in-flight \
+                     bundle at serial {serial}",
+                    node.0,
+                    if owner { "+owner" } else { "" }
+                ),
+            );
         }
         let (held, held_owner) = self.holding(block, node);
         let total = held + count;
@@ -334,6 +389,211 @@ impl ConformChecker {
         self.holdings
             .insert((block, node), (total, held_owner || owner));
         self.covered.insert("deliver-tokens");
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors TokenLost's fields
+    fn on_token_lost(
+        &mut self,
+        at: Time,
+        ev: &TraceEvent,
+        block: Block,
+        to: NodeId,
+        count: u32,
+        owner: bool,
+        serial: u32,
+    ) {
+        self.touch(block);
+        if !self.take_inflight((block, to, count, owner, serial)) {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "interconnect loses {count} token(s){} bound for n{} with \
+                     no matching in-flight bundle at serial {serial}",
+                    if owner { "+owner" } else { "" },
+                    to.0
+                ),
+            );
+        }
+        let e = self.lost.entry((block, serial)).or_insert((0, 0));
+        e.0 += count;
+        e.1 += owner as u32;
+        self.covered.insert("lose");
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors StaleDiscard's fields
+    fn on_stale_discard(
+        &mut self,
+        at: Time,
+        ev: &TraceEvent,
+        node: NodeId,
+        block: Block,
+        count: u32,
+        owner: bool,
+        serial: u32,
+    ) {
+        self.touch(block);
+        let current = self.serial_at(block, node);
+        if serial >= current {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "n{} discards a serial-{serial} bundle as stale while \
+                     itself tracking serial {current}",
+                    node.0
+                ),
+            );
+        }
+        if !self.take_inflight((block, node, count, owner, serial)) {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "n{} discards {count} stale token(s){} with no matching \
+                     in-flight bundle at serial {serial}",
+                    node.0,
+                    if owner { "+owner" } else { "" }
+                ),
+            );
+        }
+        // Destroyed, not lost: a superseding recreation already minted
+        // replacements, so stale tokens leave the books entirely.
+        self.covered.insert("deliver-stale");
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors EpochInval's fields
+    fn on_epoch_inval(
+        &mut self,
+        at: Time,
+        ev: &TraceEvent,
+        node: NodeId,
+        block: Block,
+        serial: u32,
+        discarded: u32,
+        owner: bool,
+    ) {
+        self.touch(block);
+        let prev = self.serial_at(block, node);
+        if serial <= prev {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "n{} applies a recreation invalidation for serial {serial} \
+                     while already tracking serial {prev}",
+                    node.0
+                ),
+            );
+        }
+        // Refinement check: what the node says it destroyed must match
+        // the abstraction's view of its holding.
+        let (held, held_owner) = self.holding(block, node);
+        if held != discarded || held_owner != owner {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "n{} reports destroying {discarded} token(s) (owner {owner}) \
+                     under the invalidation but the abstraction holds {held} \
+                     (owner {held_owner})",
+                    node.0
+                ),
+            );
+        }
+        self.holdings.insert((block, node), (0, false));
+        self.node_serial.insert((block, node), serial);
+        self.covered.insert("deliver-inval");
+    }
+
+    fn on_recreation_start(&mut self, at: Time, ev: &TraceEvent, block: Block, serial: u32) {
+        self.touch(block);
+        let prev = self.block_serial.get(&block).copied().unwrap_or(0);
+        if serial != prev + 1 {
+            return self.fail(
+                at,
+                ev,
+                format!("recreation of {block:?} jumps from serial {prev} to {serial}"),
+            );
+        }
+        if !self.recreating.insert(block) {
+            return self.fail(
+                at,
+                ev,
+                format!("recreation of {block:?} starts while one is already in progress"),
+            );
+        }
+        self.block_serial.insert(block, serial);
+        self.covered.insert("recreate-start");
+    }
+
+    fn on_recreation_done(&mut self, at: Time, ev: &TraceEvent, block: Block, serial: u32) {
+        if !self.recreating.remove(&block) {
+            return self.fail(
+                at,
+                ev,
+                format!("recreation of {block:?} completes without a matching start"),
+            );
+        }
+        let expected = self.block_serial.get(&block).copied().unwrap_or(0);
+        if serial != expected {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "recreation of {block:?} completes at serial {serial} but \
+                     serial {expected} was started"
+                ),
+            );
+        }
+        // The mint is only safe once every node that ever tracked the
+        // block adopted the new serial (the all-acks barrier) …
+        let mut stale_node = None;
+        for (&(b, n), &s) in self.node_serial.range((block, NodeId(0))..) {
+            if b != block {
+                break;
+            }
+            if s != serial {
+                stale_node = Some((n, s));
+                break;
+            }
+        }
+        if let Some((n, s)) = stale_node {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "recreation of {block:?} completes while n{} still tracks \
+                     serial {s}",
+                    n.0
+                ),
+            );
+        }
+        // … at which point every holding was wiped and no new-serial
+        // tokens can exist yet: the whole token set must be in limbo.
+        let mut held = 0u32;
+        let mut owners = 0u32;
+        for ((b, _), &(t, o)) in self.holdings.range((block, NodeId(0))..) {
+            if *b != block {
+                break;
+            }
+            held += t;
+            owners += o as u32;
+        }
+        if held != 0 || owners != 0 {
+            return self.fail(
+                at,
+                ev,
+                format!(
+                    "recreation of {block:?} completes with {held} token(s) and \
+                     {owners} owner token(s) still held somewhere"
+                ),
+            );
+        }
+        let home = self.layout.mem(self.cfg.home_of(block));
+        self.holdings
+            .insert((block, home), (self.tokens_per_block, true));
+        self.covered.insert("recreate-done");
     }
 
     fn on_access_done(
@@ -584,6 +844,49 @@ impl ConformChecker {
             TraceEvent::MissCommit { .. } => {
                 if self.family == Family::Directory {
                     self.covered.insert("req");
+                }
+            }
+            TraceEvent::TokenLost {
+                block,
+                to,
+                count,
+                owner,
+                serial,
+            } => {
+                if self.family == Family::Token {
+                    self.on_token_lost(at, &ev, block, to, count, owner, serial);
+                }
+            }
+            TraceEvent::StaleDiscard {
+                node,
+                block,
+                count,
+                owner,
+                serial,
+            } => {
+                if self.family == Family::Token {
+                    self.on_stale_discard(at, &ev, node, block, count, owner, serial);
+                }
+            }
+            TraceEvent::EpochInval {
+                node,
+                block,
+                serial,
+                discarded,
+                owner,
+            } => {
+                if self.family == Family::Token {
+                    self.on_epoch_inval(at, &ev, node, block, serial, discarded, owner);
+                }
+            }
+            TraceEvent::RecreationStart { block, serial } => {
+                if self.family == Family::Token {
+                    self.on_recreation_start(at, &ev, block, serial);
+                }
+            }
+            TraceEvent::RecreationDone { block, serial } => {
+                if self.family == Family::Token {
+                    self.on_recreation_done(at, &ev, block, serial);
                 }
             }
             TraceEvent::MsgSend { .. } | TraceEvent::Fault { .. } => {}

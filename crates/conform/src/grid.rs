@@ -125,6 +125,60 @@ pub fn lossy_plan() -> FaultPlan {
         .reordering(0.10, Dur::from_ns(15))
 }
 
+/// The sweep's token-lossy adversary: [`lossy_plan`] plus the opt-in
+/// token-dropping tier, so in-flight token bundles themselves are
+/// destroyed and every cell exercises the recreation protocol (§15) —
+/// epoch invalidation rounds, stale-bundle discards, remints — under
+/// the same jitter and reordering pressure.
+pub fn token_lossy_plan() -> FaultPlan {
+    lossy_plan().dropping_tokens(0.05)
+}
+
+/// The fault adversary of a conformance cell, in escalating order of
+/// hostility. [`ConformPoint::plan`] carries the matching label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTier {
+    /// No fault injection: the baseline every protocol runs.
+    Clean,
+    /// [`lossy_plan`]: transient drops plus jitter and reordering
+    /// (token protocols only).
+    Lossy,
+    /// [`token_lossy_plan`]: additionally destroys token bundles in
+    /// flight, driving the recreation protocol (token protocols only).
+    TokenLossy,
+}
+
+impl FaultTier {
+    /// The tiers a protocol can run: everything for the token variants,
+    /// clean only for the baselines (DirectoryCMP rejects drop plans;
+    /// PerfectL2 models no interconnect).
+    pub fn for_protocol(protocol: Protocol) -> &'static [FaultTier] {
+        if matches!(protocol, Protocol::Token(_)) {
+            &[FaultTier::Clean, FaultTier::Lossy, FaultTier::TokenLossy]
+        } else {
+            &[FaultTier::Clean]
+        }
+    }
+
+    /// The tier's fault plan.
+    pub fn plan(self) -> FaultPlan {
+        match self {
+            FaultTier::Clean => FaultPlan::none(),
+            FaultTier::Lossy => lossy_plan(),
+            FaultTier::TokenLossy => token_lossy_plan(),
+        }
+    }
+
+    /// Stable cell label (`"clean"` / `"lossy"` / `"token-lossy"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTier::Clean => "clean",
+            FaultTier::Lossy => "lossy",
+            FaultTier::TokenLossy => "token-lossy",
+        }
+    }
+}
+
 /// Runs one conformance cell: builds the system, installs a
 /// [`ConformChecker`] as the trace sink, drives the workload to
 /// quiescence and returns the checker's verdict and coverage.
@@ -138,7 +192,7 @@ pub fn run_conform(
     work: &ConformWork,
     protocol: Protocol,
     seed: u64,
-    lossy: bool,
+    tier: FaultTier,
     mutation: Mutation,
 ) -> ConformPoint {
     let cfg = work.config();
@@ -149,11 +203,7 @@ pub fn run_conform(
     let handle: TraceHandle = checker.clone();
     let opts = RunOptions {
         seed,
-        faults: if lossy {
-            lossy_plan()
-        } else {
-            FaultPlan::none()
-        },
+        faults: tier.plan(),
         ..RunOptions::default()
     };
     let outcome = match work {
@@ -216,7 +266,7 @@ pub fn run_conform(
         workload: work.name(),
         protocol: protocol.name(),
         seed,
-        plan: if lossy { "lossy" } else { "clean" },
+        plan: tier.label(),
         events: c.events_seen,
         covered: c.covered().iter().map(|s| s.to_string()).collect(),
         violation: c.verdict().err(),
@@ -224,28 +274,24 @@ pub fn run_conform(
 }
 
 /// The full sweep: every workload × every protocol × every seed, clean
-/// plans everywhere plus the lossy adversary on the token protocols.
-/// Runs through the deterministic sweep engine (`par_map`): results are
-/// in input order regardless of `TOKENCMP_SWEEP_THREADS`.
+/// plans everywhere plus the lossy and token-lossy adversaries on the
+/// token protocols. Runs through the deterministic sweep engine
+/// (`par_map`): results are in input order regardless of
+/// `TOKENCMP_SWEEP_THREADS`.
 pub fn conformance_grid(seeds: &[u64]) -> Vec<ConformPoint> {
     let works = ConformWork::all();
-    let mut cells: Vec<(ConformWork, Protocol, u64, bool)> = Vec::new();
+    let mut cells: Vec<(ConformWork, Protocol, u64, FaultTier)> = Vec::new();
     for protocol in Protocol::ALL {
-        let plans: &[bool] = if matches!(protocol, Protocol::Token(_)) {
-            &[false, true]
-        } else {
-            &[false]
-        };
         for &seed in seeds {
-            for &lossy in plans {
+            for &tier in FaultTier::for_protocol(protocol) {
                 for w in &works {
-                    cells.push((w.clone(), protocol, seed, lossy));
+                    cells.push((w.clone(), protocol, seed, tier));
                 }
             }
         }
     }
-    par_map(cells, |(w, p, seed, lossy)| {
-        run_conform(&w, p, seed, lossy, Mutation::None)
+    par_map(cells, |(w, p, seed, tier)| {
+        run_conform(&w, p, seed, tier, Mutation::None)
     })
 }
 

@@ -22,9 +22,9 @@
 //!   exercises.
 //! - [`grid`] — the conformance sweep (litmus shapes, lock and barrier
 //!   micro-benchmarks, a capacity-thrashing eviction cell × all nine
-//!   protocols × seeds × clean and lossy fault plans) behind the
-//!   `conformance` bench and the `target/sweep/conformance.json`
-//!   report.
+//!   protocols × seeds × clean, lossy, and token-lossy fault tiers)
+//!   behind the `conformance` bench and the
+//!   `target/sweep/conformance.json` report.
 //! - [`Mutation`] — deliberately-broken replay modes (a forged
 //!   sequencer commit, a dropped token delivery) proving the checker
 //!   can say no.
@@ -45,5 +45,5 @@ pub use checker::{ConformChecker, Mutation};
 pub use coverage::{family_universe, universe, Family};
 pub use grid::{
     conformance_grid, conformance_report, export_conformance, lossy_plan, run_conform,
-    token_substrate_pct, ConformPoint, ConformWork,
+    token_lossy_plan, token_substrate_pct, ConformPoint, ConformWork, FaultTier,
 };

@@ -23,10 +23,16 @@ use tokencmp_trace::{LatencyBreakdown, Segment, SegmentParts, TraceEvent, TraceH
 use crate::common::{persistent_grant, transient_grant, GrantRules, PersistentState, TokenLine};
 use crate::msg::{ReqKind, TokenBundle, TokenMsg};
 use crate::policy::{Activation, ContentionPredictor, Variant};
+use crate::recovery::{backoff_delay, RecoveryParams};
 
 /// Wake-tag bit marking a response-delay (lock) expiry; low bits carry the
 /// block number.
 const TAG_LOCK: u64 = 1 << 63;
+
+/// Wake-tag bit marking a token-recreation timeout; low bits carry the
+/// MSHR epoch (as for transient timeouts), so a completed miss's bumped
+/// epoch invalidates its outstanding recreation timers too.
+const TAG_RECREATE: u64 = 1 << 62;
 
 /// Counters exposed by an L1 controller after a run.
 #[derive(Clone, Debug, Default)]
@@ -45,6 +51,9 @@ pub struct L1Stats {
     pub persistent_reads: u64,
     /// Misses sent straight to a persistent request by the predictor.
     pub predictor_shortcuts: u64,
+    /// Token-recreation requests sent to the home memory (token loss
+    /// recovery, §15). Always zero on lossless runs.
+    pub recreation_requests: u64,
     /// Miss latency distribution with per-tier attribution (picoseconds).
     pub lat: LatencyBreakdown,
 }
@@ -64,6 +73,10 @@ struct Mshr {
     /// winning supplier once the miss completes (attribution).
     supplier: Segment,
     epoch: u64,
+    /// Recreation requests issued for this miss (backoff schedule index).
+    recovery_attempts: u32,
+    /// When the first recreation request was sent (attribution).
+    recovery_at: Option<Time>,
 }
 
 /// A TokenCMP L1 cache controller.
@@ -92,6 +105,13 @@ pub struct TokenL1 {
     /// supplied tokens for a block.
     dest_pred: HashMap<Block, tokencmp_proto::CmpId>,
     epoch: u64,
+    /// Per-block recreation serials, as last announced by each block's
+    /// home memory (the token authority). Absent ⇒ serial 0, so the map
+    /// stays empty — and serial handling free — on lossless runs.
+    serials: HashMap<Block, u32>,
+    /// Token-loss recovery policy; `None` (the default) on runs whose
+    /// fault plan cannot drop tokens — no timer is ever armed then.
+    recovery: Option<RecoveryParams>,
     /// Persistent-request issue number, shared by the processor's L1-D and
     /// L1-I caches (they issue under one processor identity; epochs
     /// suppress reordered ghosts and must be monotone per processor).
@@ -141,6 +161,8 @@ impl TokenL1 {
             rng: Rng::new(seed ^ (me.0 as u64) << 32),
             dest_pred: HashMap::new(),
             epoch: 0,
+            serials: HashMap::new(),
+            recovery: None,
             persistent_epoch,
             my_epoch: 0,
             trace: None,
@@ -152,6 +174,20 @@ impl TokenL1 {
     /// Installs the run's trace sink (no sink ⇒ zero tracing work).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Arms token-loss recovery: once a persistent request has been
+    /// outstanding for `params.base`, this cache starts asking the
+    /// block's home memory to recreate the tokens. Installed by the
+    /// system layer only when the fault plan can drop token-carrying
+    /// messages.
+    pub fn set_recovery(&mut self, params: RecoveryParams) {
+        self.recovery = Some(params);
+    }
+
+    /// The recreation serial this cache believes is current for `block`.
+    fn serial_of(&self, block: Block) -> u32 {
+        self.serials.get(&block).copied().unwrap_or(0)
     }
 
     /// The tier a token supplier `src` belongs to, seen from this cache.
@@ -187,7 +223,10 @@ impl TokenL1 {
             Some(a) => format!("persistent table: active {a:?}"),
             None => "persistent table: inactive".to_string(),
         };
-        Some(format!("{m:?}; {table}"))
+        Some(format!(
+            "{m:?}; {table}; recreation serial {}",
+            self.serial_of(m.block)
+        ))
     }
 
     fn tokens_needed(&self, kind: ReqKind) -> u32 {
@@ -241,12 +280,14 @@ impl TokenL1 {
                 },
             );
         }
+        let serial = self.serial_of(block);
         ctx.send_after(
             delay,
             dst,
             TokenMsg::Tokens {
                 block,
                 bundle,
+                serial,
                 writeback,
             },
         );
@@ -299,13 +340,57 @@ impl TokenL1 {
         }
     }
 
+    /// Discards a bundle that arrived under a stale recreation serial
+    /// (the authority recreated the block's tokens while this bundle was
+    /// in flight). A stale *dirty owner* — which the lossy tier never
+    /// drops — salvages its data back to the home memory over reliable
+    /// control traffic. Returns true when the bundle was stale.
+    fn discard_if_stale(
+        &mut self,
+        block: Block,
+        bundle: TokenBundle,
+        serial: u32,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) -> bool {
+        let current = self.serial_of(block);
+        if serial >= current {
+            return false;
+        }
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::StaleDiscard {
+                    node: self.me,
+                    block,
+                    count: bundle.count,
+                    owner: bundle.owner,
+                    serial,
+                },
+            );
+        }
+        if bundle.owner && bundle.dirty {
+            let home = self.layout.mem(self.cfg.home_of(block));
+            ctx.send(home, TokenMsg::StaleDataReturn { block, serial });
+        }
+        true
+    }
+
     fn fold_tokens(
         &mut self,
         src: NodeId,
         block: Block,
         bundle: TokenBundle,
+        serial: u32,
         ctx: &mut Ctx<'_, TokenMsg>,
     ) {
+        if self.discard_if_stale(block, bundle, serial, ctx) {
+            return;
+        }
+        if serial > self.serial_of(block) {
+            // Tokens minted under a recreation we have already acked;
+            // the ack barrier guarantees the inval preceded them.
+            self.serials.insert(block, serial);
+        }
         if let Some(t) = &self.trace {
             t.borrow_mut().record(
                 ctx.now,
@@ -438,7 +523,12 @@ impl TokenL1 {
         let mut parts = SegmentParts::default();
         if let Some(esc) = m.escalated_at {
             parts.add(Segment::Retry, esc.since(m.started).as_ps());
-            parts.add(Segment::PersistentWait, ctx.now.since(esc).as_ps());
+            if let Some(rec) = m.recovery_at {
+                parts.add(Segment::PersistentWait, rec.since(esc).as_ps());
+                parts.add(Segment::Recovery, ctx.now.since(rec).as_ps());
+            } else {
+                parts.add(Segment::PersistentWait, ctx.now.since(esc).as_ps());
+            }
         } else if m.attempts > 1 {
             parts.add(Segment::Retry, m.last_issue.since(m.started).as_ps());
             parts.add(m.supplier, ctx.now.since(m.last_issue).as_ps());
@@ -582,6 +672,22 @@ impl TokenL1 {
         ctx.wake_in(delay, epoch);
     }
 
+    /// Schedules the next token-recreation timeout for the outstanding
+    /// miss. A no-op unless the system layer armed recovery for this run
+    /// (i.e. the fault plan can actually drop tokens), so lossless runs
+    /// schedule no extra wakes and stay bit-identical.
+    fn arm_recovery_timer(&mut self, ctx: &mut Ctx<'_, TokenMsg>) {
+        let Some(rp) = self.recovery else {
+            return;
+        };
+        let Some(m) = &self.mshr else {
+            return;
+        };
+        debug_assert!(m.epoch < TAG_RECREATE);
+        let delay = backoff_delay(rp.base, rp.cap, m.recovery_attempts);
+        ctx.wake_in(delay, TAG_RECREATE | m.epoch);
+    }
+
     fn issue_persistent(&mut self, ctx: &mut Ctx<'_, TokenMsg>) {
         let m = self.mshr.as_mut().expect("persistent without mshr");
         let (block, kind) = (m.block, m.kind);
@@ -621,6 +727,7 @@ impl TokenL1 {
                         ctx.send(node, msg);
                     }
                 }
+                self.arm_recovery_timer(ctx);
                 // We may already hold enough tokens (e.g. a racing
                 // response arrived just before escalation).
                 self.maybe_complete(ctx);
@@ -650,6 +757,7 @@ impl TokenL1 {
                         epoch,
                     },
                 );
+                self.arm_recovery_timer(ctx);
             }
         }
     }
@@ -711,6 +819,8 @@ impl TokenL1 {
                     escalated_at: None,
                     supplier: Segment::Intra,
                     epoch: self.epoch,
+                    recovery_attempts: 0,
+                    recovery_at: None,
                 });
                 let predicted_contended = self
                     .predictor
@@ -775,6 +885,57 @@ impl TokenL1 {
         }
     }
 
+    /// Handles a recreation invalidate from `block`'s home memory: adopt
+    /// the new serial, destroy any tokens still held under the old one
+    /// (salvaging a dirty owner's data back to memory first), and ack.
+    /// After the ack this cache can never use old-serial tokens again —
+    /// `discard_if_stale` drops them at receipt — which is the safety
+    /// barrier the authority's recreation relies on.
+    fn handle_recreate_inval(
+        &mut self,
+        src: NodeId,
+        block: Block,
+        serial: u32,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        if serial <= self.serial_of(block) {
+            // A reordered ghost of an inval we already acked.
+            return;
+        }
+        self.serials.insert(block, serial);
+        let (mut discarded, mut owner, mut had_dirty_owner) = (0, false, false);
+        if let Some(line) = self.lines.get_mut(block) {
+            let b = line.take_all(true);
+            discarded = b.count;
+            owner = b.owner;
+            had_dirty_owner = b.owner && b.dirty;
+        }
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::EpochInval {
+                    node: self.me,
+                    block,
+                    serial,
+                    discarded,
+                    owner,
+                },
+            );
+        }
+        if had_dirty_owner {
+            ctx.send(src, TokenMsg::StaleDataReturn { block, serial });
+        }
+        ctx.send(
+            src,
+            TokenMsg::RecreateAck {
+                block,
+                serial,
+                had_dirty_owner,
+            },
+        );
+        self.after_line_change(block, ctx);
+    }
+
     fn handle_persistent_table(&mut self, msg: &TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
         let Some(block) = self.persistent.apply(msg) else {
             return;
@@ -811,14 +972,27 @@ impl Component<TokenMsg> for TokenL1 {
                 external,
                 ..
             } => self.handle_transient(block, requester, kind, external, ctx),
-            TokenMsg::Tokens { block, bundle, .. } => self.fold_tokens(src, block, bundle, ctx),
+            TokenMsg::Tokens {
+                block,
+                bundle,
+                serial,
+                ..
+            } => self.fold_tokens(src, block, bundle, serial, ctx),
             TokenMsg::PersistentActivate { .. }
             | TokenMsg::PersistentDeactivate { .. }
             | TokenMsg::ArbActivate { .. }
             | TokenMsg::ArbDeactivate { .. } => self.handle_persistent_table(&msg, ctx),
+            TokenMsg::RecreateInval { block, serial } => {
+                self.handle_recreate_inval(src, block, serial, ctx)
+            }
             TokenMsg::CpuResp(_) => unreachable!("L1 does not receive CPU responses"),
             TokenMsg::ArbRequest { .. } | TokenMsg::ArbDeactivateRequest { .. } => {
                 unreachable!("arbiter messages go to memory controllers")
+            }
+            TokenMsg::RecreateRequest { .. }
+            | TokenMsg::RecreateAck { .. }
+            | TokenMsg::StaleDataReturn { .. } => {
+                unreachable!("recreation authority traffic goes to memory controllers")
             }
         }
     }
@@ -845,6 +1019,34 @@ impl Component<TokenMsg> for TokenL1 {
                 }
             }
             self.try_forward(block, ctx);
+            return;
+        }
+        if tag & TAG_RECREATE != 0 {
+            // Recreation timeout: the persistent request has starved past
+            // the recovery window — ask the home memory to recreate the
+            // block's tokens, then back off and re-arm.
+            let epoch = tag & !TAG_RECREATE;
+            let Some(m) = &mut self.mshr else {
+                return;
+            };
+            if m.epoch != epoch || !m.persistent {
+                return; // stale timer, or the wave rule still holds us back
+            }
+            m.recovery_at.get_or_insert(ctx.now);
+            m.recovery_attempts += 1;
+            let block = m.block;
+            let serial = self.serial_of(block);
+            self.stats.recreation_requests += 1;
+            let home = self.layout.mem(self.cfg.home_of(block));
+            ctx.send(
+                home,
+                TokenMsg::RecreateRequest {
+                    block,
+                    requester: self.me,
+                    serial,
+                },
+            );
+            self.arm_recovery_timer(ctx);
             return;
         }
         // Transient-request timeout.

@@ -60,6 +60,9 @@ pub struct TokenL2 {
     /// bit `i` set means local L1 `i` (in [`Layout::l1s_on`] order) may
     /// hold tokens.
     filter: Option<HashMap<Block, u16>>,
+    /// Per-block recreation serials announced by the home memories;
+    /// absent ⇒ serial 0 (the map stays empty on lossless runs).
+    serials: HashMap<Block, u32>,
     trace: Option<TraceHandle>,
     /// Run statistics.
     pub stats: L2Stats,
@@ -89,6 +92,7 @@ impl TokenL2 {
             persistent: PersistentState::new(layout.procs() as usize),
             variant,
             filter: variant.uses_filter().then(HashMap::new),
+            serials: HashMap::new(),
             layout,
             me,
             cmp,
@@ -103,6 +107,11 @@ impl TokenL2 {
     /// Installs the run's trace sink (no sink ⇒ zero tracing work).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// The recreation serial this bank believes is current for `block`.
+    fn serial_of(&self, block: Block) -> u32 {
+        self.serials.get(&block).copied().unwrap_or(0)
     }
 
     /// Tokens currently held, per block (for conservation audits).
@@ -162,12 +171,14 @@ impl TokenL2 {
                 },
             );
         }
+        let serial = self.serial_of(block);
         ctx.send_after(
             delay,
             dst,
             TokenMsg::Tokens {
                 block,
                 bundle,
+                serial,
                 writeback,
             },
         );
@@ -207,8 +218,36 @@ impl TokenL2 {
         src: NodeId,
         block: Block,
         bundle: TokenBundle,
+        serial: u32,
         ctx: &mut Ctx<'_, TokenMsg>,
     ) {
+        let current = self.serial_of(block);
+        if serial < current {
+            // Stale tokens from before a recreation: destroy them on
+            // receipt (the authority already reminted the full set). A
+            // stale dirty owner — never dropped by the lossy tier —
+            // salvages its data back to the home memory first.
+            if let Some(t) = &self.trace {
+                t.borrow_mut().record(
+                    ctx.now,
+                    TraceEvent::StaleDiscard {
+                        node: self.me,
+                        block,
+                        count: bundle.count,
+                        owner: bundle.owner,
+                        serial,
+                    },
+                );
+            }
+            if bundle.owner && bundle.dirty {
+                let home = self.layout.mem(self.cfg.home_of(block));
+                ctx.send(home, TokenMsg::StaleDataReturn { block, serial });
+            }
+            return;
+        }
+        if serial > current {
+            self.serials.insert(block, serial);
+        }
         if let Some(t) = &self.trace {
             t.borrow_mut().record(
                 ctx.now,
@@ -236,6 +275,53 @@ impl TokenL2 {
             }
         }
         self.try_forward(block, ctx);
+    }
+
+    /// Handles a recreation invalidate from `block`'s home memory: adopt
+    /// the new serial, destroy tokens held under the old one (salvaging
+    /// a dirty owner's data over reliable control traffic), and ack.
+    fn handle_recreate_inval(
+        &mut self,
+        src: NodeId,
+        block: Block,
+        serial: u32,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        if serial <= self.serial_of(block) {
+            return;
+        }
+        self.serials.insert(block, serial);
+        let (mut discarded, mut owner, mut had_dirty_owner) = (0, false, false);
+        if let Some(line) = self.lines.get_mut(block) {
+            let b = line.take_all(true);
+            discarded = b.count;
+            owner = b.owner;
+            had_dirty_owner = b.owner && b.dirty;
+        }
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::EpochInval {
+                    node: self.me,
+                    block,
+                    serial,
+                    discarded,
+                    owner,
+                },
+            );
+        }
+        if had_dirty_owner {
+            ctx.send(src, TokenMsg::StaleDataReturn { block, serial });
+        }
+        ctx.send(
+            src,
+            TokenMsg::RecreateAck {
+                block,
+                serial,
+                had_dirty_owner,
+            },
+        );
+        self.drop_if_empty(block);
     }
 
     /// A transient request from a *local* L1: answer what we can; if the
@@ -380,7 +466,15 @@ impl Component<TokenMsg> for TokenL2 {
                     self.handle_local_transient(block, requester, kind, hint, ctx);
                 }
             }
-            TokenMsg::Tokens { block, bundle, .. } => self.fold_tokens(src, block, bundle, ctx),
+            TokenMsg::Tokens {
+                block,
+                bundle,
+                serial,
+                ..
+            } => self.fold_tokens(src, block, bundle, serial, ctx),
+            TokenMsg::RecreateInval { block, serial } => {
+                self.handle_recreate_inval(src, block, serial, ctx)
+            }
             TokenMsg::PersistentActivate { .. }
             | TokenMsg::PersistentDeactivate { .. }
             | TokenMsg::ArbActivate { .. }
@@ -399,6 +493,11 @@ impl Component<TokenMsg> for TokenL2 {
             }
             TokenMsg::ArbRequest { .. } | TokenMsg::ArbDeactivateRequest { .. } => {
                 unreachable!("arbiter messages go to memory controllers")
+            }
+            TokenMsg::RecreateRequest { .. }
+            | TokenMsg::RecreateAck { .. }
+            | TokenMsg::StaleDataReturn { .. } => {
+                unreachable!("recreation authority traffic goes to memory controllers")
             }
         }
     }

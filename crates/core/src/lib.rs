@@ -39,6 +39,7 @@ pub mod mem;
 pub mod msg;
 pub mod persistent;
 pub mod policy;
+pub mod recovery;
 
 pub use common::{GrantRules, PersistentState, TokenLine};
 pub use l1::{L1Stats, TokenL1};
@@ -47,3 +48,4 @@ pub use mem::{MemLine, MemStats, TokenMem};
 pub use msg::{ReqKind, TokenBundle, TokenMsg};
 pub use persistent::{ActiveReq, ArbNodeTable, Arbiter, DistTable};
 pub use policy::{Activation, ContentionPredictor, Variant};
+pub use recovery::{backoff_delay, RecoveryParams};

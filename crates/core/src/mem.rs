@@ -11,12 +11,13 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use tokencmp_proto::{Block, CmpId, Layout, SystemConfig};
-use tokencmp_sim::{Component, Ctx, NodeId};
+use tokencmp_sim::{Component, Ctx, Dur, NodeId};
 use tokencmp_trace::{TraceEvent, TraceHandle};
 
 use crate::common::{persistent_grant, storage_grant, GrantRules, PersistentState, TokenLine};
 use crate::msg::{ReqKind, TokenBundle, TokenMsg};
 use crate::persistent::{ActiveReq, Arbiter};
+use crate::recovery::RecoveryParams;
 
 /// Counters exposed by a memory controller after a run.
 #[derive(Clone, Debug, Default)]
@@ -29,6 +30,19 @@ pub struct MemStats {
     pub writebacks: u64,
     /// Arbiter activations broadcast.
     pub arb_activations: u64,
+    /// Token recreations completed as this home's token authority (§15).
+    pub recreations: u64,
+    /// Dirty-owner data bundles salvaged from stale serials.
+    pub stale_data_salvaged: u64,
+}
+
+/// An in-flight token recreation at this home controller.
+#[derive(Clone, Copy, Debug)]
+struct Recreation {
+    /// The serial the block's tokens are being reminted under.
+    serial: u32,
+    /// Recreation acks still outstanding.
+    awaiting: u32,
 }
 
 /// Memory-side token state for one block. Unlike a cache line, memory may
@@ -52,6 +66,15 @@ pub struct TokenMem {
     blocks: HashMap<Block, MemLine>,
     persistent: PersistentState,
     arbiter: Arbiter,
+    /// Current recreation serial per home block (absent ⇒ 0; the map
+    /// stays empty on lossless runs).
+    serials: HashMap<Block, u32>,
+    /// Recreations in progress (two-phase: inval/ack barrier, then a
+    /// drain window, then the remint).
+    recreating: HashMap<Block, Recreation>,
+    /// Token-loss recovery policy (the drain window); `None` on runs
+    /// whose fault plan cannot drop tokens.
+    recovery: Option<RecoveryParams>,
     trace: Option<TraceHandle>,
     /// Run statistics.
     pub stats: MemStats,
@@ -70,6 +93,9 @@ impl TokenMem {
             persistent: PersistentState::new(layout.procs() as usize),
             blocks: HashMap::new(),
             arbiter: Arbiter::new(),
+            serials: HashMap::new(),
+            recreating: HashMap::new(),
+            recovery: None,
             layout,
             me,
             cmp,
@@ -83,6 +109,25 @@ impl TokenMem {
     /// Installs the run's trace sink (no sink ⇒ zero tracing work).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Arms this controller as a token-recreation authority (§15).
+    /// Installed by the system layer only when the fault plan can drop
+    /// token-carrying messages.
+    pub fn set_recovery(&mut self, params: RecoveryParams) {
+        self.recovery = Some(params);
+    }
+
+    /// The current recreation serial for `block` (0 unless this home has
+    /// recreated the block's tokens), for epoch-aware conservation audits.
+    pub fn serial_of(&self, block: Block) -> u32 {
+        self.serials.get(&block).copied().unwrap_or(0)
+    }
+
+    /// True while a recreation for `block` is between its inval broadcast
+    /// and its remint (quiescence audits must not run mid-recreation).
+    pub fn recreation_in_progress(&self) -> bool {
+        !self.recreating.is_empty()
     }
 
     /// Token state for `block`. Untouched blocks implicitly hold all `T`
@@ -147,12 +192,14 @@ impl TokenMem {
                 },
             );
         }
+        let serial = self.serial_of(block);
         ctx.send_after(
             delay,
             dst,
             TokenMsg::Tokens {
                 block,
                 bundle,
+                serial,
                 writeback: false,
             },
         );
@@ -215,7 +262,44 @@ impl TokenMem {
         }
     }
 
-    fn fold_tokens(&mut self, block: Block, bundle: TokenBundle, ctx: &mut Ctx<'_, TokenMsg>) {
+    fn fold_tokens(
+        &mut self,
+        block: Block,
+        bundle: TokenBundle,
+        serial: u32,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        let current = self.serial_of(block);
+        if serial < current {
+            // Stale tokens from before a recreation this home performed:
+            // destroy them (the full set was or will be reminted). We are
+            // the block's home, so a stale dirty owner salvages its data
+            // right here.
+            if let Some(t) = &self.trace {
+                t.borrow_mut().record(
+                    ctx.now,
+                    TraceEvent::StaleDiscard {
+                        node: self.me,
+                        block,
+                        count: bundle.count,
+                        owner: bundle.owner,
+                        serial,
+                    },
+                );
+            }
+            if bundle.owner && bundle.dirty {
+                self.stats.stale_data_salvaged += 1;
+            }
+            return;
+        }
+        debug_assert!(
+            serial == current,
+            "tokens under a serial this authority never minted"
+        );
+        debug_assert!(
+            !self.recreating.contains_key(&block),
+            "current-serial tokens cannot exist before the remint"
+        );
         if let Some(t) = &self.trace {
             t.borrow_mut().record(
                 ctx.now,
@@ -322,10 +406,148 @@ impl TokenMem {
             );
         }
     }
+
+    /// Phase one of a token recreation (§15): a starving cache believes
+    /// `block`'s tokens were lost. Bump the recreation serial, destroy
+    /// our own holdings, and broadcast a reliable invalidate; the remint
+    /// waits for every ack plus a drain window (phase two, [`Self::on_wake`]).
+    fn handle_recreate_request(&mut self, block: Block, serial: u32, ctx: &mut Ctx<'_, TokenMsg>) {
+        debug_assert_eq!(
+            self.cfg.home_of(block),
+            self.cmp,
+            "recreation request routed to the wrong home"
+        );
+        if self.recreating.contains_key(&block) {
+            return; // one recreation at a time; the remint will serve them
+        }
+        let current = self.serial_of(block);
+        if serial < current {
+            // The requester escalated before learning of a recreation we
+            // already performed; its backoff retry (if still starving)
+            // will carry the updated serial.
+            return;
+        }
+        debug_assert!(serial == current, "requester ahead of the authority");
+        let new_serial = current + 1;
+        self.serials.insert(block, new_serial);
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::RecreationStart {
+                    block,
+                    serial: new_serial,
+                },
+            );
+        }
+        // Our own holdings are old-serial too: destroy them now (the
+        // remint restores the full set, and memory's data stays ours).
+        let ml = self.line(block);
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::EpochInval {
+                    node: self.me,
+                    block,
+                    serial: new_serial,
+                    discarded: ml.tokens,
+                    owner: ml.owner,
+                },
+            );
+        }
+        self.store(
+            block,
+            MemLine {
+                tokens: 0,
+                owner: false,
+            },
+        );
+        let msg = TokenMsg::RecreateInval {
+            block,
+            serial: new_serial,
+        };
+        let mut awaiting = 0;
+        for node in self.layout.all_coherence_nodes() {
+            if node != self.me {
+                ctx.send_after(self.cfg.memctl_latency, node, msg);
+                awaiting += 1;
+            }
+        }
+        self.recreating.insert(
+            block,
+            Recreation {
+                serial: new_serial,
+                awaiting,
+            },
+        );
+    }
+
+    /// A coherence node acked the invalidate: it has adopted the new
+    /// serial and will discard any old-serial tokens at receipt. Once all
+    /// acks are in, wait out the drain window before reminting.
+    fn handle_recreate_ack(
+        &mut self,
+        block: Block,
+        serial: u32,
+        had_dirty_owner: bool,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        let Some(rec) = self.recreating.get_mut(&block) else {
+            return;
+        };
+        if rec.serial != serial {
+            return;
+        }
+        // A `had_dirty_owner` ack travels alongside a StaleDataReturn,
+        // which is where the salvage is counted.
+        let _ = had_dirty_owner;
+        rec.awaiting -= 1;
+        if rec.awaiting == 0 {
+            let drain = self.recovery.map(|r| r.drain).unwrap_or(Dur::ZERO);
+            debug_assert!(block.0 < u64::MAX, "block id fits the wake tag");
+            ctx.wake_in(drain, block.0);
+        }
+    }
+
+    /// A recreation invalidate from another home's recreation. This
+    /// controller holds no tokens for foreign blocks; just ack so the
+    /// initiating authority's barrier completes.
+    fn handle_recreate_inval(
+        &mut self,
+        src: NodeId,
+        block: Block,
+        serial: u32,
+        ctx: &mut Ctx<'_, TokenMsg>,
+    ) {
+        debug_assert_ne!(
+            self.cfg.home_of(block),
+            self.cmp,
+            "a home never invalidates itself over the network"
+        );
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::EpochInval {
+                    node: self.me,
+                    block,
+                    serial,
+                    discarded: 0,
+                    owner: false,
+                },
+            );
+        }
+        ctx.send(
+            src,
+            TokenMsg::RecreateAck {
+                block,
+                serial,
+                had_dirty_owner: false,
+            },
+        );
+    }
 }
 
 impl Component<TokenMsg> for TokenMem {
-    fn on_msg(&mut self, _src: NodeId, msg: TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
+    fn on_msg(&mut self, src: NodeId, msg: TokenMsg, ctx: &mut Ctx<'_, TokenMsg>) {
         match msg {
             TokenMsg::Transient {
                 block,
@@ -333,7 +555,12 @@ impl Component<TokenMsg> for TokenMem {
                 kind,
                 ..
             } => self.handle_transient(block, requester, kind, ctx),
-            TokenMsg::Tokens { block, bundle, .. } => self.fold_tokens(block, bundle, ctx),
+            TokenMsg::Tokens {
+                block,
+                bundle,
+                serial,
+                ..
+            } => self.fold_tokens(block, bundle, serial, ctx),
             TokenMsg::ArbRequest {
                 block,
                 proc,
@@ -366,14 +593,54 @@ impl Component<TokenMsg> for TokenMem {
                     self.try_forward(block, ctx);
                 }
             }
+            TokenMsg::RecreateRequest { block, serial, .. } => {
+                self.handle_recreate_request(block, serial, ctx)
+            }
+            TokenMsg::RecreateAck {
+                block,
+                serial,
+                had_dirty_owner,
+            } => self.handle_recreate_ack(block, serial, had_dirty_owner, ctx),
+            TokenMsg::RecreateInval { block, serial } => {
+                self.handle_recreate_inval(src, block, serial, ctx)
+            }
+            TokenMsg::StaleDataReturn { .. } => {
+                // The salvaged dirty data lands in memory; in this
+                // data-less model that is pure accounting.
+                self.stats.stale_data_salvaged += 1;
+            }
             TokenMsg::Cpu(_) | TokenMsg::CpuResp(_) => {
                 unreachable!("memory controllers have no processor port")
             }
         }
     }
 
-    fn on_wake(&mut self, _tag: u64, _ctx: &mut Ctx<'_, TokenMsg>) {
-        unreachable!("memory controllers schedule no wakeups")
+    fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, TokenMsg>) {
+        // The only wake a memory controller schedules is a recreation
+        // drain expiry; the tag is the block number. Remint the full
+        // token set under the new serial and serve the starving request.
+        let block = Block(tag);
+        let Some(rec) = self.recreating.remove(&block) else {
+            unreachable!("drain wake without a recreation in progress");
+        };
+        self.store(
+            block,
+            MemLine {
+                tokens: self.cfg.tokens_per_block,
+                owner: true,
+            },
+        );
+        self.stats.recreations += 1;
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(
+                ctx.now,
+                TraceEvent::RecreationDone {
+                    block,
+                    serial: rec.serial,
+                },
+            );
+        }
+        self.try_forward(block, ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

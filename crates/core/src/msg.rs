@@ -6,7 +6,9 @@
 //! requests (§4) are unacknowledged and may fail; persistent requests
 //! (§3.2) are remembered by every coherence node until deactivated.
 
-use tokencmp_proto::{Block, CmpId, CpuPort, CpuReq, CpuResp, MsgClass, NetMsg, ProcId};
+use tokencmp_proto::{
+    Block, CmpId, CpuPort, CpuReq, CpuResp, MsgClass, NetMsg, ProcId, TokenPayload,
+};
 use tokencmp_sim::NodeId;
 
 /// Whether a coherence request needs read or write permission.
@@ -72,6 +74,11 @@ pub enum TokenMsg {
         bundle: TokenBundle,
         /// True for evictions/writebacks (affects traffic class only).
         writeback: bool,
+        /// Recreation serial the tokens were minted under (§15): receivers
+        /// discard bundles whose serial trails the block's current one.
+        /// Stays 0 until the block's first recreation, so the field is
+        /// inert on lossless runs.
+        serial: u32,
     },
 
     /// Distributed-activation persistent request (§3.2): broadcast to every
@@ -144,6 +151,46 @@ pub enum TokenMsg {
         /// Issue number being deactivated.
         epoch: u64,
     },
+
+    /// Starving L1 → home memory controller: tokens for `block` appear to
+    /// be lost; please start a recreation (§15). Reliable (undroppable).
+    RecreateRequest {
+        /// Block whose tokens starved.
+        block: Block,
+        /// The L1 that timed out.
+        requester: NodeId,
+        /// The block serial the requester last observed; requests trailing
+        /// the authority's current serial are stale and ignored.
+        serial: u32,
+    },
+    /// Token authority → every coherence node: bump `block` to `serial`,
+    /// discarding any tokens minted under older serials. Reliable.
+    RecreateInval {
+        /// Block being recreated.
+        block: Block,
+        /// The new serial.
+        serial: u32,
+    },
+    /// Coherence node → token authority: inval for `serial` applied; my
+    /// old-serial tokens are destroyed. Reliable.
+    RecreateAck {
+        /// Block being recreated.
+        block: Block,
+        /// Serial being acknowledged.
+        serial: u32,
+        /// True if the discarded holding included a dirty owner token —
+        /// the modified data returns separately on [`TokenMsg::StaleDataReturn`].
+        had_dirty_owner: bool,
+    },
+    /// Node that discarded a *stale* dirty-owner bundle → home memory:
+    /// salvaged modified data going home so the recreated owner token is
+    /// minted over current data. Reliable, carries the data payload.
+    StaleDataReturn {
+        /// Block the salvaged data belongs to.
+        block: Block,
+        /// The stale serial the discarded bundle was minted under.
+        serial: u32,
+    },
 }
 
 impl TokenMsg {
@@ -160,7 +207,11 @@ impl TokenMsg {
             | TokenMsg::ArbRequest { block, .. }
             | TokenMsg::ArbActivate { block, .. }
             | TokenMsg::ArbDeactivateRequest { block, .. }
-            | TokenMsg::ArbDeactivate { block, .. } => Some(block),
+            | TokenMsg::ArbDeactivate { block, .. }
+            | TokenMsg::RecreateRequest { block, .. }
+            | TokenMsg::RecreateInval { block, .. }
+            | TokenMsg::RecreateAck { block, .. }
+            | TokenMsg::StaleDataReturn { block, .. } => Some(block),
         }
     }
 }
@@ -182,7 +233,11 @@ impl NetMsg for TokenMsg {
             | TokenMsg::ArbRequest { .. }
             | TokenMsg::ArbActivate { .. }
             | TokenMsg::ArbDeactivateRequest { .. }
-            | TokenMsg::ArbDeactivate { .. } => 8,
+            | TokenMsg::ArbDeactivate { .. }
+            | TokenMsg::RecreateRequest { .. }
+            | TokenMsg::RecreateInval { .. }
+            | TokenMsg::RecreateAck { .. } => 8,
+            TokenMsg::StaleDataReturn { .. } => 72,
         }
     }
 
@@ -204,7 +259,11 @@ impl NetMsg for TokenMsg {
             | TokenMsg::ArbRequest { .. }
             | TokenMsg::ArbActivate { .. }
             | TokenMsg::ArbDeactivateRequest { .. }
-            | TokenMsg::ArbDeactivate { .. } => MsgClass::Persistent,
+            | TokenMsg::ArbDeactivate { .. }
+            | TokenMsg::RecreateRequest { .. }
+            | TokenMsg::RecreateInval { .. }
+            | TokenMsg::RecreateAck { .. } => MsgClass::Persistent,
+            TokenMsg::StaleDataReturn { .. } => MsgClass::WritebackData,
         }
     }
 
@@ -214,6 +273,29 @@ impl NetMsg for TokenMsg {
     /// table messages have no retransmission, so both stay undroppable.
     fn droppable(&self) -> bool {
         matches!(self, TokenMsg::Transient { .. })
+    }
+
+    /// Token bundles may be lost under the opt-in token-lossy tier — the
+    /// recreation protocol (§15) restores conservation — *except* dirty-
+    /// owner bundles: those carry the only up-to-date copy of committed
+    /// stores, so they travel on an acknowledged (lossless) channel. The
+    /// recreation handshake itself is likewise reliable.
+    fn lossy_droppable(&self) -> bool {
+        matches!(
+            self,
+            TokenMsg::Tokens { bundle, .. } if !(bundle.owner && bundle.dirty)
+        )
+    }
+
+    fn token_payload(&self) -> Option<TokenPayload> {
+        match self {
+            TokenMsg::Tokens { bundle, serial, .. } => Some(TokenPayload {
+                count: bundle.count,
+                owner: bundle.owner,
+                serial: *serial,
+            }),
+            _ => None,
+        }
     }
 
     fn block_id(&self) -> Option<u64> {
@@ -258,6 +340,7 @@ mod tests {
                 dirty: false,
             },
             writeback: false,
+            serial: 0,
         };
         assert_eq!(data.size_bytes(), 72);
         let ctl = TokenMsg::Tokens {
@@ -269,6 +352,7 @@ mod tests {
                 dirty: false,
             },
             writeback: false,
+            serial: 0,
         };
         assert_eq!(ctl.size_bytes(), 8);
         let req = TokenMsg::Transient {
@@ -292,6 +376,7 @@ mod tests {
                 dirty: false,
             },
             writeback,
+            serial: 0,
         };
         assert_eq!(mk(false, true).class(), MsgClass::ResponseData);
         assert_eq!(mk(false, false).class(), MsgClass::InvFwdAckTokens);
@@ -305,6 +390,70 @@ mod tests {
             epoch: 1,
         };
         assert_eq!(p.class(), MsgClass::Persistent);
+    }
+
+    #[test]
+    fn lossy_tier_spares_dirty_owner_bundles() {
+        let mk = |owner, dirty| TokenMsg::Tokens {
+            block: Block(3),
+            bundle: TokenBundle {
+                count: 2,
+                owner,
+                data: owner,
+                dirty,
+            },
+            writeback: false,
+            serial: 5,
+        };
+        // Plain and clean-owner bundles are fair game for the lossy tier...
+        assert!(mk(false, false).lossy_droppable());
+        assert!(mk(true, false).lossy_droppable());
+        // ...but a dirty owner carries the only copy of committed stores.
+        assert!(!mk(true, true).lossy_droppable());
+        // The baseline droppable() exemption is unchanged: tokens never
+        // drop outside the opt-in tier.
+        assert!(!mk(false, false).droppable());
+        assert_eq!(
+            mk(true, false).token_payload(),
+            Some(TokenPayload {
+                count: 2,
+                owner: true,
+                serial: 5
+            })
+        );
+    }
+
+    #[test]
+    fn recreation_messages_are_reliable_control_traffic() {
+        let req = TokenMsg::RecreateRequest {
+            block: Block(7),
+            requester: NodeId(4),
+            serial: 1,
+        };
+        let inval = TokenMsg::RecreateInval {
+            block: Block(7),
+            serial: 2,
+        };
+        let ack = TokenMsg::RecreateAck {
+            block: Block(7),
+            serial: 2,
+            had_dirty_owner: false,
+        };
+        let ret = TokenMsg::StaleDataReturn {
+            block: Block(7),
+            serial: 1,
+        };
+        for m in [req, inval, ack] {
+            assert_eq!(m.size_bytes(), 8);
+            assert_eq!(m.class(), MsgClass::Persistent);
+        }
+        assert_eq!(ret.size_bytes(), 72);
+        assert_eq!(ret.class(), MsgClass::WritebackData);
+        for m in [req, inval, ack, ret] {
+            assert!(!m.droppable() && !m.lossy_droppable());
+            assert_eq!(m.token_payload(), None);
+            assert_eq!(m.block(), Some(Block(7)));
+        }
     }
 
     #[test]

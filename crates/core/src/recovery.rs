@@ -1,0 +1,130 @@
+//! Token-loss recovery: recreation timeout/backoff policy (§15).
+//!
+//! When the interconnect is allowed to drop token-carrying messages
+//! (`FaultSpec::lossy_tokens`), a starving L1 that has already escalated
+//! to a persistent request may still never complete: the tokens it is
+//! waiting for can be gone from the system entirely. The recovery
+//! subsystem detects this by timeout — a persistent request outstanding
+//! past [`RecoveryParams::base`] — and asks the block's home memory
+//! controller (the token authority) to *recreate* the block's tokens
+//! under a bumped recreation serial, invalidating every stale token
+//! still in flight.
+//!
+//! Recreation requests themselves travel as reliable control traffic
+//! and are re-issued under bounded exponential backoff
+//! ([`backoff_delay`]) so a lost-in-congestion recreation never wedges
+//! the system while repeated recreation of a merely-slow block stays
+//! cheap.
+//!
+//! The whole module is policy-free arithmetic: controllers consult it
+//! only when a [`RecoveryParams`] was installed, which the system layer
+//! does only for runs whose fault plan can actually drop tokens — a
+//! lossless run never arms a recovery timer and stays bit-identical to
+//! a build without this module.
+
+use tokencmp_sim::Dur;
+
+/// Timeout/backoff/drain policy for token recreation, derived by the
+/// system layer from `SystemConfig` and the run's fault plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveryParams {
+    /// Delay from persistent-request escalation to the first recreation
+    /// request, and the base of the backoff schedule
+    /// (`SystemConfig::recreation_timeout`).
+    pub base: Dur,
+    /// Upper bound on the backoff schedule
+    /// (`SystemConfig::recreation_backoff_cap`).
+    pub cap: Dur,
+    /// How long the home memory waits after collecting every
+    /// recreation ack before minting the new tokens: the configured
+    /// `SystemConfig::recreation_drain` plus the fault plan's worst
+    /// extra in-flight delay, so any stale bundle still traveling when
+    /// the last ack arrived has landed (and been discarded) first.
+    pub drain: Dur,
+}
+
+/// The deterministic bounded-exponential backoff schedule:
+/// `min(base << attempt, cap)`, saturating on shift overflow.
+///
+/// Attempt 0 is the wait before the *first* recreation request (the
+/// starvation timeout itself), attempt 1 the wait before the first
+/// re-request, and so on. The schedule is pure arithmetic — no RNG —
+/// so replays are bit-identical.
+pub fn backoff_delay(base: Dur, cap: Dur, attempt: u32) -> Dur {
+    let base_ps = base.as_ps();
+    let cap_ps = cap.as_ps();
+    let delay = if attempt >= 63 {
+        cap_ps
+    } else {
+        base_ps
+            .checked_mul(1u64 << attempt)
+            .unwrap_or(cap_ps)
+            .min(cap_ps)
+    };
+    Dur::from_ps(delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let base = Dur::from_ns(2_000);
+        let cap = Dur::from_ns(16_000);
+        assert_eq!(backoff_delay(base, cap, 0), Dur::from_ns(2_000));
+        assert_eq!(backoff_delay(base, cap, 1), Dur::from_ns(4_000));
+        assert_eq!(backoff_delay(base, cap, 2), Dur::from_ns(8_000));
+        assert_eq!(backoff_delay(base, cap, 3), Dur::from_ns(16_000));
+        assert_eq!(backoff_delay(base, cap, 4), Dur::from_ns(16_000));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let base = Dur::from_ns(2_000);
+        let cap = Dur::from_ns(16_000);
+        for attempt in [62, 63, 64, u32::MAX] {
+            assert_eq!(backoff_delay(base, cap, attempt), cap);
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotone_nondecreasing() {
+        let base = Dur::from_ns(1_500);
+        let cap = Dur::from_ns(40_000);
+        let mut prev = Dur::from_ps(0);
+        for attempt in 0..70 {
+            let d = backoff_delay(base, cap, attempt);
+            assert!(d >= prev, "attempt {attempt} shrank the delay");
+            assert!(d <= cap);
+            prev = d;
+        }
+    }
+
+    proptest::proptest! {
+        /// Differential check of the closed-form schedule against an
+        /// iterative reference: double in u128 (which cannot overflow in
+        /// 81 steps from a ≤ 2⁶⁰ base), clamp to the cap. Every attempt
+        /// up to well past the u64 saturation point must agree — the
+        /// closed form's overflow handling is exactly where a schedule
+        /// bug would hide, and a wrong schedule desynchronizes replays.
+        #[test]
+        fn backoff_matches_iterative_reference(
+            base_ps in 1u64..=1 << 60,
+            cap_ps in 1u64..=1 << 60,
+            attempts in 0u32..=80,
+        ) {
+            let (base, cap) = (Dur::from_ps(base_ps), Dur::from_ps(cap_ps));
+            let mut expect = base_ps as u128;
+            for attempt in 0..=attempts {
+                let clamped = expect.min(cap_ps as u128) as u64;
+                proptest::prop_assert_eq!(
+                    backoff_delay(base, cap, attempt),
+                    Dur::from_ps(clamped),
+                    "base {base_ps} cap {cap_ps} attempt {attempt}"
+                );
+                expect = expect.saturating_mul(2);
+            }
+        }
+    }
+}

@@ -178,6 +178,7 @@ fn l1_completes_store_when_all_tokens_arrive() {
         TokenMsg::Tokens {
             block,
             bundle: bundle(cfg.tokens_per_block, true, true, false),
+            serial: 0,
             writeback: false,
         },
     );
@@ -224,6 +225,7 @@ fn l1_answers_external_write_with_everything_and_fires_watch() {
         TokenMsg::Tokens {
             block,
             bundle: bundle(2, false, true, false),
+            serial: 0,
             writeback: false,
         },
     );
@@ -289,6 +291,7 @@ fn l1_keeps_single_token_on_local_read_request() {
         TokenMsg::Tokens {
             block,
             bundle: bundle(1, false, true, false),
+            serial: 0,
             writeback: false,
         },
     );
@@ -343,6 +346,7 @@ fn l1_response_delay_defers_stealing_requests() {
         TokenMsg::Tokens {
             block,
             bundle: bundle(cfg.tokens_per_block, true, true, false),
+            serial: 0,
             writeback: false,
         },
     );
@@ -409,6 +413,7 @@ fn l1_persistent_activation_forwards_present_and_future_tokens() {
         TokenMsg::Tokens {
             block,
             bundle: bundle(3, false, true, false),
+            serial: 0,
             writeback: false,
         },
     );
@@ -442,6 +447,7 @@ fn l1_persistent_activation_forwards_present_and_future_tokens() {
         TokenMsg::Tokens {
             block,
             bundle: bundle(2, false, true, false),
+            serial: 0,
             writeback: false,
         },
     );
@@ -536,6 +542,7 @@ fn l2_grants_exclusive_on_read_when_holding_everything() {
         TokenMsg::Tokens {
             block,
             bundle: bundle(cfg.tokens_per_block, true, true, false),
+            serial: 0,
             writeback: true,
         },
     );

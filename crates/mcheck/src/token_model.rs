@@ -54,6 +54,13 @@ pub struct TokenModelParams {
     pub max_writes: u8,
     /// Mechanism under verification.
     pub mode: SubstrateMode,
+    /// Token-loss recovery (§15): let the interconnect lose droppable
+    /// token bundles and model the serial-bumping recreation protocol.
+    pub recovery: bool,
+    /// Recreation budget: how many serial bumps the model may explore
+    /// (losses are only allowed while budget to repair them remains,
+    /// keeping EF-quiescence meaningful).
+    pub max_serials: u8,
 }
 
 impl TokenModelParams {
@@ -75,6 +82,22 @@ impl TokenModelParams {
                 1
             },
             mode,
+            recovery: false,
+            max_serials: 0,
+        }
+    }
+
+    /// The downscaled token-loss recovery configuration (§15):
+    /// [`small`](TokenModelParams::small) plus interconnect loss of
+    /// droppable bundles and one recreation of the block's tokens.
+    /// One write keeps the exact value domain small enough for the
+    /// enlarged (serial-tagged) state space.
+    pub fn small_recovery(mode: SubstrateMode) -> TokenModelParams {
+        TokenModelParams {
+            recovery: true,
+            max_serials: 1,
+            max_writes: 1,
+            ..TokenModelParams::small(mode)
         }
     }
 }
@@ -117,6 +140,23 @@ pub enum TMsg {
         data: bool,
         /// Data version (0 when `!data`).
         val: u8,
+        /// Recreation serial the tokens were minted under (always 0
+        /// without recovery).
+        serial: u8,
+    },
+    /// Recreation invalidation: adopt `serial`, destroy holdings minted
+    /// under older serials, then ack (recovery only).
+    RecreateInval {
+        /// Destination node.
+        dst: u8,
+        /// The serial being brought into force.
+        serial: u8,
+    },
+    /// Recreation-invalidation ack back to the token authority
+    /// (recovery only).
+    RecreateAck {
+        /// The serial acknowledged.
+        serial: u8,
     },
     /// Distributed activation broadcast element.
     Activate {
@@ -192,6 +232,16 @@ pub struct TState {
     pub arb_queue: Vec<(u8, PKind)>,
     /// Arbiter's currently active request.
     pub arb_current: Option<(u8, PKind)>,
+    /// Per-node recreation serial (all 0 without recovery). The
+    /// authority's entry (`serials[mem]`) is the block's current serial.
+    pub serials: Vec<u8>,
+    /// An in-progress recreation at the authority: `(serial, acks
+    /// still awaited)`.
+    pub recreating: Option<(u8, u8)>,
+    /// Tokens the interconnect destroyed, indexed by serial:
+    /// `(count, owner lost)`. Conservation holds per epoch *modulo*
+    /// this ledger.
+    pub lost: Vec<(u8, bool)>,
 }
 
 /// The token substrate model.
@@ -310,6 +360,9 @@ impl Model for TokenModel {
             tables: vec![vec![None; self.p.caches]; n],
             arb_queue: Vec::new(),
             arb_current: None,
+            serials: vec![0; n],
+            recreating: None,
+            lost: vec![(0, false); self.p.max_serials as usize + 1],
         }]
     }
 
@@ -346,6 +399,7 @@ impl Model for TokenModel {
                         owner: bundle.1,
                         data: bundle.2,
                         val: if bundle.2 { st.val } else { 0 },
+                        serial: s.serials[i],
                     });
                     Self::push(out, format!("send-all {i}->{dst}"), t);
                     // Send one non-owner token, with and without data.
@@ -362,6 +416,7 @@ impl Model for TokenModel {
                                 owner: false,
                                 data,
                                 val: if data { st.val } else { 0 },
+                                serial: s.serials[i],
                             });
                             Self::push(out, format!("send-1 {i}->{dst} data={data}"), t);
                         }
@@ -386,6 +441,7 @@ impl Model for TokenModel {
                         owner: bundle.1,
                         data: bundle.2,
                         val: if bundle.2 { st.val } else { 0 },
+                        serial: s.serials[mem],
                     });
                     Self::push(out, format!("mem-grant ->{dst}"), t);
                 }
@@ -403,6 +459,7 @@ impl Model for TokenModel {
                         owner: bundle.1,
                         data: bundle.2,
                         val: if bundle.2 { val } else { 0 },
+                        serial: s.serials[i],
                     });
                     Self::push(out, format!("writeback {i}->mem"), t);
                 }
@@ -420,19 +477,62 @@ impl Model for TokenModel {
                     owner,
                     data,
                     val,
+                    serial,
                 } => {
-                    let d = &mut t.nodes[dst as usize];
-                    d.tokens += count;
-                    if owner {
-                        d.owner = true;
+                    if serial < t.serials[dst as usize] {
+                        // Minted under a superseded serial: destroy at
+                        // receipt. A stale owner still hands its data
+                        // back to the authority's backing store (the
+                        // StaleDataReturn path; for a clean owner the
+                        // store already matches, so this is a no-op).
+                        if owner && data {
+                            t.nodes[self.mem()].val = val;
+                        }
+                        Self::push(out, format!("deliver-stale ->{dst}"), t);
+                    } else {
+                        let d = &mut t.nodes[dst as usize];
+                        d.tokens += count;
+                        if owner {
+                            d.owner = true;
+                        }
+                        if data {
+                            d.data = true;
+                            d.val = val;
+                        }
+                        // Unreachable above the node's serial (the mint
+                        // waits for every ack), mirrored defensively
+                        // from the implementation's fold path.
+                        t.serials[dst as usize] = t.serials[dst as usize].max(serial);
+                        // (Remembered persistent requests capture these tokens
+                        // via the separate forwarding action below.)
+                        Self::push(out, format!("deliver-tokens ->{dst}"), t);
                     }
-                    if data {
-                        d.data = true;
-                        d.val = val;
+                }
+                TMsg::RecreateInval { dst, serial } => {
+                    let d = dst as usize;
+                    t.serials[d] = serial;
+                    let nd = t.nodes[d].clone();
+                    if nd.owner && nd.data {
+                        // StaleDataReturn: a destroyed owner hands its
+                        // data back to the authority before the ack
+                        // releases the mint (the drain window covers
+                        // the return's flight time).
+                        t.nodes[self.mem()].val = nd.val;
                     }
-                    // (Remembered persistent requests capture these tokens
-                    // via the separate forwarding action below.)
-                    Self::push(out, format!("deliver-tokens ->{dst}"), t);
+                    t.nodes[d] = NodeSt {
+                        tokens: 0,
+                        owner: false,
+                        data: false,
+                        val: 0,
+                    };
+                    t.net.push(TMsg::RecreateAck { serial });
+                    Self::push(out, format!("deliver-inval ->{dst}"), t);
+                }
+                TMsg::RecreateAck { serial } => {
+                    let (ns, awaiting) = t.recreating.expect("ack outside a recreation");
+                    debug_assert_eq!(ns, serial);
+                    t.recreating = Some((ns, awaiting - 1));
+                    Self::push(out, format!("deliver-ack s{serial}"), t);
                 }
                 TMsg::Activate { dst, proc, kind } => {
                     t.tables[dst as usize][proc as usize] = Some(TableEntry {
@@ -512,6 +612,71 @@ impl Model for TokenModel {
                     t.tables[dst as usize][proc as usize] = None;
                     Self::push(out, format!("deliver-arb-deactivate p{proc}->{dst}"), t);
                 }
+            }
+        }
+
+        // --- token loss and recreation (§15) ----------------------------
+        if self.p.recovery {
+            let mem = self.mem();
+            let current = s.serials[mem];
+            // The interconnect loses a droppable bundle: never a dirty
+            // owner (committed stores travel acknowledged), and — a
+            // downscaling of the unbounded real schedule — only while a
+            // recreation remains available to repair the epoch, so
+            // EF-quiescence stays meaningful.
+            for (mi, m) in s.net.iter().enumerate() {
+                let TMsg::Tokens {
+                    dst,
+                    count,
+                    owner,
+                    data,
+                    val,
+                    serial,
+                } = *m
+                else {
+                    continue;
+                };
+                let dirty_owner = owner && data && val != s.nodes[mem].val;
+                let repairable = serial < current || current < self.p.max_serials;
+                if dirty_owner || !repairable {
+                    continue;
+                }
+                let mut t = s.clone();
+                t.net.remove(mi);
+                let e = &mut t.lost[serial as usize];
+                e.0 += count;
+                e.1 |= owner;
+                Self::push(out, format!("lose ->{dst}"), t);
+            }
+            // The authority starts a recreation: bump the serial,
+            // destroy its own (now stale) holding, broadcast
+            // invalidations. Enabled whenever budget remains — the real
+            // timeout may fire on a merely-slow block, so safety must
+            // hold under spurious recreation too.
+            if s.recreating.is_none() && current < self.p.max_serials {
+                let mut t = s.clone();
+                let ns = current + 1;
+                t.serials[mem] = ns;
+                t.nodes[mem].tokens = 0;
+                t.nodes[mem].owner = false;
+                t.nodes[mem].data = false;
+                self.broadcast(&mut t, mem, |d| TMsg::RecreateInval { dst: d, serial: ns });
+                t.recreating = Some((ns, self.p.caches as u8));
+                Self::push(out, "recreate-start".into(), t);
+            }
+            // The mint: every invalidation acked and every stale bundle
+            // drained (the drain window's postcondition — before the
+            // mint, *any* in-flight token bundle is stale by
+            // construction, so the guard is simply an empty token net).
+            if s.recreating == Some((current, 0))
+                && !s.net.iter().any(|m| matches!(m, TMsg::Tokens { .. }))
+            {
+                let mut t = s.clone();
+                t.nodes[mem].tokens = self.p.tokens;
+                t.nodes[mem].owner = true;
+                t.nodes[mem].data = true;
+                t.recreating = None;
+                Self::push(out, "recreate-done".into(), t);
             }
         }
 
@@ -598,6 +763,7 @@ impl Model for TokenModel {
                     owner: g.1,
                     data: g.2,
                     val: if g.2 { val } else { 0 },
+                    serial: s.serials[i],
                 });
                 Self::push(out, format!("forward {i}->p{proc}"), t);
             }
@@ -648,30 +814,124 @@ impl Model for TokenModel {
     }
 
     fn invariant(&self, s: &TState) -> Result<(), String> {
-        // Token conservation.
-        let held: u32 = s.nodes.iter().map(|n| n.tokens as u32).sum();
-        let flying: u32 = s
-            .net
-            .iter()
-            .map(|m| match m {
-                TMsg::Tokens { count, .. } => *count as u32,
-                _ => 0,
-            })
-            .sum();
-        if held + flying != self.p.tokens as u32 {
-            return Err(format!(
-                "token conservation: {held} held + {flying} in flight != {}",
-                self.p.tokens
-            ));
+        let mem = self.mem();
+        let current = s.serials[mem];
+        // Conservation per epoch. A node's held tokens belong to the
+        // node's tracked serial; bundles carry their own. Without a
+        // recreation in progress every epoch-`current` token (and the
+        // owner) is accounted exactly, modulo the lost ledger; during
+        // one, the superseding epoch must still be empty (the mint
+        // comes last) and the old epoch may only deflate (invalidations
+        // destroy tokens without recording them anywhere).
+        let held_at = |e: u8| -> (u32, u32) {
+            let mut tokens = 0;
+            let mut owners = 0;
+            for (i, nd) in s.nodes.iter().enumerate() {
+                if s.serials[i] == e {
+                    tokens += nd.tokens as u32;
+                    owners += nd.owner as u32;
+                }
+            }
+            (tokens, owners)
+        };
+        let flying_at = |e: u8| -> (u32, u32) {
+            let mut tokens = 0;
+            let mut owners = 0;
+            for m in &s.net {
+                if let TMsg::Tokens {
+                    count,
+                    owner,
+                    serial,
+                    ..
+                } = m
+                {
+                    if *serial == e {
+                        tokens += *count as u32;
+                        owners += *owner as u32;
+                    }
+                }
+            }
+            (tokens, owners)
+        };
+        for m in &s.net {
+            if let TMsg::Tokens { serial, .. } = m {
+                if *serial > current {
+                    return Err(format!(
+                        "bundle minted under future serial {serial} (current {current})"
+                    ));
+                }
+            }
         }
-        // Single owner token.
-        let owners = s.nodes.iter().filter(|n| n.owner).count()
-            + s.net
+        match s.recreating {
+            None => {
+                if let Some(i) = (0..s.serials.len()).find(|&i| s.serials[i] != current) {
+                    return Err(format!(
+                        "node {i} at serial {} after recreation to {current} completed",
+                        s.serials[i]
+                    ));
+                }
+                let (held, howners) = held_at(current);
+                let (flying, fowners) = flying_at(current);
+                let (lost, lost_owner) = s.lost[current as usize];
+                if held + flying + lost as u32 != self.p.tokens as u32 {
+                    return Err(format!(
+                        "epoch {current} conservation: {held} held + {flying} in \
+                         flight + {lost} lost != {}",
+                        self.p.tokens
+                    ));
+                }
+                let owners = howners + fowners + lost_owner as u32;
+                if owners != 1 {
+                    return Err(format!("epoch {current} owner count {owners} != 1"));
+                }
+            }
+            Some((ns, awaiting)) => {
+                if ns != current {
+                    return Err(format!(
+                        "recreating serial {ns} but authority tracks {current}"
+                    ));
+                }
+                let (new_held, _) = held_at(ns);
+                let (new_flying, _) = flying_at(ns);
+                if new_held + new_flying != 0 {
+                    return Err(format!(
+                        "epoch {ns} has {new_held} held + {new_flying} in flight \
+                         before its mint"
+                    ));
+                }
+                let old = ns - 1;
+                let (held, howners) = held_at(old);
+                let (flying, fowners) = flying_at(old);
+                let (lost, lost_owner) = s.lost[old as usize];
+                if held + flying + lost as u32 > self.p.tokens as u32 {
+                    return Err(format!(
+                        "epoch {old} inflation during recreation: {held} held + \
+                         {flying} in flight + {lost} lost > {}",
+                        self.p.tokens
+                    ));
+                }
+                if howners + fowners + lost_owner as u32 > 1 {
+                    return Err(format!("epoch {old} has multiple owners"));
+                }
+                let handshakes = s
+                    .net
+                    .iter()
+                    .filter(|m| matches!(m, TMsg::RecreateInval { .. } | TMsg::RecreateAck { .. }))
+                    .count();
+                if handshakes != awaiting as usize {
+                    return Err(format!(
+                        "awaiting {awaiting} acks but {handshakes} handshake \
+                         message(s) in flight"
+                    ));
+                }
+            }
+        }
+        if s.recreating.is_none()
+            && s.net
                 .iter()
-                .filter(|m| matches!(m, TMsg::Tokens { owner: true, .. }))
-                .count();
-        if owners != 1 {
-            return Err(format!("owner count {owners} != 1"));
+                .any(|m| matches!(m, TMsg::RecreateInval { .. } | TMsg::RecreateAck { .. }))
+        {
+            return Err("recreation handshake in flight outside a recreation".into());
         }
         for (i, nd) in s.nodes.iter().enumerate() {
             // Coherence invariant / serial view: every readable copy holds
@@ -711,7 +971,7 @@ impl Model for TokenModel {
     }
 
     fn is_quiescent(&self, s: &TState) -> bool {
-        s.net.is_empty() && s.my_req.iter().all(Option::is_none)
+        s.net.is_empty() && s.my_req.iter().all(Option::is_none) && s.recreating.is_none()
     }
 }
 
@@ -749,6 +1009,64 @@ mod tests {
         let m = TokenModel::new(TokenModelParams::small(SubstrateMode::Arbiter));
         let r = check(&m, &CheckOptions::default()).expect("arb substrate must verify");
         assert!(r.states > 100);
+    }
+
+    #[test]
+    fn recovery_substrate_verifies() {
+        let m = TokenModel::new(TokenModelParams::small_recovery(SubstrateMode::SafetyOnly));
+        let r = check(&m, &CheckOptions::default()).expect("recovery substrate must verify");
+        assert!(r.progress_checked, "EF-quiescence must hold under loss");
+        assert!(r.states > 100, "suspiciously small space: {}", r.states);
+    }
+
+    #[test]
+    fn recovery_reaches_every_recreation_kind() {
+        use crate::checker::reachable_kinds;
+        let m = TokenModel::new(TokenModelParams::small_recovery(SubstrateMode::SafetyOnly));
+        let kinds = reachable_kinds(&m, 5_000_000);
+        for k in [
+            "lose",
+            "recreate-start",
+            "deliver-inval",
+            "deliver-ack",
+            "deliver-stale",
+            "recreate-done",
+        ] {
+            assert!(
+                kinds.contains(k),
+                "recovery universe missing {k}: {kinds:?}"
+            );
+        }
+    }
+
+    /// Tokens that vanish without a lost-ledger entry must break the
+    /// per-epoch conservation invariant.
+    #[test]
+    fn invariant_rejects_unledgered_loss() {
+        let m = TokenModel::new(TokenModelParams::small_recovery(SubstrateMode::SafetyOnly));
+        let mut s = m.initial().remove(0);
+        s.nodes[m.mem()].tokens -= 1; // destroyed with no ledger entry
+        let err = m.invariant(&s).unwrap_err();
+        assert!(err.contains("conservation"), "{err}");
+    }
+
+    /// A bundle claiming a serial the authority never minted is
+    /// inadmissible.
+    #[test]
+    fn invariant_rejects_future_serial_bundle() {
+        let m = TokenModel::new(TokenModelParams::small_recovery(SubstrateMode::SafetyOnly));
+        let mut s = m.initial().remove(0);
+        s.nodes[m.mem()].tokens -= 1;
+        s.net.push(TMsg::Tokens {
+            dst: 0,
+            count: 1,
+            owner: false,
+            data: false,
+            val: 0,
+            serial: 3,
+        });
+        let err = m.invariant(&s).unwrap_err();
+        assert!(err.contains("future serial"), "{err}");
     }
 
     #[test]

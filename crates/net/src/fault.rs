@@ -14,12 +14,18 @@
 //! * **adversarial reordering** — a deliberate hold applied on the
 //!   unordered intra-CMP tier only, so that younger messages overtake
 //!   held ones.
-//! * **lossy delivery** — messages are discarded at injection. Only
-//!   messages whose protocol declares them [`droppable`](
+//! * **lossy delivery** — messages are discarded at injection. By
+//!   default only messages whose protocol declares them [`droppable`](
 //!   tokencmp_proto::NetMsg::droppable) — tokenless transient requests —
 //!   are ever lost; token-carrying and persistent-table messages are
 //!   exempt *by construction*, so token conservation and persistent-table
-//!   agreement cannot be violated no matter what the plan says.
+//!   agreement cannot be violated no matter what the plan says. The
+//!   opt-in **token-lossy tier** ([`FaultSpec::lossy_tokens`]) extends
+//!   loss to messages declaring themselves [`lossy_droppable`](
+//!   tokencmp_proto::NetMsg::lossy_droppable) — token bundles whose loss
+//!   the recreation protocol (DESIGN.md §15) can repair. Dropped bundles
+//!   are recorded in a per-`(block, serial)` lost-token ledger so the
+//!   end-of-run conservation audit can balance census + lost = `T`.
 //!
 //! Everything is seeded and deterministic: the same plan and seed yield a
 //! bit-identical simulation, and a no-op plan consumes no randomness at
@@ -50,6 +56,13 @@ pub struct FaultSpec {
     pub reorder_rate: f64,
     /// How long a held message is delayed.
     pub reorder_hold: Dur,
+    /// Opt-in token-lossy tier: when set, `drop_rate` also applies to
+    /// messages that are [`lossy_droppable`](
+    /// tokencmp_proto::NetMsg::lossy_droppable) — token bundles not
+    /// carrying a dirty owner. Meaningful only for protocols with a
+    /// token-recreation recovery path; directory baselines reject plans
+    /// with any positive drop rate regardless.
+    pub lossy_tokens: bool,
 }
 
 impl FaultSpec {
@@ -109,6 +122,19 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the drop rate of every cell *and* opts every cell into the
+    /// token-lossy tier, so token bundles (except dirty-owner ones, which
+    /// are never droppable) are lost at `rate` alongside transients.
+    pub fn dropping_tokens(mut self, rate: f64) -> FaultPlan {
+        for tier in &mut self.specs {
+            for spec in tier {
+                spec.drop_rate = rate;
+                spec.lossy_tokens = true;
+            }
+        }
+        self
+    }
+
     /// Sets the jitter rate and bound of every cell.
     pub fn jittering(mut self, rate: f64, max: Dur) -> FaultPlan {
         for tier in &mut self.specs {
@@ -148,18 +174,91 @@ impl FaultPlan {
             .map(|s| s.drop_rate)
             .fold(0.0, f64::max)
     }
+
+    /// True if any cell can actually lose token-carrying messages
+    /// (positive drop rate with the token-lossy tier opted in). The
+    /// system runner arms the recreation machinery — timers, serial
+    /// tracking at the token authority — exactly when this holds, so
+    /// lossless runs stay bit-identical to a build without recreation.
+    pub fn drops_tokens(&self) -> bool {
+        self.specs
+            .iter()
+            .flatten()
+            .any(|s| s.lossy_tokens && s.drop_rate > 0.0)
+    }
+
+    /// The worst extra in-flight delay any cell can inject (max jitter
+    /// plus max reorder hold). The recreation drain window adds this on
+    /// top of the configured margin so every stale in-flight bundle has
+    /// landed before new-serial tokens are minted.
+    pub fn max_extra_delay(&self) -> Dur {
+        let mut worst_jitter = Dur::ZERO;
+        let mut worst_hold = Dur::ZERO;
+        for s in self.specs.iter().flatten() {
+            if s.jitter_rate > 0.0 && s.max_jitter > worst_jitter {
+                worst_jitter = s.max_jitter;
+            }
+            if s.reorder_rate > 0.0 && s.reorder_hold > worst_hold {
+                worst_hold = s.reorder_hold;
+            }
+        }
+        worst_jitter + worst_hold
+    }
 }
 
-/// Counts of injected faults, harvested into the run counters as
-/// `net.fault.dropped` / `net.fault.jittered` / `net.fault.reordered`.
+/// Tokens the interconnect destroyed for one `(block, serial)` pair.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LostTokens {
+    /// Plain tokens lost (including any lost owner token).
+    pub count: u32,
+    /// Owner tokens lost (0 or 1 per serial — dirty owners are never
+    /// droppable and a serial mints exactly one owner).
+    pub owners: u32,
+}
+
+/// Counts of injected faults, broken out per message class (harvested
+/// into the run counters as `net.fault.<kind>` aggregates plus
+/// `net.fault.<kind>.<class>` per-class keys), and the lost-token
+/// ledger the conservation audit balances against.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct FaultCounters {
-    /// Droppable messages discarded at injection.
-    pub dropped: u64,
-    /// Messages that received extra latency jitter.
-    pub jittered: u64,
-    /// Messages adversarially held on the unordered intra-CMP tier.
-    pub reordered: u64,
+    /// Droppable messages discarded at injection, per [`MsgClass`] index.
+    pub dropped: [u64; 7],
+    /// Messages that received extra latency jitter, per class index.
+    pub jittered: [u64; 7],
+    /// Messages adversarially held on the unordered intra-CMP tier, per
+    /// class index.
+    pub reordered: [u64; 7],
+    /// Tokens destroyed by the token-lossy tier, keyed by
+    /// `(raw block, recreation serial)`. Recreation supersedes a serial's
+    /// losses wholesale, so the audit consults only each block's current
+    /// serial.
+    pub lost_tokens: std::collections::BTreeMap<(u64, u32), LostTokens>,
+}
+
+impl FaultCounters {
+    /// Total messages dropped, across classes.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+
+    /// Total messages jittered, across classes.
+    pub fn jittered_total(&self) -> u64 {
+        self.jittered.iter().sum()
+    }
+
+    /// Total messages held for reordering, across classes.
+    pub fn reordered_total(&self) -> u64 {
+        self.reordered.iter().sum()
+    }
+
+    /// The lost-token ledger entry for `(block, serial)`.
+    pub fn lost(&self, block: u64, serial: u32) -> LostTokens {
+        self.lost_tokens
+            .get(&(block, serial))
+            .copied()
+            .unwrap_or_default()
+    }
 }
 
 /// A shared handle onto a network's fault counters.
@@ -197,6 +296,67 @@ mod tests {
                 assert_eq!(s.reorder_hold, Dur::from_ns(10));
             }
         }
+    }
+
+    #[test]
+    fn token_lossy_tier_is_opt_in() {
+        // dropping() alone never touches token traffic.
+        assert!(!FaultPlan::none().dropping(0.5).drops_tokens());
+        // lossy_tokens without a positive rate is still lossless.
+        let armed_but_zero = FaultPlan::uniform(FaultSpec {
+            lossy_tokens: true,
+            ..FaultSpec::default()
+        });
+        assert!(!armed_but_zero.drops_tokens());
+        assert!(armed_but_zero.is_noop());
+        // dropping_tokens() arms both.
+        let lossy = FaultPlan::none().dropping_tokens(0.02);
+        assert!(lossy.drops_tokens());
+        assert_eq!(lossy.max_drop_rate(), 0.02);
+        for tier in Tier::ALL {
+            for class in MsgClass::ALL {
+                assert!(lossy.spec(tier, class).lossy_tokens);
+            }
+        }
+    }
+
+    #[test]
+    fn max_extra_delay_sums_worst_jitter_and_hold() {
+        assert_eq!(FaultPlan::none().max_extra_delay(), Dur::ZERO);
+        let plan = FaultPlan::none()
+            .jittering(0.1, Dur::from_ns(30))
+            .reordering(0.1, Dur::from_ns(10))
+            .with_spec(
+                Tier::Inter,
+                MsgClass::ResponseData,
+                FaultSpec {
+                    jitter_rate: 0.5,
+                    max_jitter: Dur::from_ns(45),
+                    ..FaultSpec::default()
+                },
+            );
+        assert_eq!(plan.max_extra_delay(), Dur::from_ns(55));
+        // A bound with a zero rate cannot delay anything.
+        let idle = FaultPlan::none().jittering(0.0, Dur::from_ns(500));
+        assert_eq!(idle.max_extra_delay(), Dur::ZERO);
+    }
+
+    #[test]
+    fn lost_token_ledger_defaults_to_empty() {
+        let mut c = FaultCounters::default();
+        assert_eq!(c.lost(9, 0), LostTokens::default());
+        c.lost_tokens.insert(
+            (9, 1),
+            LostTokens {
+                count: 3,
+                owners: 1,
+            },
+        );
+        assert_eq!(c.lost(9, 1).count, 3);
+        assert_eq!(c.lost(9, 0), LostTokens::default());
+        c.dropped[MsgClass::Request.index()] += 2;
+        c.dropped[MsgClass::ResponseData.index()] += 1;
+        assert_eq!(c.dropped_total(), 3);
     }
 
     #[test]

@@ -391,14 +391,39 @@ impl Network {
 
         // Lossy delivery: discarded at injection, so a dropped message
         // consumes no bandwidth and is not charged to traffic. Gated on
-        // the message's own droppability — token-carrying and persistent-
-        // table messages can never be lost regardless of the plan.
-        if spec.drop_rate > 0.0 && msg.droppable() && state.rng.chance(spec.drop_rate) {
-            state.counters.borrow_mut().dropped += 1;
+        // the message's own droppability: transients always opt in, token
+        // bundles only under the opt-in token-lossy tier (and never with
+        // a dirty owner aboard), persistent-table and recreation
+        // handshake messages can never be lost regardless of the plan.
+        let can_drop = msg.droppable() || (spec.lossy_tokens && msg.lossy_droppable());
+        if spec.drop_rate > 0.0 && can_drop && state.rng.chance(spec.drop_rate) {
+            let mut counters = state.counters.borrow_mut();
+            counters.dropped[msg.class().index()] += 1;
+            if let Some(p) = msg.token_payload() {
+                // Destroyed tokens enter the lost ledger so the end-of-
+                // run conservation audit balances census + lost = T.
+                let block = msg.block_id().expect("token payload without a block");
+                let entry = counters.lost_tokens.entry((block, p.serial)).or_default();
+                entry.count += p.count;
+                entry.owners += p.owner as u32;
+            }
+            drop(counters);
             trace_fault(msg, || {
                 format!("[fault] {now:?} DROP {src:?}->{dst:?} on {tier:?}")
             });
             self.emit_fault(now, FaultKind::Drop, tier, msg);
+            if let (Some(p), Some(trace)) = (msg.token_payload(), &self.trace) {
+                trace.borrow_mut().record(
+                    now,
+                    TraceEvent::TokenLost {
+                        block: Block(msg.block_id().expect("token payload without a block")),
+                        to: dst,
+                        count: p.count,
+                        owner: p.owner,
+                        serial: p.serial,
+                    },
+                );
+            }
             self.faults = Some(state);
             return Delivery::Dropped;
         }
@@ -410,7 +435,7 @@ impl Network {
         {
             let extra = Dur::from_ps(state.rng.below(spec.max_jitter.as_ps() + 1));
             arrive += extra;
-            state.counters.borrow_mut().jittered += 1;
+            state.counters.borrow_mut().jittered[msg.class().index()] += 1;
             trace_fault(msg, || {
                 format!("[fault] {now:?} JITTER +{extra:?} {src:?}->{dst:?} on {tier:?}")
             });
@@ -424,7 +449,7 @@ impl Network {
             // Adversarial hold on the unordered on-chip fabric: younger
             // messages between the same endpoints will overtake this one.
             arrive += spec.reorder_hold;
-            state.counters.borrow_mut().reordered += 1;
+            state.counters.borrow_mut().reordered[msg.class().index()] += 1;
             trace_fault(msg, || {
                 format!(
                     "[fault] {now:?} HOLD +{:?} {src:?}->{dst:?} on {tier:?}",
@@ -855,7 +880,7 @@ mod tests {
         // Droppable: always lost at rate 1.0, and never charged.
         let v = Transport::<DroppableMsg>::dispatch(&mut n, Time::ZERO, src, dst, &DroppableMsg);
         assert_eq!(v, Delivery::Dropped);
-        assert_eq!(handle.borrow().dropped, 1);
+        assert_eq!(handle.borrow().dropped_total(), 1);
         let tr = n.traffic_handle();
         for tier in Tier::ALL {
             assert_eq!(tr.borrow().total_msgs(tier), 0, "dropped msg was charged");
@@ -863,7 +888,7 @@ mod tests {
         // Non-droppable (token-carrying/persistent stand-in): delivered.
         let v = Transport::<TestMsg>::dispatch(&mut n, Time::ZERO, src, dst, &data());
         assert!(matches!(v, Delivery::At(_)));
-        assert_eq!(handle.borrow().dropped, 1);
+        assert_eq!(handle.borrow().dropped_total(), 1);
     }
 
     #[test]
@@ -890,7 +915,10 @@ mod tests {
             assert!(t >= last, "serialized link reordered under jitter");
             last = t;
         }
-        assert_eq!(faulty.fault_handle().unwrap().borrow().jittered, 200);
+        assert_eq!(
+            faulty.fault_handle().unwrap().borrow().jittered_total(),
+            200
+        );
     }
 
     #[test]
@@ -919,7 +947,7 @@ mod tests {
             panic!("reorder must not drop");
         };
         assert_eq!(t, base);
-        assert_eq!(faulty.fault_handle().unwrap().borrow().reordered, 1);
+        assert_eq!(faulty.fault_handle().unwrap().borrow().reordered_total(), 1);
     }
 
     #[test]

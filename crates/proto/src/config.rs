@@ -84,6 +84,22 @@ pub struct SystemConfig {
     /// Enable the migratory-sharing optimization (on in both protocols by
     /// default, as in the paper).
     pub migratory_sharing: bool,
+
+    // ---- token-recreation knobs (DESIGN.md §15) ----
+    /// Base token-recreation timeout: how long a persistent-escalated
+    /// request starves before its L1 asks the home memory controller to
+    /// recreate the block's tokens. Well above the persistent-request
+    /// service time so recreation only fires when tokens are genuinely
+    /// lost.
+    pub recreation_timeout: Dur,
+    /// Cap on the exponential recreation-request backoff
+    /// (`min(recreation_timeout << attempt, cap)`).
+    pub recreation_backoff_cap: Dur,
+    /// Drain margin the token authority waits after collecting every
+    /// recreation-invalidation ack before minting the new-serial tokens;
+    /// the system runner adds the fault plan's worst-case extra delay on
+    /// top so every stale in-flight bundle has resolved first.
+    pub recreation_drain: Dur,
 }
 
 impl Default for SystemConfig {
@@ -113,6 +129,9 @@ impl Default for SystemConfig {
             response_delay: Dur::from_ns(25),
             dir_access_latency: Dur::from_ns(80),
             migratory_sharing: true,
+            recreation_timeout: Dur::from_ns(2_000),
+            recreation_backoff_cap: Dur::from_ns(16_000),
+            recreation_drain: Dur::from_ns(250),
         }
     }
 }
@@ -190,6 +209,16 @@ impl SystemConfig {
         }
         if self.l1_ways == 0 || self.l2_ways == 0 {
             return Err("associativity must be nonzero".into());
+        }
+        if self.recreation_timeout.as_ps() == 0 {
+            return Err("recreation_timeout must be nonzero".into());
+        }
+        if self.recreation_backoff_cap < self.recreation_timeout {
+            return Err(format!(
+                "recreation_backoff_cap ({:?}) must be at least \
+                 recreation_timeout ({:?})",
+                self.recreation_backoff_cap, self.recreation_timeout
+            ));
         }
         Ok(())
     }
@@ -269,6 +298,23 @@ mod tests {
             ..SystemConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_recreation_knobs() {
+        let cfg = SystemConfig {
+            recreation_timeout: Dur::from_ns(0),
+            ..SystemConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("recreation_timeout"));
+        let cfg = SystemConfig {
+            recreation_backoff_cap: Dur::from_ns(1),
+            ..SystemConfig::default()
+        };
+        assert!(cfg
+            .validate()
+            .unwrap_err()
+            .contains("recreation_backoff_cap"));
     }
 
     #[test]

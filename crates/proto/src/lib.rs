@@ -26,5 +26,5 @@ pub use addr::Block;
 pub use config::SystemConfig;
 pub use cpu::{AccessKind, CpuPort, CpuReq, CpuResp};
 pub use layout::{CmpId, Layout, Placement, ProcId, Unit};
-pub use msg::{MsgClass, NetMsg};
+pub use msg::{MsgClass, NetMsg, TokenPayload};
 pub use trace_block::{parse_trace_block, trace_block_filter};

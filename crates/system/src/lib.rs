@@ -15,6 +15,9 @@ pub mod sequencer;
 pub mod workload;
 
 pub use perfect::{PerfectL2, PerfectStats};
-pub use run::{run_workload, run_workload_traced, ConformOptions, Protocol, RunOptions, RunResult};
+pub use run::{
+    parse_stall_ns, run_workload, run_workload_traced, ConformOptions, Protocol, RunOptions,
+    RunResult,
+};
 pub use sequencer::{uniform_work, Sequencer};
 pub use workload::{Completed, ScriptedWorkload, Step, ValueStore, Workload};

@@ -9,9 +9,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use tokencmp_core::{TokenL1, TokenL2, TokenMem, TokenMsg, Variant};
+use tokencmp_core::{RecoveryParams, TokenL1, TokenL2, TokenMem, TokenMsg, Variant};
 use tokencmp_directory::{ChipRights, DirHome, DirL1, DirL2, DirMsg, L1State};
-use tokencmp_net::{FaultPlan, Network, Traffic, TrafficHandle};
+use tokencmp_net::{FaultHandle, FaultPlan, Network, Traffic, TrafficHandle};
 use tokencmp_proto::{Block, CpuPort, Layout, MsgClass, NetMsg, SystemConfig, Unit};
 use tokencmp_sim::kernel::RunOutcome;
 use tokencmp_sim::{
@@ -109,7 +109,8 @@ pub struct RunOptions {
     /// and [`RunResult::diagnostic`] carries a snapshot. `None` disables
     /// the watchdog. The default (1 ms of simulated time, ~10⁴× a typical
     /// operation latency) is far above any legitimate quiet period of the
-    /// modeled workloads.
+    /// modeled workloads; the `TOKENCMP_STALL_NS` environment variable
+    /// overrides it (see [`parse_stall_ns`]).
     pub stall_window: Option<Dur>,
     /// Online refinement checking against the verified mcheck models.
     pub conform: ConformOptions,
@@ -130,10 +131,49 @@ impl Default for RunOptions {
             horizon: Time::MAX,
             audit: true,
             faults: FaultPlan::none(),
-            stall_window: Some(Dur::from_ns(1_000_000)),
+            stall_window: default_stall_window(),
             conform: ConformOptions::default(),
             scheduler: None,
         }
+    }
+}
+
+/// Parses a `TOKENCMP_STALL_NS` value: the stall-watchdog window in
+/// nanoseconds of simulated time, `0` to disable the watchdog entirely.
+/// `Ok(None)` means the variable is unset (use the built-in default).
+/// Separated from [`default_stall_window`] so malformed inputs are
+/// unit-testable without exercising a panic.
+pub fn parse_stall_ns(var: Option<&str>) -> Result<Option<Option<Dur>>, String> {
+    let Some(raw) = var else {
+        return Ok(None);
+    };
+    let v = raw.trim();
+    if v.is_empty() {
+        return Err(
+            "TOKENCMP_STALL_NS is set but empty; unset it, give a window in \
+             nanoseconds, or give 0 to disable the watchdog"
+                .into(),
+        );
+    }
+    match v.parse::<u64>() {
+        Ok(0) => Ok(Some(None)),
+        Ok(ns) => Ok(Some(Some(Dur::from_ns(ns)))),
+        Err(_) => Err(format!(
+            "TOKENCMP_STALL_NS: `{raw}` is not a non-negative integer nanosecond count"
+        )),
+    }
+}
+
+/// The stall-watchdog window [`RunOptions::default`] uses: the
+/// `TOKENCMP_STALL_NS` override when set (longer windows let extreme
+/// token-loss experiments ride out long recovery backoffs; `0` disables
+/// the watchdog), else 1 ms of simulated time. Malformed values abort
+/// immediately — a typo must not silently run with the default window.
+pub fn default_stall_window() -> Option<Dur> {
+    match parse_stall_ns(std::env::var("TOKENCMP_STALL_NS").ok().as_deref()) {
+        Ok(Some(w)) => w,
+        Ok(None) => Some(Dur::from_ns(1_000_000)),
+        Err(msg) => panic!("{msg}"),
     }
 }
 
@@ -450,6 +490,31 @@ fn run_token(
         let id = k.add_component(TokenMem::new(cfg.clone(), me, c));
         assert_eq!(id, me);
     }
+    // Token-loss recovery (§15) is armed only when the fault plan can
+    // actually drop token-carrying messages: a lossless run schedules no
+    // recovery timers and stays bit-identical to a build without the
+    // recovery subsystem. The drain window extends the configured base
+    // by the plan's worst extra in-flight delay so every stale bundle
+    // has landed before the remint.
+    if opts.faults.drops_tokens() {
+        let recovery = RecoveryParams {
+            base: cfg.recreation_timeout,
+            cap: cfg.recreation_backoff_cap,
+            drain: cfg.recreation_drain + opts.faults.max_extra_delay(),
+        };
+        for p in layout.proc_ids() {
+            for node in [layout.l1d(p), layout.l1i(p)] {
+                k.component_as_mut::<TokenL1>(node)
+                    .unwrap()
+                    .set_recovery(recovery);
+            }
+        }
+        for c in layout.cmp_ids() {
+            k.component_as_mut::<TokenMem>(layout.mem(c))
+                .unwrap()
+                .set_recovery(recovery);
+        }
+    }
     if let Some(t) = &trace {
         for p in layout.proc_ids() {
             k.component_as_mut::<Sequencer<TokenMsg>>(layout.proc(p))
@@ -500,6 +565,9 @@ fn run_token(
             counters.add("l1.persistent", l1.stats.persistent_issued);
             counters.add("l1.persistent_reads", l1.stats.persistent_reads);
             counters.add("l1.pred_shortcuts", l1.stats.predictor_shortcuts);
+            if l1.stats.recreation_requests > 0 {
+                counters.add("l1.recreation_requests", l1.stats.recreation_requests);
+            }
             lat.merge(&l1.stats.lat);
         }
     }
@@ -518,27 +586,71 @@ fn run_token(
         counters.add("mem.data_responses", m.stats.data_responses);
         counters.add("mem.writebacks", m.stats.writebacks);
         counters.add("mem.arb_activations", m.stats.arb_activations);
+        if m.stats.recreations > 0 {
+            counters.add("mem.recreations", m.stats.recreations);
+        }
     }
 
-    // Only fault-injecting runs carry `net.fault.*` counters, so a no-op
-    // plan leaves the counter listing bit-identical to a fault-free run.
-    if let Some(h) = &faults {
-        let f = h.borrow();
-        counters.add("net.fault.dropped", f.dropped);
-        counters.add("net.fault.jittered", f.jittered);
-        counters.add("net.fault.reordered", f.reordered);
-    }
+    export_fault_counters(&mut counters, &faults);
 
     if opts.audit && outcome == RunOutcome::Idle {
-        audit_tokens(&k, cfg, &layout);
+        audit_tokens(&k, cfg, &layout, &faults);
     }
     finish(&k, outcome, runtime, Some(&traffic), counters, diagnostic)
+}
+
+/// Exports fault counters into the run's counter registry: the aggregate
+/// `net.fault.{dropped,jittered,reordered}` keys, a per-class breakout
+/// (`net.fault.dropped.<class>` etc., written only for classes actually
+/// hit), and the total tokens destroyed in flight. Only fault-injecting
+/// runs carry a handle, so a no-op plan leaves the counter listing
+/// bit-identical to a fault-free run.
+fn export_fault_counters(counters: &mut Stats, faults: &Option<FaultHandle>) {
+    let Some(h) = faults else {
+        return;
+    };
+    let f = h.borrow();
+    counters.add("net.fault.dropped", f.dropped_total());
+    counters.add("net.fault.jittered", f.jittered_total());
+    counters.add("net.fault.reordered", f.reordered_total());
+    for c in MsgClass::ALL {
+        let i = c.index();
+        for (name, v) in [
+            ("dropped", f.dropped[i]),
+            ("jittered", f.jittered[i]),
+            ("reordered", f.reordered[i]),
+        ] {
+            if v > 0 {
+                counters.add(&format!("net.fault.{name}.{}", c.key()), v);
+            }
+        }
+    }
+    let (lost, lost_owners) = f.lost_tokens.values().fold((0u64, 0u64), |(t, o), l| {
+        (t + l.count as u64, o + l.owners as u64)
+    });
+    if lost > 0 {
+        counters.add("net.fault.lost_tokens", lost);
+        counters.add("net.fault.lost_owners", lost_owners);
+    }
 }
 
 /// Token conservation at quiescence: every touched block holds exactly
 /// `T` tokens and exactly one owner token across all caches and its home
 /// memory controller (§3.1's safety invariant, checked globally).
-fn audit_tokens(k: &Kernel<TokenMsg>, cfg: &SystemConfig, layout: &Layout) {
+///
+/// Under a token-lossy fault plan the invariant is *conservation per
+/// recreation epoch*: held tokens plus tokens the interconnect recorded
+/// as destroyed **under the block's current serial** must equal `T`
+/// (tokens lost under superseded serials were reminted wholesale by a
+/// recreation and do not count). A recreation can never be mid-flight
+/// here — its pending ack or drain wake would have kept the kernel from
+/// going idle — and that is asserted too.
+fn audit_tokens(
+    k: &Kernel<TokenMsg>,
+    cfg: &SystemConfig,
+    layout: &Layout,
+    faults: &Option<FaultHandle>,
+) {
     let mut tokens: HashMap<Block, (u32, u32)> = HashMap::new();
     let mut fold = |census: Vec<(Block, u32, bool)>| {
         for (b, t, o) in census {
@@ -557,13 +669,22 @@ fn audit_tokens(k: &Kernel<TokenMsg>, cfg: &SystemConfig, layout: &Layout) {
         }
     }
     for c in layout.cmp_ids() {
-        fold(
-            k.component_as::<TokenMem>(layout.mem(c))
-                .unwrap()
-                .explicit_census(),
+        let m = k.component_as::<TokenMem>(layout.mem(c)).unwrap();
+        assert!(
+            !m.recreation_in_progress(),
+            "kernel idle with a token recreation in progress at {c:?}"
         );
+        fold(m.explicit_census());
     }
-    for (b, (t, o)) in tokens {
+    for (b, (mut t, mut o)) in tokens {
+        if let Some(h) = faults {
+            let home = k
+                .component_as::<TokenMem>(layout.mem(cfg.home_of(b)))
+                .unwrap();
+            let lost = h.borrow().lost(b.0, home.serial_of(b));
+            t += lost.count;
+            o += lost.owners;
+        }
         assert_eq!(
             t, cfg.tokens_per_block,
             "token conservation violated for {b:?}: {t} tokens"
@@ -665,12 +786,7 @@ fn run_directory(
         counters.add("home.writebacks", h.stats.writebacks);
     }
 
-    if let Some(h) = &faults {
-        let f = h.borrow();
-        counters.add("net.fault.dropped", f.dropped);
-        counters.add("net.fault.jittered", f.jittered);
-        counters.add("net.fault.reordered", f.reordered);
-    }
+    export_fault_counters(&mut counters, &faults);
 
     if opts.audit && outcome == RunOutcome::Idle {
         audit_directory(&k, &layout);
@@ -793,4 +909,36 @@ fn run_perfect(
     counters.add("l1.hits", m.stats.hits);
     counters.add("l1.misses", m.stats.misses);
     finish(&k, outcome, runtime, None, counters, diagnostic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_ns_unset_defers_to_the_default() {
+        assert_eq!(parse_stall_ns(None), Ok(None));
+    }
+
+    #[test]
+    fn stall_ns_zero_disables_the_watchdog() {
+        assert_eq!(parse_stall_ns(Some("0")), Ok(Some(None)));
+    }
+
+    #[test]
+    fn stall_ns_parses_a_window() {
+        assert_eq!(
+            parse_stall_ns(Some(" 2500 ")),
+            Ok(Some(Some(Dur::from_ns(2_500))))
+        );
+    }
+
+    #[test]
+    fn stall_ns_rejects_empty_and_malformed_values() {
+        assert!(parse_stall_ns(Some("")).is_err());
+        assert!(parse_stall_ns(Some("  ")).is_err());
+        assert!(parse_stall_ns(Some("fast")).is_err());
+        assert!(parse_stall_ns(Some("-5")).is_err());
+        assert!(parse_stall_ns(Some("1e6")).is_err());
+    }
 }

@@ -65,7 +65,7 @@ pub use tokencmp_workloads as workloads;
 
 pub use tokencmp_conform::{
     conformance_grid, conformance_report, export_conformance, ConformChecker, ConformPoint,
-    ConformWork, Mutation,
+    ConformWork, FaultTier, Mutation,
 };
 pub use tokencmp_core::{ReqKind, TokenBundle, TokenMsg, Variant};
 pub use tokencmp_litmus::{

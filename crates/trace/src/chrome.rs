@@ -92,8 +92,17 @@ fn lane(ev: &TraceEvent) -> u64 {
         }
         | TraceEvent::TableApply {
             node: NodeId(n), ..
+        }
+        | TraceEvent::StaleDiscard {
+            node: NodeId(n), ..
+        }
+        | TraceEvent::EpochInval {
+            node: NodeId(n), ..
         } => n as u64,
-        TraceEvent::Fault { .. } => 0,
+        TraceEvent::TokenLost { to: NodeId(n), .. } => n as u64,
+        TraceEvent::Fault { .. }
+        | TraceEvent::RecreationStart { .. }
+        | TraceEvent::RecreationDone { .. } => 0,
     }
 }
 
@@ -111,12 +120,13 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     // Children tile the parent in the order the transaction experienced
     // them: timed-out attempts, then the winning transfer, then any
     // persistent wait.
-    const SPAN_ORDER: [Segment; 5] = [
+    const SPAN_ORDER: [Segment; 6] = [
         Segment::Retry,
         Segment::Intra,
         Segment::Inter,
         Segment::Mem,
         Segment::PersistentWait,
+        Segment::Recovery,
     ];
     for r in records {
         match r.ev {
@@ -191,6 +201,7 @@ fn seg_arg(s: Segment) -> &'static str {
         Segment::Mem => "mem_ps",
         Segment::Retry => "retry_ps",
         Segment::PersistentWait => "persistent_wait_ps",
+        Segment::Recovery => "recovery_ps",
     }
 }
 

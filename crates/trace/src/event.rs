@@ -242,6 +242,67 @@ pub enum TraceEvent {
         /// Per-segment attribution; sums to `total`.
         parts: SegmentParts,
     },
+    /// The interconnect lost a token bundle under the opt-in token-lossy
+    /// fault tier (§15). Pairs with the preceding
+    /// [`TokensMoved`](TraceEvent::TokensMoved) so in-flight accounting
+    /// stays exact: the bundle left `from` but will never be delivered.
+    TokenLost {
+        /// Block whose tokens were lost.
+        block: Block,
+        /// The destination the bundle will never reach.
+        to: NodeId,
+        /// Token count in the lost bundle.
+        count: u32,
+        /// Whether the owner token was lost with it.
+        owner: bool,
+        /// Recreation serial the lost tokens were minted under.
+        serial: u32,
+    },
+    /// A node received a token bundle minted under an outdated recreation
+    /// serial and destroyed it instead of folding it in.
+    StaleDiscard {
+        /// Discarding node.
+        node: NodeId,
+        /// Block the stale bundle belonged to.
+        block: Block,
+        /// Token count destroyed.
+        count: u32,
+        /// Whether the (stale) owner token was among them.
+        owner: bool,
+        /// The outdated serial the bundle carried.
+        serial: u32,
+    },
+    /// A node applied a recreation invalidation: it bumped the block to
+    /// the new serial and destroyed any tokens held under older ones.
+    EpochInval {
+        /// Node whose holding was invalidated.
+        node: NodeId,
+        /// Block being recreated.
+        block: Block,
+        /// The new serial now in force at this node.
+        serial: u32,
+        /// Tokens the node destroyed (0 if it held none).
+        discarded: u32,
+        /// Whether the destroyed holding included the owner token.
+        owner: bool,
+    },
+    /// The token authority (home memory controller) began recreating a
+    /// block's tokens under a new serial.
+    RecreationStart {
+        /// Block being recreated.
+        block: Block,
+        /// The serial being brought into force.
+        serial: u32,
+    },
+    /// The token authority finished a recreation: all invalidation acks
+    /// arrived, the drain window elapsed, and the full token set (plus
+    /// owner) was minted afresh at memory under `serial`.
+    RecreationDone {
+        /// Recreated block.
+        block: Block,
+        /// The serial the new tokens carry.
+        serial: u32,
+    },
 }
 
 impl TraceEvent {
@@ -261,7 +322,12 @@ impl TraceEvent {
             | TraceEvent::TableApply { block, .. }
             | TraceEvent::ArbRequest { block, .. }
             | TraceEvent::ArbDone { block, .. }
-            | TraceEvent::MissCommit { block, .. } => Some(block),
+            | TraceEvent::MissCommit { block, .. }
+            | TraceEvent::TokenLost { block, .. }
+            | TraceEvent::StaleDiscard { block, .. }
+            | TraceEvent::EpochInval { block, .. }
+            | TraceEvent::RecreationStart { block, .. }
+            | TraceEvent::RecreationDone { block, .. } => Some(block),
         }
     }
 
@@ -283,6 +349,11 @@ impl TraceEvent {
             TraceEvent::ArbRequest { .. } => "arb.request",
             TraceEvent::ArbDone { .. } => "arb.done",
             TraceEvent::MissCommit { .. } => "miss.commit",
+            TraceEvent::TokenLost { .. } => "tokens.lost",
+            TraceEvent::StaleDiscard { .. } => "tokens.stale",
+            TraceEvent::EpochInval { .. } => "recreate.inval",
+            TraceEvent::RecreationStart { .. } => "recreate.start",
+            TraceEvent::RecreationDone { .. } => "recreate.done",
         }
     }
 }
@@ -415,6 +486,48 @@ impl fmt::Display for TraceEvent {
                 "miss.commit p{} {kind:?} {block:?} total {total} [{parts}]",
                 proc.0
             ),
+            TraceEvent::TokenLost {
+                block,
+                to,
+                count,
+                owner,
+                serial,
+            } => write!(
+                f,
+                "tokens.lost {block:?} bound for n{} count {count}{} serial {serial}",
+                to.0,
+                if owner { "+owner" } else { "" }
+            ),
+            TraceEvent::StaleDiscard {
+                node,
+                block,
+                count,
+                owner,
+                serial,
+            } => write!(
+                f,
+                "tokens.stale n{} {block:?} count {count}{} serial {serial}",
+                node.0,
+                if owner { "+owner" } else { "" }
+            ),
+            TraceEvent::EpochInval {
+                node,
+                block,
+                serial,
+                discarded,
+                owner,
+            } => write!(
+                f,
+                "recreate.inval n{} {block:?} -> serial {serial} discarded {discarded}{}",
+                node.0,
+                if owner { "+owner" } else { "" }
+            ),
+            TraceEvent::RecreationStart { block, serial } => {
+                write!(f, "recreate.start {block:?} serial {serial}")
+            }
+            TraceEvent::RecreationDone { block, serial } => {
+                write!(f, "recreate.done {block:?} serial {serial}")
+            }
         }
     }
 }

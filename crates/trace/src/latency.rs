@@ -24,16 +24,21 @@ pub enum Segment {
     Retry,
     /// Time spent waiting under an active persistent request.
     PersistentWait,
+    /// Time spent in token-loss recovery: from the first recreation
+    /// request the starving L1 sent until the miss completed (§15).
+    /// Zero on every lossless run.
+    Recovery,
 }
 
 impl Segment {
     /// All segments, in canonical (export and rendering) order.
-    pub const ALL: [Segment; 5] = [
+    pub const ALL: [Segment; 6] = [
         Segment::Intra,
         Segment::Inter,
         Segment::Mem,
         Segment::Retry,
         Segment::PersistentWait,
+        Segment::Recovery,
     ];
 
     /// Stable lowercase key, used in counter names and JSON.
@@ -44,6 +49,7 @@ impl Segment {
             Segment::Mem => "mem",
             Segment::Retry => "retry",
             Segment::PersistentWait => "persistent_wait",
+            Segment::Recovery => "recovery",
         }
     }
 
@@ -55,6 +61,7 @@ impl Segment {
             Segment::Mem => 2,
             Segment::Retry => 3,
             Segment::PersistentWait => 4,
+            Segment::Recovery => 5,
         }
     }
 }
@@ -74,6 +81,8 @@ pub struct SegmentParts {
     pub retry: u64,
     /// Persistent-wait picoseconds.
     pub persistent_wait: u64,
+    /// Token-loss recovery picoseconds.
+    pub recovery: u64,
 }
 
 impl SegmentParts {
@@ -85,6 +94,7 @@ impl SegmentParts {
             Segment::Mem => self.mem,
             Segment::Retry => self.retry,
             Segment::PersistentWait => self.persistent_wait,
+            Segment::Recovery => self.recovery,
         }
     }
 
@@ -96,6 +106,7 @@ impl SegmentParts {
             Segment::Mem => self.mem += ps,
             Segment::Retry => self.retry += ps,
             Segment::PersistentWait => self.persistent_wait += ps,
+            Segment::Recovery => self.recovery += ps,
         }
     }
 
@@ -135,7 +146,7 @@ impl fmt::Display for SegmentParts {
 #[derive(Clone, Debug, Default)]
 pub struct LatencyBreakdown {
     total: Histogram,
-    segs: [Histogram; 5],
+    segs: [Histogram; 6],
 }
 
 impl LatencyBreakdown {
@@ -188,7 +199,10 @@ impl LatencyBreakdown {
     /// Exports the breakdown into a counter registry:
     /// `lat.total.{count,ps_sum,p50_ps,p99_ps,max_ps}` plus
     /// `lat.<segment>.ps_sum` for each segment. No keys are written for
-    /// an empty breakdown (e.g. a run with zero misses).
+    /// an empty breakdown (e.g. a run with zero misses), and the
+    /// `lat.recovery.ps_sum` key appears only when recovery time was
+    /// actually attributed, so lossless runs keep their historical key
+    /// set bit-identically.
     pub fn export_into(&self, stats: &mut Stats) {
         if self.total.count() == 0 {
             return;
@@ -205,10 +219,11 @@ impl LatencyBreakdown {
         );
         stats.add("lat.total.max_ps", self.total.max().unwrap_or(0));
         for s in Segment::ALL {
-            stats.add(
-                &format!("lat.{}.ps_sum", s.label()),
-                self.segs[s.index()].sum() as u64,
-            );
+            let sum = self.segs[s.index()].sum() as u64;
+            if s == Segment::Recovery && sum == 0 {
+                continue;
+            }
+            stats.add(&format!("lat.{}.ps_sum", s.label()), sum);
         }
     }
 }
@@ -263,6 +278,33 @@ mod tests {
             .sum();
         assert_eq!(seg_sum, l.total().sum() as u64);
         assert!(s.counter("lat.total.p99_ps") >= s.counter("lat.total.p50_ps"));
+    }
+
+    #[test]
+    fn recovery_key_exports_only_when_nonzero() {
+        let mut l = LatencyBreakdown::new();
+        l.record(
+            40,
+            SegmentParts {
+                intra: 40,
+                ..SegmentParts::default()
+            },
+        );
+        let mut s = Stats::new();
+        l.export_into(&mut s);
+        assert!(!s.counters().any(|(k, _)| k == "lat.recovery.ps_sum"));
+
+        l.record(
+            90,
+            SegmentParts {
+                intra: 30,
+                recovery: 60,
+                ..SegmentParts::default()
+            },
+        );
+        let mut s = Stats::new();
+        l.export_into(&mut s);
+        assert_eq!(s.counter("lat.recovery.ps_sum"), 60);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use tokencmp::conform::{
     conformance_grid, conformance_report, run_conform, token_substrate_pct, ConformChecker,
-    ConformWork, Mutation,
+    ConformWork, FaultTier, Mutation,
 };
 use tokencmp::litmus::classic_shapes;
 use tokencmp::{
@@ -28,10 +28,10 @@ fn mp_shape() -> tokencmp::Program {
 }
 
 #[test]
-fn every_protocol_conforms_on_every_shape_clean_and_lossy() {
-    // Shapes × protocols × seeds, clean everywhere plus the lossy
-    // adversary on the token variants (the bench runs the same sweep
-    // wider: ≥ 4 seeds plus the micro-benchmark cells).
+fn every_protocol_conforms_on_every_shape_on_every_fault_tier() {
+    // Shapes × protocols × seeds, clean everywhere plus the lossy and
+    // token-lossy adversaries on the token variants (the bench runs the
+    // same sweep wider: ≥ 4 seeds plus the micro-benchmark cells).
     let shapes: Vec<ConformWork> = classic_shapes()
         .into_iter()
         .map(ConformWork::Litmus)
@@ -39,13 +39,8 @@ fn every_protocol_conforms_on_every_shape_clean_and_lossy() {
     for protocol in all_protocols() {
         for work in &shapes {
             for seed in [1, 2] {
-                let plans: &[bool] = if matches!(protocol, Protocol::Token(_)) {
-                    &[false, true]
-                } else {
-                    &[false]
-                };
-                for &lossy in plans {
-                    let pt = run_conform(work, protocol, seed, lossy, Mutation::None);
+                for &tier in FaultTier::for_protocol(protocol) {
+                    let pt = run_conform(work, protocol, seed, tier, Mutation::None);
                     assert!(
                         pt.violation.is_none(),
                         "{}: refinement violation\n{}",
@@ -67,7 +62,7 @@ fn micro_benchmarks_conform_on_every_protocol() {
             ConformWork::Barrier,
             ConformWork::Eviction,
         ] {
-            let pt = run_conform(&work, protocol, 7, false, Mutation::None);
+            let pt = run_conform(&work, protocol, 7, FaultTier::Clean, Mutation::None);
             assert!(
                 pt.violation.is_none(),
                 "{}: refinement violation\n{}",
@@ -85,7 +80,7 @@ fn forged_commit_is_flagged_on_every_protocol() {
     // protocol configurations.
     let work = ConformWork::Litmus(mp_shape());
     for protocol in all_protocols() {
-        let pt = run_conform(&work, protocol, 1, false, Mutation::ForgeCommit);
+        let pt = run_conform(&work, protocol, 1, FaultTier::Clean, Mutation::ForgeCommit);
         let v = pt
             .violation
             .unwrap_or_else(|| panic!("{}: forged commit not flagged", protocol.name()));
@@ -103,7 +98,7 @@ fn dropped_delivery_is_flagged_on_every_token_variant() {
     // the checker: conservation can no longer balance at quiescence.
     let work = ConformWork::Litmus(mp_shape());
     for protocol in token_variants() {
-        let pt = run_conform(&work, protocol, 1, false, Mutation::DropDelivery);
+        let pt = run_conform(&work, protocol, 1, FaultTier::Clean, Mutation::DropDelivery);
         let report = pt
             .violation
             .unwrap_or_else(|| panic!("{}: dropped delivery not flagged", protocol.name()));
@@ -123,7 +118,7 @@ fn violation_reports_are_deterministic() {
             &work,
             Protocol::Token(tokencmp::Variant::Dst1),
             3,
-            true,
+            FaultTier::TokenLossy,
             Mutation::DropDelivery,
         )
         .violation

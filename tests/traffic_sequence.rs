@@ -35,6 +35,7 @@ fn tokencmp_sequence_is_168_bytes() {
             data: true,
             dirty: false,
         },
+        serial: 0,
         writeback: false,
     };
     let wb = TokenMsg::Tokens {
@@ -45,6 +46,7 @@ fn tokencmp_sequence_is_168_bytes() {
             data: true,
             dirty: true,
         },
+        serial: 0,
         writeback: true,
     };
     // Three requests to the other CMPs + data response + data writeback.

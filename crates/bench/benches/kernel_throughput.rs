@@ -84,7 +84,10 @@ fn churn(run: &str, kind: SchedulerKind, depth: u64, pops: u64, reps: u32) -> Ke
 
 /// A full protocol run on the Table 3 system, wall-timed end to end;
 /// best of `reps` identical runs (short runs on a shared host need the
-/// same noise treatment as the churn reps).
+/// same noise treatment as the churn reps). A separate *profiled*
+/// companion run then attaches the host-time attribution breakdown —
+/// kept out of the timed reps so the recorded rates never carry
+/// profiling overhead.
 fn protocol_run(
     run: &str,
     kind: SchedulerKind,
@@ -109,7 +112,14 @@ fn protocol_run(
         }
     }
     let (events, elapsed) = best.expect("reps >= 1");
+    let w = LockingWorkload::new(16, 8, acquires, 11);
+    let (profiled, _) = run_workload(&cfg, protocol, w, &opts.with_profiling());
+    let profile = profiled
+        .profile
+        .expect("profiled run returns an attribution report")
+        .category_ns();
     KernelBenchEntry::measured(run, kind, format!("table3/{protocol}"), events, elapsed)
+        .with_profile(profile)
 }
 
 fn print_table(entries: &[KernelBenchEntry]) {

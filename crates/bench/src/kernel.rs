@@ -57,6 +57,12 @@ pub struct KernelBenchEntry {
     pub events_per_sec: f64,
     /// `elapsed / events` in nanoseconds.
     pub ns_per_event: f64,
+    /// Host-time attribution (`category → estimated ns`) from a
+    /// *separate* profiled companion run — the timed section itself is
+    /// never profiled, so rate fields stay comparable across PRs. Empty
+    /// when no profile was taken (churn benches, historical entries);
+    /// empty maps are omitted from the JSON.
+    pub profile: BTreeMap<String, u64>,
 }
 
 impl KernelBenchEntry {
@@ -77,7 +83,14 @@ impl KernelBenchEntry {
             elapsed_ns: ns,
             events_per_sec: events as f64 / elapsed.as_secs_f64(),
             ns_per_event: ns as f64 / events as f64,
+            profile: BTreeMap::new(),
         }
+    }
+
+    /// This entry with a host-time attribution map attached.
+    pub fn with_profile(mut self, profile: BTreeMap<String, u64>) -> KernelBenchEntry {
+        self.profile = profile;
+        self
     }
 
     /// The replacement key: re-running a bench overwrites the same cell.
@@ -86,7 +99,7 @@ impl KernelBenchEntry {
     }
 
     fn to_value(&self) -> Value {
-        Value::Obj(BTreeMap::from([
+        let mut obj = BTreeMap::from([
             ("run".into(), Value::Str(self.run.clone())),
             ("backend".into(), Value::Str(self.backend.clone())),
             ("bench".into(), Value::Str(self.bench.clone())),
@@ -94,7 +107,19 @@ impl KernelBenchEntry {
             ("elapsed_ns".into(), Value::Int(self.elapsed_ns)),
             ("events_per_sec".into(), Value::Float(self.events_per_sec)),
             ("ns_per_event".into(), Value::Float(self.ns_per_event)),
-        ]))
+        ]);
+        if !self.profile.is_empty() {
+            obj.insert(
+                "profile".into(),
+                Value::Obj(
+                    self.profile
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::Int(v)))
+                        .collect(),
+                ),
+            );
+        }
+        Value::Obj(obj)
     }
 
     fn from_value(v: &Value, idx: usize) -> Result<KernelBenchEntry, String> {
@@ -124,6 +149,26 @@ impl KernelBenchEntry {
         if SchedulerKind::ALL.iter().all(|k| k.name() != backend) {
             return Err(format!("entry {idx}: unknown backend `{backend}`"));
         }
+        let mut profile = BTreeMap::new();
+        match v.get("profile") {
+            None => {}
+            Some(p) => {
+                let obj = p
+                    .as_obj()
+                    .ok_or_else(|| format!("entry {idx}: `profile` is not an object"))?;
+                if obj.is_empty() {
+                    return Err(format!(
+                        "entry {idx}: empty `profile` object (omit the field instead)"
+                    ));
+                }
+                for (k, v) in obj {
+                    let ns = v.as_u64().ok_or_else(|| {
+                        format!("entry {idx}: profile `{k}` is not an integer ns count")
+                    })?;
+                    profile.insert(k.clone(), ns);
+                }
+            }
+        }
         Ok(KernelBenchEntry {
             run: str_field("run")?,
             backend,
@@ -132,6 +177,7 @@ impl KernelBenchEntry {
             elapsed_ns: int_field("elapsed_ns")?,
             events_per_sec: rate_field("events_per_sec")?,
             ns_per_event: rate_field("ns_per_event")?,
+            profile,
         })
     }
 }
@@ -301,6 +347,7 @@ mod tests {
             elapsed_ns: (1e15 / eps) as u64,
             events_per_sec: eps,
             ns_per_event: 1e9 / eps,
+            profile: BTreeMap::new(),
         }
     }
 
@@ -308,10 +355,38 @@ mod tests {
     fn render_round_trips_through_the_parser() {
         let entries = vec![
             entry("pr6", "heap", "churn/d4096", 1.25e7),
-            entry("pr6", "wheel", "table3/token-dst1", 3.5e6),
+            entry("pr6", "wheel", "table3/token-dst1", 3.5e6).with_profile(BTreeMap::from([
+                ("sched.pop".to_string(), 120_000u64),
+                ("handler.l1".to_string(), 450_000),
+            ])),
         ];
-        let parsed = parse_trajectory(&render(&entries)).unwrap();
+        let text = render(&entries);
+        // The profile-free entry omits the field entirely.
+        assert_eq!(text.matches("profile").count(), 1);
+        let parsed = parse_trajectory(&text).unwrap();
         assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn profile_fields_are_schema_gated() {
+        // A non-object profile is rejected.
+        let bad = r#"{"schema":"tokencmp-kernel-bench-v1","entries":[
+            {"run":"a","backend":"heap","bench":"table3/x","events":1,
+             "elapsed_ns":1,"events_per_sec":1.0,"ns_per_event":1.0,
+             "profile":[1,2]}]}"#;
+        assert!(parse_trajectory(bad).unwrap_err().contains("profile"));
+        // Non-integer category values are rejected.
+        let bad = r#"{"schema":"tokencmp-kernel-bench-v1","entries":[
+            {"run":"a","backend":"heap","bench":"table3/x","events":1,
+             "elapsed_ns":1,"events_per_sec":1.0,"ns_per_event":1.0,
+             "profile":{"sched.pop":"fast"}}]}"#;
+        assert!(parse_trajectory(bad).unwrap_err().contains("sched.pop"));
+        // An empty profile object should have been omitted.
+        let bad = r#"{"schema":"tokencmp-kernel-bench-v1","entries":[
+            {"run":"a","backend":"heap","bench":"table3/x","events":1,
+             "elapsed_ns":1,"events_per_sec":1.0,"ns_per_event":1.0,
+             "profile":{}}]}"#;
+        assert!(parse_trajectory(bad).unwrap_err().contains("empty"));
     }
 
     #[test]

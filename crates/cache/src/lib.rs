@@ -51,6 +51,15 @@ pub struct SetAssoc<S> {
     lines: Vec<Option<LineSlot<S>>>,
     stamp: u64,
     occupied: usize,
+    /// Occupied slot indices, unordered. Together with `slot_pos` this
+    /// makes [`iter`](SetAssoc::iter) O(occupied) instead of
+    /// O(sets × ways) — a census of a nearly-empty 8 MB L2 bank must
+    /// not scan 32 k slots (the telemetry sampler takes censuses every
+    /// sample period, and the conservation audit on every audit step).
+    live: Vec<u32>,
+    /// `slot_pos[i]` is slot `i`'s position in `live`, or `u32::MAX`
+    /// when the slot is free (swap-remove bookkeeping).
+    slot_pos: Vec<u32>,
 }
 
 impl<S> SetAssoc<S> {
@@ -64,6 +73,7 @@ impl<S> SetAssoc<S> {
         assert!(ways > 0, "ways must be nonzero");
         let mut lines = Vec::with_capacity(sets * ways);
         lines.resize_with(sets * ways, || None);
+        assert!(sets * ways < u32::MAX as usize, "array too large");
         SetAssoc {
             sets,
             ways,
@@ -71,7 +81,29 @@ impl<S> SetAssoc<S> {
             lines,
             stamp: 0,
             occupied: 0,
+            live: Vec::new(),
+            slot_pos: vec![u32::MAX; sets * ways],
         }
+    }
+
+    /// Records slot `i` as newly occupied.
+    #[inline]
+    fn mark_live(&mut self, i: usize) {
+        self.slot_pos[i] = self.live.len() as u32;
+        self.live.push(i as u32);
+    }
+
+    /// Records slot `i` as freed (swap-remove from the live list).
+    #[inline]
+    fn mark_free(&mut self, i: usize) {
+        let p = self.slot_pos[i] as usize;
+        debug_assert!(p != u32::MAX as usize, "freeing a free slot");
+        let last = self.live.pop().expect("live list non-empty");
+        if last as usize != i {
+            self.live[p] = last;
+            self.slot_pos[last as usize] = p as u32;
+        }
+        self.slot_pos[i] = u32::MAX;
     }
 
     /// Number of sets.
@@ -193,6 +225,7 @@ impl<S> SetAssoc<S> {
                 stamp,
             });
             self.occupied += 1;
+            self.mark_live(i);
             return InsertOutcome::Inserted;
         }
         let (_, i) = lru.expect("ways > 0");
@@ -210,14 +243,17 @@ impl<S> SetAssoc<S> {
     pub fn remove(&mut self, block: Block) -> Option<S> {
         let i = self.find(block)?;
         self.occupied -= 1;
+        self.mark_free(i);
         Some(self.lines[i].take().unwrap().state)
     }
 
-    /// Iterates occupied lines in arbitrary order.
+    /// Iterates occupied lines in arbitrary order. O(occupied), not
+    /// O(sets × ways): censuses of sparse arrays are cheap.
     pub fn iter(&self) -> impl Iterator<Item = (Block, &S)> {
-        self.lines
-            .iter()
-            .filter_map(|l| l.as_ref().map(|l| (l.block, &l.state)))
+        self.live.iter().map(|&i| {
+            let l = self.lines[i as usize].as_ref().expect("live slot");
+            (l.block, &l.state)
+        })
     }
 
     /// Mutably iterates occupied lines in arbitrary order.
@@ -341,6 +377,23 @@ mod tests {
     }
 
     #[test]
+    fn live_index_survives_eviction_and_churn() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 2, 0);
+        c.insert(Block(1), 1);
+        c.insert(Block(2), 2);
+        assert!(matches!(c.insert(Block(3), 3), InsertOutcome::Evicted(..)));
+        let mut got: Vec<u64> = c.iter().map(|(b, _)| b.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3]);
+        c.remove(Block(2));
+        c.insert(Block(4), 4);
+        let mut got: Vec<u64> = c.iter().map(|(b, _)| b.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 4]);
+        assert_eq!(c.iter().count(), c.len());
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_sets() {
         let _: SetAssoc<u8> = SetAssoc::new(3, 1, 0);
@@ -404,6 +457,14 @@ mod tests {
                 }
                 let model_len: usize = model.values().map(Vec::len).sum();
                 prop_assert_eq!(sut.len(), model_len);
+                // The O(occupied) live index agrees with the model's
+                // resident set after every operation.
+                let mut got: Vec<u64> = sut.iter().map(|(b, _)| b.0).collect();
+                got.sort_unstable();
+                let mut want: Vec<u64> =
+                    model.values().flatten().map(|&(blk, _)| blk).collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
             }
         }
     }

@@ -203,10 +203,13 @@ impl TokenL1 {
 
     /// Tokens currently held, per block (for conservation audits).
     pub fn token_census(&self) -> Vec<(Block, u32, bool)> {
-        self.lines
-            .iter()
-            .map(|(b, l)| (b, l.tokens, l.owner))
-            .collect()
+        self.token_lines().collect()
+    }
+
+    /// Zero-allocation variant of [`token_census`](Self::token_census)
+    /// for the telemetry sampler, which visits every cache every sample.
+    pub fn token_lines(&self) -> impl Iterator<Item = (Block, u32, bool)> + '_ {
+        self.lines.iter().map(|(b, l)| (b, l.tokens, l.owner))
     }
 
     /// True if this L1 has an outstanding miss.
@@ -1073,6 +1076,9 @@ impl Component<TokenMsg> for TokenL1 {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+    fn kind(&self) -> &'static str {
+        "l1"
     }
 }
 

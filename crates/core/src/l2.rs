@@ -116,10 +116,13 @@ impl TokenL2 {
 
     /// Tokens currently held, per block (for conservation audits).
     pub fn token_census(&self) -> Vec<(Block, u32, bool)> {
-        self.lines
-            .iter()
-            .map(|(b, l)| (b, l.tokens, l.owner))
-            .collect()
+        self.token_lines().collect()
+    }
+
+    /// Zero-allocation variant of [`token_census`](Self::token_census)
+    /// for the telemetry sampler, which visits every cache every sample.
+    pub fn token_lines(&self) -> impl Iterator<Item = (Block, u32, bool)> + '_ {
+        self.lines.iter().map(|(b, l)| (b, l.tokens, l.owner))
     }
 
     fn local_l1_index(&self, node: NodeId) -> Option<usize> {
@@ -511,6 +514,9 @@ impl Component<TokenMsg> for TokenL2 {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+    fn kind(&self) -> &'static str {
+        "l2"
     }
 }
 

@@ -148,12 +148,39 @@ impl TokenMem {
         })
     }
 
+    /// The persistent-request tables kept at this controller, read by
+    /// the telemetry sampler for occupancy and starvation-age gauges.
+    pub fn persistent(&self) -> &PersistentState {
+        &self.persistent
+    }
+
+    /// The home arbiter (arbiter-based activation state), read by the
+    /// telemetry sampler alongside [`persistent`](TokenMem::persistent).
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
+    }
+
+    /// Recreations currently between inval broadcast and remint.
+    pub fn recreations_active(&self) -> usize {
+        self.recreating.len()
+    }
+
+    /// Sum of per-block recreation serials — a monotone measure of how
+    /// much token-recreation churn this home has performed.
+    pub fn serial_sum(&self) -> u64 {
+        self.serials.values().map(|&s| s as u64).sum()
+    }
+
     /// Blocks with explicit (non-default) state, for conservation audits.
     pub fn explicit_census(&self) -> Vec<(Block, u32, bool)> {
-        self.blocks
-            .iter()
-            .map(|(&b, l)| (b, l.tokens, l.owner))
-            .collect()
+        self.explicit_lines().collect()
+    }
+
+    /// Zero-allocation variant of
+    /// [`explicit_census`](Self::explicit_census) for the telemetry
+    /// sampler, which visits every home controller every sample.
+    pub fn explicit_lines(&self) -> impl Iterator<Item = (Block, u32, bool)> + '_ {
+        self.blocks.iter().map(|(&b, l)| (b, l.tokens, l.owner))
     }
 
     fn store(&mut self, block: Block, line: MemLine) {
@@ -648,6 +675,9 @@ impl Component<TokenMsg> for TokenMem {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+    fn kind(&self) -> &'static str {
+        "mem"
     }
 }
 

@@ -155,6 +155,16 @@ impl DistTable {
         self.entries.iter().flatten().count()
     }
 
+    /// Every valid entry as `(proc, block)`, in priority order — the
+    /// telemetry sampler walks this to track how long each persistent
+    /// request has been outstanding (starvation age).
+    pub fn entries(&self) -> impl Iterator<Item = (ProcId, Block)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (ProcId(i as u8), e.block)))
+    }
+
     /// True if the table has no valid entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

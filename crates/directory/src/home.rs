@@ -443,6 +443,9 @@ impl Component<DirMsg> for DirHome {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+    fn kind(&self) -> &'static str {
+        "home"
+    }
 }
 
 impl std::fmt::Debug for DirHome {

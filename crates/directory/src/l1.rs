@@ -487,6 +487,9 @@ impl Component<DirMsg> for DirL1 {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+    fn kind(&self) -> &'static str {
+        "l1"
+    }
 }
 
 impl std::fmt::Debug for DirL1 {

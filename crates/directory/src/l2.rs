@@ -1246,6 +1246,9 @@ impl Component<DirMsg> for DirL2 {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+    fn kind(&self) -> &'static str {
+        "l2"
+    }
 }
 
 impl std::fmt::Debug for DirL2 {

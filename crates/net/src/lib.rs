@@ -189,6 +189,92 @@ fn trace_tier(route: Route) -> TraceTier {
     }
 }
 
+/// Classifies the path between two units (pure function of the layout;
+/// the network's occupancy state never changes routing).
+fn route_between(layout: &Layout, src: NodeId, dst: NodeId) -> Route {
+    let su = layout.unit(src);
+    let du = layout.unit(dst);
+    // Processor ↔ its own L1 caches: core-internal.
+    match (su, du) {
+        (Unit::Proc(p), Unit::L1D(q) | Unit::L1I(q))
+        | (Unit::L1D(p) | Unit::L1I(p), Unit::Proc(q))
+            if p == q =>
+        {
+            return Route::Local;
+        }
+        _ => {}
+    }
+    let sp = layout.placement(src);
+    let dp = layout.placement(dst);
+    match (sp, dp) {
+        (Placement::OnChip(a), Placement::OnChip(b)) => {
+            if a == b {
+                Route::Intra
+            } else {
+                Route::Inter {
+                    src_cmp: a.0,
+                    dst_cmp: b.0,
+                }
+            }
+        }
+        (Placement::OnChip(a), Placement::OffChip(b)) => {
+            if a == b {
+                Route::MemLink {
+                    cmp: a.0,
+                    to_mem: true,
+                }
+            } else {
+                Route::InterPlusMem {
+                    src_cmp: a.0,
+                    dst_cmp: b.0,
+                    to_mem: true,
+                }
+            }
+        }
+        (Placement::OffChip(a), Placement::OnChip(b)) => {
+            if a == b {
+                Route::MemLink {
+                    cmp: a.0,
+                    to_mem: false,
+                }
+            } else {
+                Route::InterPlusMem {
+                    src_cmp: a.0,
+                    dst_cmp: b.0,
+                    to_mem: false,
+                }
+            }
+        }
+        // Memory controllers talk to each other only via persistent-
+        // request broadcasts; route over both memory links and the
+        // global network.
+        (Placement::OffChip(a), Placement::OffChip(b)) => {
+            debug_assert_ne!(a, b, "memory controller self-message");
+            Route::MemToMem {
+                src_cmp: a.0,
+                dst_cmp: b.0,
+            }
+        }
+    }
+}
+
+/// The tier that *governs* a `src → dst` hop — the dominant (most
+/// failure-prone / highest-latency) link crossed — or `None` for
+/// core-internal processor ↔ own-L1 traffic. This is exactly the
+/// mapping fault injection uses to pick a route's fault spec, exposed
+/// so the telemetry sampler can classify in-flight messages into the
+/// same tiers the traffic account and fault counters report.
+pub fn tier_between(layout: &Layout, src: NodeId, dst: NodeId) -> Option<Tier> {
+    match route_between(layout, src, dst) {
+        Route::Local => None,
+        Route::Intra => Some(Tier::Intra),
+        Route::MemLink { .. } => Some(Tier::Mem),
+        Route::Inter { .. } | Route::InterPlusMem { .. } | Route::MemToMem { .. } => {
+            Some(Tier::Inter)
+        }
+    }
+}
+
 /// The three-tier interconnect: computes delivery times (latency +
 /// serialization occupancy) and records per-class traffic.
 pub struct Network {
@@ -281,70 +367,7 @@ impl Network {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
-        let su = self.layout.unit(src);
-        let du = self.layout.unit(dst);
-        // Processor ↔ its own L1 caches: core-internal.
-        match (su, du) {
-            (Unit::Proc(p), Unit::L1D(q) | Unit::L1I(q))
-            | (Unit::L1D(p) | Unit::L1I(p), Unit::Proc(q))
-                if p == q =>
-            {
-                return Route::Local;
-            }
-            _ => {}
-        }
-        let sp = self.layout.placement(src);
-        let dp = self.layout.placement(dst);
-        match (sp, dp) {
-            (Placement::OnChip(a), Placement::OnChip(b)) => {
-                if a == b {
-                    Route::Intra
-                } else {
-                    Route::Inter {
-                        src_cmp: a.0,
-                        dst_cmp: b.0,
-                    }
-                }
-            }
-            (Placement::OnChip(a), Placement::OffChip(b)) => {
-                if a == b {
-                    Route::MemLink {
-                        cmp: a.0,
-                        to_mem: true,
-                    }
-                } else {
-                    Route::InterPlusMem {
-                        src_cmp: a.0,
-                        dst_cmp: b.0,
-                        to_mem: true,
-                    }
-                }
-            }
-            (Placement::OffChip(a), Placement::OnChip(b)) => {
-                if a == b {
-                    Route::MemLink {
-                        cmp: a.0,
-                        to_mem: false,
-                    }
-                } else {
-                    Route::InterPlusMem {
-                        src_cmp: a.0,
-                        dst_cmp: b.0,
-                        to_mem: false,
-                    }
-                }
-            }
-            // Memory controllers talk to each other only via persistent-
-            // request broadcasts; route over both memory links and the
-            // global network.
-            (Placement::OffChip(a), Placement::OffChip(b)) => {
-                debug_assert_ne!(a, b, "memory controller self-message");
-                Route::MemToMem {
-                    src_cmp: a.0,
-                    dst_cmp: b.0,
-                }
-            }
-        }
+        route_between(&self.layout, src, dst)
     }
 
     /// Acquires a serialized link: waits for it to be free, then occupies
@@ -660,6 +683,38 @@ mod tests {
     fn net() -> (Network, Layout) {
         let cfg = SystemConfig::default();
         (Network::new(&cfg), cfg.layout())
+    }
+
+    #[test]
+    fn tier_between_matches_route_classification() {
+        let (_, l) = net();
+        // Core-internal: proc ↔ its own L1.
+        assert_eq!(tier_between(&l, l.proc(ProcId(0)), l.l1d(ProcId(0))), None);
+        // Same chip, L1 → L2 bank.
+        assert_eq!(
+            tier_between(&l, l.l1d(ProcId(0)), l.l2(CmpId(0), 1)),
+            Some(Tier::Intra)
+        );
+        // Cross-chip cache-to-cache.
+        let far = l.procs_on(CmpId(1)).last().unwrap();
+        assert_eq!(
+            tier_between(&l, l.l1d(ProcId(0)), l.l1d(far)),
+            Some(Tier::Inter)
+        );
+        // On-chip unit to its own chip's memory controller.
+        assert_eq!(
+            tier_between(&l, l.l2(CmpId(0), 0), l.mem(CmpId(0))),
+            Some(Tier::Mem)
+        );
+        // Cross-chip to a remote memory controller: governed by inter.
+        assert_eq!(
+            tier_between(&l, l.l1d(ProcId(0)), l.mem(CmpId(1))),
+            Some(Tier::Inter)
+        );
+        assert_eq!(
+            tier_between(&l, l.mem(CmpId(0)), l.mem(CmpId(1))),
+            Some(Tier::Inter)
+        );
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! The simulation kernel: components, message transport, and the run loop.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
+use std::time::Instant;
 
+use crate::profile::{HostProfiler, ProfilerHandle};
 use crate::queue::{EventKind, EventQueue, PendingEvent};
 use crate::sched::SchedulerKind;
 use crate::stats::Stats;
@@ -90,6 +94,36 @@ pub trait Component<M>: 'static {
 
     /// Mutable upcast for downcasting in harnesses. Implement as `self`.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// A short, static label for this component's *kind* (`"l1"`,
+    /// `"mem"`, `"seq"`, ...), used by the host-time profiler to
+    /// attribute handler wall-clock per controller kind. The default is
+    /// deliberately generic so existing components keep working.
+    fn kind(&self) -> &'static str {
+        "component"
+    }
+}
+
+/// An observer the kernel samples at a fixed *simulated-time* period
+/// during [`Kernel::run_watched`]; the hook behind the telemetry
+/// sampler in `tokencmp-system`.
+///
+/// Before the kernel processes an event at time `t`, every due sample
+/// point `at <= t` fires (multiple, if an event gap spans several
+/// periods), so sample times form a deterministic arithmetic sequence
+/// regardless of event spacing. Monitors get `&Kernel` — they can read
+/// queue depth, pending events, components, and stats, but cannot
+/// perturb the simulation.
+pub trait KernelMonitor<M> {
+    /// Takes one sample. `at` is the nominal sample time (the kernel's
+    /// own clock still reads the previous event's time).
+    fn sample(&mut self, at: Time, kernel: &Kernel<M>);
+}
+
+struct MonitorSlot<M> {
+    period: Dur,
+    next_due: Time,
+    monitor: Rc<RefCell<dyn KernelMonitor<M>>>,
 }
 
 /// The per-event view a component gets of the kernel: the clock, its own
@@ -105,6 +139,9 @@ pub struct Ctx<'a, M> {
     transport: &'a mut dyn Transport<M>,
     stopped: &'a mut bool,
     last_progress: &'a mut Time,
+    /// Set only while the host-time profiler is sampling *this* event;
+    /// the send/wake paths then time their dispatch and push scopes.
+    profiler: Option<&'a RefCell<HostProfiler>>,
 }
 
 impl<M> Ctx<'_, M> {
@@ -121,28 +158,49 @@ impl<M> Ctx<'_, M> {
     pub fn send_after(&mut self, delay: Dur, dst: NodeId, msg: M) {
         let depart = self.now + delay;
         let src = self.self_id;
-        match self.transport.dispatch(depart, src, dst, &msg) {
+        let Some(prof) = self.profiler else {
+            match self.transport.dispatch(depart, src, dst, &msg) {
+                Delivery::At(arrive) => {
+                    debug_assert!(arrive >= depart);
+                    self.queue.push(arrive, dst, EventKind::Msg { src, msg });
+                }
+                Delivery::Dropped => {}
+            }
+            return;
+        };
+        let t0 = Instant::now();
+        let verdict = self.transport.dispatch(depart, src, dst, &msg);
+        let t1 = Instant::now();
+        let push_ns = match verdict {
             Delivery::At(arrive) => {
                 debug_assert!(arrive >= depart);
                 self.queue.push(arrive, dst, EventKind::Msg { src, msg });
+                t1.elapsed().as_nanos() as u64
             }
-            Delivery::Dropped => {}
-        }
+            Delivery::Dropped => 0,
+        };
+        prof.borrow_mut()
+            .add_send(t1.duration_since(t0).as_nanos() as u64, push_ns);
     }
 
     /// Schedules a wakeup for this component `delay` from now.
     pub fn wake_in(&mut self, delay: Dur, tag: u64) {
-        let id = self.self_id;
-        self.queue
-            .push(self.now + delay, id, EventKind::Wake { tag });
+        self.wake_at(self.now + delay, tag);
     }
 
     /// Schedules a wakeup for this component at absolute time `at`
     /// (clamped to now).
     pub fn wake_at(&mut self, at: Time, tag: u64) {
         let id = self.self_id;
+        let Some(prof) = self.profiler else {
+            self.queue
+                .push(at.max(self.now), id, EventKind::Wake { tag });
+            return;
+        };
+        let t0 = Instant::now();
         self.queue
             .push(at.max(self.now), id, EventKind::Wake { tag });
+        prof.borrow_mut().add_push(t0.elapsed().as_nanos() as u64);
     }
 
     /// Requests that the kernel stop after the current event.
@@ -188,6 +246,17 @@ pub struct Kernel<M> {
     stopped: bool,
     events_processed: u64,
     last_progress: Time,
+    monitor: Option<MonitorSlot<M>>,
+    /// Mirror of `monitor`'s `next_due` (`Time::MAX` when unmonitored):
+    /// the run loop compares against this plain field on every event
+    /// instead of deref-ing the slot.
+    monitor_due: Time,
+    profiler: Option<ProfilerHandle>,
+    /// Events until the next stride-sampled one; kept here as a plain
+    /// integer so skipped events never borrow the profiler's `RefCell`.
+    prof_countdown: u32,
+    /// Skipped events not yet folded into the profiler's event count.
+    prof_skipped: u64,
 }
 
 impl<M: 'static> Kernel<M> {
@@ -210,6 +279,59 @@ impl<M: 'static> Kernel<M> {
             stopped: false,
             events_processed: 0,
             last_progress: Time::ZERO,
+            monitor: None,
+            monitor_due: Time::MAX,
+            profiler: None,
+            prof_countdown: 0,
+            prof_skipped: 0,
+        }
+    }
+
+    /// Installs a sim-time telemetry monitor, sampled every `period` of
+    /// simulated time during [`run_watched`](Kernel::run_watched)
+    /// (first sample at the current time). Replaces any prior monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the sample loop would never advance).
+    pub fn set_monitor(&mut self, period: Dur, monitor: Rc<RefCell<dyn KernelMonitor<M>>>) {
+        assert!(period > Dur::ZERO, "monitor period must be positive");
+        self.monitor = Some(MonitorSlot {
+            period,
+            next_due: self.time,
+            monitor,
+        });
+        self.monitor_due = self.time;
+    }
+
+    /// Installs the host-time self-profiler; the kernel stride-samples
+    /// event scopes into it (see [`HostProfiler`]).
+    pub fn set_profiler(&mut self, profiler: ProfilerHandle) {
+        self.profiler = Some(profiler);
+        self.prof_countdown = 0;
+        self.prof_skipped = 0;
+    }
+
+    /// Number of pending events in the scheduler, whichever backend is
+    /// active — the sampler's queue-depth gauge.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Fires every monitor sample point due at or before `upto`.
+    fn run_monitor(&mut self, upto: Time) {
+        loop {
+            let (due, monitor) = match &self.monitor {
+                Some(slot) if slot.next_due <= upto => (slot.next_due, slot.monitor.clone()),
+                _ => return,
+            };
+            // The Rc clone keeps the borrow of `self.monitor` out of
+            // scope while the monitor reads `&self`.
+            monitor.borrow_mut().sample(due, self);
+            if let Some(slot) = &mut self.monitor {
+                slot.next_due = due + slot.period;
+                self.monitor_due = slot.next_due;
+            }
         }
     }
 
@@ -297,6 +419,13 @@ impl<M: 'static> Kernel<M> {
         self.queue.census()
     }
 
+    /// [`pending_events`](Self::pending_events) in backend-internal
+    /// order, for callers that only aggregate over the census (the
+    /// telemetry sampler) and should not pay for the stable sort.
+    pub fn pending_events_unordered(&self) -> Vec<PendingEvent<'_, M>> {
+        self.queue.census_unordered()
+    }
+
     /// Simulated time of the last [`Ctx::progress`] call (simulation start
     /// if none was ever made).
     pub fn last_progress(&self) -> Time {
@@ -309,9 +438,34 @@ impl<M: 'static> Kernel<M> {
     ///
     /// Panics if an event addresses an unregistered component.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        if self.queue.is_empty() {
             return false;
+        }
+        // Stride-sampling decision: `prof` is Some only for the one event
+        // in `stride` whose scopes get timed. With no profiler installed
+        // this is a single branch on a None option — the zero-cost path;
+        // with one installed, a skipped event costs only the countdown
+        // decrement (the profiler's RefCell is not touched).
+        let prof: Option<ProfilerHandle> = match &self.profiler {
+            None => None,
+            Some(p) => {
+                if self.prof_countdown == 0 {
+                    let mut pb = p.borrow_mut();
+                    pb.begin_sample(self.prof_skipped);
+                    self.prof_countdown = pb.stride() - 1;
+                    drop(pb);
+                    self.prof_skipped = 0;
+                    Some(p.clone())
+                } else {
+                    self.prof_countdown -= 1;
+                    self.prof_skipped += 1;
+                    None
+                }
+            }
         };
+        let t0 = prof.as_ref().map(|_| Instant::now());
+        let ev = self.queue.pop().expect("queue non-empty");
+        let t1 = prof.as_ref().map(|_| Instant::now());
         debug_assert!(ev.time >= self.time, "event in the past");
         self.time = ev.time;
         self.events_processed += 1;
@@ -321,6 +475,7 @@ impl<M: 'static> Kernel<M> {
             "event for unknown {:?}",
             ev.dst
         );
+        let kind = self.components[idx].kind();
         let mut ctx = Ctx {
             now: self.time,
             self_id: ev.dst,
@@ -329,10 +484,17 @@ impl<M: 'static> Kernel<M> {
             transport: self.transport.as_mut(),
             stopped: &mut self.stopped,
             last_progress: &mut self.last_progress,
+            profiler: prof.as_deref(),
         };
         match ev.kind {
             EventKind::Msg { src, msg } => self.components[idx].on_msg(src, msg, &mut ctx),
             EventKind::Wake { tag } => self.components[idx].on_wake(tag, &mut ctx),
+        }
+        if let (Some(p), Some(t0), Some(t1)) = (prof, t0, t1) {
+            let gross_ns = t1.elapsed().as_nanos() as u64;
+            let mut p = p.borrow_mut();
+            p.add_pop(t1.duration_since(t0).as_nanos() as u64);
+            p.end_event(kind, gross_ns);
         }
         true
     }
@@ -357,6 +519,24 @@ impl<M: 'static> Kernel<M> {
         horizon: Time,
         stall_window: Option<Dur>,
     ) -> RunOutcome {
+        let outcome = self.run_watched_loop(max_events, horizon, stall_window);
+        // Fold the tail of untimed events into the profiler so the
+        // events/sampled scale covers the whole run.
+        if self.prof_skipped > 0 {
+            if let Some(p) = &self.profiler {
+                p.borrow_mut().add_skipped(self.prof_skipped);
+            }
+            self.prof_skipped = 0;
+        }
+        outcome
+    }
+
+    fn run_watched_loop(
+        &mut self,
+        max_events: u64,
+        horizon: Time,
+        stall_window: Option<Dur>,
+    ) -> RunOutcome {
         let budget_end = self.events_processed.saturating_add(max_events);
         // The window is measured from the start of this run if nothing
         // has progressed yet (relevant when resuming a stepped kernel).
@@ -376,6 +556,9 @@ impl<M: 'static> Kernel<M> {
                         if t.saturating_since(self.last_progress) > w {
                             return RunOutcome::Stalled;
                         }
+                    }
+                    if self.monitor_due <= t {
+                        self.run_monitor(t);
                     }
                     self.step();
                 }
@@ -613,6 +796,112 @@ mod tests {
         assert_eq!(k.run_to_completion(), RunOutcome::Idle);
         let e = k.component_as::<Echo>(a).unwrap();
         assert!(e.received.is_empty());
+    }
+
+    #[test]
+    fn monitor_samples_on_a_fixed_period() {
+        // A spinner waking every 1 ns; a monitor with a 10 ns period must
+        // fire at 0, 10, 20, ... regardless of event spacing.
+        #[derive(Debug)]
+        struct Spinner(u64);
+        impl Component<u64> for Spinner {
+            fn on_msg(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, u64>) {}
+            fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, u64>) {
+                self.0 += 1;
+                if self.0 < 100 {
+                    ctx.wake_in(Dur::from_ns(1), tag);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct Recorder {
+            at: Vec<Time>,
+            depths: Vec<usize>,
+        }
+        impl KernelMonitor<u64> for Recorder {
+            fn sample(&mut self, at: Time, kernel: &Kernel<u64>) {
+                self.at.push(at);
+                self.depths.push(kernel.queue_depth());
+            }
+        }
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Spinner(0));
+        k.wake(a, Dur::ZERO, 0);
+        let rec = Rc::new(RefCell::new(Recorder {
+            at: Vec::new(),
+            depths: Vec::new(),
+        }));
+        k.set_monitor(Dur::from_ns(10), rec.clone());
+        assert_eq!(k.run_to_completion(), RunOutcome::Idle);
+        let rec = rec.borrow();
+        // 100 wakes spanning [0, 99] ns → samples at 0, 10, ..., 90.
+        assert_eq!(
+            rec.at,
+            (0..10).map(|i| Time::from_ns(10 * i)).collect::<Vec<_>>()
+        );
+        assert!(rec.depths.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn monitor_catches_up_across_event_gaps() {
+        struct Recorder(Vec<Time>);
+        impl KernelMonitor<u64> for Recorder {
+            fn sample(&mut self, at: Time, _: &Kernel<u64>) {
+                self.0.push(at);
+            }
+        }
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Echo::default());
+        // Two events 35 ns apart: every intermediate 10 ns tick fires.
+        k.wake(a, Dur::from_ns(1), 0);
+        k.wake(a, Dur::from_ns(36), 0);
+        let rec = Rc::new(RefCell::new(Recorder(Vec::new())));
+        k.set_monitor(Dur::from_ns(10), rec.clone());
+        assert_eq!(k.run_to_completion(), RunOutcome::Idle);
+        assert_eq!(rec.borrow().0, [0, 10, 20, 30].map(Time::from_ns).to_vec());
+    }
+
+    #[test]
+    fn profiler_attributes_component_kinds() {
+        #[derive(Debug)]
+        struct Named(u64);
+        impl Component<u64> for Named {
+            fn on_msg(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, u64>) {}
+            fn on_wake(&mut self, tag: u64, ctx: &mut Ctx<'_, u64>) {
+                self.0 += 1;
+                if self.0 < 50 {
+                    ctx.wake_in(Dur::from_ns(1), tag);
+                    ctx.send(ctx.self_id, 7);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn kind(&self) -> &'static str {
+                "named"
+            }
+        }
+        let mut k: Kernel<u64> = Kernel::new_instant();
+        let a = k.add_component(Named(0));
+        k.wake(a, Dur::ZERO, 0);
+        let prof = HostProfiler::handle(1);
+        k.set_profiler(prof.clone());
+        assert_eq!(k.run_to_completion(), RunOutcome::Idle);
+        let report = prof.borrow().report();
+        assert_eq!(report.events, k.events_processed());
+        assert_eq!(report.sampled_events, report.events);
+        let cats: Vec<&str> = report.entries.iter().map(|e| e.category.as_str()).collect();
+        for needle in ["sched.pop", "sched.push", "net.dispatch", "handler.named"] {
+            assert!(cats.contains(&needle), "missing {needle} in {cats:?}");
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod kernel;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod sched;
@@ -55,8 +56,10 @@ pub mod stats;
 pub mod time;
 
 pub use kernel::{
-    Component, Ctx, Delivery, InstantTransport, Kernel, NodeId, RunOutcome, Transport,
+    Component, Ctx, Delivery, InstantTransport, Kernel, KernelMonitor, NodeId, RunOutcome,
+    Transport,
 };
+pub use profile::{CatTotals, HostProfile, HostProfiler, ProfileEntry, ProfilerHandle};
 pub use queue::{EventKind, EventKindRef, EventQueue, PendingEvent, QueuedEvent};
 pub use rng::Rng;
 pub use sched::{HeapScheduler, Scheduler, SchedulerKind, WheelScheduler};

@@ -1,0 +1,391 @@
+//! The host-time self-profiler: where does the simulator's *wall clock*
+//! go?
+//!
+//! The simulator has two clocks. Simulated time ([`crate::Time`]) is the
+//! quantity being modeled; host time is what the model costs to run. The
+//! [`HostProfiler`] attributes the latter to kernel-level categories —
+//! scheduler pop/push, network dispatch, protocol handlers per component
+//! kind ([`crate::Component::kind`]), and trace-sink work — so the
+//! hot-path overhauls planned in the roadmap have a measured breakdown
+//! to beat rather than a guess.
+//!
+//! # Accounting model
+//!
+//! Timing every scope of every event with `Instant::now` would cost more
+//! than the scopes themselves (a kernel event is processed in a few
+//! hundred nanoseconds; a clock read is ~25 ns). The profiler therefore
+//! *stride-samples*: it fully times every `stride`-th event (all of that
+//! event's pop / handler / push / dispatch scopes) and skips timing
+//! entirely on the others. The stride countdown lives in the kernel as
+//! a plain integer, so a skipped event costs one branch and a decrement
+//! — it never touches the profiler's `RefCell`.
+//! Reported per-category times are the sampled sums scaled by the
+//! realized `events / sampled` ratio, which is unbiased as long as the
+//! event mix is stationary over windows of `stride` events (it is: the
+//! stride is far below any protocol phase length).
+//!
+//! Trace-sink scopes (recorded through
+//! `tokencmp_trace::ProfiledSink`) are timed *exactly*, not sampled —
+//! they only exist when tracing is enabled, which is already the slow
+//! path. Exact categories are marked in the report.
+//!
+//! The profiler observes the simulation but never feeds back into it:
+//! results with profiling on are bit-identical to results with it off
+//! (enforced by `tests/telemetry.rs`).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Shared handle to a run's profiler. The kernel, `Ctx` send paths, and
+/// any `ProfiledSink` decorators all record into the same accumulator
+/// (a simulation is single-threaded).
+pub type ProfilerHandle = Rc<RefCell<HostProfiler>>;
+
+/// Accumulated calls and nanoseconds for one category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatTotals {
+    /// Timed invocations.
+    pub calls: u64,
+    /// Total measured wall time, nanoseconds.
+    pub ns: u64,
+}
+
+impl CatTotals {
+    fn add(&mut self, ns: u64) {
+        self.calls += 1;
+        self.ns += ns;
+    }
+}
+
+/// The wall-clock attribution accumulator (see the module docs).
+#[derive(Debug)]
+pub struct HostProfiler {
+    stride: u32,
+    events_seen: u64,
+    events_sampled: u64,
+    /// True while a stride-sampled event's handler is on the stack; send
+    /// and sink scopes recorded meanwhile also accumulate into
+    /// `inner_ns` so the handler's *exclusive* time can be derived.
+    in_event: bool,
+    inner_ns: u64,
+    sched_pop: CatTotals,
+    sched_push: CatTotals,
+    net_dispatch: CatTotals,
+    /// Handler exclusive time per component kind.
+    handlers: BTreeMap<&'static str, CatTotals>,
+    /// Trace-sink categories (`trace` / `conform`), timed exactly.
+    sinks: BTreeMap<&'static str, CatTotals>,
+    started: Instant,
+}
+
+impl HostProfiler {
+    /// Default sampling stride: time one event in 128. Keeps the
+    /// enabled-path overhead well under the 5% budget while a
+    /// million-event run still times thousands of events.
+    pub const DEFAULT_STRIDE: u32 = 128;
+
+    /// Creates a profiler timing every `stride`-th event (min 1 = every
+    /// event).
+    pub fn new(stride: u32) -> HostProfiler {
+        HostProfiler {
+            stride: stride.max(1),
+            events_seen: 0,
+            events_sampled: 0,
+            in_event: false,
+            inner_ns: 0,
+            sched_pop: CatTotals::default(),
+            sched_push: CatTotals::default(),
+            net_dispatch: CatTotals::default(),
+            handlers: BTreeMap::new(),
+            sinks: BTreeMap::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// A fresh profiler wrapped into the shared handle the kernel and
+    /// sink decorators record through.
+    pub fn handle(stride: u32) -> ProfilerHandle {
+        Rc::new(RefCell::new(HostProfiler::new(stride)))
+    }
+
+    /// The sampling stride in use.
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Opens a fully-timed sample: counts the `skipped` untimed events
+    /// since the previous sample plus this one, and arms the inner-time
+    /// accumulator. The caller (the kernel) owns the stride countdown,
+    /// so skipped events are batched into one call here instead of
+    /// borrowing the handle's `RefCell` each.
+    pub fn begin_sample(&mut self, skipped: u64) {
+        self.events_seen += skipped + 1;
+        self.events_sampled += 1;
+        self.in_event = true;
+        self.inner_ns = 0;
+    }
+
+    /// Counts untimed events that never reached the next sample point
+    /// (the tail of a run), keeping the `events / sampled` scale exact.
+    pub fn add_skipped(&mut self, n: u64) {
+        self.events_seen += n;
+    }
+
+    /// Records the scheduler-pop scope of a sampled event.
+    pub fn add_pop(&mut self, ns: u64) {
+        self.sched_pop.add(ns);
+    }
+
+    /// Records one send's transport-dispatch and queue-push scopes
+    /// (which also count toward the enclosing handler's inner time).
+    pub fn add_send(&mut self, dispatch_ns: u64, push_ns: u64) {
+        self.net_dispatch.add(dispatch_ns);
+        self.sched_push.add(push_ns);
+        self.inner_ns += dispatch_ns + push_ns;
+    }
+
+    /// Records a bare queue-push scope (wakeup scheduling: no transport).
+    pub fn add_push(&mut self, ns: u64) {
+        self.sched_push.add(ns);
+        self.inner_ns += ns;
+    }
+
+    /// Closes a sampled event: `gross_ns` is the whole handler scope;
+    /// the inner (send/push/sink) time recorded since
+    /// [`begin_sample`](Self::begin_sample) is subtracted to yield the
+    /// handler's exclusive time, attributed to the component `kind`.
+    pub fn end_event(&mut self, kind: &'static str, gross_ns: u64) {
+        let exclusive = gross_ns.saturating_sub(self.inner_ns);
+        self.handlers.entry(kind).or_default().add(exclusive);
+        self.in_event = false;
+        self.inner_ns = 0;
+    }
+
+    /// Records a trace-sink scope (timed exactly, on every call). If a
+    /// sampled event is on the stack, the time also counts as inner so
+    /// the handler's exclusive time stays exclusive.
+    pub fn add_sink(&mut self, category: &'static str, ns: u64) {
+        self.sinks.entry(category).or_default().add(ns);
+        if self.in_event {
+            self.inner_ns += ns;
+        }
+    }
+
+    /// Events seen so far (sampled or not).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Snapshots the attribution report.
+    pub fn report(&self) -> HostProfile {
+        let scale = if self.events_sampled == 0 {
+            1.0
+        } else {
+            self.events_seen as f64 / self.events_sampled as f64
+        };
+        let est = |ns: u64| (ns as f64 * scale) as u64;
+        let mut entries = Vec::new();
+        let mut push = |category: String, t: CatTotals, exact: bool| {
+            if t.calls > 0 {
+                entries.push(ProfileEntry {
+                    category,
+                    calls: t.calls,
+                    est_ns: if exact { t.ns } else { est(t.ns) },
+                    exact,
+                });
+            }
+        };
+        push("sched.pop".into(), self.sched_pop, false);
+        push("sched.push".into(), self.sched_push, false);
+        push("net.dispatch".into(), self.net_dispatch, false);
+        for (kind, t) in &self.handlers {
+            push(format!("handler.{kind}"), *t, false);
+        }
+        for (cat, t) in &self.sinks {
+            push(format!("sink.{cat}"), *t, true);
+        }
+        entries.sort_by(|a, b| b.est_ns.cmp(&a.est_ns).then(a.category.cmp(&b.category)));
+        HostProfile {
+            events: self.events_seen,
+            sampled_events: self.events_sampled,
+            stride: self.stride,
+            wall_ns: self.started.elapsed().as_nanos() as u64,
+            entries,
+        }
+    }
+}
+
+/// One category row of a [`HostProfile`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Category name (`sched.pop`, `handler.l1`, `sink.trace`, ...).
+    pub category: String,
+    /// Timed invocations (sampled invocations for strided categories).
+    pub calls: u64,
+    /// Estimated total nanoseconds: sampled sum × realized stride for
+    /// kernel categories, exact sum for sink categories.
+    pub est_ns: u64,
+    /// True when `est_ns` is an exact measurement, not a scaled sample.
+    pub exact: bool,
+}
+
+/// A finished wall-clock attribution report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostProfile {
+    /// Kernel events processed while profiling.
+    pub events: u64,
+    /// Events whose scopes were fully timed.
+    pub sampled_events: u64,
+    /// Sampling stride ([`HostProfiler::DEFAULT_STRIDE`] unless
+    /// overridden).
+    pub stride: u32,
+    /// Wall time from profiler creation to the report, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-category attribution, largest first.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl HostProfile {
+    /// Estimated nanoseconds for one category (0 if absent).
+    pub fn est_ns(&self, category: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.category == category)
+            .map_or(0, |e| e.est_ns)
+    }
+
+    /// Sum of all attributed category estimates.
+    pub fn attributed_ns(&self) -> u64 {
+        self.entries.iter().map(|e| e.est_ns).sum()
+    }
+
+    /// Category estimates keyed by name, for JSON export.
+    pub fn category_ns(&self) -> BTreeMap<String, u64> {
+        self.entries
+            .iter()
+            .map(|e| (e.category.clone(), e.est_ns))
+            .collect()
+    }
+
+    /// Renders the per-run attribution table: one row per category with
+    /// timed calls, estimated total, and share of the attributed time.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "host-time attribution: {} events, {} sampled (stride {}), wall {:.3} ms",
+            self.events,
+            self.sampled_events,
+            self.stride,
+            self.wall_ns as f64 / 1e6,
+        );
+        let total = self.attributed_ns().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>10} {:>12} {:>7}",
+            "category", "calls", "est_ms", "share"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>10} {:>12.3} {:>6.1}%{}",
+                e.category,
+                e.calls,
+                e.est_ns as f64 / 1e6,
+                100.0 * e.est_ns as f64 / total,
+                if e.exact { " (exact)" } else { "" },
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_accounting_tracks_skipped_events() {
+        let mut p = HostProfiler::new(4);
+        p.begin_sample(0); // event 1, sampled
+        p.begin_sample(3); // events 2-4 skipped, event 5 sampled
+        p.add_skipped(2); // events 6-7 end the run before the next sample
+        assert_eq!(p.events_seen(), 7);
+        assert_eq!(p.report().sampled_events, 2);
+    }
+
+    #[test]
+    fn handler_time_is_exclusive_of_inner_scopes() {
+        let mut p = HostProfiler::new(1);
+        p.begin_sample(0);
+        p.add_pop(50);
+        p.add_send(30, 20);
+        p.add_push(10);
+        p.end_event("l1", 1_000);
+        let r = p.report();
+        assert_eq!(r.est_ns("sched.pop"), 50);
+        assert_eq!(r.est_ns("net.dispatch"), 30);
+        assert_eq!(r.est_ns("sched.push"), 30);
+        // 1000 gross − 60 inner = 940 exclusive.
+        assert_eq!(r.est_ns("handler.l1"), 940);
+    }
+
+    #[test]
+    fn report_scales_sampled_categories_by_realized_stride() {
+        let mut p = HostProfiler::new(2);
+        for skipped in [0, 1] {
+            p.begin_sample(skipped);
+            p.add_pop(100);
+            p.end_event("mem", 100);
+        }
+        p.add_skipped(1);
+        // 4 events, 2 sampled → scale 2×: pop 200 ns sampled → 400 est.
+        let r = p.report();
+        assert_eq!(r.events, 4);
+        assert_eq!(r.sampled_events, 2);
+        assert_eq!(r.est_ns("sched.pop"), 400);
+    }
+
+    #[test]
+    fn sink_scopes_are_exact_and_count_as_inner() {
+        let mut p = HostProfiler::new(1);
+        p.begin_sample(0);
+        p.add_sink("trace", 70);
+        p.end_event("seq", 100);
+        // Sink time is not scaled and the handler excludes it.
+        let r = p.report();
+        let sink = r
+            .entries
+            .iter()
+            .find(|e| e.category == "sink.trace")
+            .unwrap();
+        assert!(sink.exact);
+        assert_eq!(sink.est_ns, 70);
+        assert_eq!(r.est_ns("handler.seq"), 30);
+        // Sink work outside any sampled event still accumulates.
+        p.add_sink("conform", 5);
+        assert_eq!(p.report().est_ns("sink.conform"), 5);
+    }
+
+    #[test]
+    fn table_renders_every_category_with_shares() {
+        let mut p = HostProfiler::new(1);
+        p.begin_sample(0);
+        p.add_pop(25);
+        p.add_send(10, 15);
+        p.end_event("l2", 150);
+        let table = p.report().table();
+        for needle in [
+            "sched.pop",
+            "sched.push",
+            "net.dispatch",
+            "handler.l2",
+            "share",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+}

@@ -247,12 +247,20 @@ impl<M> EventQueue<M> {
     /// order events would leave the queue — so watchdog stall dumps and
     /// flight-recorder diagnostics are stable across backends.
     pub fn census(&self) -> Vec<PendingEvent<'_, M>> {
+        let mut out = self.census_unordered();
+        out.sort_by_key(|e| (e.time, e.seq));
+        out
+    }
+
+    /// [`census`](Self::census) in backend-internal order — for callers
+    /// that only *count* pending events (the telemetry sampler) and
+    /// should not pay for the stable sort.
+    pub fn census_unordered(&self) -> Vec<PendingEvent<'_, M>> {
         let mut out = Vec::with_capacity(self.len());
         match &self.backend {
             Backend::Heap(s) => s.collect_pending(&mut out),
             Backend::Wheel(s) => s.collect_pending(&mut out),
         }
-        out.sort_by_key(|e| (e.time, e.seq));
         out
     }
 

@@ -621,9 +621,17 @@ impl<M> Scheduler<M> for WheelScheduler<M> {
                 EventKindRef::Wake { tag: body.arg }
             },
         };
-        for bucket in &self.buckets {
-            for (&(t, s), body) in bucket.keys.iter().zip(&bucket.body) {
-                out.push(view(t, s, body));
+        // Walk the occupancy bitmap, not the bucket array: the sampler
+        // takes this census every sample period, and a few live events
+        // must not cost a 1024-bucket scan.
+        for (w, &word) in self.occ.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bucket = &self.buckets[w * 64 + bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+                for (&(t, s), body) in bucket.keys.iter().zip(&bucket.body) {
+                    out.push(view(t, s, body));
+                }
             }
         }
         for Reverse(r) in self.overflow.iter() {

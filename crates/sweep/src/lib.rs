@@ -54,7 +54,8 @@ pub mod json;
 pub mod report;
 
 pub use report::{
-    latency_table, parse_records, points_to_json, write_json, write_value, PointRecord,
+    latency_table, parse_records, points_to_json, series_from_value, series_to_value, write_json,
+    write_value, PointRecord, EMBEDDED_SERIES_SAMPLES,
 };
 
 /// The number of worker threads [`Sweep::run`] and [`par_map`] use: the

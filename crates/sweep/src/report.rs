@@ -15,10 +15,16 @@ use std::path::{Path, PathBuf};
 
 use tokencmp_net::Tier;
 use tokencmp_proto::MsgClass;
-use tokencmp_trace::Segment;
+use tokencmp_trace::timeseries::Sample;
+use tokencmp_trace::{Segment, TimeSeries, TIMESERIES_SCHEMA};
 
 use crate::json::{parse, JsonError, Value};
 use crate::PointResult;
+
+/// Samples kept when a run's [`TimeSeries`] is embedded into a
+/// [`PointRecord`] — a compact trajectory, not the full-resolution
+/// series (export that separately via [`series_to_value`]).
+pub const EMBEDDED_SERIES_SAMPLES: usize = 64;
 
 /// One sweep point, flattened to plain data for export / re-aggregation.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,6 +49,10 @@ pub struct PointRecord {
     pub traffic_bytes: BTreeMap<String, u64>,
     /// Traffic message counts, keyed like [`Self::traffic_bytes`].
     pub traffic_msgs: BTreeMap<String, u64>,
+    /// The run's telemetry series, downsampled to at most
+    /// [`EMBEDDED_SERIES_SAMPLES`] samples; `None` when the point ran
+    /// without sampling (the default).
+    pub series: Option<TimeSeries>,
 }
 
 fn tier_name(tier: Tier) -> &'static str {
@@ -86,6 +96,11 @@ impl PointRecord {
                 .collect(),
             traffic_bytes,
             traffic_msgs,
+            series: p
+                .result
+                .series
+                .as_ref()
+                .map(|s| s.downsample(EMBEDDED_SERIES_SAMPLES)),
         }
     }
 
@@ -151,6 +166,9 @@ impl PointRecord {
         obj.insert("events".to_owned(), Value::Int(self.events));
         obj.insert("counters".to_owned(), map_obj(&self.counters));
         obj.insert("traffic".to_owned(), Value::Obj(traffic));
+        if let Some(s) = &self.series {
+            obj.insert("series".to_owned(), series_to_value(s));
+        }
         Value::Obj(obj)
     }
 
@@ -193,8 +211,117 @@ impl PointRecord {
             counters: int_map(v.get("counters"), "counters")?,
             traffic_bytes: int_map(traffic.and_then(|t| t.get("bytes")), "traffic.bytes")?,
             traffic_msgs: int_map(traffic.and_then(|t| t.get("msgs")), "traffic.msgs")?,
+            series: v.get("series").map(series_from_value).transpose()?,
         })
     }
+}
+
+/// Serializes a [`TimeSeries`] to the `tokencmp-timeseries-v1` JSON
+/// schema: `{schema, period_ps, backend, samples: [{at_ps, gauges,
+/// rates}, ...]}`. Integer gauges stay lossless; rates are floats.
+pub fn series_to_value(series: &TimeSeries) -> Value {
+    let samples = series
+        .samples
+        .iter()
+        .map(|s| {
+            let mut obj = BTreeMap::new();
+            obj.insert("at_ps".to_owned(), Value::Int(s.at_ps));
+            obj.insert(
+                "gauges".to_owned(),
+                Value::Obj(
+                    s.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::Int(v)))
+                        .collect(),
+                ),
+            );
+            obj.insert(
+                "rates".to_owned(),
+                Value::Obj(
+                    s.rates
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::Float(v)))
+                        .collect(),
+                ),
+            );
+            Value::Obj(obj)
+        })
+        .collect();
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "schema".to_owned(),
+        Value::Str(TIMESERIES_SCHEMA.to_owned()),
+    );
+    obj.insert("period_ps".to_owned(), Value::Int(series.period_ps));
+    obj.insert("backend".to_owned(), Value::Str(series.backend.clone()));
+    obj.insert("samples".to_owned(), Value::Arr(samples));
+    Value::Obj(obj)
+}
+
+/// Parses a `tokencmp-timeseries-v1` JSON value back into a
+/// [`TimeSeries`]; rejects unknown schema identifiers rather than
+/// misreading a future format.
+pub fn series_from_value(v: &Value) -> Result<TimeSeries, JsonError> {
+    let err = |message: String| JsonError { offset: 0, message };
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("series missing 'schema'".into()))?;
+    if schema != TIMESERIES_SCHEMA {
+        return Err(err(format!(
+            "unknown time-series schema '{schema}' (expected '{TIMESERIES_SCHEMA}')"
+        )));
+    }
+    let period_ps = v
+        .get("period_ps")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| err("series missing 'period_ps'".into()))?;
+    let backend = v
+        .get("backend")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("series missing 'backend'".into()))?
+        .to_owned();
+    let mut samples = Vec::new();
+    for s in v
+        .get("samples")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| err("series missing 'samples'".into()))?
+    {
+        let at_ps = s
+            .get("at_ps")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err("sample missing 'at_ps'".into()))?;
+        let mut gauges = BTreeMap::new();
+        if let Some(obj) = s.get("gauges").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                gauges.insert(
+                    k.clone(),
+                    v.as_u64()
+                        .ok_or_else(|| err(format!("gauge '{k}' is not an integer")))?,
+                );
+            }
+        }
+        let mut rates = BTreeMap::new();
+        if let Some(obj) = s.get("rates").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                rates.insert(
+                    k.clone(),
+                    v.as_f64()
+                        .ok_or_else(|| err(format!("rate '{k}' is not a number")))?,
+                );
+            }
+        }
+        samples.push(Sample {
+            at_ps,
+            gauges,
+            rates,
+        });
+    }
+    Ok(TimeSeries {
+        period_ps,
+        backend,
+        samples,
+    })
 }
 
 /// Renders the per-record miss-latency attribution as an aligned text
@@ -414,6 +541,47 @@ mod tests {
         assert!(parse_records("{}").is_err());
         assert!(parse_records("[{\"label\":\"x\"}]").is_err());
         assert!(parse_records("not json").is_err());
+    }
+
+    #[test]
+    fn sampled_points_embed_and_round_trip_a_series() {
+        use tokencmp_sim::Dur;
+        let cfg = SystemConfig::small_test();
+        let mut sweep = Sweep::new();
+        sweep.push_grid(
+            &cfg,
+            &[Protocol::Token(Variant::Dst1)],
+            &[11],
+            RunOptions::default().with_sampling(Dur::from_ns(50)),
+            |_| {
+                ScriptedWorkload::new(vec![
+                    vec![(AccessKind::Load, Block(1)), (AccessKind::Store, Block(2))],
+                    vec![(AccessKind::Store, Block(1))],
+                    vec![],
+                    vec![],
+                ])
+            },
+        );
+        let points = sweep.run_on(1);
+        let rec = PointRecord::from_point(&points[0]);
+        let series = rec.series.as_ref().expect("sampled run embeds a series");
+        assert!(!series.is_empty());
+        assert!(series.len() <= EMBEDDED_SERIES_SAMPLES);
+        // JSON round trip preserves the embedded series exactly.
+        let text = points_to_json(&points);
+        assert!(text.contains(TIMESERIES_SCHEMA));
+        let parsed = &parse_records(&text).unwrap()[0];
+        assert_eq!(parsed, &rec);
+        // The standalone series round trip is exact too.
+        let v = series_to_value(series);
+        assert_eq!(&series_from_value(&v).unwrap(), series);
+        // Unknown schemas are rejected, not misread.
+        let mut obj = match v {
+            Value::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        obj.insert("schema".to_owned(), Value::Str("bogus-v9".to_owned()));
+        assert!(series_from_value(&Value::Obj(obj)).is_err());
     }
 
     #[test]

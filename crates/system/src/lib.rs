@@ -12,6 +12,7 @@
 pub mod perfect;
 pub mod run;
 pub mod sequencer;
+pub mod telemetry;
 pub mod workload;
 
 pub use perfect::{PerfectL2, PerfectStats};
@@ -20,4 +21,8 @@ pub use run::{
     RunResult,
 };
 pub use sequencer::{uniform_work, Sequencer};
+pub use telemetry::{
+    default_telemetry, parse_profile, parse_sample_ns, DirSampler, PerfectSampler,
+    TelemetryOptions, TokenSampler,
+};
 pub use workload::{Completed, ScriptedWorkload, Step, ValueStore, Workload};

@@ -147,6 +147,9 @@ impl<M: CpuPort + 'static> Component<M> for PerfectL2<M> {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+    fn kind(&self) -> &'static str {
+        "perfect_l2"
+    }
 }
 
 impl<M> std::fmt::Debug for PerfectL2<M> {

@@ -15,12 +15,16 @@ use tokencmp_net::{FaultHandle, FaultPlan, Network, Traffic, TrafficHandle};
 use tokencmp_proto::{Block, CpuPort, Layout, MsgClass, NetMsg, SystemConfig, Unit};
 use tokencmp_sim::kernel::RunOutcome;
 use tokencmp_sim::{
-    Dur, EventKindRef, InstantTransport, Kernel, NodeId, SchedulerKind, Stats, Time,
+    Dur, EventKindRef, HostProfiler, InstantTransport, Kernel, NodeId, ProfilerHandle,
+    SchedulerKind, Stats, Time,
 };
-use tokencmp_trace::{LatencyBreakdown, TraceHandle};
+use tokencmp_trace::{HostProfile, LatencyBreakdown, ProfiledSink, TimeSeries, TraceHandle};
 
 use crate::perfect::PerfectL2;
 use crate::sequencer::Sequencer;
+use crate::telemetry::{
+    default_telemetry, DirSampler, PerfectSampler, TelemetryOptions, TokenSampler,
+};
 use crate::workload::Workload;
 
 /// The protocols of the paper's evaluation (§6).
@@ -121,6 +125,11 @@ pub struct RunOptions {
     /// backends produce bit-identical simulations — this knob selects an
     /// engine, never a result.
     pub scheduler: Option<SchedulerKind>,
+    /// Time-series sampling and host-time profiling knobs. Both default
+    /// to off (the `TOKENCMP_SAMPLE_NS` / `TOKENCMP_PROFILE` environment
+    /// variables override, see [`crate::telemetry`]); a run with
+    /// telemetry off is bit-identical to a build without the subsystem.
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for RunOptions {
@@ -134,6 +143,7 @@ impl Default for RunOptions {
             stall_window: default_stall_window(),
             conform: ConformOptions::default(),
             scheduler: None,
+            telemetry: default_telemetry(),
         }
     }
 }
@@ -205,6 +215,20 @@ impl RunOptions {
         self
     }
 
+    /// Returns these options with time-series sampling enabled at the
+    /// given sim-time period ([`RunResult::series`] carries the result).
+    pub fn with_sampling(mut self, period: Dur) -> RunOptions {
+        self.telemetry.sample_period = Some(period);
+        self
+    }
+
+    /// Returns these options with the host-time self-profiler enabled
+    /// ([`RunResult::profile`] carries the attribution report).
+    pub fn with_profiling(mut self) -> RunOptions {
+        self.telemetry.profile = true;
+        self
+    }
+
     /// The backend the kernels of this run will use.
     pub fn scheduler_kind(&self) -> SchedulerKind {
         self.scheduler.unwrap_or_else(SchedulerKind::from_env)
@@ -229,6 +253,13 @@ pub struct RunResult {
     /// census — populated whenever the run did *not* end cleanly
     /// (anything but [`RunOutcome::Idle`] / [`RunOutcome::Stopped`]).
     pub diagnostic: Option<String>,
+    /// The sampled time series, when [`RunOptions::with_sampling`] (or
+    /// `TOKENCMP_SAMPLE_NS`) enabled the sim-time sampler.
+    pub series: Option<TimeSeries>,
+    /// The wall-clock attribution report, when
+    /// [`RunOptions::with_profiling`] (or `TOKENCMP_PROFILE`) enabled
+    /// the host-time self-profiler.
+    pub profile: Option<HostProfile>,
 }
 
 impl RunResult {
@@ -333,6 +364,42 @@ fn finish<M: 'static>(
         traffic: traffic.map(|t| t.borrow().clone()).unwrap_or_default(),
         counters,
         diagnostic,
+        series: None,
+        profile: None,
+    }
+}
+
+/// Creates the run's host profiler (when enabled) and, when both a
+/// profiler and a trace sink are present, interposes a [`ProfiledSink`]
+/// so sink time is attributed; the wrapped handle forwards flight dumps
+/// and conformance verdicts, so callers holding the original handle are
+/// unaffected.
+fn profiled_trace(
+    opts: &RunOptions,
+    trace: &Option<TraceHandle>,
+) -> (Option<ProfilerHandle>, Option<TraceHandle>) {
+    let profiler = opts
+        .telemetry
+        .profile
+        .then(|| HostProfiler::handle(opts.telemetry.profile_stride));
+    let sink = match (&profiler, trace) {
+        (Some(p), Some(t)) => {
+            let wrapped: TraceHandle = ProfiledSink::wrap(t.clone(), p.clone());
+            Some(wrapped)
+        }
+        _ => trace.clone(),
+    };
+    (profiler, sink)
+}
+
+/// Satellite diagnostics: a stalled or limit-hit run with the sampler on
+/// appends the tail of the time series to the watchdog snapshot — the
+/// last gauge samples before the stall are usually the story.
+fn append_series_tail(diagnostic: &mut Option<String>, series: Option<&TimeSeries>) {
+    if let (Some(d), Some(s)) = (diagnostic.as_mut(), series) {
+        if !s.is_empty() {
+            d.push_str(&s.tail_table(8));
+        }
     }
 }
 
@@ -432,6 +499,7 @@ fn run_token(
     trace: Option<TraceHandle>,
 ) -> RunResult {
     let layout = cfg.layout();
+    let (profiler, trace) = profiled_trace(opts, &trace);
     let mut net = Network::with_faults(cfg, opts.faults, opts.seed);
     if let Some(t) = &trace {
         net.set_trace(t.clone());
@@ -439,6 +507,19 @@ fn run_token(
     let traffic = net.traffic_handle();
     let faults = net.fault_handle();
     let mut k: Kernel<TokenMsg> = Kernel::with_scheduler(Box::new(net), opts.scheduler_kind());
+    if let Some(p) = &profiler {
+        k.set_profiler(p.clone());
+    }
+    let sampler = opts.telemetry.sample_period.map(|period| {
+        let s = Rc::new(RefCell::new(TokenSampler::new(
+            cfg.clone(),
+            period,
+            opts.scheduler_kind().name(),
+            faults.clone(),
+        )));
+        k.set_monitor(period, s.clone());
+        s
+    });
     for p in layout.proc_ids() {
         let id = k.add_component(Sequencer::<TokenMsg>::new(
             p,
@@ -551,6 +632,8 @@ fn run_token(
             }
         }
     }
+    let series = sampler.map(|s| s.borrow().series().clone());
+    append_series_tail(&mut diagnostic, series.as_ref());
 
     // Harvest counters.
     let mut counters = k.stats().clone();
@@ -596,7 +679,10 @@ fn run_token(
     if opts.audit && outcome == RunOutcome::Idle {
         audit_tokens(&k, cfg, &layout, &faults);
     }
-    finish(&k, outcome, runtime, Some(&traffic), counters, diagnostic)
+    let mut result = finish(&k, outcome, runtime, Some(&traffic), counters, diagnostic);
+    result.series = series;
+    result.profile = profiler.map(|p| p.borrow().report());
+    result
 }
 
 /// Exports fault counters into the run's counter registry: the aggregate
@@ -708,6 +794,7 @@ fn run_directory(
     }
     let cfg = Rc::new(cfg2);
     let layout = cfg.layout();
+    let (profiler, trace) = profiled_trace(opts, &trace);
     let mut net = Network::with_faults(&cfg, opts.faults, opts.seed);
     if let Some(t) = &trace {
         net.set_trace(t.clone());
@@ -715,6 +802,19 @@ fn run_directory(
     let traffic = net.traffic_handle();
     let faults = net.fault_handle();
     let mut k: Kernel<DirMsg> = Kernel::with_scheduler(Box::new(net), opts.scheduler_kind());
+    if let Some(p) = &profiler {
+        k.set_profiler(p.clone());
+    }
+    let sampler = opts.telemetry.sample_period.map(|period| {
+        let s = Rc::new(RefCell::new(DirSampler::new(
+            &cfg,
+            period,
+            opts.scheduler_kind().name(),
+            faults.clone(),
+        )));
+        k.set_monitor(period, s.clone());
+        s
+    });
     for p in layout.proc_ids() {
         let id = k.add_component(Sequencer::<DirMsg>::new(
             p,
@@ -757,6 +857,8 @@ fn run_directory(
 
     let (outcome, runtime, mut diagnostic) = drive(&mut k, &layout, opts);
     append_flight_dump(&mut diagnostic, &trace);
+    let series = sampler.map(|s| s.borrow().series().clone());
+    append_series_tail(&mut diagnostic, series.as_ref());
 
     let mut counters = k.stats().clone();
     let mut lat = LatencyBreakdown::new();
@@ -791,7 +893,10 @@ fn run_directory(
     if opts.audit && outcome == RunOutcome::Idle {
         audit_directory(&k, &layout);
     }
-    finish(&k, outcome, runtime, Some(&traffic), counters, diagnostic)
+    let mut result = finish(&k, outcome, runtime, Some(&traffic), counters, diagnostic);
+    result.series = series;
+    result.profile = profiler.map(|p| p.borrow().report());
+    result
 }
 
 /// Directory consistency at quiescence: per block, at most one L1 in M/E
@@ -870,11 +975,24 @@ fn run_perfect(
     trace: Option<TraceHandle>,
 ) -> RunResult {
     let layout = cfg.layout();
+    let (profiler, trace) = profiled_trace(opts, &trace);
     let mut k: Kernel<TokenMsg> = Kernel::with_scheduler(
         Box::new(InstantTransport { latency: Dur::ZERO }),
         opts.scheduler_kind(),
     );
     let magic = NodeId(layout.procs());
+    if let Some(p) = &profiler {
+        k.set_profiler(p.clone());
+    }
+    let sampler = opts.telemetry.sample_period.map(|period| {
+        let s = Rc::new(RefCell::new(PerfectSampler::new(
+            period,
+            opts.scheduler_kind().name(),
+            magic,
+        )));
+        k.set_monitor(period, s.clone());
+        s
+    });
     let mut seqs = Vec::new();
     for p in layout.proc_ids() {
         let id = k.add_component(Sequencer::<TokenMsg>::new(p, magic, magic, wl.clone()));
@@ -896,6 +1014,8 @@ fn run_perfect(
     let outcome = k.run_watched(opts.max_events, opts.horizon, opts.stall_window);
     let mut diagnostic = diagnose(&k, &layout, outcome);
     append_flight_dump(&mut diagnostic, &trace);
+    let series = sampler.map(|s| s.borrow().series().clone());
+    append_series_tail(&mut diagnostic, series.as_ref());
     let mut runtime = Dur::ZERO;
     for &s in &seqs {
         let seq = k.component_as::<Sequencer<TokenMsg>>(s).unwrap();
@@ -908,7 +1028,10 @@ fn run_perfect(
     let m = k.component_as::<PerfectL2<TokenMsg>>(magic).unwrap();
     counters.add("l1.hits", m.stats.hits);
     counters.add("l1.misses", m.stats.misses);
-    finish(&k, outcome, runtime, None, counters, diagnostic)
+    let mut result = finish(&k, outcome, runtime, None, counters, diagnostic);
+    result.series = series;
+    result.profile = profiler.map(|p| p.borrow().report());
+    result
 }
 
 #[cfg(test)]

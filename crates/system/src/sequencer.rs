@@ -153,6 +153,9 @@ impl<M: CpuPort + 'static> Component<M> for Sequencer<M> {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+    fn kind(&self) -> &'static str {
+        "seq"
+    }
 }
 
 impl<M> std::fmt::Debug for Sequencer<M> {

@@ -74,15 +74,16 @@ pub use tokencmp_litmus::{
 };
 pub use tokencmp_net::{FaultCounters, FaultPlan, FaultSpec, Tier, Traffic};
 pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, SystemConfig};
-pub use tokencmp_sim::{Dur, RunOutcome, SchedulerKind, Time};
+pub use tokencmp_sim::{Dur, HostProfiler, ProfilerHandle, RunOutcome, SchedulerKind, Time};
 pub use tokencmp_sweep::{latency_table, par_map, PointRecord, PointResult, Sweep, SweepPoint};
 pub use tokencmp_system::{
     run_workload, run_workload_traced, ConformOptions, Protocol, RunOptions, RunResult, Step,
-    Workload,
+    TelemetryOptions, Workload,
 };
 pub use tokencmp_trace::{
-    block_timeline, chrome_trace_json, LatencyBreakdown, RingRecorder, Segment, SegmentParts,
-    TraceEvent, TraceHandle, TraceRecord, TraceSink,
+    block_timeline, chrome_trace_json, chrome_trace_with_counters, HostProfile, LatencyBreakdown,
+    ProfiledSink, RingRecorder, Segment, SegmentParts, TimeSeries, TraceEvent, TraceHandle,
+    TraceRecord, TraceSink, TIMESERIES_SCHEMA,
 };
 pub use tokencmp_workloads::{
     BarrierWorkload, CommercialParams, CommercialWorkload, LockingWorkload,

@@ -18,6 +18,7 @@ use tokencmp_proto::Block;
 use crate::event::TraceEvent;
 use crate::latency::Segment;
 use crate::sink::TraceRecord;
+use crate::timeseries::TimeSeries;
 
 /// Microsecond timestamp string for a picosecond instant.
 fn us(ps: u64) -> String {
@@ -115,8 +116,27 @@ fn lane(ev: &TraceEvent) -> u64 {
 /// transaction order (retry, then transfer, then persistent wait) — the
 /// children's durations sum to the parent's by construction.
 pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    chrome_trace_with_counters(records, None)
+}
+
+/// [`chrome_trace_json`] plus Perfetto **counter tracks**: each gauge
+/// and rate key of `series` becomes a `"C"`-phase counter sampled at
+/// the series' period, so one trace file shows event spans and state
+/// trends (queue depth, token dispersion, persistent pressure, ...)
+/// on a shared sim-time axis.
+pub fn chrome_trace_with_counters(records: &[TraceRecord], series: Option<&TimeSeries>) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
+    if let Some(ts) = series {
+        for s in &ts.samples {
+            for (k, &v) in &s.gauges {
+                push_counter(&mut out, &mut first, k, s.at_ps, v.to_string());
+            }
+            for (k, &v) in &s.rates {
+                push_counter(&mut out, &mut first, k, s.at_ps, format!("{v:.3}"));
+            }
+        }
+    }
     // Children tile the parent in the order the transaction experienced
     // them: timed-out attempts, then the winning transfer, then any
     // persistent wait.
@@ -192,6 +212,19 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     }
     out.push_str("\n]}\n");
     out
+}
+
+/// Appends one Perfetto counter (`"C"`) sample.
+fn push_counter(out: &mut String, first: &mut bool, name: &str, ts_ps: u64, value: String) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "\n  {{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{value}}}}}",
+        us(ts_ps)
+    );
 }
 
 fn seg_arg(s: Segment) -> &'static str {
@@ -291,5 +324,36 @@ mod tests {
         assert!(tl.contains("B0x5") && !tl.contains("B0x4"));
         let all = block_timeline(&recs, None);
         assert_eq!(all.lines().count(), 2);
+    }
+
+    #[test]
+    fn counter_tracks_merge_into_the_span_export() {
+        use std::collections::BTreeMap;
+        let mut ts = TimeSeries::new(Dur::from_ns(10), "wheel");
+        for i in 0..2u64 {
+            let mut gauges = BTreeMap::new();
+            gauges.insert("kernel.queue_depth".to_string(), 3 + i);
+            let mut rates = BTreeMap::new();
+            rates.insert("rate.misses".to_string(), 1.5);
+            ts.push(Time::from_ns(10 * i), gauges, rates);
+        }
+        let recs = [commit(30, 4_000, SegmentParts::default())];
+        let json = chrome_trace_with_counters(&recs, Some(&ts));
+        // Counters at 0 and 10 ns (0.000 / 0.010 µs)...
+        assert!(json.contains(
+            "{\"name\":\"kernel.queue_depth\",\"ph\":\"C\",\"ts\":0.000000,\"pid\":0,\"args\":{\"value\":3}}"
+        ));
+        assert!(json.contains("\"ts\":0.010000,\"pid\":0,\"args\":{\"value\":4}"));
+        assert!(json.contains("{\"name\":\"rate.misses\",\"ph\":\"C\""));
+        assert!(json.contains("\"value\":1.500"));
+        // ...alongside the ordinary span export, in one valid document.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // Without a series the plain export is unchanged.
+        assert_eq!(
+            chrome_trace_json(&recs),
+            chrome_trace_with_counters(&recs, None)
+        );
     }
 }

@@ -33,9 +33,13 @@
 pub mod chrome;
 pub mod event;
 pub mod latency;
+pub mod profile;
 pub mod sink;
+pub mod timeseries;
 
-pub use chrome::{block_timeline, chrome_trace_json};
+pub use chrome::{block_timeline, chrome_trace_json, chrome_trace_with_counters};
 pub use event::{FaultKind, TraceEvent, TraceTier};
 pub use latency::{LatencyBreakdown, Segment, SegmentParts};
+pub use profile::{HostProfile, HostProfiler, ProfiledSink, ProfilerHandle};
 pub use sink::{RingRecorder, TraceHandle, TraceRecord, TraceSink};
+pub use timeseries::{Sample, TimeSeries, TIMESERIES_SCHEMA};

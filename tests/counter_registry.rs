@@ -1,0 +1,170 @@
+//! Counter-registry audit: every `Stats` counter key any protocol can
+//! export is documented in DESIGN.md's counter appendix, and nothing in
+//! the appendix has gone stale. Counters are the repo's public
+//! observability surface — sweeps, benches, and the telemetry sampler
+//! all key off them — so an undocumented key is an unreviewed API, and
+//! a stale doc row is a trap for whoever greps for it.
+//!
+//! Coverage: all nine protocols on the Table 3 system, plus a
+//! message-faulty run and a token-lossy run (those light up the
+//! situational `net.fault.*` / recovery families).
+
+#[path = "common/mod.rs"]
+mod common;
+
+use std::collections::BTreeSet;
+
+use common::{all_protocols, table3_system};
+use tokencmp::{
+    run_workload, BarrierWorkload, Dur, FaultPlan, LockingWorkload, Protocol, RunOptions, Variant,
+};
+
+const DESIGN: &str = include_str!("../DESIGN.md");
+const APPENDIX: &str = "## Appendix A — exported Stats counter keys";
+const SITUATIONAL: &str = "situational";
+
+/// Union of counter keys over the audit's run matrix.
+fn observed_keys() -> BTreeSet<String> {
+    let cfg = table3_system();
+    let mut keys = BTreeSet::new();
+    let mut merge = |res: tokencmp::RunResult| {
+        keys.extend(res.counters.counters().map(|(k, _)| k.to_string()));
+    };
+    for protocol in all_protocols() {
+        let w = LockingWorkload::new(16, 8, 4, 77);
+        let opts = RunOptions {
+            seed: 3,
+            ..RunOptions::default()
+        };
+        merge(run_workload(&cfg, protocol, w, &opts).0);
+    }
+    // DirectoryCMP rejects lossy plans; it still sees jitter/reorder.
+    let hostile = FaultPlan::none()
+        .dropping(0.05)
+        .jittering(0.2, Dur::from_ns(20))
+        .reordering(0.1, Dur::from_ns(40));
+    let benign = FaultPlan::none()
+        .jittering(0.2, Dur::from_ns(20))
+        .reordering(0.1, Dur::from_ns(40));
+    for (protocol, plan) in [
+        (Protocol::Token(Variant::Dst1), hostile),
+        (Protocol::Directory, benign),
+    ] {
+        let w = LockingWorkload::new(16, 8, 5, 31);
+        merge(run_workload(&cfg, protocol, w, &RunOptions::default().with_faults(plan)).0);
+    }
+    let lossy = FaultPlan::none().dropping_tokens(0.15);
+    let w = BarrierWorkload::new(16, 4, Dur::from_ns(400), Dur::from_ns(100), 7);
+    let opts = RunOptions {
+        seed: 5,
+        ..RunOptions::default()
+    }
+    .with_faults(lossy);
+    merge(run_workload(&cfg, Protocol::Token(Variant::Dst1), w, &opts).0);
+    keys
+}
+
+/// A documented key row: the backticked first cell of an appendix table
+/// row. A trailing `*` makes it a prefix pattern (key families whose
+/// tails are data-dependent, e.g. per-class drop counters).
+#[derive(Debug)]
+struct DocKey {
+    pattern: String,
+    situational: bool,
+}
+
+impl DocKey {
+    fn matches(&self, key: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => key.starts_with(prefix),
+            None => key == self.pattern,
+        }
+    }
+}
+
+/// Parses the appendix: table rows between the appendix heading and the
+/// next `## ` heading; rows under a `### ...situational...` subheading
+/// are exempt from the "must be observed" direction.
+fn documented_keys() -> Vec<DocKey> {
+    let start = DESIGN
+        .find(APPENDIX)
+        .unwrap_or_else(|| panic!("DESIGN.md lost its counter appendix ({APPENDIX:?})"));
+    let body = &DESIGN[start + APPENDIX.len()..];
+    let end = body.find("\n## ").unwrap_or(body.len());
+    let mut keys = Vec::new();
+    let mut situational = false;
+    for line in body[..end].lines() {
+        if let Some(sub) = line.strip_prefix("### ") {
+            situational = sub.to_lowercase().contains(SITUATIONAL);
+            continue;
+        }
+        let Some(row) = line.trim().strip_prefix('|') else {
+            continue;
+        };
+        let cell = row.split('|').next().unwrap_or("").trim();
+        let Some(key) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue; // header / separator rows
+        };
+        keys.push(DocKey {
+            pattern: key.to_string(),
+            situational,
+        });
+    }
+    assert!(
+        !keys.is_empty(),
+        "counter appendix parsed to zero keys — format drift?"
+    );
+    keys
+}
+
+#[test]
+fn every_exported_counter_key_is_documented_and_none_are_stale() {
+    let observed = observed_keys();
+    let documented = documented_keys();
+
+    let undocumented: Vec<&String> = observed
+        .iter()
+        .filter(|k| !documented.iter().any(|d| d.matches(k)))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "counter keys exported but missing from DESIGN.md Appendix A \
+         (document them or rename them):\n  {}",
+        undocumented
+            .iter()
+            .map(|k| k.as_str())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+
+    let stale: Vec<&DocKey> = documented
+        .iter()
+        .filter(|d| !d.situational && !observed.iter().any(|k| d.matches(k)))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "DESIGN.md Appendix A documents keys no protocol exports any more \
+         (delete the rows or move them under the situational subsection):\n  {}",
+        stale
+            .iter()
+            .map(|d| d.pattern.as_str())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+#[test]
+fn doc_key_patterns_match_as_specified() {
+    let exact = DocKey {
+        pattern: "l1.hits".into(),
+        situational: false,
+    };
+    assert!(exact.matches("l1.hits"));
+    assert!(!exact.matches("l1.hits.total"));
+    let family = DocKey {
+        pattern: "net.fault.dropped.*".into(),
+        situational: true,
+    };
+    assert!(family.matches("net.fault.dropped.req"));
+    assert!(!family.matches("net.fault.dropped"));
+}

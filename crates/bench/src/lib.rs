@@ -15,6 +15,7 @@
 //! records as JSON under `target/sweep/` via [`BenchResults::export`].
 
 pub mod kernel;
+pub mod mcheck;
 
 use std::path::PathBuf;
 

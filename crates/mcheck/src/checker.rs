@@ -43,6 +43,72 @@ pub trait Model {
         self.successors(s, &mut succ);
         succ.into_iter().find(|(l, _)| l == label).map(|(_, t)| t)
     }
+
+    /// The canonical representative of `s`'s symmetry orbit, used by
+    /// [`crate::explore::check_parallel`] when `CheckOptions::symmetry`
+    /// is on. The default is the identity (a trivial symmetry group),
+    /// which is always sound. A model overriding this promises that its
+    /// transition relation, invariant, and quiescence predicate are all
+    /// invariant under the group it quotients by — the soundness
+    /// arguments per model live in DESIGN.md §17.
+    fn canonicalize(&self, s: &Self::State) -> Self::State {
+        s.clone()
+    }
+
+    /// Footprint metadata for the enabled action labelled `label` in
+    /// state `s`, used by the partial-order reduction in
+    /// [`crate::explore::check_parallel`]. The default is
+    /// [`ActionMeta::OPAQUE`] (conflicts with everything, never
+    /// reducible), which is always sound. See DESIGN.md §17 for the
+    /// obligations a model takes on by declaring anything finer.
+    fn action_meta(&self, s: &Self::State, label: &str) -> ActionMeta {
+        let _ = (s, label);
+        ActionMeta::OPAQUE
+    }
+}
+
+/// Per-action footprint metadata for partial-order reduction.
+///
+/// `reads`/`writes` are bitmasks over a resource universe the model
+/// chooses (per-node state, budgets, global control — at most 64
+/// resources). Two actions are treated as *dependent* when one's writes
+/// intersect the other's reads-or-writes. `class` groups actions the
+/// model additionally certifies as an *ample-eligible class*: members
+/// pairwise commute semantically, and no action dependent on the class
+/// can become enabled by firing actions outside it (the future-enabling
+/// obligation — argued per class in DESIGN.md §17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ActionMeta {
+    /// Resources the action's guard or effect reads.
+    pub reads: u64,
+    /// Resources the action's effect writes.
+    pub writes: u64,
+    /// Ample-eligible class id, or `None` for plain actions.
+    pub class: Option<u32>,
+}
+
+impl ActionMeta {
+    /// Conservative default: touches every resource, never reducible.
+    pub const OPAQUE: ActionMeta = ActionMeta {
+        reads: u64::MAX,
+        writes: u64::MAX,
+        class: None,
+    };
+
+    /// A plain (classless) action with the given footprint.
+    pub const fn rw(reads: u64, writes: u64) -> ActionMeta {
+        ActionMeta {
+            reads,
+            writes,
+            class: None,
+        }
+    }
+
+    /// True if `self` and `other` may not commute (write overlap).
+    pub fn dependent(&self, other: &ActionMeta) -> bool {
+        self.writes & (other.reads | other.writes) != 0
+            || other.writes & (self.reads | self.writes) != 0
+    }
 }
 
 /// The set of distinct transition *kinds* (first whitespace-separated
@@ -60,11 +126,18 @@ pub fn reachable_kinds<M: Model>(
     model: &M,
     max_states: usize,
 ) -> std::collections::BTreeSet<String> {
+    // Dedup by 128-bit fingerprint instead of retaining a full clone of
+    // every visited state: at the 5M-state scale the conformance
+    // coverage universes run at, that is 16 bytes per state rather than
+    // a whole protocol state (hundreds of bytes each for TokenModel).
+    // The collision risk is negligible (~n²/2^129; see DESIGN.md §17),
+    // and a collision could only drop a kind that is reachable via
+    // other states anyway.
     let mut kinds = std::collections::BTreeSet::new();
-    let mut seen: std::collections::HashSet<M::State> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<u128> = std::collections::HashSet::new();
     let mut frontier: Vec<M::State> = Vec::new();
     for s in model.initial() {
-        if seen.insert(s.clone()) {
+        if seen.insert(crate::explore::fingerprint(&s)) {
             frontier.push(s);
         }
     }
@@ -75,12 +148,13 @@ pub fn reachable_kinds<M: Model>(
         for (label, t) in succ.drain(..) {
             let kind = label.split_whitespace().next().unwrap_or("").to_string();
             kinds.insert(kind);
-            if !seen.contains(&t) {
+            let fp = crate::explore::fingerprint(&t);
+            if !seen.contains(&fp) {
                 assert!(
                     seen.len() < max_states,
                     "state space exceeded {max_states} states"
                 );
-                seen.insert(t.clone());
+                seen.insert(fp);
                 frontier.push(t);
             }
         }
@@ -126,13 +200,28 @@ pub struct CheckReport {
     pub progress_checked: bool,
 }
 
-/// Options for [`check`].
+/// Options for [`check`] and [`crate::explore::check_parallel`].
+///
+/// The sequential [`check`] reads only `max_states` and
+/// `check_progress`; the remaining knobs configure the parallel
+/// explorer and are ignored here.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckOptions {
     /// Abort after this many distinct states (guards against blow-up).
     pub max_states: usize,
     /// Run the EF-quiescence progress check after reachability.
     pub check_progress: bool,
+    /// Worker threads for [`crate::explore::check_parallel`]
+    /// (`0` = [`tokencmp_pool::default_threads`]).
+    pub workers: usize,
+    /// Quotient the state space by the model's symmetry group
+    /// ([`Model::canonicalize`]).
+    pub symmetry: bool,
+    /// Apply partial-order reduction using [`Model::action_meta`].
+    pub por: bool,
+    /// Retain full states on a sampled fingerprint stripe and assert
+    /// that every dedup hit there compares equal (collision audit).
+    pub collision_audit: bool,
 }
 
 impl Default for CheckOptions {
@@ -140,6 +229,10 @@ impl Default for CheckOptions {
         CheckOptions {
             max_states: 5_000_000,
             check_progress: true,
+            workers: 0,
+            symmetry: false,
+            por: false,
+            collision_audit: false,
         }
     }
 }
@@ -450,6 +543,7 @@ mod tests {
             &CheckOptions {
                 max_states: 10,
                 check_progress: false,
+                ..CheckOptions::default()
             },
         );
     }

@@ -10,7 +10,8 @@
 //! reports the line counts of these Rust specs alongside the state
 //! counts.
 
-use crate::checker::Model;
+use crate::checker::{ActionMeta, Model};
+use crate::explore::permutations;
 use crate::token_model::PKind;
 
 /// Cache line states (MOESI; absent `I` data is meaningless).
@@ -29,7 +30,7 @@ pub enum CSt {
 }
 
 /// Directory states.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum DSt {
     /// Memory only; memory data current.
     Uncached,
@@ -140,7 +141,7 @@ pub enum DMsg {
 }
 
 /// An outstanding miss at a cache.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Pending {
     /// Read or write.
     pub kind: PKind,
@@ -160,7 +161,7 @@ pub struct Pending {
 }
 
 /// Per-cache model state.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct DCache {
     /// Line state.
     pub st: CSt,
@@ -173,7 +174,7 @@ pub struct DCache {
 }
 
 /// Global model state.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct DState {
     /// Caches.
     pub caches: Vec<DCache>,
@@ -407,6 +408,61 @@ impl DirModel {
             val,
             owner_kept,
         });
+    }
+
+    /// Applies a cache permutation `perm`: cache slots, every mask bit
+    /// and owner id in the directory state, and every message's node
+    /// fields move together. The deferred queue keeps its FIFO *order*
+    /// (the directory serves by arrival, never by index, which is what
+    /// makes the model exchangeable).
+    fn permute(&self, s: &DState, perm: &[usize]) -> DState {
+        let mask_map = |mask: u8| {
+            (0..perm.len()).fold(0u8, |acc, p| {
+                if mask & (1 << p) != 0 {
+                    acc | 1 << perm[p]
+                } else {
+                    acc
+                }
+            })
+        };
+        let pm = |p: u8| perm[p as usize] as u8;
+        let remap = |m: &DMsg| -> DMsg {
+            let mut m = *m;
+            match &mut m {
+                DMsg::Req { proc, .. }
+                | DMsg::Unblock { proc, .. }
+                | DMsg::WbReq { proc }
+                | DMsg::WbData { proc, .. } => *proc = pm(*proc),
+                DMsg::Fwd { dst, proc, .. } | DMsg::Inv { dst, proc } => {
+                    *dst = pm(*dst);
+                    *proc = pm(*proc);
+                }
+                DMsg::InvAck { dst }
+                | DMsg::AckInfo { dst, .. }
+                | DMsg::MemData { dst, .. }
+                | DMsg::OwnerData { dst, .. }
+                | DMsg::WbGrant { dst } => *dst = pm(*dst),
+            }
+            m
+        };
+        let mut t = s.clone();
+        for (p, &to) in perm.iter().enumerate() {
+            t.caches[to] = s.caches[p];
+        }
+        t.dir = match s.dir {
+            DSt::Uncached => DSt::Uncached,
+            DSt::Shared(m) => DSt::Shared(mask_map(m)),
+            DSt::Owned { owner, mask } => DSt::Owned {
+                owner: pm(owner),
+                mask: mask_map(mask),
+            },
+            DSt::Excl(o) => DSt::Excl(pm(o)),
+        };
+        t.busy = s.busy.map(|(p, wb)| (pm(p), wb));
+        t.deferred = s.deferred.iter().map(remap).collect();
+        t.net = s.net.iter().map(remap).collect();
+        t.net.sort();
+        t
     }
 }
 
@@ -756,6 +812,76 @@ impl Model for DirModel {
             && s.caches
                 .iter()
                 .all(|c| c.pending.is_none() && c.wb.is_none())
+    }
+
+    /// Full cache-permutation quotient. Unlike the persistent-request
+    /// token models, the directory resolves every race by *arrival
+    /// order* (busy state + FIFO deferred queue), never by cache index,
+    /// so relabelling caches maps runs to runs; the invariant and
+    /// quiescence predicate are index-blind. See DESIGN.md §17.
+    fn canonicalize(&self, s: &DState) -> DState {
+        let mut best = s.clone();
+        for perm in permutations(self.p.caches).into_iter().skip(1) {
+            let t = self.permute(s, &perm);
+            if t < best {
+                best = t;
+            }
+        }
+        best
+    }
+
+    /// Footprints: bit *p* = cache *p*, plus the directory complex
+    /// (`DIR`: dir state, busy, deferred queue, memval), the message
+    /// budget (`NET` — every delivery removes a message and most
+    /// actions push one), and the spec variables (`SPEC`). The ample
+    /// classes are *non-completing* invalidation-ack deliveries, one
+    /// class per destination: a pure `got` increment commutes with
+    /// every co-enabled or subsequently-enabled action (disjoint
+    /// fields; it cannot complete the transaction, so no `Unblock` or
+    /// write is produced), and the blanket `NET` footprint on all other
+    /// deliveries forces full expansion whenever anything else is in
+    /// flight. Completing acks carry `SPEC` and stay classless. The
+    /// soundness argument is in DESIGN.md §17.
+    fn action_meta(&self, s: &DState, label: &str) -> ActionMeta {
+        const DIR: u64 = 1 << 8;
+        const NET: u64 = 1 << 9;
+        const SPEC: u64 = 1 << 10;
+        let mut words = label.split_whitespace();
+        let kind = words.next().unwrap_or("");
+        let arg = words.next().unwrap_or("");
+        let idx = arg
+            .trim_start_matches("->")
+            .strip_prefix('c')
+            .and_then(|w| w.split("->").next())
+            .and_then(|w| w.parse::<u64>().ok());
+        let node = |i: Option<u64>| i.map_or(u64::MAX, |i| 1 << i);
+        let rw = |bits: u64| ActionMeta::rw(bits, bits);
+        match kind {
+            "req" | "upgrade" | "evict-wb" => rw(node(idx) | NET),
+            "silent-store" => rw(node(idx) | SPEC),
+            "evict-s" => rw(node(idx)),
+            "dir-req" | "dir-wbreq" | "unblock" | "wbdata" => rw(DIR | NET),
+            "fwd" | "inv" | "wbgrant" => rw(node(idx) | NET),
+            "invack" => {
+                let Some(d) = idx else {
+                    return ActionMeta::OPAQUE;
+                };
+                let completing = s.caches[d as usize]
+                    .pending
+                    .is_some_and(|pd| pd.have_data && pd.expected == Some(pd.got + 1));
+                if completing {
+                    rw(node(idx) | NET | SPEC)
+                } else {
+                    ActionMeta {
+                        reads: node(idx) | NET,
+                        writes: node(idx) | NET,
+                        class: Some(d as u32),
+                    }
+                }
+            }
+            "ackinfo" | "memdata" | "ownerdata" => rw(node(idx) | NET | SPEC),
+            _ => ActionMeta::OPAQUE,
+        }
     }
 }
 

@@ -1,0 +1,874 @@
+//! Parallel state-space exploration with symmetry and partial-order
+//! reduction.
+//!
+//! [`check_parallel`] rebuilds the sequential BFS of [`crate::check`]
+//! for scale while keeping every [`Model`] spec untouched:
+//!
+//! * **Parallel frontier expansion.** Exploration is level-synchronous:
+//!   the frontier of one BFS level fans out over the shared
+//!   [`tokencmp_pool`] worker pool (dynamic work claiming, results in
+//!   submission order), while the state store stays *frozen* — workers
+//!   only read it. A sequential merge phase then folds the expansions
+//!   back in frontier order, successors in generation order. Because
+//!   the sequential BFS also assigns ids in exactly that order, the
+//!   parallel explorer reproduces its state count, transition count,
+//!   depth, and first-violation trace *bit for bit* at any worker count
+//!   when both reductions are off — which is what the differential
+//!   suite in `tests/mcheck_parallel.rs` pins.
+//!
+//! * **Hashed state store.** States are deduplicated by 128-bit
+//!   fingerprint (two independently seeded hash passes) in a sharded
+//!   table, retaining 16 bytes per state instead of a full clone. At
+//!   n = 10⁷ states the collision probability is about n²/2¹²⁹ ≈ 10⁻²⁵
+//!   (see DESIGN.md §17). `CheckOptions::collision_audit` additionally
+//!   retains full states on a 1/16 fingerprint stripe and asserts that
+//!   every dedup hit on the stripe compares equal.
+//!
+//! * **Symmetry reduction** quotients states by the model's
+//!   [`Model::canonicalize`] (identity by default — always sound).
+//!
+//! * **Partial-order reduction** expands only an *ample subset* of a
+//!   state's successors when the model declares a class of actions
+//!   ([`ActionMeta::class`]) whose combined footprint conflicts with no
+//!   co-enabled action, subject to a BFS cycle proviso: at least one
+//!   ample successor must be new to the frozen store, guaranteeing the
+//!   deferred actions are re-examined at a strictly later level.
+//!
+//! Soundness arguments for both reductions, per model, live in
+//! DESIGN.md §17.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::time::Instant;
+
+use tokencmp_pool::{default_threads, par_map_threads};
+
+use crate::checker::{ActionMeta, CheckOptions, Model, Violation};
+
+/// 128-bit state fingerprint: two independent 64-bit hash passes over
+/// the same value, distinguished by a seed prefix. `DefaultHasher::new`
+/// is specified to produce identical streams across instances, so
+/// fingerprints are stable within a build — which is all the store
+/// needs (they are never persisted).
+pub fn fingerprint<S: Hash>(s: &S) -> u128 {
+    let mut lo = DefaultHasher::new();
+    0u64.hash(&mut lo);
+    s.hash(&mut lo);
+    let mut hi = DefaultHasher::new();
+    0x9E37_79B9_7F4A_7C15u64.hash(&mut hi);
+    s.hash(&mut hi);
+    ((hi.finish() as u128) << 64) | lo.finish() as u128
+}
+
+/// All permutations of `0..n` in lexicographic order (identity first) —
+/// the helper the protocol models use to canonicalize over node
+/// identity. Intended for the tiny downscaled configurations the
+/// verification study runs (n ≤ 4).
+pub fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(rest: &mut Vec<usize>, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let v = rest.remove(i);
+            cur.push(v);
+            rec(rest, cur, out);
+            cur.pop();
+            rest.insert(i, v);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut (0..n).collect(), &mut Vec::new(), &mut out);
+    out
+}
+
+const SHARDS: usize = 16;
+
+/// Sharded fingerprint → state-id table. Sharding by the top fingerprint
+/// bits keeps per-map load factors low at millions of states; workers
+/// share it read-only during expansion, the merge phase writes.
+struct FpStore {
+    shards: Vec<HashMap<u128, u32>>,
+    len: usize,
+}
+
+impl FpStore {
+    fn new() -> FpStore {
+        FpStore {
+            shards: (0..SHARDS).map(|_| HashMap::new()).collect(),
+            len: 0,
+        }
+    }
+
+    fn shard(fp: u128) -> usize {
+        (fp >> 124) as usize & (SHARDS - 1)
+    }
+
+    fn get(&self, fp: u128) -> Option<u32> {
+        self.shards[FpStore::shard(fp)].get(&fp).copied()
+    }
+
+    fn insert(&mut self, fp: u128, id: u32) {
+        if self.shards[FpStore::shard(fp)].insert(fp, id).is_none() {
+            self.len += 1;
+        }
+    }
+}
+
+/// Statistics from a [`check_parallel`] run. Superset of
+/// [`crate::CheckReport`]: the extra fields record reduction and audit
+/// activity plus the transition-kind universe (first word of every
+/// generated label, *including* labels pruned by the partial-order
+/// reduction — reduction saves stored and expanded states, never
+/// coverage accounting).
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Distinct stored states (canonical representatives).
+    pub states: usize,
+    /// Transitions taken (equals the sequential count when POR is off).
+    pub transitions: u64,
+    /// Maximum BFS depth reached.
+    pub depth: usize,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+    /// Whether the EF-quiescence progress check ran and passed.
+    pub progress_checked: bool,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Expanded states at which an ample subset was taken.
+    pub por_states_reduced: usize,
+    /// Successor edges pruned by the partial-order reduction.
+    pub por_pruned: u64,
+    /// Dedup hits verified against a retained full state (audit mode).
+    pub audited: u64,
+    /// Every transition kind generated anywhere in the explored space.
+    pub kinds: BTreeSet<String>,
+}
+
+/// One frontier state's expansion, produced by a worker against the
+/// frozen store and folded in deterministically by the merge phase.
+struct Expansion<S> {
+    id: u32,
+    quiescent: bool,
+    /// `Some(pretty-printed state)` iff non-quiescent with no successors.
+    deadlock: Option<String>,
+    /// An ample subset was taken (POR applied at this state).
+    reduced: bool,
+    /// Successors pruned by the reduction.
+    pruned: u32,
+    /// Kind (label head) of every generated successor, pruned included.
+    kind_heads: Vec<String>,
+    /// Taken successors in generation order: label, canonical state,
+    /// fingerprint, and the invariant error if the worker found one
+    /// (only evaluated for states absent from the frozen store).
+    taken: Vec<(String, S, u128, Option<String>)>,
+}
+
+/// Expands one frontier state against the frozen store.
+fn expand<M: Model>(
+    model: &M,
+    store: &FpStore,
+    opts: &CheckOptions,
+    id: u32,
+    s: &M::State,
+) -> Expansion<M::State> {
+    let mut succs = Vec::new();
+    model.successors(s, &mut succs);
+    let quiescent = model.is_quiescent(s);
+    if succs.is_empty() && !quiescent {
+        return Expansion {
+            id,
+            quiescent,
+            deadlock: Some(format!("{s:?}")),
+            reduced: false,
+            pruned: 0,
+            kind_heads: Vec::new(),
+            taken: Vec::new(),
+        };
+    }
+
+    let mut kind_heads: BTreeSet<String> = BTreeSet::new();
+    for (label, _) in &succs {
+        kind_heads.insert(label.split_whitespace().next().unwrap_or("").to_string());
+    }
+
+    // Canonicalize + fingerprint lazily (ample selection may avoid the
+    // work for pruned successors).
+    let canon_fp = |t: &M::State| -> (M::State, u128) {
+        let c = if opts.symmetry {
+            model.canonicalize(t)
+        } else {
+            t.clone()
+        };
+        let fp = fingerprint(&c);
+        (c, fp)
+    };
+
+    // Ample-set selection: for each declared class (ascending id), take
+    // its members alone iff (C1/C2, via the model's class promise plus a
+    // mechanical footprint check) no co-enabled non-member conflicts
+    // with the class, and (C3, cycle proviso) at least one member leads
+    // out of the frozen store — i.e. to a state expanded at a strictly
+    // later level, so deferred actions cannot be postponed forever
+    // around a cycle.
+    type Canon<S> = Vec<(S, u128)>;
+    let mut ample: Option<(Vec<usize>, Canon<M::State>)> = None;
+    if opts.por && succs.len() > 1 {
+        let metas: Vec<ActionMeta> = succs
+            .iter()
+            .map(|(label, _)| model.action_meta(s, label))
+            .collect();
+        let classes: BTreeSet<u32> = metas.iter().filter_map(|m| m.class).collect();
+        'class: for c in classes {
+            let members: Vec<usize> = (0..succs.len())
+                .filter(|&i| metas[i].class == Some(c))
+                .collect();
+            if members.len() == succs.len() {
+                continue; // no reduction to be had
+            }
+            let combined = members.iter().fold(ActionMeta::rw(0, 0), |acc, &i| {
+                ActionMeta::rw(acc.reads | metas[i].reads, acc.writes | metas[i].writes)
+            });
+            for (i, meta) in metas.iter().enumerate() {
+                if metas[i].class != Some(c) && combined.dependent(meta) {
+                    continue 'class;
+                }
+            }
+            let canon: Vec<(M::State, u128)> =
+                members.iter().map(|&i| canon_fp(&succs[i].1)).collect();
+            if canon.iter().any(|(_, fp)| store.get(*fp).is_none()) {
+                ample = Some((members, canon));
+                break;
+            }
+        }
+    }
+
+    let (taken_idx, canon): (Vec<usize>, Vec<(M::State, u128)>) = match ample {
+        Some(v) => v,
+        None => {
+            let idx: Vec<usize> = (0..succs.len()).collect();
+            let canon = succs.iter().map(|(_, t)| canon_fp(t)).collect();
+            (idx, canon)
+        }
+    };
+    let reduced = taken_idx.len() < succs.len();
+    let pruned = (succs.len() - taken_idx.len()) as u32;
+
+    let taken = taken_idx
+        .into_iter()
+        .zip(canon)
+        .map(|(i, (c, fp))| {
+            let inv_err = if store.get(fp).is_none() {
+                model.invariant(&c).err()
+            } else {
+                None
+            };
+            (succs[i].0.clone(), c, fp, inv_err)
+        })
+        .collect();
+
+    Expansion {
+        id,
+        quiescent,
+        deadlock: None,
+        reduced,
+        pruned,
+        kind_heads: kind_heads.into_iter().collect(),
+        taken,
+    }
+}
+
+/// Exhaustively explores `model` in parallel, checking the invariant on
+/// every state, flagging non-quiescent deadlocks, and (optionally)
+/// verifying EF-quiescence — the parallel, reducible counterpart of
+/// [`crate::check`].
+///
+/// With `opts.symmetry` and `opts.por` both off, the verdict, state
+/// count, transition count, depth, and first-violation trace are
+/// identical to the sequential checker's at any worker count. With
+/// reductions on, the verdict and the transition-kind universe are
+/// preserved; states and transitions shrink.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found, with a minimal-length trace.
+///
+/// # Panics
+///
+/// Panics if the state count exceeds `opts.max_states`.
+pub fn check_parallel<M>(model: &M, opts: &CheckOptions) -> Result<ExploreReport, Box<Violation>>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
+    let start = Instant::now();
+    let workers = if opts.workers == 0 {
+        default_threads()
+    } else {
+        opts.workers
+    };
+
+    let mut store = FpStore::new();
+    // Full canonical states retained on the audit stripe (fp low nibble
+    // zero, 1/16 of states) when collision auditing is on.
+    let mut stripe: HashMap<u128, M::State> = HashMap::new();
+    let mut audited: u64 = 0;
+    // Per-id data. Labels are interned: the parent chain stores (parent
+    // id, label index); roots are self-parented.
+    let mut fps: Vec<u128> = Vec::new();
+    let mut parent: Vec<(u32, u32)> = Vec::new();
+    let mut edges: Vec<Vec<u32>> = Vec::new();
+    let mut quiescent: Vec<bool> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut label_ids: HashMap<String, u32> = HashMap::new();
+
+    let mut kinds: BTreeSet<String> = BTreeSet::new();
+    let mut transitions: u64 = 0;
+    let mut depth = 0usize;
+    let mut por_states_reduced = 0usize;
+    let mut por_pruned: u64 = 0;
+
+    let mut frontier: Vec<(u32, M::State)> = Vec::new();
+    for s in model.initial() {
+        if let Err(m) = model.invariant(&s) {
+            return Err(Box::new(Violation {
+                message: m,
+                trace: vec![],
+                state: format!("{s:?}"),
+            }));
+        }
+        let c = if opts.symmetry {
+            model.canonicalize(&s)
+        } else {
+            s
+        };
+        let fp = fingerprint(&c);
+        if store.get(fp).is_none() {
+            let id = fps.len() as u32;
+            store.insert(fp, id);
+            fps.push(fp);
+            parent.push((id, u32::MAX));
+            edges.push(Vec::new());
+            quiescent.push(false);
+            if opts.collision_audit && fp & 0xF == 0 {
+                stripe.insert(fp, c.clone());
+            }
+            frontier.push((id, c));
+        }
+    }
+
+    let trace_to = |idx: u32, parent: &[(u32, u32)], labels: &[String]| -> Vec<String> {
+        let mut trace = Vec::new();
+        let mut cur = idx;
+        while parent[cur as usize].0 != cur {
+            let (p, l) = parent[cur as usize];
+            trace.push(labels[l as usize].clone());
+            cur = p;
+        }
+        trace.reverse();
+        trace
+    };
+
+    while !frontier.is_empty() {
+        // Fan the level out in deterministic batches: the pool claims
+        // batches dynamically but returns results in submission order,
+        // so the merge below is schedule-independent.
+        let batch = (frontier.len() / (workers.max(1) * 8)).clamp(1, 1024);
+        let level: Vec<Vec<(u32, M::State)>> = {
+            let mut batches = Vec::new();
+            let mut it = frontier.into_iter().peekable();
+            while it.peek().is_some() {
+                batches.push(it.by_ref().take(batch).collect());
+            }
+            batches
+        };
+        let results: Vec<Vec<Expansion<M::State>>> = par_map_threads(level, workers, |chunk| {
+            chunk
+                .iter()
+                .map(|(id, s)| expand(model, &store, opts, *id, s))
+                .collect()
+        });
+
+        // Sequential merge in frontier order, successors in generation
+        // order — exactly the order the sequential BFS discovers them.
+        let mut next: Vec<(u32, M::State)> = Vec::new();
+        for exp in results.into_iter().flatten() {
+            let id = exp.id;
+            quiescent[id as usize] = exp.quiescent;
+            if let Some(state) = exp.deadlock {
+                return Err(Box::new(Violation {
+                    message: "deadlock: non-quiescent state with no successors".into(),
+                    trace: trace_to(id, &parent, &labels),
+                    state,
+                }));
+            }
+            if exp.reduced {
+                por_states_reduced += 1;
+                por_pruned += u64::from(exp.pruned);
+            }
+            kinds.extend(exp.kind_heads);
+            for (label, c, fp, inv_err) in exp.taken {
+                transitions += 1;
+                let t_id = match store.get(fp) {
+                    Some(i) => {
+                        if let Some(full) = stripe.get(&fp) {
+                            assert!(
+                                *full == c,
+                                "fingerprint collision: distinct states share {fp:#034x}"
+                            );
+                            audited += 1;
+                        }
+                        i
+                    }
+                    None => {
+                        if let Some(m) = inv_err {
+                            let mut trace = trace_to(id, &parent, &labels);
+                            trace.push(label);
+                            return Err(Box::new(Violation {
+                                message: m,
+                                trace,
+                                state: format!("{c:?}"),
+                            }));
+                        }
+                        let i = fps.len() as u32;
+                        assert!(
+                            (i as usize) < opts.max_states,
+                            "state space exceeded {} states",
+                            opts.max_states
+                        );
+                        let l = *label_ids.entry(label).or_insert_with_key(|k| {
+                            labels.push(k.clone());
+                            (labels.len() - 1) as u32
+                        });
+                        store.insert(fp, i);
+                        fps.push(fp);
+                        parent.push((id, l));
+                        edges.push(Vec::new());
+                        quiescent.push(false);
+                        if opts.collision_audit && fp & 0xF == 0 {
+                            stripe.insert(fp, c.clone());
+                        }
+                        next.push((i, c));
+                        i
+                    }
+                };
+                edges[id as usize].push(t_id);
+            }
+        }
+        if !next.is_empty() {
+            depth += 1;
+        }
+        frontier = next;
+    }
+
+    // Progress: every state can reach a quiescent state (EF quiescence),
+    // via backward reachability — same algorithm as the sequential
+    // checker, over the (possibly reduced) explored graph.
+    if opts.check_progress {
+        let n = fps.len();
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, outs) in edges.iter().enumerate() {
+            for &v in outs {
+                rev[v as usize].push(u as u32);
+            }
+        }
+        let mut ok = vec![false; n];
+        let mut stack: Vec<u32> = (0..n as u32).filter(|&i| quiescent[i as usize]).collect();
+        for &i in &stack {
+            ok[i as usize] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &v in &rev[u as usize] {
+                if !ok[v as usize] {
+                    ok[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        if let Some(bad) = (0..n as u32).find(|&i| !ok[i as usize]) {
+            let trace = trace_to(bad, &parent, &labels);
+            let state = replay_state(model, opts, &trace, &fps, bad, &parent)
+                .unwrap_or_else(|| "<state not reconstructed>".into());
+            return Err(Box::new(Violation {
+                message: "progress violation: no quiescent state reachable (livelock)".into(),
+                trace,
+                state,
+            }));
+        }
+    }
+
+    Ok(ExploreReport {
+        states: fps.len(),
+        transitions,
+        depth,
+        seconds: start.elapsed().as_secs_f64(),
+        progress_checked: opts.check_progress,
+        workers,
+        por_states_reduced,
+        por_pruned,
+        audited,
+        kinds,
+    })
+}
+
+/// Reconstructs the concrete (canonical) state at the end of `trace` by
+/// replaying it from the matching initial state — the store only keeps
+/// fingerprints, so pretty-printing a progress-violation state requires
+/// walking the trace and disambiguating same-labelled successors by
+/// fingerprint.
+fn replay_state<M: Model>(
+    model: &M,
+    opts: &CheckOptions,
+    trace: &[String],
+    fps: &[u128],
+    bad: u32,
+    parent: &[(u32, u32)],
+) -> Option<String> {
+    let mut path = vec![bad];
+    let mut cur = bad;
+    while parent[cur as usize].0 != cur {
+        cur = parent[cur as usize].0;
+        path.push(cur);
+    }
+    path.reverse(); // root .. bad, one id per trace step plus the root
+    let root = path[0];
+    let canon = |s: &M::State| {
+        if opts.symmetry {
+            model.canonicalize(s)
+        } else {
+            s.clone()
+        }
+    };
+    let mut state = model
+        .initial()
+        .into_iter()
+        .map(|s| canon(&s))
+        .find(|c| fingerprint(c) == fps[root as usize])?;
+    let mut succs = Vec::new();
+    for (label, &next_id) in trace.iter().zip(&path[1..]) {
+        succs.clear();
+        model.successors(&state, &mut succs);
+        state = succs
+            .drain(..)
+            .filter(|(l, _)| l == label)
+            .map(|(_, t)| canon(&t))
+            .find(|c| fingerprint(c) == fps[next_id as usize])?;
+    }
+    Some(format!("{state:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check;
+
+    /// The checker test models, re-stated locally: a counter with
+    /// optional planted violations.
+    struct Counter {
+        max: u8,
+        broken_invariant: bool,
+        deadlock_at_max: bool,
+    }
+
+    impl Model for Counter {
+        type State = u8;
+        fn initial(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn successors(&self, s: &u8, out: &mut Vec<(String, u8)>) {
+            if *s < self.max {
+                out.push((format!("inc {s}"), s + 1));
+            } else if !self.deadlock_at_max {
+                out.push(("reset".into(), 0));
+            }
+        }
+        fn invariant(&self, s: &u8) -> Result<(), String> {
+            if self.broken_invariant && *s == 3 {
+                Err("reached 3".into())
+            } else {
+                Ok(())
+            }
+        }
+        fn is_quiescent(&self, s: &u8) -> bool {
+            *s == 0
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_nearby_values() {
+        let fps: std::collections::HashSet<u128> =
+            (0u64..10_000).map(|i| fingerprint(&i)).collect();
+        assert_eq!(fps.len(), 10_000);
+        // Both halves carry entropy.
+        let a = fingerprint(&1u64);
+        let b = fingerprint(&2u64);
+        assert_ne!(a >> 64, b >> 64);
+        assert_ne!(a as u64, b as u64);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_clean_model() {
+        let m = Counter {
+            max: 5,
+            broken_invariant: false,
+            deadlock_at_max: false,
+        };
+        let seq = check(&m, &CheckOptions::default()).unwrap();
+        for workers in [1, 2, 4] {
+            let opts = CheckOptions {
+                workers,
+                ..CheckOptions::default()
+            };
+            let par = check_parallel(&m, &opts).unwrap();
+            assert_eq!(par.states, seq.states);
+            assert_eq!(par.transitions, seq.transitions);
+            assert_eq!(par.depth, seq.depth);
+            assert!(par.progress_checked);
+            assert_eq!(
+                par.kinds.iter().map(String::as_str).collect::<Vec<_>>(),
+                ["inc", "reset"]
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_finds_same_violation_trace() {
+        let m = Counter {
+            max: 5,
+            broken_invariant: true,
+            deadlock_at_max: false,
+        };
+        let seq = check(&m, &CheckOptions::default()).unwrap_err();
+        let par = check_parallel(&m, &CheckOptions::default()).unwrap_err();
+        assert_eq!(par.message, seq.message);
+        assert_eq!(par.trace, seq.trace);
+        assert_eq!(par.state, seq.state);
+    }
+
+    #[test]
+    fn parallel_finds_deadlock_with_sequential_trace() {
+        let m = Counter {
+            max: 2,
+            broken_invariant: false,
+            deadlock_at_max: true,
+        };
+        let seq = check(&m, &CheckOptions::default()).unwrap_err();
+        let par = check_parallel(&m, &CheckOptions::default()).unwrap_err();
+        assert_eq!(par.message, seq.message);
+        assert_eq!(par.trace, seq.trace);
+    }
+
+    /// Two states cycling without ever reaching quiescence.
+    struct Livelock;
+    impl Model for Livelock {
+        type State = u8;
+        fn initial(&self) -> Vec<u8> {
+            vec![1]
+        }
+        fn successors(&self, s: &u8, out: &mut Vec<(String, u8)>) {
+            out.push(("spin".into(), 3 - s));
+        }
+        fn invariant(&self, _: &u8) -> Result<(), String> {
+            Ok(())
+        }
+        fn is_quiescent(&self, s: &u8) -> bool {
+            *s == 0
+        }
+    }
+
+    #[test]
+    fn parallel_finds_livelock_and_replays_state() {
+        let v = check_parallel(&Livelock, &CheckOptions::default()).unwrap_err();
+        assert!(v.message.contains("progress"), "{}", v.message);
+        assert_eq!(v.state, "1", "replay must reconstruct the bad state");
+    }
+
+    #[test]
+    #[should_panic(expected = "state space exceeded")]
+    fn parallel_respects_state_budget() {
+        let m = Counter {
+            max: 100,
+            broken_invariant: false,
+            deadlock_at_max: false,
+        };
+        let _ = check_parallel(
+            &m,
+            &CheckOptions {
+                max_states: 10,
+                check_progress: false,
+                ..CheckOptions::default()
+            },
+        );
+    }
+
+    /// Two independent per-node counters plus a classed, commuting
+    /// "tick" self-loop family: symmetry folds node permutations, POR
+    /// collapses tick interleavings.
+    struct TwoSym;
+    impl Model for TwoSym {
+        type State = (u8, u8);
+        fn initial(&self) -> Vec<(u8, u8)> {
+            vec![(0, 0)]
+        }
+        fn successors(&self, s: &(u8, u8), out: &mut Vec<(String, (u8, u8))>) {
+            if s.0 < 2 {
+                out.push(("inc a".into(), (s.0 + 1, s.1)));
+            }
+            if s.1 < 2 {
+                out.push(("inc b".into(), (s.0, s.1 + 1)));
+            }
+        }
+        fn invariant(&self, _: &(u8, u8)) -> Result<(), String> {
+            Ok(())
+        }
+        fn is_quiescent(&self, _: &(u8, u8)) -> bool {
+            true
+        }
+        fn canonicalize(&self, s: &(u8, u8)) -> (u8, u8) {
+            (s.0.min(s.1), s.0.max(s.1))
+        }
+    }
+
+    #[test]
+    fn symmetry_shrinks_states_and_keeps_kinds() {
+        let seq = check(&TwoSym, &CheckOptions::default()).unwrap();
+        assert_eq!(seq.states, 9);
+        let par = check_parallel(
+            &TwoSym,
+            &CheckOptions {
+                symmetry: true,
+                ..CheckOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(par.states, 6, "unordered pairs of 0..=2");
+        assert_eq!(
+            par.kinds.iter().map(String::as_str).collect::<Vec<_>>(),
+            ["inc"]
+        );
+    }
+
+    /// Independent classed increments on two nodes: POR may take one
+    /// node's action alone at each state; the (2,2) corner and kind set
+    /// must survive.
+    struct TwoPor;
+    impl Model for TwoPor {
+        type State = (u8, u8);
+        fn initial(&self) -> Vec<(u8, u8)> {
+            vec![(0, 0)]
+        }
+        fn successors(&self, s: &(u8, u8), out: &mut Vec<(String, (u8, u8))>) {
+            if s.0 < 2 {
+                out.push(("inca".into(), (s.0 + 1, s.1)));
+            }
+            if s.1 < 2 {
+                out.push(("incb".into(), (s.0, s.1 + 1)));
+            }
+        }
+        fn invariant(&self, s: &(u8, u8)) -> Result<(), String> {
+            if *s == (2, 2) {
+                Err("corner reached".into())
+            } else {
+                Ok(())
+            }
+        }
+        fn is_quiescent(&self, _: &(u8, u8)) -> bool {
+            true
+        }
+        fn action_meta(&self, _: &(u8, u8), label: &str) -> ActionMeta {
+            match label {
+                "inca" => ActionMeta {
+                    reads: 0b01,
+                    writes: 0b01,
+                    class: Some(0),
+                },
+                "incb" => ActionMeta {
+                    reads: 0b10,
+                    writes: 0b10,
+                    class: Some(1),
+                },
+                _ => ActionMeta::OPAQUE,
+            }
+        }
+    }
+
+    #[test]
+    fn por_prunes_interleavings_but_finds_the_violation() {
+        let seq = check(&TwoPor, &CheckOptions::default()).unwrap_err();
+        assert!(seq.message.contains("corner"));
+        let opts = CheckOptions {
+            por: true,
+            ..CheckOptions::default()
+        };
+        let par = check_parallel(&TwoPor, &opts).unwrap_err();
+        assert_eq!(par.message, seq.message);
+        assert_eq!(par.trace.len(), seq.trace.len(), "minimal trace length");
+        // And on the clean variant it actually reduces.
+        struct Clean;
+        impl Model for Clean {
+            type State = (u8, u8);
+            fn initial(&self) -> Vec<(u8, u8)> {
+                TwoPor.initial()
+            }
+            fn successors(&self, s: &(u8, u8), out: &mut Vec<(String, (u8, u8))>) {
+                TwoPor.successors(s, out);
+            }
+            fn invariant(&self, _: &(u8, u8)) -> Result<(), String> {
+                Ok(())
+            }
+            fn is_quiescent(&self, _: &(u8, u8)) -> bool {
+                true
+            }
+            fn action_meta(&self, s: &(u8, u8), label: &str) -> ActionMeta {
+                TwoPor.action_meta(s, label)
+            }
+        }
+        let full = check(&Clean, &CheckOptions::default()).unwrap();
+        let red = check_parallel(&Clean, &opts).unwrap();
+        assert!(red.por_states_reduced > 0);
+        assert!(red.transitions < full.transitions);
+        assert_eq!(red.kinds.len(), 2, "pruned kinds still collected");
+    }
+
+    /// A 32×32 grid with independent increments: hundreds of diamond
+    /// reconvergences, so the 1/16 audit stripe sees dedup hits with
+    /// certainty for any reasonable hash.
+    struct Grid;
+    impl Model for Grid {
+        type State = (u8, u8);
+        fn initial(&self) -> Vec<(u8, u8)> {
+            vec![(0, 0)]
+        }
+        fn successors(&self, s: &(u8, u8), out: &mut Vec<(String, (u8, u8))>) {
+            if s.0 < 31 {
+                out.push(("inca".into(), (s.0 + 1, s.1)));
+            }
+            if s.1 < 31 {
+                out.push(("incb".into(), (s.0, s.1 + 1)));
+            }
+        }
+        fn invariant(&self, _: &(u8, u8)) -> Result<(), String> {
+            Ok(())
+        }
+        fn is_quiescent(&self, _: &(u8, u8)) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn collision_audit_runs_on_the_stripe() {
+        let r = check_parallel(
+            &Grid,
+            &CheckOptions {
+                collision_audit: true,
+                ..CheckOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.states, 32 * 32);
+        let dedup_hits = r.transitions - (r.states as u64 - 1);
+        assert!(dedup_hits > 500, "grid must reconverge heavily");
+        assert!(r.audited > 0, "audit stripe must see dedup hits");
+    }
+}

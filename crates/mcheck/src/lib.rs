@@ -18,10 +18,14 @@
 
 pub mod checker;
 pub mod dir_model;
+pub mod explore;
 pub mod token_model;
 
-pub use checker::{check, reachable_kinds, CheckOptions, CheckReport, Model, Violation};
+pub use checker::{
+    check, reachable_kinds, ActionMeta, CheckOptions, CheckReport, Model, Violation,
+};
 pub use dir_model::{DirModel, DirModelParams};
+pub use explore::{check_parallel, ExploreReport};
 pub use token_model::{SubstrateMode, TokenModel, TokenModelParams};
 
 /// Non-comment, non-blank line counts of the protocol specifications —

@@ -25,7 +25,8 @@
 //! tokens, bounded in-flight messages, bounded writes to keep the value
 //! domain exact).
 
-use crate::checker::Model;
+use crate::checker::{ActionMeta, Model};
+use crate::explore::permutations;
 
 /// Which starvation-avoidance mechanism the model includes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,7 +105,7 @@ impl TokenModelParams {
 
 /// Per-node token state (caches and memory obey identical rules — the
 /// substrate is flat).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct NodeSt {
     /// Tokens held.
     pub tokens: u8,
@@ -205,7 +206,7 @@ pub enum TMsg {
 }
 
 /// A persistent-table entry at some node.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct TableEntry {
     /// Request kind.
     pub kind: PKind,
@@ -214,7 +215,7 @@ pub struct TableEntry {
 }
 
 /// The global model state.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct TState {
     /// Caches `0..caches`, then memory at index `caches`.
     pub nodes: Vec<NodeSt>,
@@ -973,6 +974,107 @@ impl Model for TokenModel {
     fn is_quiescent(&self, s: &TState) -> bool {
         s.net.is_empty() && s.my_req.iter().all(Option::is_none) && s.recreating.is_none()
     }
+
+    /// Cache-permutation quotient — **safety-only substrate only**. In
+    /// that mode every rule, the invariant, and quiescence treat caches
+    /// exchangeably (the nondeterministic policy interface quantifies
+    /// over all of them uniformly), so relabelling caches maps runs to
+    /// runs. The persistent-request modes are *not* exchangeable: both
+    /// activation mechanisms resolve races by fixed lowest-index
+    /// priority (`dist_active`/`arb_known`), so a relabelled state can
+    /// take different transitions — there the canonical form is the
+    /// identity. See DESIGN.md §17.
+    fn canonicalize(&self, s: &TState) -> TState {
+        if self.p.mode != SubstrateMode::SafetyOnly {
+            return s.clone();
+        }
+        let mut best = s.clone();
+        for perm in permutations(self.p.caches).into_iter().skip(1) {
+            let t = self.permute(s, &perm);
+            if t < best {
+                best = t;
+            }
+        }
+        best
+    }
+
+    /// Footprints over the resource universe: bit *i* = node *i* (its
+    /// `NodeSt`, serial, table row, outstanding request), plus the
+    /// budget and global-control bits below. The one ample-eligible
+    /// class is recreation-ack delivery (class 0): acks pairwise
+    /// commute (each removes a distinct message and decrements the
+    /// awaited count), every other control action carries the control
+    /// budget and therefore conflicts mechanically, and the invariant
+    /// never reads the in-flight ack multiset except through the
+    /// handshake count the decrement preserves — the full argument is
+    /// in DESIGN.md §17.
+    fn action_meta(&self, _s: &TState, label: &str) -> ActionMeta {
+        const TOKEN_BUDGET: u64 = 1 << 16;
+        const CTL_BUDGET: u64 = 1 << 17;
+        const RECREATING: u64 = 1 << 18;
+        const ARB: u64 = 1 << 19;
+        const SPEC: u64 = 1 << 20;
+        let mem = 1u64 << self.mem();
+        let mut words = label.split_whitespace();
+        let kind = words.next().unwrap_or("");
+        let arg = words.next().unwrap_or("");
+        // `{i}->…` / `c{i}` / `p{i}` / `->{dst}` index parsers.
+        let src = || arg.split("->").next().and_then(|w| w.parse::<u64>().ok());
+        let tagged = || {
+            arg.strip_prefix(['c', 'p'])
+                .and_then(|w| w.parse::<u64>().ok())
+        };
+        let dst = || {
+            arg.split("->")
+                .nth(1)
+                .and_then(|w| w.parse::<u64>().ok())
+                .filter(|&d| d < self.n_nodes() as u64)
+        };
+        let node = |i: Option<u64>| i.map_or(u64::MAX, |i| 1 << i);
+        match kind {
+            "send-all" | "send-1" => {
+                ActionMeta::rw(node(src()) | TOKEN_BUDGET, node(src()) | TOKEN_BUDGET)
+            }
+            "mem-grant" => ActionMeta::rw(mem | TOKEN_BUDGET, mem | TOKEN_BUDGET),
+            "writeback" | "forward" => {
+                ActionMeta::rw(node(src()) | TOKEN_BUDGET, node(src()) | TOKEN_BUDGET)
+            }
+            "deliver-tokens" => {
+                ActionMeta::rw(node(dst()) | TOKEN_BUDGET, node(dst()) | TOKEN_BUDGET)
+            }
+            "deliver-stale" => ActionMeta::rw(node(dst()) | mem | TOKEN_BUDGET, mem | TOKEN_BUDGET),
+            "deliver-inval" => ActionMeta::rw(
+                node(dst()) | mem | CTL_BUDGET,
+                node(dst()) | mem | CTL_BUDGET,
+            ),
+            "deliver-ack" => ActionMeta {
+                reads: CTL_BUDGET | RECREATING,
+                writes: CTL_BUDGET | RECREATING,
+                class: Some(0),
+            },
+            "lose" => ActionMeta::rw(mem | TOKEN_BUDGET | RECREATING, TOKEN_BUDGET | RECREATING),
+            "recreate-start" => {
+                ActionMeta::rw(mem | RECREATING | CTL_BUDGET, mem | RECREATING | CTL_BUDGET)
+            }
+            "recreate-done" => ActionMeta::rw(mem | RECREATING | TOKEN_BUDGET, mem | RECREATING),
+            "write" => ActionMeta::rw(node(tagged()) | SPEC, node(tagged()) | SPEC),
+            "issue" => ActionMeta::rw(node(tagged()) | CTL_BUDGET, node(tagged()) | CTL_BUDGET),
+            "complete" => ActionMeta::rw(
+                node(tagged()) | CTL_BUDGET | SPEC,
+                node(tagged()) | CTL_BUDGET | SPEC,
+            ),
+            "deliver-activate"
+            | "deliver-deactivate"
+            | "deliver-arb-activate"
+            | "deliver-arb-deactivate" => {
+                ActionMeta::rw(node(dst()) | CTL_BUDGET, node(dst()) | CTL_BUDGET)
+            }
+            "arb-request" => ActionMeta::rw(ARB | mem | CTL_BUDGET, ARB | mem | CTL_BUDGET),
+            // `arb-done` edits the queue, every table, and filters the
+            // net wholesale — opaque.
+            _ => ActionMeta::OPAQUE,
+        }
+    }
 }
 
 impl TokenModel {
@@ -982,6 +1084,50 @@ impl TokenModel {
             .iter()
             .enumerate()
             .find_map(|(p, e)| e.map(|e| (p as u8, e.kind)))
+    }
+
+    /// Applies a cache permutation `perm` (memory fixed): node state,
+    /// serials, outstanding requests, table rows *and* columns, arbiter
+    /// bookkeeping, and every message's node fields move together, so
+    /// the result is the same global state with caches relabelled.
+    fn permute(&self, s: &TState, perm: &[usize]) -> TState {
+        let nc = self.p.caches;
+        let node_map = |i: usize| if i < nc { perm[i] } else { i };
+        let mut t = s.clone();
+        for (i, &to) in perm.iter().enumerate() {
+            t.nodes[to] = s.nodes[i].clone();
+            t.serials[to] = s.serials[i];
+            t.my_req[to] = s.my_req[i];
+        }
+        for i in 0..self.n_nodes() {
+            for (p, &to) in perm.iter().enumerate() {
+                t.tables[node_map(i)][to] = s.tables[i][p];
+            }
+        }
+        t.arb_queue = s
+            .arb_queue
+            .iter()
+            .map(|&(p, k)| (perm[p as usize] as u8, k))
+            .collect();
+        t.arb_current = s.arb_current.map(|(p, k)| (perm[p as usize] as u8, k));
+        let map_dst = |d: u8| node_map(d as usize) as u8;
+        let map_proc = |p: u8| perm[p as usize] as u8;
+        for m in &mut t.net {
+            match m {
+                TMsg::Tokens { dst, .. } | TMsg::RecreateInval { dst, .. } => *dst = map_dst(*dst),
+                TMsg::RecreateAck { .. } => {}
+                TMsg::Activate { dst, proc, .. }
+                | TMsg::Deactivate { dst, proc }
+                | TMsg::ArbActivate { dst, proc, .. }
+                | TMsg::ArbDeactivate { dst, proc } => {
+                    *dst = map_dst(*dst);
+                    *proc = map_proc(*proc);
+                }
+                TMsg::ArbRequest { proc, .. } | TMsg::ArbDone { proc } => *proc = map_proc(*proc),
+            }
+        }
+        t.net.sort();
+        t
     }
 }
 

@@ -1,0 +1,188 @@
+//! Minimal deterministic worker pool shared by the sweep engine and the
+//! model checker.
+//!
+//! The whole crate is one primitive — [`par_map_threads`] — plus the
+//! thread-count policy ([`default_threads`] / [`parse_threads`]) that
+//! every parallel consumer in the workspace shares. It deliberately
+//! depends on nothing but `std`: the model checker (`tokencmp-mcheck`)
+//! sits at the foundation of the crate graph and must not pull in the
+//! simulator stack just to borrow a thread pool, while the sweep engine
+//! (`tokencmp-sweep`) re-exports these functions unchanged so existing
+//! callers keep compiling.
+//!
+//! The determinism contract: work is claimed dynamically (an atomic
+//! cursor, so uneven item costs balance across workers), but each item
+//! writes its result into a pre-assigned slot indexed by submission
+//! order. Output order is therefore input order for any thread count,
+//! which is what lets both the sweep engine and the parallel model
+//! checker promise bit-identical results regardless of scheduling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads [`par_map`] uses: the
+/// `TOKENCMP_SWEEP_THREADS` environment variable if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`]. A malformed
+/// value aborts with a clear message instead of silently falling back —
+/// a typo'd thread count should never masquerade as a measurement knob.
+pub fn default_threads() -> usize {
+    match parse_threads(std::env::var("TOKENCMP_SWEEP_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses a `TOKENCMP_SWEEP_THREADS` value (`None` = variable unset,
+/// which means "use available parallelism"). Separated from
+/// [`default_threads`] so malformed inputs are unit-testable without
+/// exercising a process exit.
+pub fn parse_threads(var: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = var else {
+        return Ok(None);
+    };
+    let v = raw.trim();
+    if v.is_empty() {
+        return Err(
+            "TOKENCMP_SWEEP_THREADS is set but empty; unset it or give a positive \
+             worker count"
+                .into(),
+        );
+    }
+    match v.parse::<usize>() {
+        Ok(0) => {
+            Err("TOKENCMP_SWEEP_THREADS must be at least 1 (0 workers cannot run anything)".into())
+        }
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "TOKENCMP_SWEEP_THREADS: `{raw}` is not a positive integer"
+        )),
+    }
+}
+
+/// Applies `f` to every item on a scoped worker pool and returns the
+/// results **in input order** (the deterministic core of the engine,
+/// usable for any independent fan-out, e.g. model-checking runs).
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven item
+/// costs balance across workers; output order is still input order
+/// because each item writes to its pre-assigned slot. A panic in `f`
+/// propagates after all workers finish.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_threads(items, default_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (`threads <= 1` runs
+/// inline, sequentially).
+pub fn par_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i].lock().unwrap().take().expect("job claimed twice");
+                let result = f(item);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("worker exited before filling its slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        // Uneven costs: big items finish last on any schedule; order must
+        // still be input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_threads(items.clone(), 8, |x| {
+            if x.is_multiple_of(7) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_is_sequential() {
+        let out = par_map_threads(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn par_map_propagates_worker_panics() {
+        let _ = par_map_threads(vec![0u32, 1, 2, 3], 2, |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_counts_and_unset() {
+        assert_eq!(parse_threads(None).unwrap(), None);
+        assert_eq!(parse_threads(Some("1")).unwrap(), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")).unwrap(), Some(8));
+    }
+
+    #[test]
+    fn parse_threads_rejects_malformed_values_with_clear_messages() {
+        for (input, expect) in [
+            ("", "set but empty"),
+            ("  ", "set but empty"),
+            ("0", "at least 1"),
+            ("junk", "not a positive integer"),
+            ("-2", "not a positive integer"),
+            ("1.5", "not a positive integer"),
+        ] {
+            let err = parse_threads(Some(input)).expect_err(&format!("`{input}` must be rejected"));
+            assert!(
+                err.contains("TOKENCMP_SWEEP_THREADS") && err.contains(expect),
+                "`{input}` -> `{err}` (expected to mention `{expect}`)"
+            );
+        }
+    }
+}

@@ -50,7 +50,7 @@ fn bench_persistent_table(c: &mut Criterion) {
     c.bench_function("dist_table_activate_resolve", |b| {
         b.iter(|| {
             let mut t = DistTable::new(16);
-            for p in 0..16u8 {
+            for p in 0..16u16 {
                 t.activate(
                     ProcId(p),
                     Block(u64::from(p % 4)),
@@ -62,7 +62,7 @@ fn bench_persistent_table(c: &mut Criterion) {
             for blk in 0..4u64 {
                 black_box(t.active_for(Block(blk)));
             }
-            for p in 0..16u8 {
+            for p in 0..16u16 {
                 t.deactivate(ProcId(p), 1);
             }
         });

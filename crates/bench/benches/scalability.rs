@@ -11,14 +11,178 @@
 //!    bytes per L1 miss for TokenCMP (grows with chip count) versus
 //!    DirectoryCMP (constant).
 
-use tokencmp::{LockingWorkload, MsgClass, Protocol, SystemConfig, Tier, Variant};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tokencmp::{
+    run_workload, Fabric, LockingWorkload, MsgClass, Protocol, RunOptions, RunOutcome,
+    SystemConfig, Tier, Variant,
+};
+use tokencmp_bench::scale::{self, ScaleBenchEntry};
 use tokencmp_bench::{banner, BenchGrid};
 
+/// One scale-out grid point: fabric, chip count, cores and banks per
+/// chip, and lock acquires per core (smaller for the big systems so a
+/// 1024-core point stays minutes-scale on one host core).
+struct ScalePoint {
+    fabric: Fabric,
+    cmps: u16,
+    procs_per_cmp: u16,
+    banks_per_cmp: u16,
+    acquires: u32,
+}
+
+const SP: fn(Fabric, u16, u16, u16, u32) -> ScalePoint =
+    |fabric, cmps, procs_per_cmp, banks_per_cmp, acquires| ScalePoint {
+        fabric,
+        cmps,
+        procs_per_cmp,
+        banks_per_cmp,
+        acquires,
+    };
+
+/// The scale-out grid: core count spans 16 → 1024, each fabric gets at
+/// least one point, and the last point is the acceptance run — a
+/// 64-CMP × 16-core workload over the 8 × 8 mesh with per-link
+/// contention. Smoke mode trims to CI-sized systems.
+fn scale_grid(smoke: bool) -> Vec<ScalePoint> {
+    if smoke {
+        vec![
+            SP(Fabric::Flat, 2, 2, 2, 4),
+            SP(Fabric::Ring, 8, 2, 2, 2),
+            SP(Fabric::Mesh { cols: 4 }, 8, 2, 2, 2),
+        ]
+    } else {
+        vec![
+            SP(Fabric::Flat, 4, 4, 4, 4),
+            SP(Fabric::Ring, 16, 4, 4, 2),
+            SP(Fabric::Mesh { cols: 4 }, 16, 4, 4, 2),
+            SP(Fabric::Mesh { cols: 8 }, 64, 4, 4, 1),
+            SP(Fabric::Mesh { cols: 8 }, 64, 16, 16, 1),
+        ]
+    }
+}
+
+/// Runs one grid point (TokenCMP-dst1, locking with one lock per four
+/// cores) and records it as a trajectory entry.
+fn run_scale_point(run: &str, p: &ScalePoint) -> ScaleBenchEntry {
+    let mut cfg = SystemConfig {
+        cmps: p.cmps,
+        procs_per_cmp: p.procs_per_cmp,
+        banks_per_cmp: p.banks_per_cmp,
+        fabric: p.fabric,
+        ..SystemConfig::default()
+    };
+    cfg.tokens_per_block = (cfg.layout().caches() + 1).next_power_of_two();
+    cfg.validate().expect("scale-out grid config");
+    let procs = cfg.layout().procs();
+    let w = LockingWorkload::new(procs, (procs / 4).max(2), p.acquires, 7);
+    let start = Instant::now();
+    let (res, _) = run_workload(
+        &cfg,
+        Protocol::Token(Variant::Dst1),
+        w,
+        &RunOptions::default(),
+    );
+    let elapsed = start.elapsed();
+    assert_eq!(
+        res.outcome,
+        RunOutcome::Idle,
+        "{} {}x{} did not finish",
+        p.fabric.name(),
+        p.cmps,
+        p.procs_per_cmp
+    );
+    ScaleBenchEntry::measured(
+        run,
+        p.fabric.name(),
+        p.cmps as u64,
+        p.procs_per_cmp as u64,
+        res.events,
+        res.runtime.as_ps(),
+        elapsed,
+    )
+}
+
+/// Measures the scale-out grid and merges it into the trajectory file.
+fn run_scale_study(smoke: bool) {
+    let run = std::env::var("TOKENCMP_BENCH_RUN")
+        .unwrap_or_else(|_| if smoke { "smoke" } else { "dev" }.into());
+    // Smoke results land in a scratch file: CI exercises the full
+    // measure→merge→validate path without rewriting the committed
+    // trajectory with noisy, tiny-system numbers.
+    let path = if smoke {
+        let p = std::env::temp_dir().join(format!("BENCH_scale.smoke.{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    } else {
+        scale::trajectory_path()
+    };
+    println!("\nscale-out trajectory (TokenCMP-dst1, one lock per four cores):");
+    println!(
+        "{:>7} {:>6} {:>7} {:>10} {:>14} {:>14} {:>12}",
+        "fabric", "chips", "cores", "events", "runtime (ps)", "events/sec", "wall (s)"
+    );
+    let mut fresh = Vec::new();
+    for p in scale_grid(smoke) {
+        let e = run_scale_point(&run, &p);
+        println!(
+            "{:>7} {:>6} {:>7} {:>10} {:>14} {:>14.3e} {:>12.1}",
+            e.fabric,
+            e.cmps,
+            e.cores,
+            e.events,
+            e.runtime_ps,
+            e.events_per_sec,
+            e.elapsed_ns as f64 / 1e9
+        );
+        fresh.push(e);
+    }
+    match scale::append(&path, fresh) {
+        Ok(all) => println!(
+            "wrote {} ({} entries, run `{run}`)",
+            path.display(),
+            all.len()
+        ),
+        Err(e) => {
+            eprintln!("failed to write trajectory: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--bench")
+        .collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        let path = args
+            .get(1)
+            .map(PathBuf::from)
+            .unwrap_or_else(scale::trajectory_path);
+        match scale::validate_file(&path) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("BENCH_scale.json validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     banner(
         "Scalability & hierarchy ablations",
         "HPCA 2005 paper, §4 (TokenB unsuitability) and §8 (CMP-count scaling)",
     );
+
+    // Smoke mode measures only the (trimmed) scale-out grid — the three
+    // paper studies below are full-size runs that CI exercises through
+    // the committed trajectory, not by re-measuring.
+    if std::env::var("TOKENCMP_BENCH_SMOKE").is_ok() {
+        run_scale_study(true);
+        return;
+    }
 
     // All three studies queued as one grid through the parallel engine.
     let cfg = SystemConfig::default();
@@ -36,7 +200,7 @@ fn main() {
         .collect();
 
     // --- 2. CMP-count sweep ------------------------------------------------------
-    let chip_counts = [2u8, 4, 8];
+    let chip_counts = [2u16, 4, 8];
     let sweep_protocols = [
         Protocol::Token(Variant::Dst1),
         Protocol::Token(Variant::Dst1Dsp),
@@ -196,4 +360,7 @@ fn main() {
         dsp < 0.8 * full,
         "prediction must substantially narrow stable-owner fetches"
     );
+
+    // --- 4. scale-out trajectory ---------------------------------------------------
+    run_scale_study(false);
 }

@@ -16,6 +16,7 @@
 
 pub mod kernel;
 pub mod mcheck;
+pub mod scale;
 
 use std::path::PathBuf;
 

@@ -1,0 +1,366 @@
+//! The scale-out trajectory (`BENCH_scale.json`).
+//!
+//! Like `BENCH_kernel.json` (see [`crate::kernel`]), this is a
+//! *committed* trajectory file at the repository root: each entry
+//! records one full protocol run at a `(fabric, cmps, cores_per_cmp)`
+//! point of the scale-out grid — simulated runtime, events processed,
+//! and host events/sec — so the cost of growing the system from the
+//! paper's 4-CMP × 4-core Table 3 machine to 64 CMPs × 16 cores stays
+//! reviewable in diffs as the simulator evolves.
+//!
+//! Schema (`tokencmp-scale-bench-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "tokencmp-scale-bench-v1",
+//!   "entries": [
+//!     {"run": "pr10", "fabric": "mesh", "cmps": 64, "cores_per_cmp": 16,
+//!      "cores": 1024, "events": 16548472, "runtime_ps": 233641125,
+//!      "elapsed_ns": 49577621919, "events_per_sec": 333790.1,
+//!      "ns_per_event": 2995.9}
+//!   ]
+//! }
+//! ```
+//!
+//! The validation gate (run by the CI `scale` job) checks the schema
+//! and requires the trajectory to contain at least one completed
+//! 1024-core-or-larger mesh point: the file must keep proving that the
+//! multi-hop fabric actually carries a 64-CMP × 16-core workload.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use tokencmp::sweep::json::{parse, Value};
+
+/// Schema tag every trajectory file must carry.
+pub const SCHEMA: &str = "tokencmp-scale-bench-v1";
+
+/// Fabric names a trajectory entry may carry ([`tokencmp::Fabric`]
+/// `name()` values).
+pub const FABRICS: [&str; 3] = ["flat", "ring", "mesh"];
+
+/// The acceptance point the committed trajectory must retain: a
+/// completed mesh run of at least this many cores.
+pub const GATE_CORES: u64 = 1024;
+
+/// One measurement: a full protocol run at one scale-out grid point in
+/// one bench invocation (`run` labels the invocation, e.g. a PR number).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleBenchEntry {
+    /// Trajectory label for the invocation (`TOKENCMP_BENCH_RUN`).
+    pub run: String,
+    /// Inter-CMP fabric name (`flat` / `ring` / `mesh`).
+    pub fabric: String,
+    /// Chip count.
+    pub cmps: u64,
+    /// Processors per chip.
+    pub cores_per_cmp: u64,
+    /// Total cores (`cmps × cores_per_cmp`, stored for grep-ability and
+    /// cross-checked on parse).
+    pub cores: u64,
+    /// Events processed by the run.
+    pub events: u64,
+    /// Simulated runtime of the run in picoseconds.
+    pub runtime_ps: u64,
+    /// Wall time of the run.
+    pub elapsed_ns: u64,
+    /// `events / elapsed` in events per second.
+    pub events_per_sec: f64,
+    /// `elapsed / events` in nanoseconds.
+    pub ns_per_event: f64,
+}
+
+impl ScaleBenchEntry {
+    /// An entry from a raw measurement; derives the rate fields.
+    pub fn measured(
+        run: &str,
+        fabric: &str,
+        cmps: u64,
+        cores_per_cmp: u64,
+        events: u64,
+        runtime_ps: u64,
+        elapsed: Duration,
+    ) -> ScaleBenchEntry {
+        let ns = elapsed.as_nanos() as u64;
+        ScaleBenchEntry {
+            run: run.to_string(),
+            fabric: fabric.to_string(),
+            cmps,
+            cores_per_cmp,
+            cores: cmps * cores_per_cmp,
+            events,
+            runtime_ps,
+            elapsed_ns: ns,
+            events_per_sec: events as f64 / elapsed.as_secs_f64(),
+            ns_per_event: ns as f64 / events as f64,
+        }
+    }
+
+    /// The replacement key: re-running a grid point overwrites its cell.
+    fn key(&self) -> (&str, &str, u64, u64) {
+        (&self.run, &self.fabric, self.cmps, self.cores_per_cmp)
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(BTreeMap::from([
+            ("run".into(), Value::Str(self.run.clone())),
+            ("fabric".into(), Value::Str(self.fabric.clone())),
+            ("cmps".into(), Value::Int(self.cmps)),
+            ("cores_per_cmp".into(), Value::Int(self.cores_per_cmp)),
+            ("cores".into(), Value::Int(self.cores)),
+            ("events".into(), Value::Int(self.events)),
+            ("runtime_ps".into(), Value::Int(self.runtime_ps)),
+            ("elapsed_ns".into(), Value::Int(self.elapsed_ns)),
+            ("events_per_sec".into(), Value::Float(self.events_per_sec)),
+            ("ns_per_event".into(), Value::Float(self.ns_per_event)),
+        ]))
+    }
+
+    fn from_value(v: &Value, idx: usize) -> Result<ScaleBenchEntry, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry {idx}: `{k}` missing or not a string"))
+        };
+        let int_field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("entry {idx}: `{k}` missing or not an integer"))
+        };
+        let rate_field = |k: &str| {
+            let x = v
+                .get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("entry {idx}: `{k}` missing or not a number"))?;
+            if x.is_finite() && x > 0.0 {
+                Ok(x)
+            } else {
+                Err(format!("entry {idx}: `{k}` = {x} is not a positive rate"))
+            }
+        };
+        let fabric = str_field("fabric")?;
+        if !FABRICS.contains(&fabric.as_str()) {
+            return Err(format!("entry {idx}: unknown fabric `{fabric}`"));
+        }
+        let entry = ScaleBenchEntry {
+            run: str_field("run")?,
+            fabric,
+            cmps: int_field("cmps")?,
+            cores_per_cmp: int_field("cores_per_cmp")?,
+            cores: int_field("cores")?,
+            events: int_field("events")?,
+            runtime_ps: int_field("runtime_ps")?,
+            elapsed_ns: int_field("elapsed_ns")?,
+            events_per_sec: rate_field("events_per_sec")?,
+            ns_per_event: rate_field("ns_per_event")?,
+        };
+        if entry.cores != entry.cmps * entry.cores_per_cmp {
+            return Err(format!(
+                "entry {idx}: cores ({}) != cmps ({}) × cores_per_cmp ({})",
+                entry.cores, entry.cmps, entry.cores_per_cmp
+            ));
+        }
+        if entry.runtime_ps == 0 || entry.events == 0 {
+            return Err(format!(
+                "entry {idx}: a completed run has nonzero events and runtime"
+            ));
+        }
+        Ok(entry)
+    }
+}
+
+/// The committed trajectory file: `<repo root>/BENCH_scale.json`.
+pub fn trajectory_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the repo root")
+        .join("BENCH_scale.json")
+}
+
+/// Parses and schema-validates a trajectory file's text.
+pub fn parse_trajectory(text: &str) -> Result<Vec<ScaleBenchEntry>, String> {
+    let root = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    match root.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema `{s}` != expected `{SCHEMA}`")),
+        None => return Err("missing `schema` tag".into()),
+    }
+    let entries = root
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("missing `entries` array")?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ScaleBenchEntry::from_value(v, i))
+        .collect()
+}
+
+/// Loads a trajectory file; a missing file is an empty trajectory.
+pub fn load(path: &Path) -> Result<Vec<ScaleBenchEntry>, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => parse_trajectory(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Merges fresh measurements into an existing trajectory: same-key
+/// entries replace in place, new keys append in measurement order.
+pub fn merge(
+    mut existing: Vec<ScaleBenchEntry>,
+    fresh: Vec<ScaleBenchEntry>,
+) -> Vec<ScaleBenchEntry> {
+    for entry in fresh {
+        match existing.iter_mut().find(|e| e.key() == entry.key()) {
+            Some(slot) => *slot = entry,
+            None => existing.push(entry),
+        }
+    }
+    existing
+}
+
+/// Renders a trajectory: valid JSON, one entry per line so appending a
+/// run produces a line-per-record diff.
+pub fn render(entries: &[ScaleBenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "\"schema\": {},", Value::Str(SCHEMA.into()));
+    out.push_str("\"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(out, "{}{sep}", e.to_value());
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Loads, merges, and writes back the trajectory at `path`.
+pub fn append(path: &Path, fresh: Vec<ScaleBenchEntry>) -> Result<Vec<ScaleBenchEntry>, String> {
+    let merged = merge(load(path)?, fresh);
+    fs::write(path, render(&merged)).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(merged)
+}
+
+/// The scale-out gate: the trajectory must contain at least one
+/// completed mesh point of [`GATE_CORES`] cores or more (the
+/// per-entry parse already rejected zero-event/zero-runtime rows).
+pub fn check_gate(entries: &[ScaleBenchEntry]) -> Result<String, String> {
+    let best = entries
+        .iter()
+        .filter(|e| e.fabric == "mesh" && e.cores >= GATE_CORES)
+        .max_by_key(|e| e.cores)
+        .ok_or_else(|| {
+            format!("no completed mesh point with >= {GATE_CORES} cores in the trajectory")
+        })?;
+    Ok(format!(
+        "gate: run `{}` mesh {}x{} = {} cores, {} events in {} ps sim time ({:.2e} ev/s host) — ok",
+        best.run,
+        best.cmps,
+        best.cores_per_cmp,
+        best.cores,
+        best.events,
+        best.runtime_ps,
+        best.events_per_sec
+    ))
+}
+
+/// CI entry point: schema-validate `path` and apply the scale-out gate.
+pub fn validate_file(path: &Path) -> Result<String, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = parse_trajectory(&text)?;
+    if entries.is_empty() {
+        return Err("trajectory is empty".into());
+    }
+    let mut report = format!("{}: {} entries, schema ok\n", path.display(), entries.len());
+    let _ = writeln!(report, "{}", check_gate(&entries)?);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(run: &str, fabric: &str, cmps: u64, cpc: u64) -> ScaleBenchEntry {
+        ScaleBenchEntry::measured(
+            run,
+            fabric,
+            cmps,
+            cpc,
+            1_000_000,
+            5_000_000,
+            Duration::from_millis(800),
+        )
+    }
+
+    #[test]
+    fn render_round_trips_through_the_parser() {
+        let entries = vec![
+            entry("pr10", "flat", 4, 4),
+            entry("pr10", "mesh", 64, 16),
+            entry("pr10", "ring", 16, 4),
+        ];
+        let parsed = parse_trajectory(&render(&entries)).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected_with_a_reason() {
+        for (text, needle) in [
+            ("[]", "schema"),
+            (r#"{"schema":"tokencmp-scale-bench-v0","entries":[]}"#, "v0"),
+            (r#"{"schema":"tokencmp-scale-bench-v1"}"#, "entries"),
+            (
+                r#"{"schema":"tokencmp-scale-bench-v1","entries":[{"run":"a"}]}"#,
+                "fabric",
+            ),
+        ] {
+            let err = parse_trajectory(text).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+        // Unknown fabrics, inconsistent core products, and empty runs
+        // are schema errors too.
+        let mut bogus = entry("a", "mesh", 8, 2);
+        bogus.fabric = "torus".into();
+        let err = parse_trajectory(&render(&[bogus])).unwrap_err();
+        assert!(err.contains("torus"), "{err}");
+        let mut skewed = entry("a", "mesh", 8, 2);
+        skewed.cores = 17;
+        let err = parse_trajectory(&render(&[skewed])).unwrap_err();
+        assert!(err.contains("cores"), "{err}");
+        let mut hollow = entry("a", "mesh", 8, 2);
+        hollow.events = 0;
+        let err = parse_trajectory(&render(&[hollow])).unwrap_err();
+        assert!(err.contains("completed"), "{err}");
+    }
+
+    #[test]
+    fn merge_replaces_same_key_and_appends_new_points() {
+        let old = vec![entry("pr10", "flat", 4, 4), entry("pr10", "mesh", 64, 16)];
+        let mut remeasured = entry("pr10", "mesh", 64, 16);
+        remeasured.events = 2_000_000;
+        let fresh = vec![remeasured, entry("pr11", "mesh", 64, 16)];
+        let merged = merge(old, fresh);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[1].events, 2_000_000, "replacement kept its slot");
+        assert_eq!(merged[2].run, "pr11");
+    }
+
+    #[test]
+    fn the_gate_requires_a_large_mesh_point() {
+        // Flat-only trajectories prove nothing about the fabric.
+        let err = check_gate(&[entry("a", "flat", 64, 16)]).unwrap_err();
+        assert!(err.contains("mesh"), "{err}");
+        // A small mesh point is not the acceptance point.
+        let err = check_gate(&[entry("a", "mesh", 8, 4)]).unwrap_err();
+        assert!(err.contains("1024"), "{err}");
+        // The 64 × 16 mesh point satisfies the gate and is named.
+        let verdict = check_gate(&[entry("a", "flat", 4, 4), entry("a", "mesh", 64, 16)]).unwrap();
+        assert!(verdict.contains("64x16"), "{verdict}");
+    }
+}

@@ -4,6 +4,12 @@
 //! array (tags + state, true-LRU replacement) and transient (in-flight)
 //! state in their own MSHR-like maps. The array is generic over the state
 //! type so the token substrate and the directory protocol share it.
+//!
+//! The backing store is paged: slot pages allocate lazily on first touch,
+//! so an idle 8 MB L2 bank in a 1024-core system costs a few hundred
+//! bytes instead of megabytes, and a simulated system's footprint scales
+//! with the *touched* working set rather than with aggregate cache
+//! capacity ([`SetAssoc::resident_bytes`] reports the actual cost).
 
 use std::fmt;
 
@@ -25,7 +31,19 @@ struct LineSlot<S> {
     block: Block,
     state: S,
     stamp: u64,
+    /// This slot's position in the `live` list (swap-remove bookkeeping,
+    /// kept inline so no per-slot side table needs preallocating).
+    live_pos: u32,
 }
+
+/// Target slots per lazily-allocated page. Small enough that a sparse
+/// 1024-core run touching a handful of sets per cache stays in the
+/// kilobytes per cache; large enough that a hot cache allocates O(10)
+/// pages rather than thousands.
+const PAGE_SLOT_TARGET: usize = 2048;
+
+/// A lazily-allocated page of line slots.
+type Page<S> = Box<[Option<LineSlot<S>>]>;
 
 /// A set-associative tag/state array with true-LRU replacement.
 ///
@@ -48,22 +66,27 @@ pub struct SetAssoc<S> {
     sets: usize,
     ways: usize,
     index_shift: u32,
-    lines: Vec<Option<LineSlot<S>>>,
+    /// Lazily-allocated slot pages; `pages[p]` covers slot indices
+    /// `[p * page_slots, (p + 1) * page_slots)`. `None` until a block
+    /// first maps into the page.
+    pages: Vec<Option<Page<S>>>,
+    /// Slots per page: a whole number of sets, so one set never
+    /// straddles pages.
+    page_slots: usize,
     stamp: u64,
     occupied: usize,
-    /// Occupied slot indices, unordered. Together with `slot_pos` this
-    /// makes [`iter`](SetAssoc::iter) O(occupied) instead of
-    /// O(sets × ways) — a census of a nearly-empty 8 MB L2 bank must
-    /// not scan 32 k slots (the telemetry sampler takes censuses every
-    /// sample period, and the conservation audit on every audit step).
+    /// Occupied slot indices, unordered. Together with the slots'
+    /// inline `live_pos` this makes [`iter`](SetAssoc::iter)
+    /// O(occupied) instead of O(sets × ways) — a census of a
+    /// nearly-empty 8 MB L2 bank must not scan 32 k slots (the
+    /// telemetry sampler takes censuses every sample period, and the
+    /// conservation audit on every audit step).
     live: Vec<u32>,
-    /// `slot_pos[i]` is slot `i`'s position in `live`, or `u32::MAX`
-    /// when the slot is free (swap-remove bookkeeping).
-    slot_pos: Vec<u32>,
 }
 
 impl<S> SetAssoc<S> {
-    /// Creates an empty array of `sets × ways` lines.
+    /// Creates an empty array of `sets × ways` lines. No slot storage is
+    /// allocated until lines are inserted.
     ///
     /// # Panics
     ///
@@ -71,39 +94,67 @@ impl<S> SetAssoc<S> {
     pub fn new(sets: usize, ways: usize, index_shift: u32) -> SetAssoc<S> {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         assert!(ways > 0, "ways must be nonzero");
-        let mut lines = Vec::with_capacity(sets * ways);
-        lines.resize_with(sets * ways, || None);
         assert!(sets * ways < u32::MAX as usize, "array too large");
+        // Power-of-two sets per page (dividing `sets` exactly), sized so
+        // a page holds about PAGE_SLOT_TARGET slots.
+        let sets_per_page = (PAGE_SLOT_TARGET / ways).next_power_of_two().clamp(1, sets);
+        let page_slots = sets_per_page * ways;
+        let n_pages = sets / sets_per_page;
+        let mut pages = Vec::with_capacity(n_pages);
+        pages.resize_with(n_pages, || None);
         SetAssoc {
             sets,
             ways,
             index_shift,
-            lines,
+            pages,
+            page_slots,
             stamp: 0,
             occupied: 0,
             live: Vec::new(),
-            slot_pos: vec![u32::MAX; sets * ways],
         }
     }
 
-    /// Records slot `i` as newly occupied.
+    /// Shared view of slot `i` (`None` if its page was never touched or
+    /// the slot is free).
     #[inline]
-    fn mark_live(&mut self, i: usize) {
-        self.slot_pos[i] = self.live.len() as u32;
-        self.live.push(i as u32);
+    fn slot(&self, i: usize) -> Option<&LineSlot<S>> {
+        self.pages[i / self.page_slots]
+            .as_deref()
+            .and_then(|p| p[i % self.page_slots].as_ref())
+    }
+
+    /// Mutable view of slot `i`'s occupant (no page allocation).
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> Option<&mut LineSlot<S>> {
+        self.pages[i / self.page_slots]
+            .as_deref_mut()
+            .and_then(|p| p[i % self.page_slots].as_mut())
+    }
+
+    /// Mutable access to slot `i`'s cell, allocating its page on first
+    /// touch.
+    #[inline]
+    fn cell_mut(&mut self, i: usize) -> &mut Option<LineSlot<S>> {
+        let (pi, off) = (i / self.page_slots, i % self.page_slots);
+        let slots = self.page_slots;
+        let page = self.pages[pi].get_or_insert_with(|| {
+            let mut v = Vec::with_capacity(slots);
+            v.resize_with(slots, || None);
+            v.into_boxed_slice()
+        });
+        &mut page[off]
     }
 
     /// Records slot `i` as freed (swap-remove from the live list).
+    /// Callers take the slot's occupant afterwards.
     #[inline]
     fn mark_free(&mut self, i: usize) {
-        let p = self.slot_pos[i] as usize;
-        debug_assert!(p != u32::MAX as usize, "freeing a free slot");
+        let p = self.slot(i).expect("freeing a free slot").live_pos as usize;
         let last = self.live.pop().expect("live list non-empty");
         if last as usize != i {
             self.live[p] = last;
-            self.slot_pos[last as usize] = p as u32;
+            self.slot_mut(last as usize).expect("live slot").live_pos = p as u32;
         }
-        self.slot_pos[i] = u32::MAX;
     }
 
     /// Number of sets.
@@ -126,6 +177,18 @@ impl<S> SetAssoc<S> {
         self.occupied == 0
     }
 
+    /// Bytes of heap + inline storage this array currently holds:
+    /// the struct itself, the page table, every *allocated* page, and
+    /// the live-index capacity. The footprint regression suite holds
+    /// this under budget for sparse 1024-core runs.
+    pub fn resident_bytes(&self) -> usize {
+        let page_bytes = self.page_slots * std::mem::size_of::<Option<LineSlot<S>>>();
+        std::mem::size_of::<Self>()
+            + self.pages.capacity() * std::mem::size_of::<Option<Page<S>>>()
+            + self.pages.iter().flatten().count() * page_bytes
+            + self.live.capacity() * std::mem::size_of::<u32>()
+    }
+
     #[inline]
     fn set_of(&self, block: Block) -> usize {
         ((block.0 >> self.index_shift) % self.sets as u64) as usize
@@ -138,31 +201,35 @@ impl<S> SetAssoc<S> {
     }
 
     fn find(&self, block: Block) -> Option<usize> {
+        // An untouched page can't hold the block.
+        let s = self.set_range(block).start;
+        self.pages[s / self.page_slots].as_deref()?;
         self.set_range(block)
-            .find(|&i| matches!(&self.lines[i], Some(l) if l.block == block))
+            .find(|&i| matches!(self.slot(i), Some(l) if l.block == block))
     }
 
     /// Reads a line's state without updating LRU.
     pub fn peek(&self, block: Block) -> Option<&S> {
-        self.find(block)
-            .map(|i| &self.lines[i].as_ref().unwrap().state)
+        self.find(block).map(|i| &self.slot(i).unwrap().state)
     }
 
     /// Reads a line's state, marking it most-recently-used.
     pub fn get(&mut self, block: Block) -> Option<&S> {
         let i = self.find(block)?;
         self.stamp += 1;
-        let slot = self.lines[i].as_mut().unwrap();
-        slot.stamp = self.stamp;
-        Some(&self.lines[i].as_ref().unwrap().state)
+        let stamp = self.stamp;
+        let slot = self.slot_mut(i).unwrap();
+        slot.stamp = stamp;
+        Some(&self.slot(i).unwrap().state)
     }
 
     /// Mutable access to a line's state, marking it most-recently-used.
     pub fn get_mut(&mut self, block: Block) -> Option<&mut S> {
         let i = self.find(block)?;
         self.stamp += 1;
-        let slot = self.lines[i].as_mut().unwrap();
-        slot.stamp = self.stamp;
+        let stamp = self.stamp;
+        let slot = self.slot_mut(i).unwrap();
+        slot.stamp = stamp;
         Some(&mut slot.state)
     }
 
@@ -179,7 +246,7 @@ impl<S> SetAssoc<S> {
         }
         let mut lru: Option<(u64, Block)> = None;
         for i in self.set_range(block) {
-            match &self.lines[i] {
+            match self.slot(i) {
                 None => return None,
                 Some(l) => {
                     if lru.is_none_or(|(s, _)| l.stamp < s) {
@@ -197,7 +264,7 @@ impl<S> SetAssoc<S> {
         self.stamp += 1;
         let stamp = self.stamp;
         if let Some(i) = self.find(block) {
-            let slot = self.lines[i].as_mut().unwrap();
+            let slot = self.slot_mut(i).unwrap();
             slot.stamp = stamp;
             let old = std::mem::replace(&mut slot.state, state);
             return InsertOutcome::Replaced(old);
@@ -206,7 +273,7 @@ impl<S> SetAssoc<S> {
         let mut free = None;
         let mut lru: Option<(u64, usize)> = None;
         for i in range {
-            match &self.lines[i] {
+            match self.slot(i) {
                 None => {
                     free = Some(i);
                     break;
@@ -219,23 +286,30 @@ impl<S> SetAssoc<S> {
             }
         }
         if let Some(i) = free {
-            self.lines[i] = Some(LineSlot {
+            let live_pos = self.live.len() as u32;
+            *self.cell_mut(i) = Some(LineSlot {
                 block,
                 state,
                 stamp,
+                live_pos,
             });
             self.occupied += 1;
-            self.mark_live(i);
+            self.live.push(i as u32);
             return InsertOutcome::Inserted;
         }
         let (_, i) = lru.expect("ways > 0");
-        let old = self.lines[i]
-            .replace(LineSlot {
+        // The victim's slot (and live-list entry) pass to the new line.
+        let slot = self.slot_mut(i).unwrap();
+        let live_pos = slot.live_pos;
+        let old = std::mem::replace(
+            slot,
+            LineSlot {
                 block,
                 state,
                 stamp,
-            })
-            .unwrap();
+                live_pos,
+            },
+        );
         InsertOutcome::Evicted(old.block, old.state)
     }
 
@@ -244,22 +318,25 @@ impl<S> SetAssoc<S> {
         let i = self.find(block)?;
         self.occupied -= 1;
         self.mark_free(i);
-        Some(self.lines[i].take().unwrap().state)
+        Some(self.cell_mut(i).take().unwrap().state)
     }
 
     /// Iterates occupied lines in arbitrary order. O(occupied), not
     /// O(sets × ways): censuses of sparse arrays are cheap.
     pub fn iter(&self) -> impl Iterator<Item = (Block, &S)> {
         self.live.iter().map(|&i| {
-            let l = self.lines[i as usize].as_ref().expect("live slot");
+            let l = self.slot(i as usize).expect("live slot");
             (l.block, &l.state)
         })
     }
 
-    /// Mutably iterates occupied lines in arbitrary order.
+    /// Mutably iterates occupied lines in arbitrary order (slot order,
+    /// skipping untouched pages).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (Block, &mut S)> {
-        self.lines
+        self.pages
             .iter_mut()
+            .flatten()
+            .flat_map(|p| p.iter_mut())
             .filter_map(|l| l.as_mut().map(|l| (l.block, &mut l.state)))
     }
 }
@@ -270,6 +347,7 @@ impl<S: fmt::Debug> fmt::Debug for SetAssoc<S> {
             .field("sets", &self.sets)
             .field("ways", &self.ways)
             .field("occupied", &self.occupied)
+            .field("pages", &self.pages.iter().flatten().count())
             .finish()
     }
 }
@@ -391,6 +469,40 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![3, 4]);
         assert_eq!(c.iter().count(), c.len());
+    }
+
+    #[test]
+    fn pages_allocate_lazily_and_footprint_tracks_touch() {
+        // An L2-bank-sized array: 8192 sets × 4 ways = 32 k slots.
+        let mut c: SetAssoc<u64> = SetAssoc::new(8192, 4, 0);
+        let empty = c.resident_bytes();
+        // Untouched: only the struct + page table + no pages.
+        assert!(empty < 2_048, "empty array resident {empty} B");
+        // One line touches exactly one page.
+        c.insert(Block(0), 1);
+        let one = c.resident_bytes();
+        assert!(one > empty);
+        // A second line in the same page region costs nothing new.
+        c.insert(Block(1), 2);
+        assert_eq!(c.resident_bytes(), one);
+        // A line far away allocates a second page.
+        c.insert(Block(8000), 3);
+        assert!(c.resident_bytes() > one);
+        // Full-array footprint stays the total-capacity bound.
+        for n in 0..8192u64 {
+            c.insert(Block(n), n);
+        }
+        let full = c.resident_bytes();
+        assert!(full >= 32 * 1024 * std::mem::size_of::<Option<LineSlot<u64>>>() / 4);
+    }
+
+    #[test]
+    fn tiny_arrays_use_a_single_page() {
+        let mut c: SetAssoc<u8> = SetAssoc::new(2, 2, 0);
+        c.insert(Block(0), 0);
+        c.insert(Block(1), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.resident_bytes() > 0);
     }
 
     #[test]

@@ -288,7 +288,7 @@ impl ConformChecker {
     fn move_kind(&self, block: Block, from: NodeId, to: NodeId, sent_all: bool) -> &'static str {
         let forwarded = self
             .table_active
-            .range((block, ProcId(0))..=(block, ProcId(u8::MAX)))
+            .range((block, ProcId(0))..=(block, ProcId(u16::MAX)))
             .any(|(&(_, p), &n)| n > 0 && (self.layout.l1d(p) == to || self.layout.l1i(p) == to));
         if forwarded {
             "forward"

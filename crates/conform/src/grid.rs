@@ -10,7 +10,7 @@ use std::rc::Rc;
 
 use tokencmp_litmus::{classic_shapes, LitmusWorkload, Pinning, Program};
 use tokencmp_net::FaultPlan;
-use tokencmp_proto::{AccessKind, Block, SystemConfig};
+use tokencmp_proto::{AccessKind, Block, Fabric, SystemConfig};
 use tokencmp_sim::kernel::RunOutcome;
 use tokencmp_sim::Dur;
 use tokencmp_sweep::json::Value;
@@ -36,6 +36,12 @@ pub enum ConformWork {
     /// writebacks (the model's `writeback` transition never fires
     /// without it).
     Eviction,
+    /// The lock-handoff micro-benchmark again, but on an 8-CMP 2 × 4
+    /// mesh fabric: every coherence race crosses multi-hop
+    /// dimension-order routes with per-link FIFO contention, so
+    /// refinement is checked where delivery order differs most from the
+    /// flat bus.
+    MeshLocking,
 }
 
 impl ConformWork {
@@ -48,6 +54,7 @@ impl ConformWork {
         works.push(ConformWork::Locking);
         works.push(ConformWork::Barrier);
         works.push(ConformWork::Eviction);
+        works.push(ConformWork::MeshLocking);
         works
     }
 
@@ -58,6 +65,7 @@ impl ConformWork {
             ConformWork::Locking => "locking".into(),
             ConformWork::Barrier => "barrier".into(),
             ConformWork::Eviction => "eviction".into(),
+            ConformWork::MeshLocking => "mesh-locking".into(),
         }
     }
 
@@ -78,6 +86,12 @@ impl ConformWork {
                 l2_ways: 1,
                 tokens_per_block: 8,
                 ..SystemConfig::default()
+            },
+            ConformWork::MeshLocking => SystemConfig {
+                cmps: 8,
+                fabric: Fabric::Mesh { cols: 4 },
+                tokens_per_block: 64,
+                ..SystemConfig::small_test()
             },
             _ => SystemConfig::small_test(),
         }
@@ -213,7 +227,7 @@ pub fn run_conform(
                 .0
                 .outcome
         }
-        ConformWork::Locking => {
+        ConformWork::Locking | ConformWork::MeshLocking => {
             let wl = LockingWorkload::new(procs, 2, 4, seed);
             run_workload_traced(&cfg, protocol, wl, &opts, Some(handle))
                 .0

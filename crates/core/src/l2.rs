@@ -51,7 +51,7 @@ pub struct TokenL2 {
     layout: Layout,
     me: NodeId,
     cmp: CmpId,
-    bank: u8,
+    bank: u16,
     rules: GrantRules,
     lines: SetAssoc<TokenLine>,
     persistent: PersistentState,
@@ -59,7 +59,7 @@ pub struct TokenL2 {
     /// Approximate directory of local L1 sharers (dst1-filt only):
     /// bit `i` set means local L1 `i` (in [`Layout::l1s_on`] order) may
     /// hold tokens.
-    filter: Option<HashMap<Block, u16>>,
+    filter: Option<HashMap<Block, u64>>,
     /// Per-block recreation serials announced by the home memories;
     /// absent ⇒ serial 0 (the map stays empty on lossless runs).
     serials: HashMap<Block, u32>,
@@ -74,7 +74,7 @@ impl TokenL2 {
         cfg: Rc<SystemConfig>,
         me: NodeId,
         cmp: CmpId,
-        bank: u8,
+        bank: u16,
         variant: Variant,
     ) -> TokenL2 {
         let layout = cfg.layout();
@@ -91,7 +91,13 @@ impl TokenL2 {
             lines: SetAssoc::new(cfg.l2_sets, cfg.l2_ways, shift),
             persistent: PersistentState::new(layout.procs() as usize),
             variant,
-            filter: variant.uses_filter().then(HashMap::new),
+            filter: variant.uses_filter().then(|| {
+                assert!(
+                    2 * cfg.procs_per_cmp as u32 <= 64,
+                    "sharer-filter mask holds at most 64 local L1s"
+                );
+                HashMap::new()
+            }),
             serials: HashMap::new(),
             layout,
             me,
@@ -134,7 +140,7 @@ impl TokenL2 {
             return;
         };
         if let Some(f) = &mut self.filter {
-            *f.entry(block).or_insert(0) |= 1 << idx;
+            *f.entry(block).or_insert(0) |= 1u64 << idx;
         }
     }
 
@@ -144,7 +150,7 @@ impl TokenL2 {
         };
         if let Some(f) = &mut self.filter {
             if let Some(mask) = f.get_mut(&block) {
-                *mask &= !(1 << idx);
+                *mask &= !(1u64 << idx);
                 if *mask == 0 {
                     f.remove(&block);
                 }
@@ -442,7 +448,7 @@ impl TokenL2 {
             .as_ref()
             .map(|f| f.get(&block).copied().unwrap_or(0));
         for (idx, l1) in self.layout.l1s_on(self.cmp).into_iter().enumerate() {
-            let wanted = mask.is_none_or(|m| m & (1 << idx) != 0);
+            let wanted = mask.is_none_or(|m| m & (1u64 << idx) != 0);
             if wanted {
                 self.stats.forwarded_to_l1 += 1;
                 ctx.send_after(self.cfg.l2_latency, l1, req);

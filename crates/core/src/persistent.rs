@@ -139,7 +139,7 @@ impl DistTable {
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
             .find(|(_, e)| e.block == block)
             .map(|(i, e)| ActiveReq {
-                proc: ProcId(i as u8),
+                proc: ProcId(i as u16),
                 requester: e.requester,
                 kind: e.kind,
             })
@@ -162,7 +162,7 @@ impl DistTable {
         self.entries
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|e| (ProcId(i as u8), e.block)))
+            .filter_map(|(i, e)| e.as_ref().map(|e| (ProcId(i as u16), e.block)))
     }
 
     /// True if the table has no valid entries.
@@ -304,7 +304,7 @@ impl Arbiter {
 mod tests {
     use super::*;
 
-    fn req(p: u8) -> ActiveReq {
+    fn req(p: u16) -> ActiveReq {
         ActiveReq {
             proc: ProcId(p),
             requester: NodeId(100 + p as u32),

@@ -22,14 +22,14 @@ pub enum HomeState {
     #[default]
     Uncached,
     /// One or more chips hold read-only copies; memory is current.
-    Shared(u8),
+    Shared(u64),
     /// `owner` holds dirty data; `sharers` (a chip mask, possibly
     /// including the owner) hold read-only copies.
     Owned {
         /// Chip with the dirty data.
         owner: CmpId,
         /// Chips with read-only copies.
-        sharers: u8,
+        sharers: u64,
     },
     /// One chip may modify the block.
     Exclusive(CmpId),
@@ -120,12 +120,12 @@ impl DirHome {
         self.layout.l2(chip, self.cfg.l2_bank_of(block))
     }
 
-    fn mask_without(mask: u8, chip: CmpId) -> u8 {
-        mask & !(1 << chip.0)
+    fn mask_without(mask: u64, chip: CmpId) -> u64 {
+        mask & !(1u64 << chip.0)
     }
 
-    fn chips_in(mask: u8) -> impl Iterator<Item = CmpId> {
-        (0..8).filter(move |i| mask & (1 << i) != 0).map(CmpId)
+    fn chips_in(mask: u64) -> impl Iterator<Item = CmpId> {
+        (0..64).filter(move |i| mask & (1u64 << i) != 0).map(CmpId)
     }
 
     fn handle_req(
@@ -283,12 +283,12 @@ impl DirHome {
         else {
             panic!("unblock with unexpected txn");
         };
-        let req_bit = 1u8 << requester_chip.0;
+        let req_bit = 1u64 << requester_chip.0;
         entry.state = match (result, old) {
             (HomeResult::Exclusive, _) => HomeState::Exclusive(requester_chip),
             (HomeResult::Shared, HomeState::Shared(m)) => HomeState::Shared(m | req_bit),
             (HomeResult::Shared, HomeState::Exclusive(o)) => {
-                HomeState::Shared((1 << o.0) | req_bit)
+                HomeState::Shared((1u64 << o.0) | req_bit)
             }
             (HomeResult::Shared, HomeState::Uncached) => HomeState::Shared(req_bit),
             (HomeResult::Shared, HomeState::Owned { owner, sharers }) => {

@@ -175,7 +175,7 @@ pub struct DirL2 {
 
 impl DirL2 {
     /// Creates an L2 bank controller for chip `cmp`, bank `bank`.
-    pub fn new(cfg: Rc<SystemConfig>, me: NodeId, cmp: CmpId, _bank: u8) -> DirL2 {
+    pub fn new(cfg: Rc<SystemConfig>, me: NodeId, cmp: CmpId, _bank: u16) -> DirL2 {
         let layout = cfg.layout();
         DirL2 {
             local_l1s: layout.l1s_on(cmp),

@@ -39,8 +39,8 @@ impl Pinning {
         let cmps = cfg.cmps as usize;
         let per = cfg.procs_per_cmp as usize;
         match self {
-            Pinning::Spread => ProcId(((t % cmps) * per + t / cmps) as u8),
-            Pinning::Packed => ProcId(t as u8),
+            Pinning::Spread => ProcId(((t % cmps) * per + t / cmps) as u16),
+            Pinning::Packed => ProcId(t as u16),
         }
     }
 }
@@ -312,7 +312,7 @@ mod tests {
         let mut active = true;
         while active {
             active = false;
-            for p in 0..procs as u8 {
+            for p in 0..procs as u16 {
                 let step = w.next(ProcId(p), Time::ZERO, pending[p as usize].take());
                 match step {
                     Step::Think(_) => {

@@ -21,13 +21,22 @@
 //! latency-only: at 64 GB/s their utilization is negligible for every
 //! workload in the paper (the paper notes queuing delay is insignificant
 //! for its parameters).
+//!
+//! The chip-to-chip tier is a pluggable [`Fabric`]: the flat bus above
+//! (Table 3, one direct serialized link per ordered chip pair), a ring,
+//! or a 2D mesh with dimension-order routing. Multi-hop fabrics charge
+//! inter-CMP bytes and acquire a serialized link *per hop* ([`next_hop`]
+//! / [`inter_path`] / [`inter_hops`] expose the pure routing functions),
+//! so per-link FIFO contention emerges naturally from the same occupancy
+//! model the flat bus uses. The flat fabric is the degenerate one-hop
+//! case and reproduces the pre-fabric arithmetic bit-identically.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use tokencmp_proto::{Block, Layout, MsgClass, NetMsg, Placement, SystemConfig, Unit};
+use tokencmp_proto::{Block, Fabric, Layout, MsgClass, NetMsg, Placement, SystemConfig, Unit};
 use tokencmp_sim::{Delivery, Dur, NodeId, Rng, Time, Transport};
 use tokencmp_trace::{FaultKind, TraceEvent, TraceHandle, TraceTier};
 
@@ -130,25 +139,108 @@ enum Route {
     /// Between units on the same chip.
     Intra,
     /// Between chips.
-    Inter { src_cmp: u8, dst_cmp: u8 },
+    Inter { src_cmp: u16, dst_cmp: u16 },
     /// To/from the memory controller of the chip a unit sits on.
-    MemLink { cmp: u8, to_mem: bool },
+    MemLink { cmp: u16, to_mem: bool },
     /// Cross-chip to/from a memory controller: global link plus the home
     /// chip's memory link.
     InterPlusMem {
-        src_cmp: u8,
-        dst_cmp: u8,
+        src_cmp: u16,
+        dst_cmp: u16,
         to_mem: bool,
     },
     /// Memory controller to memory controller: both memory links plus the
     /// global link.
-    MemToMem { src_cmp: u8, dst_cmp: u8 },
+    MemToMem { src_cmp: u16, dst_cmp: u16 },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum LinkKey {
-    Inter { from: u8, to: u8 },
-    Mem { cmp: u8, to_mem: bool },
+    Inter { from: u16, to: u16 },
+    Mem { cmp: u16, to_mem: bool },
+}
+
+// ---- Inter-CMP fabric routing ---------------------------------------------
+//
+// Pure functions of `(fabric, cmps, from, to)`: the network's occupancy
+// state never influences a path, so routing is deterministic and the
+// topology property suite can check paths without building a network.
+
+/// The next chip on the path `from → to` under `fabric`.
+///
+/// * Flat: the destination itself (one direct link).
+/// * Ring: one step in the shorter direction; an exact tie (even rings,
+///   diametrically opposite chips) goes clockwise, toward increasing ids.
+/// * Mesh: dimension-order routing — correct the column (X) first, then
+///   the row (Y). X never resumes after the first Y step, so the
+///   channel-dependency graph is acyclic and routing is deadlock-free by
+///   construction.
+///
+/// # Panics
+///
+/// Panics if `from == to` or either chip is out of range.
+pub fn next_hop(fabric: Fabric, cmps: u16, from: u16, to: u16) -> u16 {
+    assert!(from != to, "next_hop of a self-route");
+    assert!(from < cmps && to < cmps, "chip out of range");
+    match fabric {
+        Fabric::Flat => to,
+        Fabric::Ring => {
+            let n = cmps as i32;
+            let fwd = (to as i32 - from as i32).rem_euclid(n);
+            if fwd <= n - fwd {
+                ((from as i32 + 1).rem_euclid(n)) as u16
+            } else {
+                ((from as i32 - 1).rem_euclid(n)) as u16
+            }
+        }
+        Fabric::Mesh { cols } => {
+            let (fx, fy) = (from % cols, from / cols);
+            let (tx, ty) = (to % cols, to / cols);
+            if fx != tx {
+                if fx < tx {
+                    from + 1
+                } else {
+                    from - 1
+                }
+            } else if fy < ty {
+                from + cols
+            } else {
+                from - cols
+            }
+        }
+    }
+}
+
+/// The full hop path `from → to`: each chip visited after `from`, ending
+/// at `to`. Empty when `from == to`.
+pub fn inter_path(fabric: Fabric, cmps: u16, from: u16, to: u16) -> Vec<u16> {
+    let mut path = Vec::new();
+    let mut cur = from;
+    while cur != to {
+        cur = next_hop(fabric, cmps, cur, to);
+        path.push(cur);
+    }
+    path
+}
+
+/// Number of serialized inter-CMP links the path `from → to` crosses.
+pub fn inter_hops(fabric: Fabric, cmps: u16, from: u16, to: u16) -> u32 {
+    if from == to {
+        return 0;
+    }
+    match fabric {
+        Fabric::Flat => 1,
+        Fabric::Ring => {
+            let n = cmps as u32;
+            let fwd = (to as i32 - from as i32).rem_euclid(n as i32) as u32;
+            fwd.min(n - fwd)
+        }
+        Fabric::Mesh { cols } => {
+            let dx = (from % cols).abs_diff(to % cols) as u32;
+            let dy = (from / cols).abs_diff(to / cols) as u32;
+            dx + dy
+        }
+    }
 }
 
 /// Live fault-injection state: the plan, its private RNG stream, shared
@@ -279,6 +371,8 @@ pub fn tier_between(layout: &Layout, src: NodeId, dst: NodeId) -> Option<Tier> {
 /// serialization occupancy) and records per-class traffic.
 pub struct Network {
     layout: Layout,
+    fabric: Fabric,
+    cmps: u16,
     intra_latency: Dur,
     inter_latency: Dur,
     offchip_latency: Dur,
@@ -296,6 +390,8 @@ impl Network {
     pub fn new(cfg: &SystemConfig) -> Network {
         Network {
             layout: cfg.layout(),
+            fabric: cfg.fabric,
+            cmps: cfg.cmps,
             intra_latency: cfg.intra_latency,
             inter_latency: cfg.inter_latency,
             offchip_latency: cfg.offchip_latency,
@@ -377,6 +473,21 @@ impl Network {
         let start = at.max(*free);
         *free = start + ser;
         start + ser
+    }
+
+    /// Walks the inter-CMP fabric `from → to`, acquiring every hop's
+    /// serialized link in path order (per-hop FIFO contention) and paying
+    /// the link latency per hop. On the flat fabric this is a single
+    /// `occupy` on the direct link — exactly the pre-fabric arithmetic.
+    fn traverse_inter(&mut self, from: u16, to: u16, at: Time, ser: Dur) -> Time {
+        let mut t = at;
+        let mut cur = from;
+        while cur != to {
+            let nxt = next_hop(self.fabric, self.cmps, cur, to);
+            t = self.occupy(LinkKey::Inter { from: cur, to: nxt }, t, ser) + self.inter_latency;
+            cur = nxt;
+        }
+        t
     }
 
     /// Delivery with fault injection, for messages whose route has active
@@ -520,22 +631,17 @@ impl<M: NetMsg> Transport<M> for Network {
             }
             Route::Inter { src_cmp, dst_cmp } => {
                 if size > 0 {
-                    // On-chip segments at both ends, plus the global link.
+                    // On-chip segments at both ends, plus every global
+                    // link crossed (one on the flat fabric).
                     traffic.charge(Tier::Intra, class, size);
                     traffic.charge(Tier::Intra, class, size);
-                    traffic.charge(Tier::Inter, class, size);
+                    for _ in 0..inter_hops(self.fabric, self.cmps, src_cmp, dst_cmp) {
+                        traffic.charge(Tier::Inter, class, size);
+                    }
                 }
                 drop(traffic);
                 let ser = Dur::from_bytes_at_gbps(size, self.inter_gbps);
-                let out = self.occupy(
-                    LinkKey::Inter {
-                        from: src_cmp,
-                        to: dst_cmp,
-                    },
-                    now,
-                    ser,
-                );
-                out + self.inter_latency
+                self.traverse_inter(src_cmp, dst_cmp, now, ser)
             }
             Route::MemLink { cmp, to_mem } => {
                 if size > 0 {
@@ -554,20 +660,15 @@ impl<M: NetMsg> Transport<M> for Network {
             } => {
                 if size > 0 {
                     traffic.charge(Tier::Intra, class, size);
-                    traffic.charge(Tier::Inter, class, size);
+                    for _ in 0..inter_hops(self.fabric, self.cmps, src_cmp, dst_cmp) {
+                        traffic.charge(Tier::Inter, class, size);
+                    }
                     traffic.charge(Tier::Mem, class, size);
                 }
                 drop(traffic);
                 let ser_inter = Dur::from_bytes_at_gbps(size, self.inter_gbps);
                 let mem_cmp = if to_mem { dst_cmp } else { src_cmp };
-                let after_inter = self.occupy(
-                    LinkKey::Inter {
-                        from: src_cmp,
-                        to: dst_cmp,
-                    },
-                    now,
-                    ser_inter,
-                ) + self.inter_latency;
+                let after_inter = self.traverse_inter(src_cmp, dst_cmp, now, ser_inter);
                 let ser_mem = Dur::from_bytes_at_gbps(size, self.mem_gbps);
                 let out = self.occupy(
                     LinkKey::Mem {
@@ -581,7 +682,9 @@ impl<M: NetMsg> Transport<M> for Network {
             }
             Route::MemToMem { src_cmp, dst_cmp } => {
                 if size > 0 {
-                    traffic.charge(Tier::Inter, class, size);
+                    for _ in 0..inter_hops(self.fabric, self.cmps, src_cmp, dst_cmp) {
+                        traffic.charge(Tier::Inter, class, size);
+                    }
                     traffic.charge(Tier::Mem, class, size);
                     traffic.charge(Tier::Mem, class, size);
                 }
@@ -596,14 +699,7 @@ impl<M: NetMsg> Transport<M> for Network {
                     now,
                     ser_mem,
                 ) + self.offchip_latency;
-                let t2 = self.occupy(
-                    LinkKey::Inter {
-                        from: src_cmp,
-                        to: dst_cmp,
-                    },
-                    t1,
-                    ser_inter,
-                ) + self.inter_latency;
+                let t2 = self.traverse_inter(src_cmp, dst_cmp, t1, ser_inter);
                 let t3 = self.occupy(
                     LinkKey::Mem {
                         cmp: dst_cmp,
@@ -1027,6 +1123,115 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "different seeds should perturb differently");
+    }
+
+    fn fabric_cfg(cmps: u16, fabric: Fabric) -> SystemConfig {
+        SystemConfig {
+            cmps,
+            procs_per_cmp: 1,
+            banks_per_cmp: 1,
+            tokens_per_block: 256,
+            fabric,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn ring_path_takes_shorter_direction_with_clockwise_tie() {
+        let f = Fabric::Ring;
+        assert_eq!(inter_path(f, 8, 0, 2), vec![1, 2]);
+        assert_eq!(inter_path(f, 8, 0, 6), vec![7, 6]);
+        // Diametric tie on an even ring goes clockwise.
+        assert_eq!(inter_path(f, 8, 0, 4), vec![1, 2, 3, 4]);
+        assert_eq!(inter_hops(f, 8, 0, 4), 4);
+        assert_eq!(inter_hops(f, 8, 3, 3), 0);
+    }
+
+    #[test]
+    fn mesh_path_is_dimension_ordered() {
+        let f = Fabric::Mesh { cols: 4 };
+        // 0 → 15 on a 4×4 mesh: X first (0→1→2→3), then Y (3→7→11→15).
+        assert_eq!(inter_path(f, 16, 0, 15), vec![1, 2, 3, 7, 11, 15]);
+        assert_eq!(inter_hops(f, 16, 0, 15), 6);
+        // Same column: pure Y.
+        assert_eq!(inter_path(f, 16, 1, 13), vec![5, 9, 13]);
+    }
+
+    #[test]
+    fn flat_fabric_delivery_matches_default_network() {
+        // `Fabric::Flat` must be byte-identical to the pre-fabric
+        // network: same occupancy keys, same arithmetic.
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.fabric, Fabric::Flat);
+        let l = cfg.layout();
+        let mut n = Network::new(&cfg);
+        let t = Transport::<TestMsg>::deliver_at(
+            &mut n,
+            Time::ZERO,
+            l.l1d(ProcId(0)),
+            l.l1d(ProcId(15)),
+            &data(),
+        );
+        assert_eq!(t.as_ps(), 4_500 + 20_000);
+    }
+
+    #[test]
+    fn multi_hop_delivery_pays_latency_and_serialization_per_hop() {
+        let cfg = fabric_cfg(8, Fabric::Ring);
+        let l = cfg.layout();
+        let mut n = Network::new(&cfg);
+        // Chip 0 → chip 4: four ring hops, each 4.5 ns ser + 20 ns lat.
+        let t = Transport::<TestMsg>::deliver_at(
+            &mut n,
+            Time::ZERO,
+            l.l1d(ProcId(0)),
+            l.l1d(ProcId(4)),
+            &data(),
+        );
+        assert_eq!(t.as_ps(), 4 * (4_500 + 20_000));
+        // Inter bytes are charged once per hop; intra once per end.
+        let tr = n.traffic_handle();
+        assert_eq!(tr.borrow().bytes(Tier::Inter, MsgClass::ResponseData), 288);
+        assert_eq!(tr.borrow().bytes(Tier::Intra, MsgClass::ResponseData), 144);
+    }
+
+    #[test]
+    fn shared_middle_link_creates_contention() {
+        // Two messages whose mesh paths share the 1→2 link must
+        // serialize on it even though src/dst chips differ.
+        let cfg = fabric_cfg(4, Fabric::Mesh { cols: 4 });
+        let l = cfg.layout();
+        let mut n = Network::new(&cfg);
+        let t1 = Transport::<TestMsg>::deliver_at(
+            &mut n,
+            Time::ZERO,
+            l.l1d(ProcId(0)),
+            l.l1d(ProcId(2)),
+            &data(),
+        );
+        // First: hops 0→1 (ser 4.5 @0, +20) then 1→2 (ser 4.5 @24.5, +20).
+        assert_eq!(t1.as_ps(), 49_000);
+        // The occupancy model is a no-backfill FIFO queue per directed
+        // link: t1 advanced 1→2's next-free time to 29 ns, so a message
+        // injected at chip 1 afterwards queues behind it even though it
+        // asks at t=0.
+        let t2 = Transport::<TestMsg>::deliver_at(
+            &mut n,
+            Time::ZERO,
+            l.l1d(ProcId(1)),
+            l.l1d(ProcId(2)),
+            &data(),
+        );
+        assert_eq!(t2.as_ps(), 29_000 + 4_500 + 20_000);
+        // And the queue keeps extending: next arrival waits for t2's slot.
+        let t3 = Transport::<TestMsg>::deliver_at(
+            &mut n,
+            Time::from_ps(25_000),
+            l.l1d(ProcId(1)),
+            l.l1d(ProcId(2)),
+            &data(),
+        );
+        assert_eq!(t3.as_ps(), 33_500 + 4_500 + 20_000);
     }
 
     #[test]

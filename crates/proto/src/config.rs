@@ -6,6 +6,44 @@ use tokencmp_sim::Dur;
 use crate::addr::Block;
 use crate::layout::{CmpId, Layout};
 
+/// The inter-CMP fabric connecting the chips' global interfaces.
+///
+/// The paper's Table 3 system wires every chip pair directly (a flat
+/// bus of point-to-point links); scaling past a handful of chips needs
+/// multi-hop fabrics where a message crosses several serialized links.
+/// Routing is a pure function of `(fabric, cmps, src, dst)` — the
+/// network's occupancy state never changes a path — so every fabric is
+/// deterministic and dimension-order mesh routing is deadlock-free by
+/// construction (hops never turn back from Y to X).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fabric {
+    /// Direct chip-to-chip links (today's Table 3 behavior): every
+    /// inter-CMP message crosses exactly one serialized link.
+    Flat,
+    /// A unidirectional-per-direction ring: chip `c` links to `c±1 mod
+    /// cmps`; messages take the shorter way around (ties go clockwise,
+    /// toward increasing ids).
+    Ring,
+    /// A 2D mesh of `cols` columns (`cmps` must divide evenly into
+    /// rows): dimension-order routing corrects the column (X) first,
+    /// then the row (Y).
+    Mesh {
+        /// Mesh width in chips.
+        cols: u16,
+    },
+}
+
+impl Fabric {
+    /// A short stable name for bench/CI labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fabric::Flat => "flat",
+            Fabric::Ring => "ring",
+            Fabric::Mesh { .. } => "mesh",
+        }
+    }
+}
+
 /// All latency, bandwidth, geometry and protocol parameters of the modeled
 /// M-CMP system. [`SystemConfig::default`] reproduces Table 3 exactly.
 ///
@@ -21,11 +59,13 @@ use crate::layout::{CmpId, Layout};
 pub struct SystemConfig {
     // ---- topology ----
     /// Number of chips (4).
-    pub cmps: u8,
+    pub cmps: u16,
     /// Processors per chip (4).
-    pub procs_per_cmp: u8,
+    pub procs_per_cmp: u16,
     /// Shared-L2 banks per chip (4).
-    pub banks_per_cmp: u8,
+    pub banks_per_cmp: u16,
+    /// The inter-CMP fabric (flat chip-to-chip links in Table 3).
+    pub fabric: Fabric,
 
     // ---- geometry ----
     /// Cache block size in bytes (64).
@@ -108,6 +148,7 @@ impl Default for SystemConfig {
             cmps: 4,
             procs_per_cmp: 4,
             banks_per_cmp: 4,
+            fabric: Fabric::Flat,
             block_bytes: 64,
             l1_sets: 512,
             l1_ways: 4,
@@ -159,8 +200,8 @@ impl SystemConfig {
     }
 
     /// The L2 bank within a chip holding `block` (block-number low bits).
-    pub fn l2_bank_of(&self, block: Block) -> u8 {
-        block.bits(0, self.banks_per_cmp as u64) as u8
+    pub fn l2_bank_of(&self, block: Block) -> u16 {
+        block.bits(0, self.banks_per_cmp as u64) as u16
     }
 
     /// The home chip of `block`, i.e. the memory controller owning its
@@ -170,7 +211,7 @@ impl SystemConfig {
         let shift = (self.banks_per_cmp as u64)
             .next_power_of_two()
             .trailing_zeros();
-        CmpId(block.bits(shift, self.cmps as u64) as u8)
+        CmpId(block.bits(shift, self.cmps as u64) as u16)
     }
 
     /// Wire size for a message, by whether it carries data.
@@ -209,6 +250,17 @@ impl SystemConfig {
         }
         if self.l1_ways == 0 || self.l2_ways == 0 {
             return Err("associativity must be nonzero".into());
+        }
+        match self.fabric {
+            Fabric::Flat | Fabric::Ring => {}
+            Fabric::Mesh { cols } => {
+                if cols == 0 || !self.cmps.is_multiple_of(cols) {
+                    return Err(format!(
+                        "mesh cols ({cols}) must divide the chip count ({})",
+                        self.cmps
+                    ));
+                }
+            }
         }
         if self.recreation_timeout.as_ps() == 0 {
             return Err("recreation_timeout must be nonzero".into());

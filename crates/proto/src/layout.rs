@@ -15,11 +15,11 @@ use tokencmp_sim::NodeId;
 /// A processor index, global across the whole system (`cmp * procs_per_cmp
 /// + core`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct ProcId(pub u8);
+pub struct ProcId(pub u16);
 
 /// A chip (CMP) index.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct CmpId(pub u8);
+pub struct CmpId(pub u16);
 
 impl fmt::Debug for ProcId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -43,7 +43,7 @@ pub enum Unit {
     /// A private L1 instruction cache.
     L1I(ProcId),
     /// A shared L2 bank `(chip, bank)`.
-    L2Bank(CmpId, u8),
+    L2Bank(CmpId, u16),
     /// The off-chip memory controller of a chip (also the home of the
     /// inter-CMP directory / the token arbiter for its address slice).
     Mem(CmpId),
@@ -84,11 +84,11 @@ impl Placement {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Layout {
     /// Number of chips.
-    pub cmps: u8,
+    pub cmps: u16,
     /// Processors per chip.
-    pub procs_per_cmp: u8,
+    pub procs_per_cmp: u16,
     /// Shared-L2 banks per chip.
-    pub banks_per_cmp: u8,
+    pub banks_per_cmp: u16,
 }
 
 impl Layout {
@@ -97,8 +97,18 @@ impl Layout {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(cmps: u8, procs_per_cmp: u8, banks_per_cmp: u8) -> Layout {
+    pub fn new(cmps: u16, procs_per_cmp: u16, banks_per_cmp: u16) -> Layout {
         assert!(cmps > 0 && procs_per_cmp > 0 && banks_per_cmp > 0);
+        // ProcId is u16, so the global processor (and bank) spaces must
+        // fit; 64 CMPs x 16 cores sits far inside this bound.
+        assert!(
+            cmps as u32 * procs_per_cmp as u32 <= u16::MAX as u32,
+            "total processors exceed the u16 id space"
+        );
+        assert!(
+            cmps as u32 * banks_per_cmp as u32 <= u16::MAX as u32,
+            "total L2 banks exceed the u16 id space"
+        );
         Layout {
             cmps,
             procs_per_cmp,
@@ -133,7 +143,7 @@ impl Layout {
     }
 
     /// The core index of a processor within its chip.
-    pub fn core_of_proc(&self, p: ProcId) -> u8 {
+    pub fn core_of_proc(&self, p: ProcId) -> u16 {
         p.0 % self.procs_per_cmp
     }
 
@@ -179,19 +189,19 @@ impl Layout {
         let banks = self.l2_banks();
         let i = n.0;
         if i < p {
-            Unit::Proc(ProcId(i as u8))
+            Unit::Proc(ProcId(i as u16))
         } else if i < 2 * p {
-            Unit::L1D(ProcId((i - p) as u8))
+            Unit::L1D(ProcId((i - p) as u16))
         } else if i < 3 * p {
-            Unit::L1I(ProcId((i - 2 * p) as u8))
+            Unit::L1I(ProcId((i - 2 * p) as u16))
         } else if i < 3 * p + banks {
             let rel = i - 3 * p;
             Unit::L2Bank(
-                CmpId((rel / self.banks_per_cmp as u32) as u8),
-                (rel % self.banks_per_cmp as u32) as u8,
+                CmpId((rel / self.banks_per_cmp as u32) as u16),
+                (rel % self.banks_per_cmp as u32) as u16,
             )
         } else if i < 3 * p + banks + self.cmps as u32 {
-            Unit::Mem(CmpId((i - 3 * p - banks) as u8))
+            Unit::Mem(CmpId((i - 3 * p - banks) as u16))
         } else {
             panic!("node id {i} out of range for {self:?}");
         }
@@ -229,7 +239,7 @@ impl Layout {
     }
 
     /// An L2 bank.
-    pub fn l2(&self, c: CmpId, bank: u8) -> NodeId {
+    pub fn l2(&self, c: CmpId, bank: u16) -> NodeId {
         self.node(Unit::L2Bank(c, bank))
     }
 
@@ -242,7 +252,7 @@ impl Layout {
 
     /// All processor ids.
     pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> + 'static {
-        (0..self.procs() as u8).map(ProcId)
+        (0..self.procs() as u16).map(ProcId)
     }
 
     /// All chip ids.

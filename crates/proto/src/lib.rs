@@ -23,7 +23,7 @@ pub mod msg;
 pub mod trace_block;
 
 pub use addr::Block;
-pub use config::SystemConfig;
+pub use config::{Fabric, SystemConfig};
 pub use cpu::{AccessKind, CpuPort, CpuReq, CpuResp};
 pub use layout::{CmpId, Layout, Placement, ProcId, Unit};
 pub use msg::{MsgClass, NetMsg, TokenPayload};

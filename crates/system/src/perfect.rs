@@ -129,7 +129,10 @@ impl<M: CpuPort + 'static> Component<M> for PerfectL2<M> {
             }
             CpuReq::Watch { block } => {
                 if self.l1d[p].contains(block) {
-                    self.watches.entry(block).or_default().push(ProcId(p as u8));
+                    self.watches
+                        .entry(block)
+                        .or_default()
+                        .push(ProcId(p as u16));
                 } else {
                     ctx.send(src, M::from_cpu_resp(CpuResp::WatchFired { block }));
                 }

@@ -203,7 +203,7 @@ impl RateWindow {
 /// table entries deliberately carry no timestamps (the paper sizes them
 /// at six bytes).
 struct StarvationAges {
-    first_seen: BTreeMap<(u64, u8), Time>,
+    first_seen: BTreeMap<(u64, u16), Time>,
 }
 
 impl StarvationAges {
@@ -215,7 +215,7 @@ impl StarvationAges {
 
     /// Reconciles with the currently active set and returns the age of
     /// the oldest still-active request, in picoseconds.
-    fn update(&mut self, at: Time, active: &BTreeSet<(u64, u8)>) -> u64 {
+    fn update(&mut self, at: Time, active: &BTreeSet<(u64, u16)>) -> u64 {
         self.first_seen.retain(|k, _| active.contains(k));
         for &k in active {
             self.first_seen.entry(k).or_insert(at);
@@ -278,13 +278,13 @@ impl KernelMonitor<TokenMsg> for TokenSampler {
         // tokens and where the owner token sits relative to the block's
         // home chip. `(holders, owner_cmp)` per block; owner at memory
         // is tracked separately.
-        let mut disp: BTreeMap<u64, (u64, Option<u8>)> = BTreeMap::new();
+        let mut disp: BTreeMap<u64, (u64, Option<u16>)> = BTreeMap::new();
         let mut l1_lines = 0u64;
         let mut l2_lines = 0u64;
         // `token_lines` (not `token_census`) keeps this walk
         // allocation-free: the sampler visits every cache every sample.
         let mut fold = |census: &mut dyn Iterator<Item = (tokencmp_proto::Block, u32, bool)>,
-                        cmp: u8|
+                        cmp: u16|
          -> u64 {
             let mut lines = 0u64;
             for (b, t, o) in census {
@@ -346,7 +346,7 @@ impl KernelMonitor<TokenMsg> for TokenSampler {
         let mut recreate_active = 0u64;
         let mut recreate_done = 0u64;
         let mut serial_sum = 0u64;
-        let mut active: BTreeSet<(u64, u8)> = BTreeSet::new();
+        let mut active: BTreeSet<(u64, u16)> = BTreeSet::new();
         for c in self.layout.cmp_ids() {
             let m = kernel
                 .component_as::<TokenMem>(self.layout.mem(c))
@@ -563,7 +563,7 @@ mod tests {
     fn starvation_ages_track_oldest_active() {
         let mut a = StarvationAges::new();
         let mut set = BTreeSet::new();
-        set.insert((7u64, 0u8));
+        set.insert((7u64, 0u16));
         assert_eq!(a.update(Time::from_ns(10), &set), 0);
         set.insert((9, 1));
         // Entry (7,0) has been active 30 ns by now.

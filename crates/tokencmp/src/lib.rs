@@ -73,7 +73,9 @@ pub use tokencmp_litmus::{
     Program,
 };
 pub use tokencmp_net::{FaultCounters, FaultPlan, FaultSpec, Tier, Traffic};
-pub use tokencmp_proto::{AccessKind, Block, CmpId, Layout, MsgClass, ProcId, SystemConfig};
+pub use tokencmp_proto::{
+    AccessKind, Block, CmpId, Fabric, Layout, MsgClass, ProcId, SystemConfig,
+};
 pub use tokencmp_sim::{Dur, HostProfiler, ProfilerHandle, RunOutcome, SchedulerKind, Time};
 pub use tokencmp_sweep::{latency_table, par_map, PointRecord, PointResult, Sweep, SweepPoint};
 pub use tokencmp_system::{

@@ -1,0 +1,44 @@
+//! Prints the Table 3 flat-fabric golden fingerprints pinned by
+//! `tests/topology_prop.rs` (regenerate them here after an
+//! *intentional* semantic change to the default system).
+
+use tokencmp_net::Tier;
+use tokencmp_proto::{MsgClass, SystemConfig};
+use tokencmp_system::{run_workload, Protocol, RunOptions};
+use tokencmp_workloads::LockingWorkload;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let cfg = SystemConfig::default();
+    for proto in Protocol::ALL {
+        let wl = LockingWorkload::new(16, 4, 6, 0xA11CE);
+        let opts = RunOptions::default();
+        let (res, _wl) = run_workload(&cfg, proto, wl, &opts);
+        let mut s = String::new();
+        s.push_str(&format!(
+            "outcome={:?} runtime_ps={} events={}\n",
+            res.outcome,
+            res.runtime.as_ps(),
+            res.events
+        ));
+        for tier in Tier::ALL {
+            for class in MsgClass::ALL {
+                s.push_str(&format!(
+                    "traffic {tier:?} {class:?} bytes={} msgs={}\n",
+                    res.traffic.bytes(tier, class),
+                    res.traffic.msgs(tier, class)
+                ));
+            }
+        }
+        s.push_str(&format!("{}", res.counters));
+        println!("{:>12} fp=0x{:016x}", proto.name(), fnv1a(&s));
+    }
+}

@@ -61,6 +61,7 @@ fn micro_benchmarks_conform_on_every_protocol() {
             ConformWork::Locking,
             ConformWork::Barrier,
             ConformWork::Eviction,
+            ConformWork::MeshLocking,
         ] {
             let pt = run_conform(&work, protocol, 7, FaultTier::Clean, Mutation::None);
             assert!(

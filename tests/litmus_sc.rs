@@ -13,11 +13,11 @@
 use tokencmp::litmus::{
     classic_shapes, differential_check, sc_allowed, shapes, DiffOptions, Pinning,
 };
-use tokencmp::{Dur, Protocol, SystemConfig};
+use tokencmp::{Dur, Fabric, Protocol, SystemConfig};
 
 #[path = "common/mod.rs"]
 mod common;
-use common::all_protocols;
+use common::{all_protocols, token_variants};
 
 #[test]
 fn classic_shapes_are_sc_on_every_protocol() {
@@ -46,6 +46,46 @@ fn sb_and_iriw_are_sc_on_the_table3_system_under_both_pinnings() {
         for shape in [shapes::sb(), shapes::iriw()] {
             differential_check(&cfg, &shape, &all_protocols(), &opts)
                 .unwrap_or_else(|v| panic!("{pinning:?}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn classic_shapes_are_sc_on_multi_hop_fabrics() {
+    // Scale-out topologies: the same eight shapes over the multi-hop
+    // inter-CMP fabrics, where races cross serialized per-link FIFOs
+    // instead of the single flat bus — an 8-CMP 2 × 4 mesh and a 16-CMP
+    // ring, all six TokenCMP variants, Spread pinning so every thread
+    // lands on a different chip and each race traverses several hops.
+    let fabrics = [
+        (
+            "mesh",
+            SystemConfig {
+                cmps: 8,
+                fabric: Fabric::Mesh { cols: 4 },
+                tokens_per_block: 64,
+                ..SystemConfig::small_test()
+            },
+        ),
+        (
+            "ring",
+            SystemConfig {
+                cmps: 16,
+                fabric: Fabric::Ring,
+                tokens_per_block: 128,
+                ..SystemConfig::small_test()
+            },
+        ),
+    ];
+    let opts = DiffOptions::default()
+        .with_seeds(1..=3)
+        .with_pinning(Pinning::Spread);
+    for (name, cfg) in fabrics {
+        cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        for shape in classic_shapes() {
+            let report = differential_check(&cfg, &shape, &token_variants(), &opts)
+                .unwrap_or_else(|v| panic!("{name}/{}: {v}", shape.name));
+            assert_eq!(report.runs, 6 * 3, "{name}/{}", shape.name);
         }
     }
 }

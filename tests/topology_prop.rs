@@ -1,0 +1,205 @@
+//! Property tests for the inter-CMP fabric topologies.
+//!
+//! The routing functions (`tokencmp::net::{next_hop, inter_path,
+//! inter_hops}`) are pure, so the properties here are checked directly
+//! against the topology definitions:
+//!
+//! * routes are deterministic and well-formed (every hop is a fabric
+//!   neighbor, paths terminate at the destination, repeated queries
+//!   agree);
+//! * hop counts equal the topological distance — shortest ring arc for
+//!   rings, Manhattan distance for meshes, one hop for the flat bus;
+//! * mesh routes are dimension-ordered (all X hops precede all Y hops),
+//!   which is the standard structural argument for deadlock freedom of
+//!   DOR on a mesh: the X→Y channel-dependence order is acyclic, so no
+//!   cyclic link wait can form;
+//! * the flat fabric is the degenerate one-hop case, and reproduces the
+//!   pre-fabric simulator bit for bit on the paper's Table 3 system
+//!   (golden fingerprints over outcome, runtime, traffic, and every
+//!   counter, for all nine protocol configurations).
+
+use proptest::prelude::*;
+use tokencmp::net::{inter_hops, inter_path, next_hop};
+use tokencmp::{Fabric, MsgClass, SystemConfig, Tier};
+
+/// Strategy: a ring of 2..=64 chips plus a (from, to) pair (possibly
+/// equal; tests remap the self-route case).
+fn ring_case() -> impl Strategy<Value = (u16, u16, u16)> {
+    (2u16..=64).prop_flat_map(|n| (Just(n), 0..n, 0..n))
+}
+
+/// Strategy: a cols × rows mesh of 2..=64 chips plus a (from, to) pair
+/// (possibly equal; tests remap the self-route case). The degenerate
+/// 1 × 1 draw widens to 1 × 2 so every case has a route to exercise.
+fn mesh_case() -> impl Strategy<Value = (u16, u16, u16, u16)> {
+    (1u16..=8, 1u16..=8).prop_flat_map(|(cols, rows)| {
+        let rows = if cols == 1 && rows == 1 { 2 } else { rows };
+        let n = cols * rows;
+        (Just(cols), Just(n), 0..n, 0..n)
+    })
+}
+
+/// Self-routes are rejected by the fabric (`next_hop` panics), so remap
+/// an equal draw to the next chip instead of discarding the case.
+fn distinct(n: u16, from: u16, to: u16) -> u16 {
+    if from == to {
+        (to + 1) % n
+    } else {
+        to
+    }
+}
+
+/// Walks a route hop by hop via `next_hop`, asserting it matches
+/// `inter_path` and terminates within `cmps` hops.
+fn walk(fabric: Fabric, cmps: u16, from: u16, to: u16) -> Vec<u16> {
+    let path = inter_path(fabric, cmps, from, to);
+    let mut cur = from;
+    for (i, &hop) in path.iter().enumerate() {
+        assert_eq!(
+            next_hop(fabric, cmps, cur, to),
+            hop,
+            "hop {i} of {fabric:?} {from}->{to} diverges from inter_path"
+        );
+        cur = hop;
+    }
+    assert_eq!(cur, to, "{fabric:?} route {from}->{to} must end at {to}");
+    assert!(
+        path.len() <= cmps as usize,
+        "{fabric:?} route {from}->{to} visits more hops than chips"
+    );
+    path
+}
+
+proptest! {
+    /// Flat is the degenerate single-hop fabric.
+    #[test]
+    fn flat_routes_in_one_hop(case in ring_case()) {
+        let (n, from, to) = case;
+        let to = distinct(n, from, to);
+        prop_assert_eq!(walk(Fabric::Flat, n, from, to), vec![to]);
+        prop_assert_eq!(inter_hops(Fabric::Flat, n, from, to), 1);
+    }
+
+    /// Ring routes take the shortest arc, step neighbor to neighbor,
+    /// and repeated queries agree.
+    #[test]
+    fn ring_routes_are_shortest_arcs(case in ring_case()) {
+        let (n, from, to) = case;
+        let to = distinct(n, from, to);
+        let fabric = Fabric::Ring;
+        let path = walk(fabric, n, from, to);
+        prop_assert_eq!(path.clone(), inter_path(fabric, n, from, to), "determinism");
+
+        // Hop count is the shortest arc length.
+        let fwd = (to + n - from) % n;
+        let dist = fwd.min(n - fwd) as u32;
+        prop_assert_eq!(path.len() as u32, dist);
+        prop_assert_eq!(inter_hops(fabric, n, from, to), dist);
+
+        // Every hop moves to a ring neighbor, always the same direction.
+        let mut cur = from;
+        let first_step = (path[0] + n - from) % n; // 1 = cw, n-1 = ccw
+        for &hop in &path {
+            prop_assert_eq!((hop + n - cur) % n, first_step, "direction flip");
+            cur = hop;
+        }
+    }
+
+    /// Mesh routes are dimension-ordered shortest paths: Manhattan hop
+    /// count, grid-neighbor steps, and every X-dimension hop precedes
+    /// every Y-dimension hop (the acyclic channel order that makes DOR
+    /// deadlock-free by construction).
+    #[test]
+    fn mesh_routes_are_dimension_ordered(case in mesh_case()) {
+        let (cols, n, from, to) = case;
+        let to = distinct(n, from, to);
+        let fabric = Fabric::Mesh { cols };
+        let path = walk(fabric, n, from, to);
+        prop_assert_eq!(path.clone(), inter_path(fabric, n, from, to), "determinism");
+
+        let (fx, fy) = (from % cols, from / cols);
+        let (tx, ty) = (to % cols, to / cols);
+        let manhattan = (fx.abs_diff(tx) + fy.abs_diff(ty)) as u32;
+        prop_assert_eq!(path.len() as u32, manhattan);
+        prop_assert_eq!(inter_hops(fabric, n, from, to), manhattan);
+
+        let mut cur = from;
+        let mut seen_y = false;
+        for &hop in &path {
+            let (cx, cy) = (cur % cols, cur / cols);
+            let (hx, hy) = (hop % cols, hop / cols);
+            let x_hop = cy == hy && cx.abs_diff(hx) == 1;
+            let y_hop = cx == hx && cy.abs_diff(hy) == 1;
+            prop_assert!(x_hop ^ y_hop, "hop {cur}->{hop} is not a grid neighbor");
+            if y_hop {
+                seen_y = true;
+            } else {
+                prop_assert!(!seen_y, "X hop {cur}->{hop} after a Y hop breaks DOR");
+            }
+            cur = hop;
+        }
+    }
+}
+
+/// FNV-1a over the run's observable results: outcome, simulated
+/// runtime, event count, per-tier/per-class traffic, and the full
+/// counter registry display.
+fn fingerprint(res: &tokencmp::system::RunResult) -> u64 {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "outcome={:?} runtime_ps={} events={}\n",
+        res.outcome,
+        res.runtime.as_ps(),
+        res.events
+    ));
+    for tier in Tier::ALL {
+        for class in MsgClass::ALL {
+            s.push_str(&format!(
+                "traffic {tier:?} {class:?} bytes={} msgs={}\n",
+                res.traffic.bytes(tier, class),
+                res.traffic.msgs(tier, class)
+            ));
+        }
+    }
+    s.push_str(&format!("{}", res.counters));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The flat fabric must reproduce the pre-fabric simulator bit for bit:
+/// these fingerprints were captured on the paper's Table 3 system
+/// *before* the multi-hop fabrics and the u16 node space landed, and
+/// cover outcome, runtime, events, traffic, and every counter of all
+/// nine protocol configurations. Any drift here is an unintended
+/// semantic change to the default topology.
+#[test]
+fn flat_fabric_reproduces_pre_fabric_table3_results() {
+    let golden: [(&str, u64); 9] = [
+        ("TokenCMP-arb0", 0x416b_29af_d6f9_b79e),
+        ("TokenCMP-dst0", 0x5c4f_5330_bd2e_c941),
+        ("TokenCMP-dst4", 0xfcbb_f543_1145_f04c),
+        ("TokenCMP-dst1", 0x13ee_9a6b_3dd9_0e9f),
+        ("TokenCMP-dst1-pred", 0xad3b_f477_6cce_97a1),
+        ("TokenCMP-dst1-filt", 0x6449_f6c8_ca55_316e),
+        ("DirectoryCMP", 0x8cbd_f2da_e48b_7143),
+        ("DirectoryCMP-zero", 0xdc72_0c08_0f94_94e0),
+        ("PerfectL2", 0x590d_069d_7438_9acd),
+    ];
+    let cfg = SystemConfig::default();
+    assert_eq!(cfg.fabric, Fabric::Flat, "Table 3 defaults to the flat bus");
+    for (proto, (name, want)) in tokencmp::system::Protocol::ALL.iter().zip(golden) {
+        assert_eq!(proto.name(), name, "protocol order drifted");
+        let wl = tokencmp::LockingWorkload::new(16, 4, 6, 0xA11CE);
+        let (res, _) =
+            tokencmp::run_workload(&cfg, *proto, wl, &tokencmp::system::RunOptions::default());
+        let got = fingerprint(&res);
+        assert_eq!(
+            got, want,
+            "{name}: flat-fabric fingerprint 0x{got:016x} != golden 0x{want:016x}"
+        );
+    }
+}
